@@ -1,0 +1,137 @@
+// Deriving RG^d estimators where no inverse-probability estimator exists
+// (Sections 2.3 and 5.2 note RG has no HT-style estimator under weighted
+// sampling because exact recovery has probability 0 when min(v) = 0; the
+// paper derives closed forms in follow-up work). Here the derivation
+// engine produces optimal RG and RG^2 estimators *mechanically* on a
+// discretized weighted PPS scheme with known seeds -- exact rational
+// arithmetic end to end.
+//
+// Scheme: domain {0,1,2} per entry, thresholds discretizing PPS with
+// tau* = 4 (value v sampled iff u*4 <= v): predicate ">=1" w.p. 1/4,
+// ">=2" w.p. 1/4, nothing w.p. 1/2.
+
+#include <cstdio>
+
+#include "deriver/algorithm1.h"
+#include "deriver/algorithm2.h"
+#include "deriver/model.h"
+#include "deriver/properties.h"
+#include "util/text_table.h"
+
+namespace pie {
+namespace {
+
+using R = Rational;
+
+DiscreteModel<R> MakeScheme(bool seeds_known,
+                            std::function<R(const std::vector<R>&)> f) {
+  return MakeWeightedThresholdModel<R>(
+      {{R(0), R(1), R(2)}, {R(0), R(1), R(2)}},
+      {{R(1, 4), R(1, 4)}, {R(1, 4), R(1, 4)}}, seeds_known, std::move(f));
+}
+
+// Gap-ascending partition: RG = 0 vectors first, then gap 1, then gap 2.
+int GapKey(const std::vector<int>& v) {
+  return v[0] > v[1] ? v[0] - v[1] : v[1] - v[0];
+}
+
+void DeriveAndReport(const char* name,
+                     std::function<R(const std::vector<R>&)> f) {
+  auto compiled = CompileModel(MakeScheme(true, f));
+  // Singleton batches in gap-ascending order (the f^(+≺) construction):
+  // keeps each exact QP tiny. Gap-0 vectors are processed first, pinning
+  // every outcome consistent with an equal-valued vector to 0.
+  auto table =
+      DeriveConstrainedOrder(compiled, OrderByKey(compiled, GapKey));
+  if (!table.ok()) {
+    std::printf("%s: derivation failed: %s\n", name,
+                table.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s: derived estimator (nonzero outcomes only)\n", name);
+  for (int o = 0; o < compiled.num_outcomes; ++o) {
+    if ((*table)[static_cast<size_t>(o)].IsZero()) continue;
+    std::printf("  %-30s -> %s\n", compiled.outcome_desc[static_cast<size_t>(o)].c_str(),
+                (*table)[static_cast<size_t>(o)].ToString().c_str());
+  }
+  auto var = VarianceByVector(compiled, *table);
+  TextTable t;
+  t.SetHeader({"data vector", "f(v)", "variance"});
+  for (int v = 0; v < compiled.num_vectors; ++v) {
+    t.AddRow(std::vector<std::string>{
+        compiled.vector_desc[static_cast<size_t>(v)],
+        compiled.f[static_cast<size_t>(v)].ToString(),
+        var[static_cast<size_t>(v)].ToString()});
+  }
+  t.Print();
+  std::printf("  unbiased=%s nonnegative=%s monotone=%s\n\n",
+              IsUnbiased(compiled, *table) ? "yes" : "NO",
+              IsNonnegative(*table) ? "yes" : "NO",
+              IsMonotone(compiled, *table) ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace pie
+
+int main() {
+  std::printf(
+      "=== Extension: machine-derived RG^d estimators (weighted, known "
+      "seeds) ===\n\n");
+  std::printf(
+      "No inverse-probability estimator exists for RG under weighted\n"
+      "sampling (Section 2.3); with known seeds an optimal order-based one\n"
+      "does, and the engine derives it exactly:\n\n");
+  pie::DeriveAndReport("RG (d = 1)", pie::RangeS<pie::Rational>);
+  pie::DeriveAndReport("RG^2 (d = 2)", [](const std::vector<pie::Rational>& v) {
+    const pie::Rational rg = pie::RangeS(v);
+    return rg * rg;
+  });
+
+  // Symmetric variant: gap-ascending BATCHES (Algorithm 2 proper) need the
+  // numeric active-set QP (too many constraints for exact enumeration);
+  // the result balances variance between mirrored vectors.
+  {
+    auto compiled = pie::CompileModel(pie::MakeWeightedThresholdModel<double>(
+        {{0, 1, 2}, {0, 1, 2}}, {{0.25, 0.25}, {0.25, 0.25}},
+        /*seeds_known=*/true, pie::RangeS<double>));
+    auto batches =
+        pie::BatchesByKey(compiled, [](const std::vector<int>& v) {
+          return v[0] > v[1] ? v[0] - v[1] : v[1] - v[0];
+        });
+    auto table = pie::DeriveConstrained(compiled, batches);
+    if (table.ok()) {
+      auto var = pie::VarianceByVector(compiled, *table);
+      std::printf(
+          "RG (d = 1), SYMMETRIC batched derivation (numeric active-set "
+          "QP):\n");
+      pie::TextTable t;
+      t.SetHeader({"data vector", "variance"});
+      for (int v = 0; v < compiled.num_vectors; ++v) {
+        t.AddRow(std::vector<std::string>{
+            compiled.vector_desc[static_cast<size_t>(v)],
+            pie::TextTable::Fmt(var[static_cast<size_t>(v)], 6)});
+      }
+      t.Print();
+      std::printf(
+          "  (batching guarantees mirrored vectors share variance; for this\n"
+          "   model the singleton order above already landed on the\n"
+          "   symmetric solution, so the tables coincide)\n\n");
+    }
+  }
+
+  // And the matching negative result: with unknown seeds the existence LP
+  // is infeasible (Theorem 6.1 generalizes beyond binary domains).
+  auto unknown = pie::CompileModel(
+      pie::MakeWeightedThresholdModel<pie::Rational>(
+          {{pie::Rational(0), pie::Rational(1), pie::Rational(2)},
+           {pie::Rational(0), pie::Rational(1), pie::Rational(2)}},
+          {{pie::Rational(1, 4), pie::Rational(1, 4)},
+           {pie::Rational(1, 4), pie::Rational(1, 4)}},
+          /*seeds_known=*/false, pie::RangeS<pie::Rational>));
+  const bool exists = pie::ExistsUnbiasedNonnegative(unknown).ok();
+  std::printf("same scheme with UNKNOWN seeds: %s\n",
+              exists ? "estimator exists (unexpected!)"
+                     : "no unbiased nonnegative RG estimator (exact LP "
+                       "certificate)");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Reproduces Figure 1 of the paper: estimators for max{v1, v2} over
+// weight-oblivious Poisson samples with p1 = p2 = 1/2.
+//
+//  * the per-outcome estimate tables for max^(HT), max^(L), max^(U);
+//  * the closed-form variances (with the max^(U) erratum documented in
+//    DESIGN.md: the consistent coefficient on max^2 is 1, not 3/4);
+//  * the plotted series Var[L]/Var[HT] and Var[U]/Var[HT] as a function of
+//    min(v1,v2)/max(v1,v2).
+
+#include <cstdio>
+
+#include "core/enumerate.h"
+#include "core/functions.h"
+#include "core/ht.h"
+#include "core/max_oblivious.h"
+#include "util/text_table.h"
+
+namespace pie {
+namespace {
+
+ObliviousOutcome Outcome(double v1, double v2, bool s1, bool s2, double p) {
+  return SampleObliviousWithSeeds({v1, v2}, {p, p},
+                                  {s1 ? 0.0 : 0.999999, s2 ? 0.0 : 0.999999});
+}
+
+void PrintEstimateTables() {
+  const double p = 0.5;
+  const MaxLTwo l(p, p);
+  const MaxUTwo u(p, p);
+  // Symbolic check values at (v1, v2) = (1, m): print the table for m = 0.6
+  // which exposes all coefficient structure.
+  const double v1 = 1.0, v2 = 0.6;
+
+  std::printf("Estimate tables at p1 = p2 = 1/2, data (v1, v2) = (%.1f, %.1f)\n",
+              v1, v2);
+  TextTable t;
+  t.SetHeader({"outcome", "max^(HT)", "max^(L)", "max^(U)", "paper max^(L)",
+               "paper max^(U)"});
+  auto ht_est = [&](bool s1, bool s2) {
+    return ObliviousHtEstimate(Outcome(v1, v2, s1, s2, p), MaxOf);
+  };
+  t.AddRow({"S={}", "0", TextTable::Fmt(l.Estimate(Outcome(v1, v2, 0, 0, p))),
+            TextTable::Fmt(u.Estimate(Outcome(v1, v2, 0, 0, p))), "0", "0"});
+  t.AddRow({"S={1}", TextTable::Fmt(ht_est(true, false)),
+            TextTable::Fmt(l.Estimate(Outcome(v1, v2, 1, 0, p))),
+            TextTable::Fmt(u.Estimate(Outcome(v1, v2, 1, 0, p))),
+            TextTable::Fmt(4.0 * v1 / 3.0), TextTable::Fmt(2.0 * v1)});
+  t.AddRow({"S={2}", TextTable::Fmt(ht_est(false, true)),
+            TextTable::Fmt(l.Estimate(Outcome(v1, v2, 0, 1, p))),
+            TextTable::Fmt(u.Estimate(Outcome(v1, v2, 0, 1, p))),
+            TextTable::Fmt(4.0 * v2 / 3.0), TextTable::Fmt(2.0 * v2)});
+  t.AddRow({"S={1,2}", TextTable::Fmt(ht_est(true, true)),
+            TextTable::Fmt(l.Estimate(Outcome(v1, v2, 1, 1, p))),
+            TextTable::Fmt(u.Estimate(Outcome(v1, v2, 1, 1, p))),
+            TextTable::Fmt((8.0 * v1 - 4.0 * v2) / 3.0),
+            TextTable::Fmt(2.0 * v1 - 2.0 * v2)});
+  t.Print();
+  std::printf("\n");
+}
+
+void PrintVarianceBox() {
+  const MaxLTwo l(0.5, 0.5);
+  const MaxUTwo u(0.5, 0.5);
+  std::printf("Closed-form variances at p = 1/2 (mx = max, mn = min):\n");
+  std::printf("  VAR[max^(HT)] = 3 mx^2                      (paper: same)\n");
+  std::printf("  VAR[max^(L)]  = 11/9 mx^2 + 8/9 mn^2 - 16/9 mx*mn  (paper: same)\n");
+  std::printf("  VAR[max^(U)]  = mx^2 + 2 mn^2 - 2 mx*mn     (paper prints 3/4 mx^2 +...;\n");
+  std::printf("                  inconsistent with its own table -- see DESIGN.md errata)\n");
+  // Verify against exact enumeration at (1, 0.25).
+  const double mx = 1.0, mn = 0.25;
+  std::printf("  check at (1, 0.25): L %.6f == %.6f, U %.6f == %.6f\n\n",
+              l.Variance(mx, mn),
+              11.0 / 9 * mx * mx + 8.0 / 9 * mn * mn - 16.0 / 9 * mx * mn,
+              u.Variance(mx, mn), mx * mx + 2 * mn * mn - 2 * mx * mn);
+}
+
+void PrintVarianceRatioSeries() {
+  const double p = 0.5;
+  const MaxLTwo l(p, p);
+  const MaxUTwo u(p, p);
+  const std::vector<double> probs = {p, p};
+  std::printf(
+      "Figure 1 series: variance ratios vs min/max (p1 = p2 = 1/2, max = 1)\n");
+  TextTable t;
+  t.SetHeader({"min/max", "var[L]/var[HT]", "var[U]/var[HT]"});
+  for (int i = 0; i <= 20; ++i) {
+    const double m = i / 20.0;
+    const double var_ht = ObliviousHtVariance({1.0, m}, probs, MaxOf);
+    t.AddRow({TextTable::Fmt(m, 3), TextTable::Fmt(l.Variance(1.0, m) / var_ht, 5),
+              TextTable::Fmt(u.Variance(1.0, m) / var_ht, 5)});
+  }
+  t.Print();
+  std::printf(
+      "\nReadout: L wins when values are similar (min/max -> 1), U wins on\n"
+      "disjoint support (min/max -> 0); both dominate HT everywhere.\n");
+}
+
+// Beyond the paper: where does the L/U crossover sit as a function of p?
+void PrintCrossoverAblation() {
+  std::printf("\nAblation (not in paper): min/max crossover point where\n"
+              "Var[L] = Var[U], per sampling probability p:\n");
+  TextTable t;
+  t.SetHeader({"p", "crossover min/max"});
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const MaxLTwo l(p, p);
+    const MaxUTwo u(p, p);
+    double lo = 0.0, hi = 1.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (l.Variance(1.0, mid) > u.Variance(1.0, mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    t.AddRow({TextTable::Fmt(p, 3), TextTable::Fmt(0.5 * (lo + hi), 4)});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace pie
+
+int main() {
+  std::printf("=== Figure 1 reproduction: max over two oblivious Poisson samples ===\n\n");
+  pie::PrintEstimateTables();
+  pie::PrintVarianceBox();
+  pie::PrintVarianceRatioSeries();
+  pie::PrintCrossoverAblation();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Figure 3 of the paper: the weighted known-seeds max^(L)
+// estimator for r = 2 -- the outcome -> determining-vector map and the
+// four-case closed form, with per-case quadrature verification of
+// unbiasedness (including the corrected equation (30); see DESIGN.md
+// errata).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/max_weighted.h"
+#include "sampling/poisson.h"
+#include "util/text_table.h"
+
+namespace pie {
+namespace {
+
+void PrintDeterminingVectorTable() {
+  std::printf("Determining vectors phi(S) (tau* = (10, 6)):\n");
+  const MaxLWeightedTwo est(10.0, 6.0);
+  TextTable t;
+  t.SetHeader({"outcome", "seeds (u1,u2)", "phi(S)"});
+  struct Case {
+    const char* name;
+    std::vector<double> values;
+    std::vector<double> seeds;
+  };
+  const std::vector<Case> cases = {
+      {"S={} (nothing sampled)", {1, 1}, {0.9, 0.9}},
+      {"S={1}, bound below v1", {5, 1}, {0.2, 0.5}},
+      {"S={1}, bound above v1", {5, 1}, {0.2, 0.95}},
+      {"S={2}, bound below v2", {1, 4}, {0.3, 0.2}},
+      {"S={1,2}", {5, 4}, {0.2, 0.2}},
+  };
+  for (const auto& c : cases) {
+    const auto outcome = SamplePpsWithSeeds(c.values, {10.0, 6.0}, c.seeds);
+    const auto phi = est.DeterminingVector(outcome);
+    char seeds[64], vec[64];
+    std::snprintf(seeds, sizeof(seeds), "(%.2f, %.2f)", c.seeds[0], c.seeds[1]);
+    std::snprintf(vec, sizeof(vec), "(%.2f, %.2f)", phi[0], phi[1]);
+    t.AddRow({c.name, seeds, vec});
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+void PrintEstimatorCases() {
+  std::printf(
+      "Estimator by closed-form case (tau* = (10, 6)); 'E[est]' is the\n"
+      "quadrature expectation over outcomes for that data vector -- it must\n"
+      "equal max(v) (unbiasedness):\n");
+  const MaxLWeightedTwo est(10.0, 6.0);
+  TextTable t;
+  t.SetHeader({"case", "v = (v1,v2)", "est(phi = v)", "E[est | v]", "max(v)"});
+  struct Row {
+    const char* name;
+    double v1, v2;
+  };
+  const std::vector<Row> rows = {
+      {"v1 >= v2 >= tau2 (eq 26)", 8.0, 7.0},
+      {"v1 >= tau1, v2 <= tau2 (const)", 12.0, 3.0},
+      {"v1 <= min(tau1,tau2) (eq 29)", 4.0, 1.5},
+      {"tau2 <= v1 <= tau1 (eq 30 fixed)", 8.0, 2.0},
+      {"equal entries (eq 25)", 4.0, 4.0},
+  };
+  for (const auto& row : rows) {
+    char v[48];
+    std::snprintf(v, sizeof(v), "(%.1f, %.1f)", row.v1, row.v2);
+    t.AddRow({row.name, v,
+              TextTable::Fmt(est.EstimateFromDeterminingVector(row.v1, row.v2), 6),
+              TextTable::Fmt(est.Mean(row.v1, row.v2), 6),
+              TextTable::Fmt(std::fmax(row.v1, row.v2), 6)});
+  }
+  t.Print();
+  std::printf(
+      "\nNote: with the paper's printed log argument in eq (30), the fourth\n"
+      "row's E[est] misses max(v) by ~8%%; the corrected integral (DESIGN.md\n"
+      "errata #1) restores unbiasedness to quadrature precision.\n");
+}
+
+}  // namespace
+}  // namespace pie
+
+int main() {
+  std::printf(
+      "=== Figure 3 reproduction: weighted known-seeds max^(L), r = 2 ===\n\n");
+  pie::PrintDeterminingVectorTable();
+  pie::PrintEstimatorCases();
+  return 0;
+}

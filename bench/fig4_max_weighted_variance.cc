@@ -1,0 +1,94 @@
+// Reproduces Figure 4 of the paper: max^(L) vs max^(HT) for two independent
+// PPS samples with known seeds and tau1* = tau2* = tau*.
+//   (A) normalized variance Var/tau*^2 vs min/max at rho = max/tau* = 0.5
+//   (B) the same at rho = 0.01
+//   (C) the variance ratio Var[HT]/Var[L] vs min/max for several rho
+//
+// Our curves are computed from the actual order-based estimator (exact
+// closed form + adaptive quadrature). As documented in DESIGN.md (errata
+// #3), the paper idealizes the estimator's distribution at min/max -> 0,
+// where its printed curves start at ratio (1+rho)/rho; the true estimator
+// starts at ratio ~2 and matches the paper's closed form exactly at
+// min/max = 1.
+
+#include <cstdio>
+
+#include "core/ht.h"
+#include "core/max_weighted.h"
+#include "util/text_table.h"
+
+namespace pie {
+namespace {
+
+constexpr double kTau = 1.0;
+
+void PrintPanelAB(double rho) {
+  std::printf("Panel (rho = max/tau* = %g): normalized variance vs min/max\n",
+              rho);
+  const MaxLWeightedTwo l(kTau, kTau, 1e-9);
+  const MaxHtWeighted ht({kTau, kTau});
+  TextTable t;
+  t.SetHeader({"min/max", "var[HT]/tau*^2", "var[L]/tau*^2"});
+  for (int i = 0; i <= 10; ++i) {
+    const double frac = i / 10.0;
+    const double v1 = rho * kTau;
+    const double v2 = frac * v1;
+    t.AddRow({TextTable::Fmt(frac, 3),
+              TextTable::Fmt(ht.Variance({v1, v2}) / (kTau * kTau), 6),
+              TextTable::Fmt(l.Variance(v1, v2) / (kTau * kTau), 6)});
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+void PrintPanelC() {
+  std::printf("Panel (C): Var[HT]/Var[L] vs min/max for several rho\n");
+  const std::vector<double> rhos = {0.99, 0.5, 0.1, 0.01, 0.001};
+  const MaxHtWeighted ht({kTau, kTau});
+  TextTable t;
+  std::vector<std::string> header = {"min/max"};
+  for (double rho : rhos) header.push_back("rho=" + TextTable::Fmt(rho, 3));
+  t.SetHeader(header);
+  for (int i = 0; i <= 10; ++i) {
+    const double frac = i / 10.0;
+    std::vector<std::string> row = {TextTable::Fmt(frac, 3)};
+    for (double rho : rhos) {
+      const MaxLWeightedTwo l(kTau, kTau, 1e-9);
+      const double v1 = rho * kTau;
+      const double v2 = frac * v1;
+      const double var_l = l.Variance(v1, v2);
+      row.push_back(var_l > 0
+                        ? TextTable::Fmt(ht.Variance({v1, v2}) / var_l, 5)
+                        : "exact");
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf(
+      "\nReadout: max^(L) dominates max^(HT) for every data vector (ratio\n"
+      ">= ~1.9); the advantage grows with min/max and with the sampling\n"
+      "rate. At min/max = 1 the ratio equals (1+rho)(2-rho)/(rho(1-rho)):\n");
+  TextTable t2;
+  t2.SetHeader({"rho", "measured ratio @min=max", "closed form"});
+  for (double rho : rhos) {
+    const MaxLWeightedTwo l(kTau, kTau, 1e-9);
+    const double v = rho * kTau;
+    const double measured = ht.Variance({v, v}) / l.Variance(v, v);
+    const double closed = (1 + rho) * (2 - rho) / (rho * (1 - rho));
+    t2.AddRow({TextTable::Fmt(rho, 4), TextTable::Fmt(measured, 6),
+               TextTable::Fmt(closed, 6)});
+  }
+  t2.Print();
+}
+
+}  // namespace
+}  // namespace pie
+
+int main() {
+  std::printf(
+      "=== Figure 4 reproduction: weighted max^(L) vs max^(HT) variance ===\n\n");
+  pie::PrintPanelAB(0.5);   // (A)
+  pie::PrintPanelAB(0.01);  // (B)
+  pie::PrintPanelC();       // (C)
+  return 0;
+}

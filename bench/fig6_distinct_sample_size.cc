@@ -1,0 +1,73 @@
+// Reproduces Figure 6 of the paper: expected per-instance sample size s
+// required to reach a target coefficient of variation when estimating the
+// distinct count of two sets with |N1| = |N2| = n and Jaccard coefficient
+// J, under the HT and L estimators (top row), and the ratio s(L)/s(HT)
+// (bottom row); cv = 0.1 (left column) and cv = 0.02 (right column).
+
+#include <cmath>
+#include <cstdio>
+
+#include "aggregate/sample_size.h"
+#include "util/text_table.h"
+
+namespace pie {
+namespace {
+
+void PrintPanel(double cv) {
+  std::printf("cv = %g: required expected sample size s (per instance)\n", cv);
+  const std::vector<double> jaccards = {0.0, 0.5, 0.9, 1.0};
+  TextTable t;
+  std::vector<std::string> header = {"n"};
+  for (double j : jaccards) header.push_back("HT J=" + TextTable::Fmt(j, 2));
+  for (double j : jaccards) header.push_back("L J=" + TextTable::Fmt(j, 2));
+  t.SetHeader(header);
+
+  for (double exp10 = 2; exp10 <= 10; exp10 += 1) {
+    const double n = std::pow(10.0, exp10);
+    std::vector<std::string> row = {TextTable::FmtSci(n, 0)};
+    for (double j : jaccards) {
+      auto s = RequiredSampleSizeHt(n, j, cv);
+      row.push_back(s.ok() ? TextTable::FmtSci(*s, 2) : "n/a");
+    }
+    for (double j : jaccards) {
+      auto s = RequiredSampleSizeL(n, j, cv);
+      row.push_back(s.ok() ? TextTable::FmtSci(*s, 2) : "n/a");
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+
+  std::printf("\ncv = %g: ratio s(L)/s(HT)\n", cv);
+  TextTable t2;
+  std::vector<std::string> header2 = {"n"};
+  for (double j : jaccards) header2.push_back("J=" + TextTable::Fmt(j, 2));
+  t2.SetHeader(header2);
+  for (double exp10 = 2; exp10 <= 10; exp10 += 1) {
+    const double n = std::pow(10.0, exp10);
+    std::vector<std::string> row = {TextTable::FmtSci(n, 0)};
+    for (double j : jaccards) {
+      auto s_ht = RequiredSampleSizeHt(n, j, cv);
+      auto s_l = RequiredSampleSizeL(n, j, cv);
+      row.push_back(s_ht.ok() && s_l.ok() ? TextTable::Fmt(*s_l / *s_ht, 4)
+                                          : "n/a");
+    }
+    t2.AddRow(row);
+  }
+  t2.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace pie
+
+int main() {
+  std::printf(
+      "=== Figure 6 reproduction: distinct-count sample-size planning ===\n\n");
+  pie::PrintPanel(0.1);
+  pie::PrintPanel(0.02);
+  std::printf(
+      "Readout (matches the paper's discussion): the L estimator needs\n"
+      "about half the samples at J = 0; for large J and large n it needs a\n"
+      "near-constant number of samples while HT still needs ~sqrt-scale.\n");
+  return 0;
+}

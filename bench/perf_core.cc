@@ -1,0 +1,136 @@
+// Engineering microbenchmarks (google-benchmark) for the core estimator
+// library: per-estimate cost of the closed-form estimators and the
+// coefficient recursion. These are not paper figures; they document that
+// the optimal estimators are cheap enough to apply per sampled key at
+// sketch-scan speed.
+
+#include <benchmark/benchmark.h>
+
+#include "core/max_oblivious.h"
+#include "core/max_weighted.h"
+#include "core/or_oblivious.h"
+#include "deriver/algorithm1.h"
+#include "deriver/model.h"
+#include "deriver/properties.h"
+#include "sampling/poisson.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+void BM_MaxLTwoEstimate(benchmark::State& state) {
+  const MaxLTwo est(0.3, 0.6);
+  Rng rng(1);
+  std::vector<ObliviousOutcome> outcomes;
+  for (int i = 0; i < 1024; ++i) {
+    outcomes.push_back(
+        SampleOblivious({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)},
+                        {0.3, 0.6}, rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(outcomes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_MaxLTwoEstimate);
+
+void BM_MaxLUniformEstimate(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const MaxLUniform est(r, 0.2);
+  Rng rng(2);
+  std::vector<double> values(r), probs(r, 0.2);
+  for (double& v : values) v = rng.UniformDouble(0, 10);
+  std::vector<ObliviousOutcome> outcomes;
+  for (int i = 0; i < 256; ++i) {
+    outcomes.push_back(SampleOblivious(values, probs, rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(outcomes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_MaxLUniformEstimate)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MaxLUniformCoefficients(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MaxLUniform est(r, 0.1);
+    benchmark::DoNotOptimize(est.alpha().data());
+  }
+}
+BENCHMARK(BM_MaxLUniformCoefficients)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_OrLUniformEstimateFromCounts(benchmark::State& state) {
+  const OrLUniform est(16, 0.1);
+  int ones = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.EstimateFromCounts(ones, 3));
+    ones = ones % 13 + 1;
+  }
+}
+BENCHMARK(BM_OrLUniformEstimateFromCounts);
+
+void BM_MaxLWeightedEstimate(benchmark::State& state) {
+  const MaxLWeightedTwo est(10.0, 8.0);
+  Rng rng(3);
+  std::vector<PpsOutcome> outcomes;
+  for (int i = 0; i < 1024; ++i) {
+    outcomes.push_back(
+        SamplePps({rng.UniformDouble(0, 12), rng.UniformDouble(0, 12)},
+                  {10.0, 8.0}, rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(outcomes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_MaxLWeightedEstimate);
+
+void BM_MaxLWeightedVarianceQuadrature(benchmark::State& state) {
+  const MaxLWeightedTwo est(10.0, 8.0, 1e-7);
+  double v = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Variance(v, 0.3 * v));
+    v = v < 9 ? v + 0.1 : 0.5;
+  }
+}
+BENCHMARK(BM_MaxLWeightedVarianceQuadrature);
+
+void BM_DeriverCompileBinaryR3(benchmark::State& state) {
+  for (auto _ : state) {
+    auto compiled = CompileModel(MakeObliviousModel<double>(
+        {{0, 1}, {0, 1}, {0, 1}}, {0.5, 0.25, 0.75}, true, OrS<double>));
+    benchmark::DoNotOptimize(compiled.num_outcomes);
+  }
+}
+BENCHMARK(BM_DeriverCompileBinaryR3);
+
+void BM_DeriverOrderBasedBinaryR3(benchmark::State& state) {
+  auto compiled = CompileModel(MakeObliviousModel<double>(
+      {{0, 1}, {0, 1}, {0, 1}}, {0.5, 0.25, 0.75}, true, OrS<double>));
+  auto order = OrderByKey(compiled, [](const std::vector<int>& v) {
+    int zeros = 0;
+    for (int x : v) zeros += x == 0 ? 1 : 0;
+    return zeros == static_cast<int>(v.size()) ? -1 : zeros;
+  });
+  for (auto _ : state) {
+    auto table = DeriveOrderBased(compiled, order);
+    benchmark::DoNotOptimize(table.ok());
+  }
+}
+BENCHMARK(BM_DeriverOrderBasedBinaryR3);
+
+void BM_DeriverExistenceLp(benchmark::State& state) {
+  auto compiled = CompileModel(MakeWeightedBinaryModel<double>(
+      {0.25, 0.25, 0.5}, false, OrS<double>));
+  for (auto _ : state) {
+    auto witness = ExistsUnbiasedNonnegative(compiled);
+    benchmark::DoNotOptimize(witness.ok());
+  }
+}
+BENCHMARK(BM_DeriverExistenceLp);
+
+}  // namespace
+}  // namespace pie
+
+BENCHMARK_MAIN();

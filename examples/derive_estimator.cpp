@@ -1,0 +1,107 @@
+// Deriving an optimal estimator from scratch with the derivation engine.
+//
+// The paper's Section 3 methodology is executable: describe the sampling
+// scheme and the target function as a finite model, pick an order (or an
+// ordered partition) over data vectors, and the engine solves for the
+// unique order-optimal unbiased estimator -- exactly, over rational
+// arithmetic. It also machine-checks existence: for some schemes
+// (weighted sampling, unknown seeds) NO unbiased nonnegative estimator
+// exists, and the engine produces the infeasibility certificate.
+//
+// Build & run:  ./build/examples/derive_estimator
+
+#include <cstdio>
+
+#include "deriver/algorithm1.h"
+#include "deriver/algorithm2.h"
+#include "deriver/model.h"
+#include "deriver/properties.h"
+
+using pie::Rational;
+
+namespace {
+
+// Order key for the dense-first OR^(L) order: the all-zero vector first,
+// then by number of zeros ascending.
+int DenseFirst(const std::vector<int>& v) {
+  int zeros = 0;
+  for (int x : v) zeros += x == 0 ? 1 : 0;
+  return zeros == static_cast<int>(v.size()) ? -1 : zeros;
+}
+
+// Partition key for the sparse-first OR^(U) construction: by number of
+// positive entries.
+int SparseFirst(const std::vector<int>& v) {
+  int pos = 0;
+  for (int x : v) pos += x > 0 ? 1 : 0;
+  return pos;
+}
+
+void PrintTable(const char* name, const pie::CompiledModel<Rational>& m,
+                const std::vector<Rational>& x) {
+  std::printf("%s:\n", name);
+  for (int o = 0; o < m.num_outcomes; ++o) {
+    if (x[o].IsZero()) continue;  // only show informative outcomes
+    std::printf("  %-28s -> %s\n", m.outcome_desc[o].c_str(),
+                x[o].ToString().c_str());
+  }
+  auto var = pie::VarianceByVector(m, x);
+  std::printf("  per-vector variance:");
+  for (int v = 0; v < m.num_vectors; ++v) {
+    std::printf(" %s=%s", m.vector_desc[v].c_str(), var[v].ToString().c_str());
+  }
+  std::printf("\n  unbiased=%s nonnegative=%s monotone=%s\n\n",
+              pie::IsUnbiased(m, x) ? "yes" : "NO",
+              pie::IsNonnegative(x) ? "yes" : "NO",
+              pie::IsMonotone(m, x) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  // Boolean OR of two bits, each sampled independently with probability 1/3
+  // (weight-oblivious), seeds visible.
+  auto model = pie::MakeObliviousModel<Rational>(
+      {{Rational(0), Rational(1)}, {Rational(0), Rational(1)}},
+      {Rational(1, 3), Rational(1, 3)}, /*seeds_known=*/true,
+      pie::OrS<Rational>);
+  auto compiled = pie::CompileModel(model);
+  std::printf("model: OR over {0,1}^2, oblivious Poisson p = (1/3, 1/3); "
+              "%d data vectors, %d outcomes\n\n",
+              compiled.num_vectors, compiled.num_outcomes);
+
+  // 1. Dense-first order -> OR^(L) (Algorithm 1: a triangular solve).
+  auto l = pie::DeriveOrderBased(compiled, pie::OrderByKey(compiled, DenseFirst));
+  PIE_CHECK_OK(l.status());
+  PrintTable("OR^(L) (Algorithm 1, dense-first order)", compiled, *l);
+
+  // 2. Sparse-first ordered partition -> OR^(U) (Algorithm 2: per-batch
+  //    exact QP with nonnegativity carried forward).
+  auto u = pie::DeriveConstrained(compiled,
+                                  pie::BatchesByKey(compiled, SparseFirst));
+  PIE_CHECK_OK(u.status());
+  PrintTable("OR^(U) (Algorithm 2, sparse-first partition)", compiled, *u);
+
+  // 3. They are Pareto-incomparable: each wins somewhere.
+  switch (pie::CompareDominance(compiled, *l, *u)) {
+    case pie::Dominance::kIncomparable:
+      std::printf("dominance check: L and U are Pareto-incomparable "
+                  "(as the paper proves)\n");
+      break;
+    default:
+      std::printf("dominance check: unexpected relation!\n");
+  }
+
+  // 4. Change the scheme to weighted sampling with UNKNOWN seeds: the
+  //    engine certifies that no unbiased nonnegative estimator exists at
+  //    all (Theorem 6.1).
+  auto unknown = pie::CompileModel(pie::MakeWeightedBinaryModel<Rational>(
+      {Rational(1, 3), Rational(1, 3)}, /*seeds_known=*/false,
+      pie::OrS<Rational>));
+  auto witness = pie::ExistsUnbiasedNonnegative(unknown);
+  std::printf("\nweighted sampling, unknown seeds, p = (1/3, 1/3): %s\n",
+              witness.ok() ? "estimator exists (unexpected!)"
+                           : "no unbiased nonnegative estimator exists "
+                             "(exact LP certificate)");
+  return 0;
+}

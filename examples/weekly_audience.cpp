@@ -1,0 +1,72 @@
+// Multi-week distinct audience: the r > 2 generalization of Section 8.1.
+//
+// Scenario: four weekly logs each record the set of active user ids; each
+// week is summarized independently by a 15% hash-seeded sample. Marketing
+// asks for the four-week distinct audience (union size) -- a query whose
+// HT estimator is nearly useless at r = 4 (a user's membership must be
+// resolved in ALL four weeks, probability ~p^4 per user), while the
+// partial-information estimator stays sharp using the Theorem 4.2 prefix
+// sums A_{r-z}.
+//
+// Build & run:  ./build/examples/weekly_audience
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "aggregate/distinct_multi.h"
+#include "util/random.h"
+
+int main() {
+  // Synthesize four weeks: a loyal core present every week plus weekly
+  // drifters.
+  pie::Rng rng(4242);
+  const int core = 30000;
+  const int drifters_per_week = 15000;
+  std::vector<std::vector<uint64_t>> weeks(4);
+  uint64_t next_user = 1;
+  for (int u = 0; u < core; ++u, ++next_user) {
+    for (auto& week : weeks) week.push_back(next_user);
+  }
+  for (size_t w = 0; w < weeks.size(); ++w) {
+    for (int u = 0; u < drifters_per_week; ++u, ++next_user) {
+      weeks[w].push_back(next_user);
+      // ~40% of drifters come back the following week.
+      if (w + 1 < weeks.size() && rng.Bernoulli(0.4)) {
+        weeks[w + 1].push_back(next_user);
+      }
+    }
+  }
+  std::set<uint64_t> uni;
+  for (const auto& week : weeks) uni.insert(week.begin(), week.end());
+  const double truth = static_cast<double>(uni.size());
+
+  // Sample each week independently (known hash seeds).
+  const double p = 0.15;
+  std::vector<pie::BinaryInstanceSketch> sketches;
+  for (size_t w = 0; w < weeks.size(); ++w) {
+    sketches.push_back(
+        pie::SampleBinaryInstance(weeks[w], p, /*salt=*/900 + w));
+    std::printf("week %zu: %zu of %zu users sampled\n", w + 1,
+                sketches.back().keys.size(), weeks[w].size());
+  }
+
+  const auto est = pie::EstimateDistinctMulti(sketches);
+  std::printf("\nfour-week distinct audience: truth %.0f\n", truth);
+  std::printf("  HT estimate %.0f  (error %+.1f%%)  -- needs all four "
+              "memberships resolved\n",
+              est.ht, 100 * (est.ht - truth) / truth);
+  std::printf("  L  estimate %.0f  (error %+.1f%%)  -- uses partial "
+              "information\n",
+              est.l, 100 * (est.l - truth) / truth);
+
+  // Why: per-key full information has probability ~p + (1-p)p ... vs the
+  // L estimator which gets signal from every certified absence.
+  std::printf(
+      "\nanalytic: at r=4, p=%.2f the HT estimator's per-key full-info\n"
+      "probability is about %.4f; the L estimator assigns positive weight\n"
+      "to every sampled membership.\n",
+      p, std::pow(p, 4));
+  return 0;
+}

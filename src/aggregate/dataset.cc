@@ -1,0 +1,88 @@
+#include "aggregate/dataset.h"
+
+#include "util/check.h"
+
+namespace pie {
+
+MultiInstanceData::MultiInstanceData(int num_instances)
+    : num_instances_(num_instances) {
+  PIE_CHECK(num_instances >= 1);
+}
+
+void MultiInstanceData::Set(uint64_t key, int instance, double value) {
+  PIE_CHECK(instance >= 0 && instance < num_instances_);
+  PIE_CHECK_OK(ValidateWeight(value));
+  auto [it, inserted] = rows_.try_emplace(
+      key, std::vector<double>(static_cast<size_t>(num_instances_), 0.0));
+  it->second[static_cast<size_t>(instance)] = value;
+}
+
+std::vector<double> MultiInstanceData::Values(uint64_t key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return std::vector<double>(static_cast<size_t>(num_instances_), 0.0);
+  }
+  return it->second;
+}
+
+std::vector<uint64_t> MultiInstanceData::Keys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(rows_.size());
+  for (const auto& [key, values] : rows_) {
+    for (double v : values) {
+      if (v != 0.0) {
+        keys.push_back(key);
+        break;
+      }
+    }
+  }
+  return keys;
+}
+
+std::vector<WeightedItem> MultiInstanceData::InstanceItems(
+    int instance) const {
+  PIE_CHECK(instance >= 0 && instance < num_instances_);
+  std::vector<WeightedItem> items;
+  for (const auto& [key, values] : rows_) {
+    const double v = values[static_cast<size_t>(instance)];
+    if (v > 0.0) items.push_back({key, v});
+  }
+  return items;
+}
+
+double MultiInstanceData::InstanceTotal(int instance) const {
+  double total = 0.0;
+  for (const auto& item : InstanceItems(instance)) total += item.weight;
+  return total;
+}
+
+double MultiInstanceData::SumAggregate(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::function<bool(uint64_t)>& pred) const {
+  double total = 0.0;
+  for (const auto& [key, values] : rows_) {
+    if (pred && !pred(key)) continue;
+    total += f(values);
+  }
+  return total;
+}
+
+MultiInstanceData MultiInstanceData::PaperExample() {
+  // Figure 5 (A): rows are instances 1..3, columns keys 1..6.
+  const double table[3][6] = {
+      {15, 0, 10, 5, 10, 10},
+      {20, 10, 12, 20, 0, 10},
+      {10, 15, 15, 0, 15, 10},
+  };
+  MultiInstanceData data(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int h = 0; h < 6; ++h) {
+      if (table[i][h] > 0) {
+        data.Set(static_cast<uint64_t>(h + 1), i, table[i][h]);
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace pie

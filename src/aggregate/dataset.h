@@ -1,0 +1,57 @@
+// The instances x keys data model of Section 7: each instance assigns
+// nonnegative values to keys from a shared universe; multi-instance queries
+// are sum aggregates sum_{h in K'} f(v(h)) of per-key primitives f over the
+// vector v(h) of the key's values across instances.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/functions.h"
+#include "sampling/bottomk.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Sparse instances x keys matrix. Zero values need not be stored; lookups
+/// of absent keys return 0 in every instance.
+class MultiInstanceData {
+ public:
+  explicit MultiInstanceData(int num_instances);
+
+  int num_instances() const { return num_instances_; }
+  int num_keys() const { return static_cast<int>(rows_.size()); }
+
+  /// Sets the value of `key` in `instance` (overwrites).
+  void Set(uint64_t key, int instance, double value);
+
+  /// Values of `key` across instances (all zeros if the key is absent).
+  std::vector<double> Values(uint64_t key) const;
+
+  /// All keys that appear with a nonzero value somewhere, ascending.
+  std::vector<uint64_t> Keys() const;
+
+  /// Sparse view of one instance: keys with positive value there.
+  std::vector<WeightedItem> InstanceItems(int instance) const;
+
+  /// Total value of one instance.
+  double InstanceTotal(int instance) const;
+
+  /// Ground truth sum aggregate: sum over selected keys of f(v(h)).
+  /// `pred` selects keys; pass nullptr for all keys.
+  double SumAggregate(
+      const std::function<double(const std::vector<double>&)>& f,
+      const std::function<bool(uint64_t)>& pred = nullptr) const;
+
+  /// The example data set of Figure 5 (A): 3 instances, keys 1..6.
+  static MultiInstanceData PaperExample();
+
+ private:
+  int num_instances_;
+  std::map<uint64_t, std::vector<double>> rows_;
+};
+
+}  // namespace pie

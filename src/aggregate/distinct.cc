@@ -1,0 +1,135 @@
+#include "aggregate/distinct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "core/or_oblivious.h"
+#include "util/check.h"
+
+namespace pie {
+
+BinaryInstanceSketch SampleBinaryInstance(const std::vector<uint64_t>& keys,
+                                          double p, uint64_t salt) {
+  PIE_CHECK(p > 0 && p <= 1);
+  BinaryInstanceSketch sketch;
+  sketch.p = p;
+  sketch.salt = salt;
+  const SeedFunction seed(salt);
+  for (uint64_t key : keys) {
+    if (seed(key) < p) sketch.keys.push_back(key);
+  }
+  return sketch;
+}
+
+BinaryInstanceSketch SampleBinaryBottomK(const std::vector<uint64_t>& keys,
+                                         int k, uint64_t salt) {
+  PIE_CHECK(k > 0);
+  BinaryInstanceSketch sketch;
+  sketch.salt = salt;
+  const SeedFunction seed(salt);
+  if (static_cast<int>(keys.size()) <= k) {
+    sketch.keys = keys;
+    sketch.p = 1.0;
+    return sketch;
+  }
+  // Keep the k smallest seeds; the (k+1)-st smallest is the conditioning
+  // probability.
+  std::vector<std::pair<double, uint64_t>> seeded;
+  seeded.reserve(keys.size());
+  for (uint64_t key : keys) seeded.push_back({seed(key), key});
+  std::nth_element(seeded.begin(), seeded.begin() + k, seeded.end());
+  sketch.p = seeded[static_cast<size_t>(k)].first;
+  sketch.keys.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    sketch.keys.push_back(seeded[static_cast<size_t>(i)].second);
+  }
+  return sketch;
+}
+
+DistinctClassification ClassifyDistinct(
+    const BinaryInstanceSketch& s1, const BinaryInstanceSketch& s2,
+    const std::function<bool(uint64_t)>& pred) {
+  const SeedFunction u1 = s1.seed_fn();
+  const SeedFunction u2 = s2.seed_fn();
+  std::unordered_set<uint64_t> in_s2(s2.keys.begin(), s2.keys.end());
+
+  DistinctClassification c;
+  for (uint64_t key : s1.keys) {
+    if (pred && !pred(key)) continue;
+    if (in_s2.count(key)) {
+      ++c.f11;
+    } else if (u2(key) < s2.p) {
+      ++c.f10;  // seed would have sampled it in instance 2: certified absent
+    } else {
+      ++c.f1q;
+    }
+  }
+  std::unordered_set<uint64_t> in_s1(s1.keys.begin(), s1.keys.end());
+  for (uint64_t key : s2.keys) {
+    if (pred && !pred(key)) continue;
+    if (in_s1.count(key)) continue;  // already counted as F11
+    if (u1(key) < s1.p) {
+      ++c.f01;
+    } else {
+      ++c.fq1;
+    }
+  }
+  return c;
+}
+
+double DistinctHtEstimate(const DistinctClassification& c, double p1,
+                          double p2) {
+  return static_cast<double>(c.f11 + c.f10 + c.f01) / (p1 * p2);
+}
+
+double DistinctLEstimate(const DistinctClassification& c, double p1,
+                         double p2) {
+  const double q = p1 + p2 - p1 * p2;
+  return static_cast<double>(c.f11 + c.f1q + c.fq1) / q +
+         static_cast<double>(c.f10) / (p1 * q) +
+         static_cast<double>(c.f01) / (p2 * q);
+}
+
+double DistinctIntersectionEstimate(const DistinctClassification& c,
+                                    double p1, double p2) {
+  return static_cast<double>(c.f11) / (p1 * p2);
+}
+
+DistinctEstimateWithCi DistinctLEstimateWithCi(const DistinctClassification& c,
+                                               double p1, double p2,
+                                               double z) {
+  PIE_CHECK(z > 0);
+  DistinctEstimateWithCi out;
+  out.estimate = DistinctLEstimate(c, p1, p2);
+  if (out.estimate <= 0) return out;
+  const double inter = DistinctIntersectionEstimate(c, p1, p2);
+  out.jaccard = std::fmin(1.0, std::fmax(0.0, inter / out.estimate));
+  out.stddev =
+      std::sqrt(DistinctLVariance(out.estimate, out.jaccard, p1, p2));
+  out.lo = std::fmax(0.0, out.estimate - z * out.stddev);
+  out.hi = out.estimate + z * out.stddev;
+  return out;
+}
+
+double DistinctHtVariance(double distinct, double p1, double p2) {
+  return distinct * (1.0 / (p1 * p2) - 1.0);
+}
+
+double DistinctLVariance(double distinct, double jaccard, double p1,
+                         double p2) {
+  PIE_CHECK(jaccard >= 0 && jaccard <= 1);
+  OrLTwo or_l(p1, p2);
+  // Keys in the intersection are (1,1) keys; the rest of the union splits
+  // between (1,0) and (0,1). With p1 = p2 the two have equal variance; for
+  // generality split the non-intersection mass evenly.
+  const double both = distinct * jaccard;
+  const double only = distinct - both;
+  OrLTwo or_l_swapped(p2, p1);
+  return both * or_l.VarianceBothOnes() +
+         0.5 * only * or_l.VarianceOneZero() +
+         0.5 * only * or_l_swapped.VarianceOneZero();
+}
+
+}  // namespace pie

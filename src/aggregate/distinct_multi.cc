@@ -1,0 +1,66 @@
+#include "aggregate/distinct_multi.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/or_oblivious.h"
+#include "util/check.h"
+
+namespace pie {
+
+DistinctMultiEstimates EstimateDistinctMulti(
+    const std::vector<BinaryInstanceSketch>& sketches,
+    const std::function<bool(uint64_t)>& pred) {
+  const int r = static_cast<int>(sketches.size());
+  PIE_CHECK(r >= 2);
+  const double p = sketches[0].p;
+  for (const auto& s : sketches) {
+    PIE_CHECK(std::fabs(s.p - p) < 1e-12 &&
+              "multi-instance distinct count requires uniform p");
+  }
+  const OrLUniform or_l(r, p);
+
+  // Membership map: key -> bitmask of sketches containing it.
+  std::unordered_map<uint64_t, uint32_t> members;
+  for (int i = 0; i < r; ++i) {
+    for (uint64_t key : sketches[i].keys) {
+      if (pred && !pred(key)) continue;
+      members[key] |= (1u << i);
+    }
+  }
+
+  DistinctMultiEstimates out;
+  const double ht_weight = 1.0 / std::pow(p, r);
+  for (const auto& [key, mask] : members) {
+    int ones = 0;
+    int zeros = 0;
+    for (int i = 0; i < r; ++i) {
+      if ((mask >> i) & 1u) {
+        ++ones;
+      } else if (sketches[static_cast<size_t>(i)].seed_fn()(key) < p) {
+        ++zeros;  // certified absent from instance i
+      }
+    }
+    out.l += or_l.EstimateFromCounts(ones, zeros);
+    if (ones + zeros == r) out.ht += ht_weight;
+  }
+  return out;
+}
+
+double DistinctMultiLVariance(const std::vector<int64_t>& counts, int r,
+                              double p) {
+  PIE_CHECK(static_cast<int>(counts.size()) == r);
+  const OrLUniform or_l(r, p);
+  double var = 0.0;
+  for (int m = 1; m <= r; ++m) {
+    var += static_cast<double>(counts[static_cast<size_t>(m - 1)]) *
+           or_l.Variance(m);
+  }
+  return var;
+}
+
+double DistinctMultiHtVariance(int64_t union_size, int r, double p) {
+  return static_cast<double>(union_size) * (1.0 / std::pow(p, r) - 1.0);
+}
+
+}  // namespace pie

@@ -1,0 +1,39 @@
+// Distinct count over r >= 2 independently sampled instances with known
+// seeds: the general-r version of Section 8.1, powered by the Theorem 4.2
+// prefix sums (OR^(L) estimate A_{r-z} for an outcome with at least one
+// sampled membership and z seed-certified absences).
+//
+// Requires a uniform sampling probability across instances (the paper's
+// general-p coefficients grow exponentially in the number of distinct
+// probabilities; Theorem 4.2's O(r^2) recursion needs uniform p).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aggregate/distinct.h"
+
+namespace pie {
+
+/// Per-key estimates of |union of r key sets| from their sketches.
+/// All sketches must share the same p; keys are classified per instance as
+/// member (sampled), certified-absent (seed below p but not sampled), or
+/// unknown.
+struct DistinctMultiEstimates {
+  double ht = 0.0;  ///< positive only for keys with full information
+  double l = 0.0;   ///< exploits partial information (A_{r-z} weights)
+};
+
+DistinctMultiEstimates EstimateDistinctMulti(
+    const std::vector<BinaryInstanceSketch>& sketches,
+    const std::function<bool(uint64_t)>& pred = nullptr);
+
+/// Analytic variances given the containment profile: counts[m-1] = number
+/// of union keys that belong to exactly m of the r instances.
+double DistinctMultiLVariance(const std::vector<int64_t>& counts, int r,
+                              double p);
+double DistinctMultiHtVariance(int64_t union_size, int r, double p);
+
+}  // namespace pie

@@ -1,0 +1,92 @@
+#include "aggregate/dominance.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "core/ht.h"
+#include "core/max_weighted.h"
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+// Iterates over the union of sampled keys, calling fn once per key.
+void ForEachSampledKey(const PpsInstanceSketch& s1,
+                       const PpsInstanceSketch& s2,
+                       const std::function<bool(uint64_t)>& pred,
+                       const std::function<void(uint64_t)>& fn) {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& e : s1.entries()) {
+    if (pred && !pred(e.key)) continue;
+    seen.insert(e.key);
+    fn(e.key);
+  }
+  for (const auto& e : s2.entries()) {
+    if (pred && !pred(e.key)) continue;
+    if (!seen.count(e.key)) fn(e.key);
+  }
+}
+
+}  // namespace
+
+MaxDominanceEstimates EstimateMaxDominance(
+    const PpsInstanceSketch& s1, const PpsInstanceSketch& s2,
+    const std::function<bool(uint64_t)>& pred) {
+  const MaxHtWeighted ht({s1.tau(), s2.tau()});
+  const MaxLWeightedTwo l(s1.tau(), s2.tau());
+  MaxDominanceEstimates out;
+  ForEachSampledKey(s1, s2, pred, [&](uint64_t key) {
+    const PpsOutcome outcome = MakePairOutcome(s1, s2, key);
+    out.ht += ht.Estimate(outcome);
+    out.l += l.Estimate(outcome);
+  });
+  return out;
+}
+
+double EstimateMinDominanceHt(const PpsInstanceSketch& s1,
+                              const PpsInstanceSketch& s2,
+                              const std::function<bool(uint64_t)>& pred) {
+  double total = 0.0;
+  for (const auto& e : s1.entries()) {
+    if (pred && !pred(e.key)) continue;
+    double v2 = 0.0;
+    if (!s2.Lookup(e.key, &v2)) continue;  // min needs both entries
+    const double rho1 = std::fmin(1.0, e.weight / s1.tau());
+    const double rho2 = std::fmin(1.0, v2 / s2.tau());
+    total += std::fmin(e.weight, v2) / (rho1 * rho2);
+  }
+  return total;
+}
+
+double EstimateL1Distance(const PpsInstanceSketch& s1,
+                          const PpsInstanceSketch& s2) {
+  const MaxDominanceEstimates max_est = EstimateMaxDominance(s1, s2);
+  return max_est.l - EstimateMinDominanceHt(s1, s2);
+}
+
+MaxDominanceVariance AnalyticMaxDominanceVariance(
+    const MultiInstanceData& data, double tau1, double tau2,
+    double quad_tol) {
+  PIE_CHECK(data.num_instances() == 2);
+  const MaxHtWeighted ht({tau1, tau2});
+  const MaxLWeightedTwo l(tau1, tau2, quad_tol);
+  // Integer-valued workloads (flow counts) repeat value pairs heavily, and
+  // the per-key L variance requires quadrature: memoize per distinct pair.
+  std::map<std::pair<double, double>, double> l_cache;
+  MaxDominanceVariance out;
+  for (uint64_t key : data.Keys()) {
+    const std::vector<double> v = data.Values(key);
+    out.sum_max += std::fmax(v[0], v[1]);
+    out.ht += ht.Variance(v);
+    const auto cache_key = std::make_pair(v[0], v[1]);
+    auto it = l_cache.find(cache_key);
+    if (it == l_cache.end()) {
+      it = l_cache.emplace(cache_key, l.Variance(v[0], v[1])).first;
+    }
+    out.l += it->second;
+  }
+  return out;
+}
+
+}  // namespace pie

@@ -1,0 +1,56 @@
+// Dominance norms and L1 distance over two independently sampled weighted
+// instances with known seeds (Section 8.2): sum aggregates of per-key max /
+// min across two PPS sketches.
+
+#pragma once
+
+#include <functional>
+
+#include "aggregate/dataset.h"
+#include "aggregate/sketch.h"
+
+namespace pie {
+
+/// Estimates of the max-dominance norm sum_h max(v1(h), v2(h)).
+struct MaxDominanceEstimates {
+  double ht = 0.0;
+  double l = 0.0;
+};
+
+/// Applies the per-key weighted max estimators (max^(HT) and max^(L),
+/// Section 5.2) to every key sampled in either sketch and sums.
+/// `pred` selects keys (nullptr: all).
+MaxDominanceEstimates EstimateMaxDominance(
+    const PpsInstanceSketch& s1, const PpsInstanceSketch& s2,
+    const std::function<bool(uint64_t)>& pred = nullptr);
+
+/// HT estimate of the min-dominance norm sum_h min(v1(h), v2(h)): a key
+/// contributes min(v1,v2) / (rho1 rho2) when sampled in both sketches
+/// (the inverse-probability estimator, Pareto optimal for min).
+double EstimateMinDominanceHt(const PpsInstanceSketch& s1,
+                              const PpsInstanceSketch& s2,
+                              const std::function<bool(uint64_t)>& pred =
+                                  nullptr);
+
+/// Unbiased L1 distance estimate sum_h |v1(h) - v2(h)| as the difference of
+/// the max-dominance (L) and min-dominance (HT) estimates. Unbiased but not
+/// per-key nonnegative (Section 2.3 shows no nonnegative per-key RG
+/// estimator recovers exact values under weighted sampling).
+double EstimateL1Distance(const PpsInstanceSketch& s1,
+                          const PpsInstanceSketch& s2);
+
+/// Exact (analytic) variances of the max-dominance estimators on a two-
+/// instance data set: per-key variance formulas summed over keys
+/// (independent seeds make per-key estimates independent). Used by the
+/// Figure 7 reproduction.
+struct MaxDominanceVariance {
+  double ht = 0.0;
+  double l = 0.0;
+  double sum_max = 0.0;  ///< true max-dominance norm
+};
+
+MaxDominanceVariance AnalyticMaxDominanceVariance(const MultiInstanceData& data,
+                                                  double tau1, double tau2,
+                                                  double quad_tol = 1e-10);
+
+}  // namespace pie

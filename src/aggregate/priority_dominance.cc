@@ -1,0 +1,84 @@
+#include "aggregate/priority_dominance.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/ht.h"
+#include "core/max_weighted.h"
+#include "util/check.h"
+#include "util/hashing.h"
+
+namespace pie {
+namespace {
+
+// Threshold clamps: an exact sketch (infinite rank threshold) means every
+// positive key is present with probability 1 (tau* -> 0); an empty rank
+// pool means no information (tau* -> huge bound).
+constexpr double kExactTau = 1e-12;
+constexpr double kNoInfoTau = 1e18;
+
+}  // namespace
+
+double PrioritySketch::InclusionTau() const {
+  if (std::isinf(sketch.threshold)) return kExactTau;
+  return 1.0 / sketch.threshold;
+}
+
+double PrioritySketch::ExclusionTau() const {
+  if (sketch.entries.empty()) return kNoInfoTau;
+  const double kth = sketch.entries.back().rank;  // k-th smallest overall
+  if (kth <= 0) return kNoInfoTau;
+  return 1.0 / kth;
+}
+
+PrioritySketch BuildPrioritySketch(const std::vector<WeightedItem>& items,
+                                   int k, uint64_t salt) {
+  PrioritySketch out;
+  out.salt = salt;
+  out.sketch = BottomKSample(items, k, RankFamily::kPps, SeedFunction(salt));
+  return out;
+}
+
+MaxDominanceEstimates EstimateMaxDominancePriority(
+    const PrioritySketch& s1, const PrioritySketch& s2,
+    const std::function<bool(uint64_t)>& pred) {
+  const SeedFunction seed1(s1.salt);
+  const SeedFunction seed2(s2.salt);
+
+  std::unordered_map<uint64_t, double> in1, in2;
+  for (const auto& e : s1.sketch.entries) in1.emplace(e.key, e.weight);
+  for (const auto& e : s2.sketch.entries) in2.emplace(e.key, e.weight);
+
+  MaxDominanceEstimates out;
+  auto process = [&](uint64_t key) {
+    if (pred && !pred(key)) return;
+    PpsOutcome o;
+    o.sampled.assign(2, 0);
+    o.value.assign(2, 0.0);
+    o.seed = {seed1(key), seed2(key)};
+    auto it1 = in1.find(key);
+    auto it2 = in2.find(key);
+    o.tau = {it1 != in1.end() ? s1.InclusionTau() : s1.ExclusionTau(),
+             it2 != in2.end() ? s2.InclusionTau() : s2.ExclusionTau()};
+    if (it1 != in1.end()) {
+      o.sampled[0] = 1;
+      o.value[0] = it1->second;
+    }
+    if (it2 != in2.end()) {
+      o.sampled[1] = 1;
+      o.value[1] = it2->second;
+    }
+    const MaxHtWeighted ht({o.tau[0], o.tau[1]});
+    const MaxLWeightedTwo l(o.tau[0], o.tau[1]);
+    out.ht += ht.Estimate(o);
+    out.l += l.Estimate(o);
+  };
+
+  for (const auto& [key, weight] : in1) process(key);
+  for (const auto& [key, weight] : in2) {
+    if (!in1.count(key)) process(key);
+  }
+  return out;
+}
+
+}  // namespace pie

@@ -1,0 +1,50 @@
+// Max-dominance estimation from bottom-k (priority) sketches with known
+// seeds -- the fixed-size-sample variant the Figure 7 caption asserts gives
+// "the same results" as Poisson PPS.
+//
+// Rank conditioning (Section 7.1) reduces each key's inclusion to a PPS
+// threshold event conditioned on the other keys' ranks: with PPS ranks
+// (rank = u/v), a sketched key was included iff u/v < t, i.e. iff
+// v >= u / t, where t is the (k+1)-st smallest rank; an unsketched key
+// carries the upper bound v < u / t' with t' the k-th smallest rank. Both
+// are exactly the weighted-PPS known-seeds outcomes of Section 5, so the
+// per-key max^(HT) / max^(L) estimators apply with per-key thresholds
+// tau* = 1/t.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aggregate/dominance.h"
+#include "sampling/bottomk.h"
+
+namespace pie {
+
+/// A bottom-k sketch plus the salt that generated its seeds (needed to
+/// recompute any key's seed at estimation time).
+struct PrioritySketch {
+  BottomKSketch sketch;
+  uint64_t salt = 0;
+
+  /// Conditional PPS threshold tau* for a key INSIDE the sketch:
+  /// 1 / ((k+1)-st smallest rank). Clamped for exact sketches.
+  double InclusionTau() const;
+  /// Conditional PPS threshold for a key OUTSIDE the sketch (used for the
+  /// seed upper bound): 1 / (k-th smallest rank).
+  double ExclusionTau() const;
+};
+
+/// Builds the priority (PPS-rank bottom-k) sketch of one instance.
+PrioritySketch BuildPrioritySketch(const std::vector<WeightedItem>& items,
+                                   int k, uint64_t salt);
+
+/// Max-dominance estimates (HT and L) over two priority sketches, applying
+/// the Section 5 per-key estimators under rank conditioning. Conditionally
+/// (hence unconditionally) unbiased.
+MaxDominanceEstimates EstimateMaxDominancePriority(
+    const PrioritySketch& s1, const PrioritySketch& s2,
+    const std::function<bool(uint64_t)>& pred = nullptr);
+
+}  // namespace pie

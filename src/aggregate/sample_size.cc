@@ -1,0 +1,60 @@
+#include "aggregate/sample_size.h"
+
+#include <cmath>
+#include <functional>
+
+#include "aggregate/distinct.h"
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+double UnionSize(double n, double jaccard) { return 2.0 * n / (1.0 + jaccard); }
+
+Result<double> SolveForSampleSize(double n, double jaccard, double target_cv,
+                                  const std::function<double(double)>& cv) {
+  PIE_CHECK(n > 0);
+  PIE_CHECK(jaccard >= 0 && jaccard <= 1);
+  PIE_CHECK(target_cv > 0);
+  if (cv(1.0) > target_cv) {
+    return Status::OutOfRange("target cv unreachable even at p = 1");
+  }
+  double lo = 1e-12;
+  double hi = 1.0;
+  if (cv(lo) <= target_cv) return lo * n;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // log-scale bisection
+    if (cv(mid) > target_cv) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi * n;
+}
+
+}  // namespace
+
+double DistinctCvHt(double n, double jaccard, double p) {
+  const double d = UnionSize(n, jaccard);
+  return std::sqrt(DistinctHtVariance(d, p, p)) / d;
+}
+
+double DistinctCvL(double n, double jaccard, double p) {
+  const double d = UnionSize(n, jaccard);
+  return std::sqrt(DistinctLVariance(d, jaccard, p, p)) / d;
+}
+
+Result<double> RequiredSampleSizeHt(double n, double jaccard, double cv) {
+  return SolveForSampleSize(n, jaccard, cv, [&](double p) {
+    return DistinctCvHt(n, jaccard, p);
+  });
+}
+
+Result<double> RequiredSampleSizeL(double n, double jaccard, double cv) {
+  return SolveForSampleSize(n, jaccard, cv, [&](double p) {
+    return DistinctCvL(n, jaccard, p);
+  });
+}
+
+}  // namespace pie

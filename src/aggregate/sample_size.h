@@ -1,0 +1,29 @@
+// Sample-size planning for distinct-count queries (the Figure 6 analysis):
+// given instance size n = |N1| = |N2|, Jaccard coefficient J of the two
+// sets, and a target coefficient of variation, how large must the expected
+// per-instance sample s = p*n be under the HT and L estimators?
+//
+// Union size D = 2n/(1+J); cv(p) = sqrt(Var(p)) / D with the Section 8.1
+// variance formulas; cv is decreasing in p, so the minimal p solves
+// cv(p) = target by bisection.
+
+#pragma once
+
+#include "util/status.h"
+
+namespace pie {
+
+/// cv of the HT distinct estimator at sampling probability p (p1 = p2 = p).
+double DistinctCvHt(double n, double jaccard, double p);
+
+/// cv of the L distinct estimator at sampling probability p.
+double DistinctCvL(double n, double jaccard, double p);
+
+/// Smallest expected sample size s = p*n with cv <= target under HT.
+/// Returns OutOfRange if even p = 1 misses the target (it cannot: cv(1)=0).
+Result<double> RequiredSampleSizeHt(double n, double jaccard, double cv);
+
+/// Smallest expected sample size s = p*n with cv <= target under L.
+Result<double> RequiredSampleSizeL(double n, double jaccard, double cv);
+
+}  // namespace pie

@@ -1,0 +1,102 @@
+#include "aggregate/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pie {
+
+PpsInstanceSketch PpsInstanceSketch::Build(
+    const std::vector<WeightedItem>& items, double tau, uint64_t salt) {
+  PIE_CHECK(tau > 0 && std::isfinite(tau));
+  PpsInstanceSketch sketch(tau, salt);
+  for (const auto& item : items) {
+    if (item.weight <= 0) continue;
+    const double u = sketch.seed_fn_(item.key);
+    if (item.weight >= u * tau) {
+      sketch.entries_.push_back(item);
+      sketch.by_key_.emplace(item.key, item.weight);
+    }
+  }
+  return sketch;
+}
+
+bool PpsInstanceSketch::Lookup(uint64_t key, double* value) const {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return false;
+  if (value != nullptr) *value = it->second;
+  return true;
+}
+
+double PpsInstanceSketch::SubsetSumEstimate(
+    const std::function<bool(uint64_t)>& pred) const {
+  double sum = 0.0;
+  for (const auto& e : entries_) {
+    if (pred(e.key)) {
+      sum += e.weight / std::fmin(1.0, e.weight / tau_);
+    }
+  }
+  return sum;
+}
+
+Result<double> FindPpsTauForExpectedSize(
+    const std::vector<WeightedItem>& items, double target) {
+  double positive = 0.0;
+  double max_weight = 0.0;
+  for (const auto& item : items) {
+    if (item.weight > 0) {
+      positive += 1.0;
+      max_weight = std::max(max_weight, item.weight);
+    }
+  }
+  if (!(target > 0.0) || target > positive) {
+    return Status::InvalidArgument(
+        "target expected size must lie in (0, #positive items]");
+  }
+  auto expected_size = [&](double tau) {
+    double s = 0.0;
+    for (const auto& item : items) {
+      if (item.weight > 0) s += std::fmin(1.0, item.weight / tau);
+    }
+    return s;
+  };
+  // Expected size is nonincreasing in tau; bracket then bisect.
+  double lo = max_weight;  // expected size = #positive at tau <= min weight
+  double hi = max_weight;
+  if (expected_size(lo) < target) {
+    // target == positive handled here: shrink lo until satisfied.
+    lo = 1e-12;
+  }
+  while (expected_size(hi) > target) hi *= 2.0;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (expected_size(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+PpsOutcome MakePairOutcome(const PpsInstanceSketch& s1,
+                           const PpsInstanceSketch& s2, uint64_t key) {
+  PpsOutcome out;
+  out.tau = {s1.tau(), s2.tau()};
+  out.seed = {s1.seed_fn()(key), s2.seed_fn()(key)};
+  out.sampled.assign(2, 0);
+  out.value.assign(2, 0.0);
+  double v = 0.0;
+  if (s1.Lookup(key, &v)) {
+    out.sampled[0] = 1;
+    out.value[0] = v;
+  }
+  if (s2.Lookup(key, &v)) {
+    out.sampled[1] = 1;
+    out.value[1] = v;
+  }
+  return out;
+}
+
+}  // namespace pie

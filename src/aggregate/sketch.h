@@ -1,0 +1,65 @@
+// Per-instance sketches with reproducible hash seeds (Section 7.1-7.2).
+//
+// Each instance is summarized independently -- processing one instance never
+// looks at another's values -- but seeds come from a salted hash of the key,
+// so at estimation time the seed u_i(h) of *any* key in *any* instance can
+// be recomputed ("known seeds"). Using one shared salt coordinates the
+// samples (PRN method); distinct salts give independent samples.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sampling/bottomk.h"
+#include "sampling/poisson.h"
+#include "util/hashing.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Poisson PPS sketch of one instance: key h is included iff
+/// v(h) >= u(h) * tau, i.e. with probability min(1, v(h)/tau).
+class PpsInstanceSketch {
+ public:
+  /// Builds the sketch of `items` with threshold `tau` and seed salt `salt`.
+  static PpsInstanceSketch Build(const std::vector<WeightedItem>& items,
+                                 double tau, uint64_t salt);
+
+  double tau() const { return tau_; }
+  uint64_t salt() const { return salt_; }
+  const SeedFunction& seed_fn() const { return seed_fn_; }
+  int size() const { return static_cast<int>(entries_.size()); }
+  const std::vector<WeightedItem>& entries() const { return entries_; }
+
+  /// True + value if the key is in the sketch.
+  bool Lookup(uint64_t key, double* value) const;
+
+  /// Horvitz-Thompson subset-sum estimate of this instance's values.
+  double SubsetSumEstimate(const std::function<bool(uint64_t)>& pred) const;
+
+ private:
+  PpsInstanceSketch(double tau, uint64_t salt)
+      : tau_(tau), salt_(salt), seed_fn_(salt) {}
+
+  double tau_;
+  uint64_t salt_;
+  SeedFunction seed_fn_;
+  std::vector<WeightedItem> entries_;
+  std::unordered_map<uint64_t, double> by_key_;
+};
+
+/// Finds tau such that the expected PPS sample size sum_h min(1, v(h)/tau)
+/// equals `target` (binary search; returns +0-sized result checks). Returns
+/// InvalidArgument if target is not in (0, #items].
+Result<double> FindPpsTauForExpectedSize(const std::vector<WeightedItem>& items,
+                                         double target);
+
+/// Assembles the PpsOutcome for one key across two sketches (the input to
+/// the Section 5 estimators): values where sampled, recomputed seeds
+/// everywhere.
+PpsOutcome MakePairOutcome(const PpsInstanceSketch& s1,
+                           const PpsInstanceSketch& s2, uint64_t key);
+
+}  // namespace pie

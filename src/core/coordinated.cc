@@ -1,0 +1,110 @@
+#include "core/coordinated.h"
+
+#include <cmath>
+
+#include "core/functions.h"
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+void CheckSharedSeed(const PpsOutcome& outcome) {
+  for (int i = 1; i < outcome.r(); ++i) {
+    PIE_CHECK(outcome.seed[static_cast<size_t>(i)] == outcome.seed[0]);
+  }
+}
+
+}  // namespace
+
+PpsOutcome SamplePpsSharedWithSeed(const std::vector<double>& values,
+                                   const std::vector<double>& tau,
+                                   double seed) {
+  return SamplePpsWithSeeds(values, tau,
+                            std::vector<double>(values.size(), seed));
+}
+
+PpsOutcome SamplePpsShared(const std::vector<double>& values,
+                           const std::vector<double>& tau, Rng& rng) {
+  return SamplePpsSharedWithSeed(values, tau, rng.UniformDouble());
+}
+
+// ---------------------------------------------------------------------------
+// MaxHtCoordinated
+// ---------------------------------------------------------------------------
+
+MaxHtCoordinated::MaxHtCoordinated(std::vector<double> tau)
+    : tau_(std::move(tau)) {
+  for (double t : tau_) PIE_CHECK(t > 0 && std::isfinite(t));
+}
+
+double MaxHtCoordinated::Estimate(const PpsOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == static_cast<int>(tau_.size()));
+  CheckSharedSeed(outcome);
+  const double mx = outcome.MaxSampledValue();
+  if (mx <= 0) return 0.0;
+  // Identified iff every unsampled entry's bound u*tau_j stays below the
+  // sampled maximum.
+  for (int i = 0; i < outcome.r(); ++i) {
+    if (!outcome.sampled[i] && outcome.UpperBound(i) > mx) return 0.0;
+  }
+  // On positive outcomes the sampled maximum IS max(v), so the positive
+  // probability is computable from the outcome alone.
+  double p = 1.0;
+  for (double t : tau_) p = std::fmin(p, std::fmin(1.0, mx / t));
+  return mx / p;
+}
+
+double MaxHtCoordinated::PositiveProb(const std::vector<double>& values) const {
+  const double mx = MaxOf(values);
+  if (mx <= 0) return 0.0;
+  double p = 1.0;
+  for (double t : tau_) p = std::fmin(p, std::fmin(1.0, mx / t));
+  return p;
+}
+
+double MaxHtCoordinated::Variance(const std::vector<double>& values) const {
+  const double mx = MaxOf(values);
+  if (mx <= 0) return 0.0;
+  const double p = PositiveProb(values);
+  return mx * mx * (1.0 / p - 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// MinHtCoordinated
+// ---------------------------------------------------------------------------
+
+MinHtCoordinated::MinHtCoordinated(std::vector<double> tau)
+    : tau_(std::move(tau)) {
+  for (double t : tau_) PIE_CHECK(t > 0 && std::isfinite(t));
+}
+
+double MinHtCoordinated::Estimate(const PpsOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == static_cast<int>(tau_.size()));
+  CheckSharedSeed(outcome);
+  double mn = 0.0;
+  std::vector<double> values(static_cast<size_t>(outcome.r()));
+  for (int i = 0; i < outcome.r(); ++i) {
+    if (!outcome.sampled[i]) return 0.0;
+    values[static_cast<size_t>(i)] = outcome.value[i];
+    mn = i == 0 ? outcome.value[i] : std::fmin(mn, outcome.value[i]);
+  }
+  return mn / PositiveProb(values);
+}
+
+double MinHtCoordinated::PositiveProb(const std::vector<double>& values) const {
+  PIE_CHECK(values.size() == tau_.size());
+  double p = 1.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    p = std::fmin(p, std::fmin(1.0, values[i] / tau_[i]));
+  }
+  return p;
+}
+
+double MinHtCoordinated::Variance(const std::vector<double>& values) const {
+  const double mn = MinOf(values);
+  if (mn <= 0) return 0.0;
+  const double p = PositiveProb(values);
+  return mn * mn * (1.0 / p - 1.0);
+}
+
+}  // namespace pie

@@ -1,0 +1,75 @@
+// Inverse-probability estimators for max and min under SHARED-SEED
+// (coordinated) PPS sampling of the instances (Section 7.2).
+//
+// With one seed u shared across instances, entry i is sampled iff
+// u <= v_i / tau_i, so the sampled set is the set of entries above a common
+// threshold -- similar instances yield similar samples. Coordination makes
+// multi-instance quantities far easier to pin down:
+//
+//  * max(v) is identified iff u <= max(v)/tau_j for every j (one shared
+//    event instead of an intersection of r independent ones), so the
+//    positive probability is a MIN of per-entry rates rather than their
+//    product;
+//  * min(v) is identified iff every entry is sampled, i.e.
+//    u <= min_i v_i/tau_i -- again a min instead of a product.
+//
+// These estimators realize the paper's claim that coordination "can boost
+// estimation quality of multi-instance functions"; the companion ablation
+// bench (bench/ablation_coordination.cc) also shows the flip side the paper
+// notes: on decomposable (per-instance sum) queries coordination is worse
+// because per-instance estimates become positively correlated.
+
+#pragma once
+
+#include <vector>
+
+#include "sampling/poisson.h"
+
+namespace pie {
+
+/// max^(HT) for coordinated PPS samples (seed shared across entries).
+/// Outcomes must come from a shared-seed sampler: all entries of
+/// `outcome.seed` equal.
+class MaxHtCoordinated {
+ public:
+  explicit MaxHtCoordinated(std::vector<double> tau);
+
+  double Estimate(const PpsOutcome& outcome) const;
+
+  /// P[max identified | values] = min(1, min_j max(v)/tau_j).
+  double PositiveProb(const std::vector<double>& values) const;
+
+  /// Exact variance max^2 (1/p - 1).
+  double Variance(const std::vector<double>& values) const;
+
+ private:
+  std::vector<double> tau_;
+};
+
+/// min^(HT) for coordinated PPS samples.
+class MinHtCoordinated {
+ public:
+  explicit MinHtCoordinated(std::vector<double> tau);
+
+  double Estimate(const PpsOutcome& outcome) const;
+
+  /// P[all sampled | values] = min(1, min_i v_i/tau_i).
+  double PositiveProb(const std::vector<double>& values) const;
+
+  double Variance(const std::vector<double>& values) const;
+
+ private:
+  std::vector<double> tau_;
+};
+
+/// Draws a shared-seed PPS sample of a data vector (the coordinated
+/// counterpart of SamplePps).
+PpsOutcome SamplePpsShared(const std::vector<double>& values,
+                           const std::vector<double>& tau, Rng& rng);
+
+/// Deterministic variant with an explicit shared seed.
+PpsOutcome SamplePpsSharedWithSeed(const std::vector<double>& values,
+                                   const std::vector<double>& tau,
+                                   double seed);
+
+}  // namespace pie

@@ -1,0 +1,70 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+// Folds fn over all outcomes: fn(probability, outcome).
+void ForEachOutcome(
+    const std::vector<double>& values, const std::vector<double>& p,
+    const std::function<void(double, const ObliviousOutcome&)>& fn) {
+  const int r = static_cast<int>(values.size());
+  PIE_CHECK(r >= 1 && r <= 25);
+  PIE_CHECK(p.size() == values.size());
+  ObliviousOutcome out;
+  out.p = p;
+  out.sampled.resize(values.size());
+  out.value.resize(values.size());
+  for (uint32_t mask = 0; mask < (1u << r); ++mask) {
+    double prob = 1.0;
+    for (int i = 0; i < r; ++i) {
+      const bool in = (mask >> i) & 1u;
+      out.sampled[i] = in ? 1 : 0;
+      out.value[i] = in ? values[i] : 0.0;
+      prob *= in ? p[i] : 1.0 - p[i];
+    }
+    fn(prob, out);
+  }
+}
+
+}  // namespace
+
+double ObliviousExpectation(const std::vector<double>& values,
+                            const std::vector<double>& p,
+                            const ObliviousEstimator& est) {
+  double sum = 0.0;
+  ForEachOutcome(values, p, [&](double prob, const ObliviousOutcome& o) {
+    sum += prob * est(o);
+  });
+  return sum;
+}
+
+double ObliviousVariance(const std::vector<double>& values,
+                         const std::vector<double>& p,
+                         const ObliviousEstimator& est) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  ForEachOutcome(values, p, [&](double prob, const ObliviousOutcome& o) {
+    const double e = est(o);
+    sum += prob * e;
+    sum_sq += prob * e * e;
+  });
+  return sum_sq - sum * sum;
+}
+
+double ObliviousMinEstimate(const std::vector<double>& values,
+                            const std::vector<double>& p,
+                            const ObliviousEstimator& est) {
+  double best = std::numeric_limits<double>::infinity();
+  ForEachOutcome(values, p, [&](double prob, const ObliviousOutcome& o) {
+    if (prob > 0) best = std::min(best, est(o));
+  });
+  return best;
+}
+
+}  // namespace pie

@@ -1,0 +1,37 @@
+// Exact expectation/variance of estimators over weight-oblivious Poisson
+// outcomes by enumerating all 2^r sampled subsets.
+//
+// The estimate on an outcome depends only on which entries are sampled (the
+// data vector is fixed), so the expectation is a finite sum over subsets
+// weighted by prod p_i^{s_i} (1-p_i)^{1-s_i}. Used by tests (exact
+// unbiasedness) and by the variance reports behind Figures 1 and 2.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sampling/poisson.h"
+
+namespace pie {
+
+/// An estimator evaluated on a weight-oblivious outcome.
+using ObliviousEstimator = std::function<double(const ObliviousOutcome&)>;
+
+/// Exact E[est | values] over the 2^r outcomes. r <= 25 enforced.
+double ObliviousExpectation(const std::vector<double>& values,
+                            const std::vector<double>& p,
+                            const ObliviousEstimator& est);
+
+/// Exact Var[est | values] = E[est^2] - E[est]^2.
+double ObliviousVariance(const std::vector<double>& values,
+                         const std::vector<double>& p,
+                         const ObliviousEstimator& est);
+
+/// Exact min over outcomes with positive probability (used to certify
+/// nonnegativity on a data vector).
+double ObliviousMinEstimate(const std::vector<double>& values,
+                            const std::vector<double>& p,
+                            const ObliviousEstimator& est);
+
+}  // namespace pie

@@ -1,0 +1,47 @@
+#include "core/functions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pie {
+
+double MaxOf(const std::vector<double>& v) {
+  double best = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    best = i == 0 ? v[i] : std::max(best, v[i]);
+  }
+  return best;
+}
+
+double MinOf(const std::vector<double>& v) {
+  double best = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    best = i == 0 ? v[i] : std::min(best, v[i]);
+  }
+  return best;
+}
+
+double RangeOf(const std::vector<double>& v) { return MaxOf(v) - MinOf(v); }
+
+double RangePowOf(const std::vector<double>& v, double d) {
+  PIE_DCHECK(d > 0);
+  return std::pow(RangeOf(v), d);
+}
+
+double OrOf(const std::vector<double>& v) {
+  for (double x : v) {
+    if (x != 0.0) return 1.0;
+  }
+  return 0.0;
+}
+
+double LthOf(std::vector<double> v, int l) {
+  PIE_CHECK(l >= 1 && l <= static_cast<int>(v.size()));
+  std::nth_element(v.begin(), v.begin() + (l - 1), v.end(),
+                   std::greater<double>());
+  return v[l - 1];
+}
+
+}  // namespace pie

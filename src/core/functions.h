@@ -1,0 +1,29 @@
+// The multi-instance query primitives of Section 2: functions
+// f(v_1, ..., v_r) over the values a single key assumes across r dispersed
+// instances.
+
+#pragma once
+
+#include <vector>
+
+namespace pie {
+
+/// max_i v_i; 0 for an empty vector.
+double MaxOf(const std::vector<double>& v);
+
+/// min_i v_i; 0 for an empty vector.
+double MinOf(const std::vector<double>& v);
+
+/// Range RG(v) = max(v) - min(v).
+double RangeOf(const std::vector<double>& v);
+
+/// Exponentiated range RG^d(v) = (max(v) - min(v))^d, d > 0.
+double RangePowOf(const std::vector<double>& v, double d);
+
+/// Boolean OR: 1 if any entry is nonzero, else 0. Intended for 0/1 vectors.
+double OrOf(const std::vector<double>& v);
+
+/// l-th largest entry, 1-based (l = 1 is the maximum, l = r the minimum).
+double LthOf(std::vector<double> v, int l);
+
+}  // namespace pie

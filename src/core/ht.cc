@@ -1,0 +1,66 @@
+#include "core/ht.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/functions.h"
+#include "util/check.h"
+
+namespace pie {
+
+double ObliviousHtEstimate(const ObliviousOutcome& outcome,
+                           const VectorFunction& f) {
+  if (!outcome.AllSampled()) return 0.0;
+  double prob = 1.0;
+  for (double pi : outcome.p) prob *= pi;
+  PIE_DCHECK(prob > 0);
+  return f(outcome.value) / prob;
+}
+
+double ObliviousHtVariance(const std::vector<double>& values,
+                           const std::vector<double>& p,
+                           const VectorFunction& f) {
+  double prob = 1.0;
+  for (double pi : p) prob *= pi;
+  PIE_DCHECK(prob > 0);
+  const double fv = f(values);
+  return fv * fv * (1.0 / prob - 1.0);
+}
+
+MaxHtWeighted::MaxHtWeighted(std::vector<double> tau) : tau_(std::move(tau)) {
+  for (double t : tau_) PIE_CHECK(t > 0 && std::isfinite(t));
+}
+
+double MaxHtWeighted::Estimate(const PpsOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == static_cast<int>(tau_.size()));
+  const double max_sampled = outcome.MaxSampledValue();
+  if (max_sampled <= 0) return 0.0;
+  // The outcome identifies max(v) iff every unsampled entry is upper-bounded
+  // by the largest sampled value.
+  for (int i = 0; i < outcome.r(); ++i) {
+    if (!outcome.sampled[i] && outcome.UpperBound(i) > max_sampled) {
+      return 0.0;
+    }
+  }
+  double prob = 1.0;
+  for (double t : tau_) prob *= std::fmin(1.0, max_sampled / t);
+  return max_sampled / prob;
+}
+
+double MaxHtWeighted::PositiveProb(const std::vector<double>& values) const {
+  PIE_CHECK(values.size() == tau_.size());
+  const double mx = MaxOf(values);
+  if (mx <= 0) return 0.0;
+  double prob = 1.0;
+  for (double t : tau_) prob *= std::fmin(1.0, mx / t);
+  return prob;
+}
+
+double MaxHtWeighted::Variance(const std::vector<double>& values) const {
+  const double mx = MaxOf(values);
+  if (mx <= 0) return 0.0;
+  const double p = PositiveProb(values);
+  return mx * mx * (1.0 / p - 1.0);
+}
+
+}  // namespace pie

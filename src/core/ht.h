@@ -1,0 +1,59 @@
+// Horvitz-Thompson (inverse-probability) estimators (Section 2.2).
+//
+// Under "all or nothing" information the HT estimator is variance-optimal
+// among unbiased nonnegative estimators. For multi-instance functions over
+// weight-oblivious Poisson samples the natural HT estimator is positive only
+// when *all* r entries are sampled; the paper shows it is Pareto optimal for
+// min and for the two-instance range, but suboptimal for max and OR -- which
+// is the gap the L/U estimators close.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sampling/poisson.h"
+
+namespace pie {
+
+/// f applied to a complete data vector.
+using VectorFunction = std::function<double(const std::vector<double>&)>;
+
+/// HT estimate of f(v) from a weight-oblivious outcome: f(values)/prod(p)
+/// when every entry is sampled, 0 otherwise.
+double ObliviousHtEstimate(const ObliviousOutcome& outcome,
+                           const VectorFunction& f);
+
+/// Closed-form variance f(v)^2 (1/prod(p) - 1) of the all-sampled HT
+/// estimator (equation (10) in the paper).
+double ObliviousHtVariance(const std::vector<double>& values,
+                           const std::vector<double>& p,
+                           const VectorFunction& f);
+
+/// The optimal inverse-probability estimator for max under weighted PPS
+/// sampling with known seeds (Section 5.2, from Cohen-Kaplan-Sen):
+/// positive on outcomes where the maximum is identifiable, i.e. every
+/// unsampled entry's seed upper bound u_i*tau_i is at most the largest
+/// sampled value.
+class MaxHtWeighted {
+ public:
+  /// Thresholds tau*_i > 0 of the per-instance PPS samplers.
+  explicit MaxHtWeighted(std::vector<double> tau);
+
+  /// Estimate from an outcome (requires known seeds).
+  double Estimate(const PpsOutcome& outcome) const;
+
+  /// Exact variance on a data vector: max^2 (1/p - 1) with
+  /// p = prod_i min(1, max/tau_i); 0 for the all-zero vector.
+  double Variance(const std::vector<double>& values) const;
+
+  /// P[estimator is positive | values].
+  double PositiveProb(const std::vector<double>& values) const;
+
+  const std::vector<double>& tau() const { return tau_; }
+
+ private:
+  std::vector<double> tau_;
+};
+
+}  // namespace pie

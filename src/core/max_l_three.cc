@@ -1,0 +1,69 @@
+#include "core/max_l_three.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/enumerate.h"
+#include "util/check.h"
+
+namespace pie {
+
+MaxLThree::MaxLThree(double p1, double p2, double p3) : p_({p1, p2, p3}) {
+  for (double p : p_) PIE_CHECK(p > 0 && p <= 1);
+  const double q1 = 1 - p1, q2 = 1 - p2, q3 = 1 - p3;
+  a3_ = 1.0 / (1.0 - q1 * q2 * q3);
+  // a2_pair_[excluded]: A_2 with leading pair = the other two entries.
+  a2_pair_[0] = a3_ / (1.0 - q2 * q3);
+  a2_pair_[1] = a3_ / (1.0 - q1 * q3);
+  a2_pair_[2] = a3_ / (1.0 - q1 * q2);
+  // a1_[a] = (A_2 excluding b + A_2 excluding c - A_3) / p_a.
+  for (int a = 0; a < 3; ++a) {
+    const int b = (a + 1) % 3;
+    const int c = (a + 2) % 3;
+    a1_[static_cast<size_t>(a)] =
+        (a2_pair_[static_cast<size_t>(b)] + a2_pair_[static_cast<size_t>(c)] -
+         a3_) /
+        p_[static_cast<size_t>(a)];
+  }
+}
+
+double MaxLThree::A2(int a, int b) const {
+  PIE_CHECK(a != b && a >= 0 && a < 3 && b >= 0 && b < 3);
+  return a2_pair_[static_cast<size_t>(3 - a - b)];
+}
+
+double MaxLThree::EstimateFromDeterminingVector(
+    const std::array<double, 3>& phi) const {
+  // Sorting permutation: nonincreasing values, stable by index. The
+  // Theorem 4.1 symmetry property makes tie-breaking immaterial (verified
+  // in tests).
+  std::array<int, 3> pi = {0, 1, 2};
+  std::stable_sort(pi.begin(), pi.end(), [&phi](int a, int b) {
+    return phi[static_cast<size_t>(a)] > phi[static_cast<size_t>(b)];
+  });
+  const double alpha1 = A1(pi[0]);
+  const double alpha2 = A2(pi[0], pi[1]) - A1(pi[0]);
+  const double alpha3 = a3_ - A2(pi[0], pi[1]);
+  return alpha1 * phi[static_cast<size_t>(pi[0])] +
+         alpha2 * phi[static_cast<size_t>(pi[1])] +
+         alpha3 * phi[static_cast<size_t>(pi[2])];
+}
+
+double MaxLThree::Estimate(const ObliviousOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == 3);
+  if (outcome.NumSampled() == 0) return 0.0;
+  const double mx = outcome.MaxSampledValue();
+  std::array<double, 3> phi;
+  for (int i = 0; i < 3; ++i) {
+    phi[static_cast<size_t>(i)] = outcome.sampled[i] ? outcome.value[i] : mx;
+  }
+  return EstimateFromDeterminingVector(phi);
+}
+
+double MaxLThree::Variance(const std::array<double, 3>& values) const {
+  return ObliviousVariance(
+      {values[0], values[1], values[2]}, {p_[0], p_[1], p_[2]},
+      [this](const ObliviousOutcome& o) { return Estimate(o); });
+}
+
+}  // namespace pie

@@ -1,0 +1,51 @@
+// max^(L) for THREE instances with arbitrary per-instance probabilities
+// (weight-oblivious Poisson) -- the general-p instantiation of Theorem 4.1
+// one dimension past the paper's worked r = 2 example.
+//
+// The estimate is sum_i alpha_{i,pi(p)} phi(S)_{pi_i} where pi sorts the
+// determining vector; the permuted prefix sums needed at r = 3 are
+//   A_3(p)       = 1 / (1 - q1 q2 q3)                   (equation (16))
+//   A_2(a,b)     = A_3 / (1 - q_a q_b)                  (equation (18))
+//   A_1(a)       = (A_2(a,b) + A_2(a,c) - A_3) / p_a    (the k = 1 case)
+// with q_i = 1 - p_i. Theorem 4.1's symmetry property (A_2 symmetric in
+// its two leading entries, A_1 in its two trailing ones) makes the
+// estimate independent of tie-breaking among equal values; tests verify
+// this numerically along with exact unbiasedness by outcome enumeration.
+
+#pragma once
+
+#include <array>
+
+#include "sampling/poisson.h"
+
+namespace pie {
+
+/// General-probability max^(L) for r = 3.
+class MaxLThree {
+ public:
+  MaxLThree(double p1, double p2, double p3);
+
+  /// Estimate from a three-entry weight-oblivious outcome.
+  double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Estimate from a determining vector (unsampled entries already replaced
+  /// by the sampled maximum). Invariant under permutations of equal values.
+  double EstimateFromDeterminingVector(const std::array<double, 3>& phi) const;
+
+  /// Exact variance on a data vector (outcome enumeration).
+  double Variance(const std::array<double, 3>& values) const;
+
+  /// Permuted prefix sums (exposed for tests): A_3; A_2 with leading pair
+  /// {a,b}; A_1 with leading entry a.
+  double A3() const { return a3_; }
+  double A2(int a, int b) const;
+  double A1(int a) const { return a1_[static_cast<size_t>(a)]; }
+
+ private:
+  std::array<double, 3> p_;
+  double a3_;
+  std::array<double, 3> a2_pair_;  ///< indexed by the EXCLUDED entry
+  std::array<double, 3> a1_;
+};
+
+}  // namespace pie

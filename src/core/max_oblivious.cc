@@ -1,0 +1,210 @@
+#include "core/max_oblivious.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/enumerate.h"
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+// Validates the common two-instance setup.
+void CheckTwoInstanceProbs(double p1, double p2) {
+  PIE_CHECK(p1 > 0 && p1 <= 1);
+  PIE_CHECK(p2 > 0 && p2 <= 1);
+}
+
+void CheckTwoEntryOutcome(const ObliviousOutcome& outcome) {
+  PIE_CHECK(outcome.r() == 2);
+}
+
+}  // namespace
+
+Status ValidateProbability(double p) {
+  if (!(p > 0.0) || p > 1.0 || !std::isfinite(p)) {
+    return Status::InvalidArgument("probability must lie in (0,1]");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MaxLTwo
+// ---------------------------------------------------------------------------
+
+MaxLTwo::MaxLTwo(double p1, double p2) : p1_(p1), p2_(p2) {
+  CheckTwoInstanceProbs(p1, p2);
+  q_ = p1_ + p2_ - p1_ * p2_;
+}
+
+double MaxLTwo::Estimate(const ObliviousOutcome& outcome) const {
+  CheckTwoEntryOutcome(outcome);
+  const bool s1 = outcome.sampled[0];
+  const bool s2 = outcome.sampled[1];
+  if (!s1 && !s2) return 0.0;
+  if (s1 && !s2) return outcome.value[0] / q_;
+  if (!s1 && s2) return outcome.value[1] / q_;
+  const double v1 = outcome.value[0];
+  const double v2 = outcome.value[1];
+  return std::max(v1, v2) / (p1_ * p2_) -
+         ((1.0 / p2_ - 1.0) * v1 + (1.0 / p1_ - 1.0) * v2) / q_;
+}
+
+double MaxLTwo::Variance(double v1, double v2) const {
+  return ObliviousVariance(
+      {v1, v2}, {p1_, p2_},
+      [this](const ObliviousOutcome& o) { return Estimate(o); });
+}
+
+double MaxLTwo::VarianceClosedForm(double v1, double v2) const {
+  const double mx = std::max(v1, v2);
+  const double e1 = v1 / q_;
+  const double e2 = v2 / q_;
+  const double e12 = mx / (p1_ * p2_) -
+                     ((1.0 / p2_ - 1.0) * v1 + (1.0 / p1_ - 1.0) * v2) / q_;
+  return p1_ * (1.0 - p2_) * e1 * e1 + p2_ * (1.0 - p1_) * e2 * e2 +
+         p1_ * p2_ * e12 * e12 - mx * mx;
+}
+
+// ---------------------------------------------------------------------------
+// MaxLUniform
+// ---------------------------------------------------------------------------
+
+MaxLUniform::MaxLUniform(int r, double p) : r_(r), p_(p) {
+  PIE_CHECK(r >= 1);
+  PIE_CHECK(p > 0 && p <= 1);
+  const double q = 1.0 - p;
+
+  // Prefix sums A_h, h = 1..r, via the triangular recursion of
+  // Theorem 4.2:
+  //   A_r       = 1 / (1 - q^r)
+  //   A_{r-k-1} = (A_{r-k} + t_k) / (1 - q^{r-k-1}),  k = 0..r-2, with
+  //   t_k = sum_{l=1}^{k} C(k,l) (q/p)^l
+  //            (A_{r-k+l} - (1 - q^{r-k-1}) A_{r-k+l-1}).
+  prefix_.assign(static_cast<size_t>(r), 0.0);
+  auto a = [this](int h) -> double& { return prefix_[static_cast<size_t>(h - 1)]; };
+
+  a(r_) = 1.0 / (1.0 - std::pow(q, r_));
+  for (int k = 0; k <= r_ - 2; ++k) {
+    const double shrink = 1.0 - std::pow(q, r_ - k - 1);
+    double t = 0.0;
+    double binom = 1.0;        // C(k, l), updated multiplicatively
+    double ratio_pow = 1.0;    // (q/p)^l
+    for (int l = 1; l <= k; ++l) {
+      binom *= static_cast<double>(k - l + 1) / static_cast<double>(l);
+      ratio_pow *= q / p;
+      t += binom * ratio_pow * (a(r_ - k + l) - shrink * a(r_ - k + l - 1));
+    }
+    a(r_ - k - 1) = (a(r_ - k) + t) / shrink;
+  }
+
+  alpha_.assign(static_cast<size_t>(r), 0.0);
+  alpha_[0] = prefix_[0];
+  for (int h = 2; h <= r_; ++h) {
+    alpha_[static_cast<size_t>(h - 1)] =
+        prefix_[static_cast<size_t>(h - 1)] - prefix_[static_cast<size_t>(h - 2)];
+  }
+}
+
+double MaxLUniform::EstimateFromSortedDeterminingVector(
+    const std::vector<double>& u) const {
+  PIE_CHECK(static_cast<int>(u.size()) == r_);
+  double est = 0.0;
+  for (int i = 0; i < r_; ++i) {
+    PIE_DCHECK(i == 0 || u[static_cast<size_t>(i)] <= u[static_cast<size_t>(i - 1)]);
+    est += alpha_[static_cast<size_t>(i)] * u[static_cast<size_t>(i)];
+  }
+  return est;
+}
+
+double MaxLUniform::Estimate(const ObliviousOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == r_);
+  // Algorithm 3 EST: sort sampled values in nonincreasing order; the
+  // determining vector replaces every unsampled entry with the largest
+  // sampled value, so its sorted form is that value repeated, followed by
+  // the remaining sampled values.
+  std::vector<double> z;
+  z.reserve(static_cast<size_t>(r_));
+  for (int i = 0; i < r_; ++i) {
+    if (outcome.sampled[i]) z.push_back(outcome.value[i]);
+  }
+  if (z.empty()) return 0.0;
+  std::sort(z.begin(), z.end(), std::greater<double>());
+
+  const int missing = r_ - static_cast<int>(z.size());
+  double est = 0.0;
+  for (int i = 0; i < missing; ++i) {
+    est += alpha_[static_cast<size_t>(i)] * z[0];
+  }
+  for (size_t j = 0; j < z.size(); ++j) {
+    est += alpha_[static_cast<size_t>(missing) + j] * z[j];
+  }
+  return est;
+}
+
+double MaxLUniform::Variance(const std::vector<double>& values) const {
+  const std::vector<double> p(static_cast<size_t>(r_), p_);
+  return ObliviousVariance(values, p, [this](const ObliviousOutcome& o) {
+    return Estimate(o);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MaxUTwo
+// ---------------------------------------------------------------------------
+
+MaxUTwo::MaxUTwo(double p1, double p2) : p1_(p1), p2_(p2) {
+  CheckTwoInstanceProbs(p1, p2);
+  c_ = 1.0 + std::max(0.0, 1.0 - p1 - p2);
+}
+
+double MaxUTwo::Estimate(const ObliviousOutcome& outcome) const {
+  CheckTwoEntryOutcome(outcome);
+  const bool s1 = outcome.sampled[0];
+  const bool s2 = outcome.sampled[1];
+  if (!s1 && !s2) return 0.0;
+  if (s1 && !s2) return outcome.value[0] / (p1_ * c_);
+  if (!s1 && s2) return outcome.value[1] / (p2_ * c_);
+  const double v1 = outcome.value[0];
+  const double v2 = outcome.value[1];
+  return (std::max(v1, v2) -
+          (v1 * (1.0 - p2_) + v2 * (1.0 - p1_)) / c_) /
+         (p1_ * p2_);
+}
+
+double MaxUTwo::Variance(double v1, double v2) const {
+  return ObliviousVariance(
+      {v1, v2}, {p1_, p2_},
+      [this](const ObliviousOutcome& o) { return Estimate(o); });
+}
+
+// ---------------------------------------------------------------------------
+// MaxUAsymTwo
+// ---------------------------------------------------------------------------
+
+MaxUAsymTwo::MaxUAsymTwo(double p1, double p2) : p1_(p1), p2_(p2) {
+  CheckTwoInstanceProbs(p1, p2);
+  m_ = std::max(1.0 - p1, p2);
+}
+
+double MaxUAsymTwo::Estimate(const ObliviousOutcome& outcome) const {
+  CheckTwoEntryOutcome(outcome);
+  const bool s1 = outcome.sampled[0];
+  const bool s2 = outcome.sampled[1];
+  if (!s1 && !s2) return 0.0;
+  if (s1 && !s2) return outcome.value[0] / p1_;
+  if (!s1 && s2) return outcome.value[1] / m_;
+  const double v1 = outcome.value[0];
+  const double v2 = outcome.value[1];
+  return (std::max(v1, v2) - p2_ * (1.0 - p1_) / m_ * v2 -
+          (1.0 - p2_) * v1) /
+         (p1_ * p2_);
+}
+
+double MaxUAsymTwo::Variance(double v1, double v2) const {
+  return ObliviousVariance(
+      {v1, v2}, {p1_, p2_},
+      [this](const ObliviousOutcome& o) { return Estimate(o); });
+}
+
+}  // namespace pie

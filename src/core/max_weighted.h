@@ -1,0 +1,70 @@
+// Pareto-optimal estimator max^(L) for the maximum over nonnegative reals
+// under weighted PPS Poisson sampling with known seeds (Section 5.2 and
+// Appendix A; r = 2 instances).
+//
+// The order ≺ ranks vectors by the sorted multiset of gaps max(v) - v_i;
+// running Algorithm 1 over it yields a closed form in two steps:
+//
+//  (1) each outcome S maps to its determining vector phi(S): sampled entries
+//      keep their value; an unsampled entry i becomes
+//      min(largest sampled value, u_i * tau*_i) -- the seed's upper bound,
+//      clipped at the sampled maximum (Figure 3, top table);
+//  (2) the estimate is a function of the determining vector alone, given by
+//      the four-case formula of Figure 3 (equations (25), (26), (29), (30)).
+//
+// The estimator is unbiased, nonnegative, monotone, dominates max^(HT)
+// (variance ratio at least (1+rho)/rho >= 2 where rho = max(v)/tau*), and is
+// *unbounded yet has bounded variance*: as the seed bound on the unseen
+// entry tends to 0 the estimate grows like log(1/bound).
+
+#pragma once
+
+#include <array>
+
+#include "sampling/poisson.h"
+
+namespace pie {
+
+/// max^(L) for two instances under PPS thresholds (tau1, tau2), known seeds.
+class MaxLWeightedTwo {
+ public:
+  /// quad_tol controls the adaptive-quadrature tolerance used by Mean() and
+  /// Variance() (estimation itself is closed-form and unaffected). Loosen
+  /// it for large sweeps such as the Figure 7 reproduction.
+  explicit MaxLWeightedTwo(double tau1, double tau2, double quad_tol = 1e-10);
+
+  /// Determining vector phi(S) of an outcome (Figure 3, top table).
+  std::array<double, 2> DeterminingVector(const PpsOutcome& outcome) const;
+
+  /// The estimate as a function of the determining vector (Figure 3, bottom
+  /// table; symmetric in the two coordinates with their thresholds).
+  double EstimateFromDeterminingVector(double v1, double v2) const;
+
+  /// Estimate from an outcome (requires known seeds).
+  double Estimate(const PpsOutcome& outcome) const;
+
+  /// E[estimate | data (v1, v2)] by exact case decomposition + adaptive
+  /// quadrature over the unsampled entry's seed. Equals max(v1, v2) up to
+  /// quadrature error (unbiasedness; verified in tests).
+  double Mean(double v1, double v2) const;
+
+  /// Var[estimate | data (v1, v2)], same technique.
+  double Variance(double v1, double v2) const;
+
+  double tau1() const { return tau1_; }
+  double tau2() const { return tau2_; }
+
+ private:
+  /// Estimate for a determining vector sorted as hi >= lo, where hi carries
+  /// threshold tau_hi and lo carries tau_lo.
+  static double EvalSorted(double hi, double lo, double tau_hi,
+                           double tau_lo);
+
+  /// E[g(estimate)] for g(x) = x or x^2 via the outcome-case decomposition.
+  double Moment(double v1, double v2, bool squared) const;
+
+  double tau1_, tau2_;
+  double quad_tol_;
+};
+
+}  // namespace pie

@@ -1,0 +1,43 @@
+#include "core/min_weighted.h"
+
+#include <cmath>
+
+#include "core/functions.h"
+#include "util/check.h"
+
+namespace pie {
+
+MinHtWeighted::MinHtWeighted(std::vector<double> tau) : tau_(std::move(tau)) {
+  for (double t : tau_) PIE_CHECK(t > 0 && std::isfinite(t));
+}
+
+double MinHtWeighted::Estimate(const PpsOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == static_cast<int>(tau_.size()));
+  double mn = 0.0;
+  double prob = 1.0;
+  for (int i = 0; i < outcome.r(); ++i) {
+    if (!outcome.sampled[i]) return 0.0;
+    const double v = outcome.value[i];
+    mn = i == 0 ? v : std::fmin(mn, v);
+    prob *= std::fmin(1.0, v / tau_[static_cast<size_t>(i)]);
+  }
+  return mn / prob;
+}
+
+double MinHtWeighted::PositiveProb(const std::vector<double>& values) const {
+  PIE_CHECK(values.size() == tau_.size());
+  double prob = 1.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    prob *= std::fmin(1.0, values[i] / tau_[i]);  // 0 when values[i] == 0
+  }
+  return prob;
+}
+
+double MinHtWeighted::Variance(const std::vector<double>& values) const {
+  const double mn = MinOf(values);
+  if (mn <= 0) return 0.0;
+  const double p = PositiveProb(values);
+  return mn * mn * (1.0 / p - 1.0);
+}
+
+}  // namespace pie

@@ -1,0 +1,41 @@
+// Inverse-probability estimators for min(v) under weighted PPS sampling
+// (Section 6 notes min is the one quantile estimable even with UNKNOWN
+// seeds: the all-sampled outcome reveals min(v), and its probability
+// prod_i min(1, v_i/tau_i) is computable from the sampled values alone).
+//
+// The estimator is Pareto optimal among unbiased nonnegative estimators:
+// any outcome with a missing entry is consistent with a data vector whose
+// min is 0, forcing the estimate 0 there (the argument of Section 2.2).
+
+#pragma once
+
+#include <vector>
+
+#include "sampling/poisson.h"
+
+namespace pie {
+
+/// min^(HT) over r independently PPS-sampled instances. Unknown seeds
+/// suffice; the estimate never reads the seed vector.
+class MinHtWeighted {
+ public:
+  explicit MinHtWeighted(std::vector<double> tau);
+
+  /// min over sampled values divided by the all-sampled probability when
+  /// every entry is present; 0 otherwise.
+  double Estimate(const PpsOutcome& outcome) const;
+
+  /// P[all entries sampled | values] = prod_i min(1, v_i/tau_i).
+  double PositiveProb(const std::vector<double>& values) const;
+
+  /// Exact variance: min(v)^2 (1/p - 1); 0 when some value is 0 (min is
+  /// then 0 and the estimator is constant 0).
+  double Variance(const std::vector<double>& values) const;
+
+  const std::vector<double>& tau() const { return tau_; }
+
+ private:
+  std::vector<double> tau_;
+};
+
+}  // namespace pie

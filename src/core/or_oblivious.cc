@@ -1,0 +1,150 @@
+#include "core/or_oblivious.h"
+
+#include <cmath>
+
+#include "core/enumerate.h"
+#include "core/functions.h"
+#include "util/check.h"
+
+namespace pie {
+
+double OrHtEstimate(const ObliviousOutcome& outcome) {
+  if (!outcome.AllSampled()) return 0.0;
+  if (OrOf(outcome.value) == 0.0) return 0.0;
+  double prob = 1.0;
+  for (double pi : outcome.p) prob *= pi;
+  return 1.0 / prob;
+}
+
+double OrHtVariance(const std::vector<double>& p) {
+  double prob = 1.0;
+  for (double pi : p) prob *= pi;
+  PIE_CHECK(prob > 0);
+  return 1.0 / prob - 1.0;
+}
+
+// ---------------------------------------------------------------------------
+// OrLTwo
+// ---------------------------------------------------------------------------
+
+OrLTwo::OrLTwo(double p1, double p2) : p1_(p1), p2_(p2) {
+  PIE_CHECK(p1 > 0 && p1 <= 1 && p2 > 0 && p2 <= 1);
+  q_ = p1 + p2 - p1 * p2;
+}
+
+double OrLTwo::Estimate(const ObliviousOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == 2);
+  const bool s1 = outcome.sampled[0];
+  const bool s2 = outcome.sampled[1];
+  const double v1 = s1 ? outcome.value[0] : 0.0;
+  const double v2 = s2 ? outcome.value[1] : 0.0;
+  if (!s1 && !s2) return 0.0;
+  if (s1 && !s2) return v1 / q_;
+  if (!s1 && s2) return v2 / q_;
+  // Both sampled: OR/(p1 p2) - ((1/p2-1)v1 + (1/p1-1)v2)/q.
+  const double or_v = (v1 != 0.0 || v2 != 0.0) ? 1.0 : 0.0;
+  return or_v / (p1_ * p2_) -
+         ((1.0 / p2_ - 1.0) * v1 + (1.0 / p1_ - 1.0) * v2) / q_;
+}
+
+double OrLTwo::Variance(int v1, int v2) const {
+  return ObliviousVariance(
+      {static_cast<double>(v1), static_cast<double>(v2)}, {p1_, p2_},
+      [this](const ObliviousOutcome& o) { return Estimate(o); });
+}
+
+double OrLTwo::VarianceBothOnes() const { return 1.0 / q_ - 1.0; }
+
+double OrLTwo::VarianceOneZero() const {
+  // Section 4.3: estimate 0 w.p. 1-p1; 1/q w.p. p1(1-p2); 1/(p1 q) w.p.
+  // p1 p2 (data (1,0)).
+  const double a = 1.0 / q_;
+  const double b = 1.0 / (p1_ * q_);
+  const double mean = 1.0;
+  return (1.0 - p1_) * mean * mean +
+         p1_ * (1.0 - p2_) * (a - mean) * (a - mean) +
+         p1_ * p2_ * (b - mean) * (b - mean);
+}
+
+// ---------------------------------------------------------------------------
+// OrLUniform
+// ---------------------------------------------------------------------------
+
+OrLUniform::OrLUniform(int r, double p) : max_l_(r, p) {}
+
+double OrLUniform::EstimateFromCounts(int sampled_ones,
+                                      int sampled_zeros) const {
+  PIE_CHECK(sampled_ones >= 0 && sampled_zeros >= 0);
+  PIE_CHECK(sampled_ones + sampled_zeros <= r());
+  if (sampled_ones == 0) return 0.0;
+  // Determining vector: unsampled entries and sampled ones hold 1, sampled
+  // zeros hold 0; the sorted dot product collapses to the prefix sum
+  // A_{r - z}.
+  return max_l_.prefix_sums()[static_cast<size_t>(r() - sampled_zeros - 1)];
+}
+
+double OrLUniform::Estimate(const ObliviousOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == r());
+  int ones = 0;
+  int zeros = 0;
+  for (int i = 0; i < r(); ++i) {
+    if (!outcome.sampled[i]) continue;
+    PIE_CHECK(outcome.value[i] == 0.0 || outcome.value[i] == 1.0);
+    if (outcome.value[i] != 0.0) {
+      ++ones;
+    } else {
+      ++zeros;
+    }
+  }
+  return EstimateFromCounts(ones, zeros);
+}
+
+double OrLUniform::Variance(int ones) const {
+  PIE_CHECK(ones >= 0 && ones <= r());
+  if (ones == 0) return 0.0;
+  const int zeros_total = r() - ones;
+  const double p = max_l_.p();
+  // Sum over (a sampled ones, b sampled zeros) with binomial weights.
+  auto log_binom = [](int n, int k) {
+    return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+           std::lgamma(n - k + 1.0);
+  };
+  double mean = 0.0;
+  double second = 0.0;
+  for (int a = 0; a <= ones; ++a) {
+    for (int b = 0; b <= zeros_total; ++b) {
+      double log_prob = log_binom(ones, a) + log_binom(zeros_total, b);
+      if (a + b > 0) log_prob += (a + b) * std::log(p);
+      if (r() - a - b > 0) log_prob += (r() - a - b) * std::log1p(-p);
+      const double prob = std::exp(log_prob);
+      const double e = EstimateFromCounts(a, b);
+      mean += prob * e;
+      second += prob * e * e;
+    }
+  }
+  return second - mean * mean;
+}
+
+// ---------------------------------------------------------------------------
+// OrUTwo
+// ---------------------------------------------------------------------------
+
+OrUTwo::OrUTwo(double p1, double p2) : max_u_(p1, p2), p1_(p1), p2_(p2) {}
+
+double OrUTwo::Estimate(const ObliviousOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == 2);
+  for (int i = 0; i < 2; ++i) {
+    if (outcome.sampled[i]) {
+      PIE_CHECK(outcome.value[i] == 0.0 || outcome.value[i] == 1.0);
+    }
+  }
+  return max_u_.Estimate(outcome);
+}
+
+double OrUTwo::Variance(int v1, int v2) const {
+  return ObliviousVariance(
+      {static_cast<double>(v1), static_cast<double>(v2)}, {p1_, p2_},
+      [this](const ObliviousOutcome& o) { return Estimate(o); });
+}
+
+}  // namespace pie

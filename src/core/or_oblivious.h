@@ -1,0 +1,84 @@
+// Estimators for Boolean OR over weight-oblivious Poisson samples
+// (Section 4.3). OR(v) over {0,1}^r is max(v) restricted to the binary
+// domain, and the paper shows the specializations of max^(L) and max^(U)
+// remain Pareto optimal there. The sum aggregate of OR over keys is the
+// distinct-element count (size of the union), so these estimators are the
+// per-key building block of Section 8.1.
+
+#pragma once
+
+#include <vector>
+
+#include "core/max_oblivious.h"
+#include "sampling/poisson.h"
+
+namespace pie {
+
+/// OR^(HT): 1/prod(p) when all entries are sampled and at least one is 1;
+/// 0 otherwise.
+double OrHtEstimate(const ObliviousOutcome& outcome);
+
+/// Variance of OR^(HT) on any data vector with OR(v) = 1 (equation (23)).
+double OrHtVariance(const std::vector<double>& p);
+
+/// OR^(L) for two instances, arbitrary (p1, p2): the specialization of
+/// max^(L) to {0,1}.
+class OrLTwo {
+ public:
+  OrLTwo(double p1, double p2);
+
+  double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Exact variance on binary data (v1, v2).
+  double Variance(int v1, int v2) const;
+
+  /// Closed-form variance on (1,1): 1/(p1+p2-p1p2) - 1 (equation (24)).
+  double VarianceBothOnes() const;
+  /// Closed-form variance on (1,0) (Section 4.3).
+  double VarianceOneZero() const;
+
+ private:
+  double p1_, p2_;
+  double q_;  // p1 + p2 - p1*p2
+};
+
+/// OR^(L) for r instances with uniform p. The estimate on an outcome with
+/// at least one sampled 1 and z sampled 0s is the prefix sum A_{r-z} of the
+/// max^(L) coefficients; outcomes with no sampled 1 estimate 0.
+class OrLUniform {
+ public:
+  OrLUniform(int r, double p);
+
+  double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Estimate from sufficient statistics: number of sampled ones/zeros.
+  double EstimateFromCounts(int sampled_ones, int sampled_zeros) const;
+
+  /// Exact variance on a binary data vector with `ones` entries equal to 1
+  /// (by symmetry only the count matters). Computed by enumeration over
+  /// (sampled ones, sampled zeros) counts in O(r^2).
+  double Variance(int ones) const;
+
+  int r() const { return max_l_.r(); }
+  double p() const { return max_l_.p(); }
+
+ private:
+  MaxLUniform max_l_;
+};
+
+/// Symmetric OR^(U) for two instances: the specialization of max^(U).
+class OrUTwo {
+ public:
+  OrUTwo(double p1, double p2);
+
+  double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Exact variance on binary data (v1, v2).
+  double Variance(int v1, int v2) const;
+
+ private:
+  MaxUTwo max_u_;
+  double p1_, p2_;
+};
+
+}  // namespace pie

@@ -1,0 +1,73 @@
+#include "core/or_weighted.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pie {
+
+std::vector<double> BinaryPpsInclusionProbs(const std::vector<double>& tau) {
+  std::vector<double> p(tau.size());
+  for (size_t i = 0; i < tau.size(); ++i) {
+    PIE_CHECK(tau[i] > 0);
+    p[i] = std::fmin(1.0, 1.0 / tau[i]);
+  }
+  return p;
+}
+
+ObliviousOutcome MapBinaryPpsToOblivious(const PpsOutcome& outcome) {
+  ObliviousOutcome out;
+  out.p = BinaryPpsInclusionProbs(outcome.tau);
+  out.sampled.resize(outcome.tau.size());
+  out.value.resize(outcome.tau.size());
+  for (int i = 0; i < outcome.r(); ++i) {
+    if (outcome.sampled[i]) {
+      PIE_CHECK(outcome.value[i] == 1.0);  // binary domain, zero never sampled
+      out.sampled[i] = 1;
+      out.value[i] = 1.0;
+    } else if (outcome.seed[i] <= out.p[i]) {
+      // Seed certifies a zero: v_i < u_i * tau_i <= 1.
+      out.sampled[i] = 1;
+      out.value[i] = 0.0;
+    } else {
+      out.sampled[i] = 0;
+      out.value[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+OrWeightedUniform::OrWeightedUniform(int r, double tau)
+    : or_l_(r, std::fmin(1.0, 1.0 / tau)) {
+  PIE_CHECK(tau > 0);
+}
+
+double OrWeightedUniform::EstimateL(const PpsOutcome& outcome) const {
+  return or_l_.Estimate(MapBinaryPpsToOblivious(outcome));
+}
+
+double OrWeightedUniform::EstimateHt(const PpsOutcome& outcome) const {
+  return OrHtEstimate(MapBinaryPpsToOblivious(outcome));
+}
+
+OrWeightedTwo::OrWeightedTwo(double tau1, double tau2)
+    : p1_(std::fmin(1.0, 1.0 / tau1)),
+      p2_(std::fmin(1.0, 1.0 / tau2)),
+      or_l_(p1_, p2_),
+      or_u_(p1_, p2_) {
+  PIE_CHECK(tau1 > 0 && tau2 > 0);
+}
+
+double OrWeightedTwo::EstimateHt(const PpsOutcome& outcome) const {
+  return OrHtEstimate(MapBinaryPpsToOblivious(outcome));
+}
+
+double OrWeightedTwo::EstimateL(const PpsOutcome& outcome) const {
+  return or_l_.Estimate(MapBinaryPpsToOblivious(outcome));
+}
+
+double OrWeightedTwo::EstimateU(const PpsOutcome& outcome) const {
+  return or_u_.Estimate(MapBinaryPpsToOblivious(outcome));
+}
+
+}  // namespace pie

@@ -1,0 +1,230 @@
+#include "deriver/active_set_qp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deriver/linalg.h"
+#include "deriver/simplex.h"
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr int kMaxIterations = 2000;
+
+// Finds a feasible point of {A_eq x = b_eq, A_in x <= b_in} via phase-1
+// simplex on the split x = xp - xm with slacks on the inequalities.
+Result<Vec<double>> FeasiblePoint(const QpProblem<double>& qp) {
+  const int n = static_cast<int>(qp.d.size());
+  const int m_eq = qp.a_eq.rows();
+  const int m_in = qp.a_in.rows();
+  const int cols = 2 * n + m_in;  // xp, xm, slacks
+  Mat<double> a(m_eq + m_in, cols);
+  Vec<double> b(static_cast<size_t>(m_eq + m_in), 0.0);
+  for (int i = 0; i < m_eq; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a.at(i, j) = qp.a_eq.at(i, j);
+      a.at(i, n + j) = -qp.a_eq.at(i, j);
+    }
+    b[static_cast<size_t>(i)] = qp.b_eq[static_cast<size_t>(i)];
+  }
+  for (int i = 0; i < m_in; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a.at(m_eq + i, j) = qp.a_in.at(i, j);
+      a.at(m_eq + i, n + j) = -qp.a_in.at(i, j);
+    }
+    a.at(m_eq + i, 2 * n + i) = 1.0;  // slack
+    b[static_cast<size_t>(m_eq + i)] = qp.b_in[static_cast<size_t>(i)];
+  }
+  auto point = FindFeasiblePoint<double>(a, b);
+  if (!point.ok()) return point.status();
+  Vec<double> x(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    x[static_cast<size_t>(j)] =
+        (*point)[static_cast<size_t>(j)] - (*point)[static_cast<size_t>(n + j)];
+  }
+  return x;
+}
+
+struct WorkingRow {
+  bool is_eq;
+  int index;
+};
+
+}  // namespace
+
+Result<QpSolution<double>> SolveQpActiveSet(const QpProblem<double>& qp) {
+  const int n = static_cast<int>(qp.d.size());
+  PIE_CHECK(static_cast<int>(qp.c.size()) == n);
+  for (double d : qp.d) PIE_CHECK(d > 0);
+  const int m_eq = qp.a_eq.rows();
+  const int m_in = qp.a_in.rows();
+
+  auto start = FeasiblePoint(qp);
+  if (!start.ok()) return start.status();
+  Vec<double> x = std::move(start.value());
+
+  auto row_dot = [&](bool is_eq, int i, const Vec<double>& v) {
+    double acc = 0.0;
+    const Mat<double>& m = is_eq ? qp.a_eq : qp.a_in;
+    for (int j = 0; j < n; ++j) acc += m.at(i, j) * v[static_cast<size_t>(j)];
+    return acc;
+  };
+
+  // Initial working set: all equalities + inequalities tight at x.
+  std::vector<uint8_t> active(static_cast<size_t>(m_in), 0);
+  for (int i = 0; i < m_in; ++i) {
+    if (std::fabs(row_dot(false, i, x) - qp.b_in[static_cast<size_t>(i)]) <=
+        kTol) {
+      active[static_cast<size_t>(i)] = 1;
+    }
+  }
+
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    // Build an independent working set (equalities first).
+    std::vector<WorkingRow> rows;
+    for (int i = 0; i < m_eq; ++i) rows.push_back({true, i});
+    for (int i = 0; i < m_in; ++i) {
+      if (active[static_cast<size_t>(i)]) rows.push_back({false, i});
+    }
+    // Reduce to independent rows (w.r.t. the x-coefficients only).
+    {
+      Mat<double> g(static_cast<int>(rows.size()), n);
+      Vec<double> h(rows.size(), 0.0);
+      for (size_t k = 0; k < rows.size(); ++k) {
+        const Mat<double>& m = rows[k].is_eq ? qp.a_eq : qp.a_in;
+        for (int j = 0; j < n; ++j) g.at(static_cast<int>(k), j) = m.at(rows[k].index, j);
+      }
+      auto keep = internal::IndependentRows<double>(g, h);
+      if (keep.ok()) {
+        std::vector<int> sorted = keep.value();
+        std::sort(sorted.begin(), sorted.end());
+        std::vector<WorkingRow> reduced;
+        reduced.reserve(sorted.size());
+        for (int idx : sorted) reduced.push_back(rows[static_cast<size_t>(idx)]);
+        rows = std::move(reduced);
+      }
+    }
+    const int k = static_cast<int>(rows.size());
+
+    // Solve the equality-constrained subproblem on the working set:
+    // (G D^-1 G^T) lambda = G D^-1 c - h;  x* = D^-1 (c - G^T lambda).
+    Vec<double> lambda;
+    Vec<double> x_star(static_cast<size_t>(n), 0.0);
+    {
+      Mat<double> gram(k, k);
+      Vec<double> rhs(static_cast<size_t>(k), 0.0);
+      auto coeff = [&](int a, int j) {
+        const Mat<double>& m = rows[static_cast<size_t>(a)].is_eq ? qp.a_eq : qp.a_in;
+        return m.at(rows[static_cast<size_t>(a)].index, j);
+      };
+      auto rhs_of = [&](int a) {
+        return rows[static_cast<size_t>(a)].is_eq
+                   ? qp.b_eq[static_cast<size_t>(rows[static_cast<size_t>(a)].index)]
+                   : qp.b_in[static_cast<size_t>(rows[static_cast<size_t>(a)].index)];
+      };
+      for (int a = 0; a < k; ++a) {
+        double acc = 0.0;
+        for (int j = 0; j < n; ++j) {
+          acc += coeff(a, j) * qp.c[static_cast<size_t>(j)] /
+                 qp.d[static_cast<size_t>(j)];
+        }
+        rhs[static_cast<size_t>(a)] = acc - rhs_of(a);
+        for (int b = a; b < k; ++b) {
+          double dot = 0.0;
+          for (int j = 0; j < n; ++j) {
+            dot += coeff(a, j) * coeff(b, j) / qp.d[static_cast<size_t>(j)];
+          }
+          gram.at(a, b) = dot;
+          gram.at(b, a) = dot;
+        }
+      }
+      if (k > 0) {
+        auto solved = SolveLinearSystem(gram, rhs);
+        if (!solved.ok()) {
+          return Status::Internal("active-set KKT system singular");
+        }
+        lambda = std::move(solved.value());
+      }
+      for (int j = 0; j < n; ++j) {
+        double acc = qp.c[static_cast<size_t>(j)];
+        for (int a = 0; a < k; ++a) {
+          acc -= coeff(a, j) * lambda[static_cast<size_t>(a)];
+        }
+        x_star[static_cast<size_t>(j)] = acc / qp.d[static_cast<size_t>(j)];
+      }
+    }
+
+    // Step direction.
+    double move = 0.0;
+    for (int j = 0; j < n; ++j) {
+      move = std::max(move, std::fabs(x_star[static_cast<size_t>(j)] -
+                                      x[static_cast<size_t>(j)]));
+    }
+
+    if (move <= kTol) {
+      // Stationary on the working set: check inequality multipliers.
+      int worst = -1;
+      double worst_lambda = -kTol;
+      for (int a = 0; a < k; ++a) {
+        if (rows[static_cast<size_t>(a)].is_eq) continue;
+        if (lambda[static_cast<size_t>(a)] < worst_lambda) {
+          worst_lambda = lambda[static_cast<size_t>(a)];
+          worst = a;
+        }
+      }
+      if (worst < 0) {
+        QpSolution<double> sol;
+        sol.x = x;
+        double obj = 0.0;
+        for (int j = 0; j < n; ++j) {
+          const double xj = x[static_cast<size_t>(j)];
+          obj += 0.5 * qp.d[static_cast<size_t>(j)] * xj * xj -
+                 qp.c[static_cast<size_t>(j)] * xj;
+        }
+        sol.objective = obj;
+        return sol;
+      }
+      active[static_cast<size_t>(rows[static_cast<size_t>(worst)].index)] = 0;
+      continue;
+    }
+
+    // Longest feasible step toward x_star.
+    double alpha = 1.0;
+    int blocking = -1;
+    for (int i = 0; i < m_in; ++i) {
+      if (active[static_cast<size_t>(i)]) continue;
+      double dir = 0.0;
+      for (int j = 0; j < n; ++j) {
+        dir += qp.a_in.at(i, j) *
+               (x_star[static_cast<size_t>(j)] - x[static_cast<size_t>(j)]);
+      }
+      if (dir <= kTol) continue;  // moving away from this constraint
+      const double slack = qp.b_in[static_cast<size_t>(i)] - row_dot(false, i, x);
+      const double limit = slack / dir;
+      if (limit < alpha - 1e-15) {
+        alpha = std::max(0.0, limit);
+        blocking = i;
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<size_t>(j)] += alpha * (x_star[static_cast<size_t>(j)] -
+                                            x[static_cast<size_t>(j)]);
+    }
+    if (blocking >= 0) {
+      active[static_cast<size_t>(blocking)] = 1;
+    }
+  }
+  return Status::Internal("active-set QP iteration cap reached");
+}
+
+template <>
+Result<QpSolution<double>> SolveQpForDerivation(const QpProblem<double>& qp) {
+  if (qp.a_in.rows() <= kQpMaxInequalities) {
+    return SolveDiagonalQp(qp);
+  }
+  return SolveQpActiveSet(qp);
+}
+
+}  // namespace pie

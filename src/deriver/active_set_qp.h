@@ -1,0 +1,42 @@
+// Primal active-set solver for convex QPs with a positive diagonal Hessian
+// (double precision) -- the scalable companion to the exact enumeration
+// solver in qp.h, used when a derivation batch has too many inequality
+// constraints for subset enumeration.
+//
+//   minimize    (1/2) x^T D x - c^T x        (D diagonal, D_ii > 0)
+//   subject to  A_eq x  = b_eq
+//               A_in x <= b_in
+//
+// Standard method: start from a feasible vertex (phase-1 simplex after a
+// x = x+ - x- split), repeatedly solve the equality-constrained subproblem
+// on the working set via the Schur complement (G D^-1 G^T) system, take the
+// longest feasible step toward its solution (adding the blocking constraint
+// to the working set), and drop constraints with negative multipliers at
+// stationary points. Convex objective + anti-cycling tolerance discipline
+// give convergence; an iteration cap returns Internal on pathological
+// inputs.
+
+#pragma once
+
+#include <vector>
+
+#include "deriver/qp.h"
+
+namespace pie {
+
+/// Solves the QP numerically. Status: Infeasible when phase 1 finds no
+/// feasible point; Internal if the iteration cap is hit.
+Result<QpSolution<double>> SolveQpActiveSet(const QpProblem<double>& qp);
+
+/// Dispatch used by the derivation engine: exact enumeration when the
+/// inequality count permits, active set otherwise. The generic template is
+/// exact-only (Rational has no numeric fallback).
+template <typename S>
+Result<QpSolution<S>> SolveQpForDerivation(const QpProblem<S>& qp) {
+  return SolveDiagonalQp(qp);
+}
+
+template <>
+Result<QpSolution<double>> SolveQpForDerivation(const QpProblem<double>& qp);
+
+}  // namespace pie

@@ -1,0 +1,86 @@
+// Algorithm 1 of the paper: the order-based estimator f^(≺).
+//
+// Data vectors are processed in a caller-supplied sequence (a linearization
+// of the order ≺). For each vector v, the outcomes consistent with v that
+// were not already assigned by preceding vectors all receive the unique
+// value that makes the estimator unbiased for v (equation (6)). The result,
+// when it exists, is the unique order-based estimator and is Pareto optimal
+// (Lemma 3.1); it may fail to exist (Infeasible) or come out negative on
+// some outcomes -- use DeriveConstrained (algorithm2.h) to force
+// nonnegativity.
+
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "deriver/model.h"
+#include "deriver/scalar_traits.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Runs Algorithm 1 over `order` (a permutation of 0..num_vectors-1, most
+/// preferred first). Returns the per-outcome estimate table.
+template <typename S>
+Result<std::vector<S>> DeriveOrderBased(const CompiledModel<S>& m,
+                                        const std::vector<int>& order) {
+  PIE_CHECK(static_cast<int>(order.size()) == m.num_vectors);
+  std::vector<S> x(static_cast<size_t>(m.num_outcomes),
+                   ScalarTraits<S>::Zero());
+  std::vector<uint8_t> processed(static_cast<size_t>(m.num_outcomes), 0);
+
+  for (int v : order) {
+    PIE_CHECK(v >= 0 && v < m.num_vectors);
+    // Contribution of already-processed outcomes to E[f^ | v].
+    S f0 = ScalarTraits<S>::Zero();
+    S ps = ScalarTraits<S>::Zero();
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      const S& pvo = m.p[static_cast<size_t>(v)][static_cast<size_t>(o)];
+      if (ScalarTraits<S>::IsZero(pvo)) continue;
+      if (processed[static_cast<size_t>(o)]) {
+        f0 = f0 + pvo * x[static_cast<size_t>(o)];
+      } else {
+        ps = ps + pvo;
+      }
+    }
+    const S target = m.f[static_cast<size_t>(v)] - f0;
+    if (ScalarTraits<S>::IsZero(ps)) {
+      if (!ScalarTraits<S>::IsZero(target)) {
+        return Status::Infeasible(
+            "no unbiased order-based estimator: vector " +
+            m.vector_desc[static_cast<size_t>(v)] +
+            " is fully determined by preceding outcomes with the wrong "
+            "expectation");
+      }
+      continue;
+    }
+    const S value = target / ps;
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      const S& pvo = m.p[static_cast<size_t>(v)][static_cast<size_t>(o)];
+      if (ScalarTraits<S>::IsZero(pvo) || processed[static_cast<size_t>(o)]) {
+        continue;
+      }
+      x[static_cast<size_t>(o)] = value;
+      processed[static_cast<size_t>(o)] = 1;
+    }
+  }
+  return x;
+}
+
+/// Convenience: builds a processing order by an integer key (stable: ties
+/// keep data-vector id order). Smaller keys are processed first.
+template <typename S>
+std::vector<int> OrderByKey(const CompiledModel<S>& m,
+                            const std::function<int(const std::vector<int>&)>& key) {
+  std::vector<int> order(static_cast<size_t>(m.num_vectors));
+  for (int v = 0; v < m.num_vectors; ++v) order[static_cast<size_t>(v)] = v;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return key(m.vector_values[static_cast<size_t>(a)]) <
+           key(m.vector_values[static_cast<size_t>(b)]);
+  });
+  return order;
+}
+
+}  // namespace pie

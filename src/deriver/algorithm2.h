@@ -1,0 +1,221 @@
+// Algorithm 2 of the paper: the ordered-partition estimator f^(U), and its
+// singleton-batch special case f^(+≺) (order-based with explicit
+// nonnegativity constraints, equations (7)-(9)).
+//
+// Batches of data vectors are processed in order. For batch U_h, the
+// outcomes consistent with U_h and not yet assigned get values minimizing
+// the summed variance contribution of the batch members, subject to
+//   * unbiasedness for every member of U_h (equation (8)),
+//   * not violating nonnegativity for any vector in a later batch
+//     (equation (9)),
+//   * nonnegativity of the estimates themselves.
+// With symmetric batches (all permutations of a vector in one batch) the
+// strictly convex objective yields the symmetric locally-Pareto-optimal
+// solution the paper describes; with singleton batches it reproduces
+// f^(+≺).
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "deriver/active_set_qp.h"
+#include "deriver/model.h"
+#include "deriver/qp.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Runs Algorithm 2 over `batches` (a partition of 0..num_vectors-1,
+/// most-preferred batch first). Returns the per-outcome estimate table.
+template <typename S>
+Result<std::vector<S>> DeriveConstrained(
+    const CompiledModel<S>& m, const std::vector<std::vector<int>>& batches) {
+  // Validate that batches partition the vector set.
+  {
+    std::vector<uint8_t> seen(static_cast<size_t>(m.num_vectors), 0);
+    for (const auto& batch : batches) {
+      for (int v : batch) {
+        PIE_CHECK(v >= 0 && v < m.num_vectors);
+        PIE_CHECK(!seen[static_cast<size_t>(v)]);
+        seen[static_cast<size_t>(v)] = 1;
+      }
+    }
+    for (uint8_t s : seen) PIE_CHECK(s);
+  }
+
+  std::vector<S> x(static_cast<size_t>(m.num_outcomes),
+                   ScalarTraits<S>::Zero());
+  std::vector<uint8_t> processed(static_cast<size_t>(m.num_outcomes), 0);
+
+  // f0[v]: contribution of processed outcomes to E[f^ | v].
+  auto f0_of = [&](int v) {
+    S f0 = ScalarTraits<S>::Zero();
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      if (!processed[static_cast<size_t>(o)]) continue;
+      f0 = f0 + m.p[static_cast<size_t>(v)][static_cast<size_t>(o)] *
+                    x[static_cast<size_t>(o)];
+    }
+    return f0;
+  };
+
+  for (size_t h = 0; h < batches.size(); ++h) {
+    const auto& batch = batches[h];
+    // Unprocessed outcomes consistent with some member of the batch.
+    std::vector<int> vars;  // outcome ids
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      if (processed[static_cast<size_t>(o)]) continue;
+      for (int v : batch) {
+        if (m.Consistent(v, o)) {
+          vars.push_back(o);
+          break;
+        }
+      }
+    }
+
+    if (vars.empty()) {
+      for (int v : batch) {
+        if (!ScalarTraits<S>::IsZero(m.f[static_cast<size_t>(v)] - f0_of(v))) {
+          return Status::Infeasible(
+              "vector " + m.vector_desc[static_cast<size_t>(v)] +
+              " fully determined with wrong expectation");
+        }
+      }
+      continue;
+    }
+    const int n = static_cast<int>(vars.size());
+
+    // Objective: sum_{v in batch} sum_o P(o|v) (x_o - f(v))^2
+    //  => D_o = 2 sum_v P(o|v), c_o = 2 sum_v P(o|v) f(v).
+    QpProblem<S> qp;
+    qp.d.assign(static_cast<size_t>(n), ScalarTraits<S>::Zero());
+    qp.c.assign(static_cast<size_t>(n), ScalarTraits<S>::Zero());
+    const S two = ScalarTraits<S>::FromInt(2);
+    for (int j = 0; j < n; ++j) {
+      const int o = vars[static_cast<size_t>(j)];
+      for (int v : batch) {
+        const S& pvo = m.p[static_cast<size_t>(v)][static_cast<size_t>(o)];
+        qp.d[static_cast<size_t>(j)] = qp.d[static_cast<size_t>(j)] + two * pvo;
+        qp.c[static_cast<size_t>(j)] =
+            qp.c[static_cast<size_t>(j)] +
+            two * pvo * m.f[static_cast<size_t>(v)];
+      }
+    }
+
+    // Unbiasedness equalities for batch members.
+    std::vector<std::vector<S>> eq_rows;
+    std::vector<S> eq_rhs;
+    for (int v : batch) {
+      std::vector<S> row(static_cast<size_t>(n), ScalarTraits<S>::Zero());
+      S ps = ScalarTraits<S>::Zero();
+      for (int j = 0; j < n; ++j) {
+        const S& pvo = m.p[static_cast<size_t>(v)]
+                          [static_cast<size_t>(vars[static_cast<size_t>(j)])];
+        row[static_cast<size_t>(j)] = pvo;
+        ps = ps + pvo;
+      }
+      const S target = m.f[static_cast<size_t>(v)] - f0_of(v);
+      if (ScalarTraits<S>::IsZero(ps)) {
+        if (!ScalarTraits<S>::IsZero(target)) {
+          return Status::Infeasible(
+              "vector " + m.vector_desc[static_cast<size_t>(v)] +
+              " fully determined with wrong expectation");
+        }
+        continue;
+      }
+      eq_rows.push_back(std::move(row));
+      eq_rhs.push_back(target);
+    }
+
+    // Inequalities: later batches' vectors must retain E[f^|v'] <= f(v')
+    // (equation (9)), plus x >= 0.
+    std::vector<std::vector<S>> in_rows;
+    std::vector<S> in_rhs;
+    for (size_t h2 = h + 1; h2 < batches.size(); ++h2) {
+      for (int w : batches[h2]) {
+        std::vector<S> row(static_cast<size_t>(n), ScalarTraits<S>::Zero());
+        bool interacts = false;
+        for (int j = 0; j < n; ++j) {
+          const S& pwo = m.p[static_cast<size_t>(w)]
+                            [static_cast<size_t>(vars[static_cast<size_t>(j)])];
+          row[static_cast<size_t>(j)] = pwo;
+          if (!ScalarTraits<S>::IsZero(pwo)) interacts = true;
+        }
+        if (!interacts) continue;
+        in_rows.push_back(std::move(row));
+        in_rhs.push_back(m.f[static_cast<size_t>(w)] - f0_of(w));
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      std::vector<S> row(static_cast<size_t>(n), ScalarTraits<S>::Zero());
+      row[static_cast<size_t>(j)] = -ScalarTraits<S>::One();
+      in_rows.push_back(std::move(row));
+      in_rhs.push_back(ScalarTraits<S>::Zero());
+    }
+    if (static_cast<int>(in_rows.size()) > kQpMaxInequalities &&
+        !std::is_same_v<S, double>) {
+      return Status::OutOfRange(
+          "derivation batch too large for the exact QP solver; use double "
+          "scalars to enable the numeric active-set fallback");
+    }
+
+    qp.a_eq = Mat<S>(static_cast<int>(eq_rows.size()), n);
+    qp.b_eq = eq_rhs;
+    for (size_t i = 0; i < eq_rows.size(); ++i) {
+      for (int j = 0; j < n; ++j) {
+        qp.a_eq.at(static_cast<int>(i), j) = eq_rows[i][static_cast<size_t>(j)];
+      }
+    }
+    qp.a_in = Mat<S>(static_cast<int>(in_rows.size()), n);
+    qp.b_in = in_rhs;
+    for (size_t i = 0; i < in_rows.size(); ++i) {
+      for (int j = 0; j < n; ++j) {
+        qp.a_in.at(static_cast<int>(i), j) = in_rows[i][static_cast<size_t>(j)];
+      }
+    }
+
+    auto sol = SolveQpForDerivation(qp);
+    if (!sol.ok()) {
+      return Status::Infeasible(
+          "batch " + std::to_string(h) +
+          " admits no nonnegative unbiased extension: " +
+          sol.status().message());
+    }
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<size_t>(vars[static_cast<size_t>(j)])] =
+          sol.value().x[static_cast<size_t>(j)];
+      processed[static_cast<size_t>(vars[static_cast<size_t>(j)])] = 1;
+    }
+  }
+  return x;
+}
+
+/// Convenience: singleton batches in the given order => f^(+≺).
+template <typename S>
+Result<std::vector<S>> DeriveConstrainedOrder(const CompiledModel<S>& m,
+                                              const std::vector<int>& order) {
+  std::vector<std::vector<int>> batches;
+  batches.reserve(order.size());
+  for (int v : order) batches.push_back({v});
+  return DeriveConstrained(m, batches);
+}
+
+/// Convenience: batches grouped by an integer key (ascending).
+template <typename S>
+std::vector<std::vector<int>> BatchesByKey(
+    const CompiledModel<S>& m,
+    const std::function<int(const std::vector<int>&)>& key) {
+  std::map<int, std::vector<int>> grouped;
+  for (int v = 0; v < m.num_vectors; ++v) {
+    grouped[key(m.vector_values[static_cast<size_t>(v)])].push_back(v);
+  }
+  std::vector<std::vector<int>> batches;
+  batches.reserve(grouped.size());
+  for (auto& [k, vs] : grouped) batches.push_back(std::move(vs));
+  return batches;
+}
+
+}  // namespace pie

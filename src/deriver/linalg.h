@@ -1,0 +1,112 @@
+// Small dense linear algebra over a generic scalar (double or Rational),
+// sized for the derivation engine's tiny KKT systems.
+
+#pragma once
+
+#include <vector>
+
+#include "deriver/scalar_traits.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace pie {
+
+template <typename S>
+using Vec = std::vector<S>;
+
+/// Dense row-major matrix.
+template <typename S>
+class Mat {
+ public:
+  Mat() : rows_(0), cols_(0) {}
+  Mat(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols),
+              ScalarTraits<S>::Zero()) {
+    PIE_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  S& at(int i, int j) {
+    PIE_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  const S& at(int i, int j) const {
+    PIE_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<S> data_;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting (largest |pivot| for double; first nonzero works exactly for
+/// Rational but we still pick the largest for uniformity). Returns
+/// Infeasible if A is singular.
+template <typename S>
+Result<Vec<S>> SolveLinearSystem(Mat<S> a, Vec<S> b) {
+  const int n = a.rows();
+  PIE_CHECK(a.cols() == n);
+  PIE_CHECK(static_cast<int>(b.size()) == n);
+
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+
+  for (int col = 0; col < n; ++col) {
+    // Pivot selection.
+    int pivot = -1;
+    S best = ScalarTraits<S>::Zero();
+    for (int row = col; row < n; ++row) {
+      const S mag = ScalarTraits<S>::Abs(a.at(row, col));
+      if (!ScalarTraits<S>::IsZero(mag) && (pivot < 0 || best < mag)) {
+        pivot = row;
+        best = mag;
+      }
+    }
+    if (pivot < 0) {
+      return Status::Infeasible("singular linear system");
+    }
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) std::swap(a.at(pivot, j), a.at(col, j));
+      std::swap(b[static_cast<size_t>(pivot)], b[static_cast<size_t>(col)]);
+    }
+    // Eliminate below.
+    for (int row = col + 1; row < n; ++row) {
+      if (ScalarTraits<S>::IsZero(a.at(row, col))) continue;
+      const S factor = a.at(row, col) / a.at(col, col);
+      a.at(row, col) = ScalarTraits<S>::Zero();
+      for (int j = col + 1; j < n; ++j) {
+        a.at(row, j) = a.at(row, j) - factor * a.at(col, j);
+      }
+      b[static_cast<size_t>(row)] =
+          b[static_cast<size_t>(row)] - factor * b[static_cast<size_t>(col)];
+    }
+  }
+
+  // Back substitution.
+  Vec<S> x(static_cast<size_t>(n), ScalarTraits<S>::Zero());
+  for (int row = n - 1; row >= 0; --row) {
+    S acc = b[static_cast<size_t>(row)];
+    for (int j = row + 1; j < n; ++j) {
+      acc = acc - a.at(row, j) * x[static_cast<size_t>(j)];
+    }
+    x[static_cast<size_t>(row)] = acc / a.at(row, row);
+  }
+  return x;
+}
+
+/// Dot product.
+template <typename S>
+S Dot(const Vec<S>& a, const Vec<S>& b) {
+  PIE_CHECK(a.size() == b.size());
+  S acc = ScalarTraits<S>::Zero();
+  for (size_t i = 0; i < a.size(); ++i) acc = acc + a[i] * b[i];
+  return acc;
+}
+
+}  // namespace pie

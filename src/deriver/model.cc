@@ -1,0 +1,14 @@
+// CompileModel and the builders are templates (double / Rational); this
+// translation unit forces the common instantiations so template bugs are
+// caught when the library builds, not first at test link time.
+
+#include "deriver/model.h"
+
+namespace pie {
+
+template struct DiscreteModel<double>;
+template struct DiscreteModel<Rational>;
+template CompiledModel<double> CompileModel(const DiscreteModel<double>&);
+template CompiledModel<Rational> CompileModel(const DiscreteModel<Rational>&);
+
+}  // namespace pie

@@ -1,0 +1,380 @@
+// Finite discrete model of sampling dispersed data vectors (Section 2 of
+// the paper), executable form.
+//
+// Entry i has a finite value domain V_i and a finite set of predicates
+// sigma_i (each with a probability); the sample S(sigma, v) contains entry i
+// iff sigma_i(v_i) is true. This captures:
+//   * weight-oblivious Poisson: predicates {include-all w.p. p_i,
+//     include-nothing w.p. 1-p_i};
+//   * weighted sampling: monotone threshold predicates (include values above
+//     a cutoff), which for binary domains reduces to {include value 1 w.p.
+//     p_i, include nothing w.p. 1-p_i};
+//   * known vs unknown seeds: whether the outcome reveals which predicate
+//     was drawn for entries that were not sampled.
+//
+// CompileModel enumerates data vectors, the predicate space Omega, and the
+// distinct outcomes (what the estimator sees), producing the conditional
+// distribution P(outcome | data vector) that Algorithms 1/2 and the
+// property checkers operate on. Scalars are double or exact Rational.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deriver/scalar_traits.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// One predicate of one entry: probability and the inclusion indicator per
+/// value index of that entry's domain.
+template <typename S>
+struct DiscretePredicate {
+  S prob;
+  std::vector<uint8_t> includes;
+};
+
+/// Value domain and predicate distribution of one entry.
+template <typename S>
+struct EntryDomain {
+  std::vector<S> values;
+  std::vector<DiscretePredicate<S>> predicates;
+};
+
+/// The full model: entries, seed visibility, the data-vector set V, and the
+/// estimated function f.
+template <typename S>
+struct DiscreteModel {
+  std::vector<EntryDomain<S>> entries;
+  bool seeds_known = true;
+  /// Data vectors as value indices per entry; empty means the full product
+  /// of the entry domains.
+  std::vector<std::vector<int>> data_vectors;
+  std::function<S(const std::vector<S>&)> f;
+
+  int r() const { return static_cast<int>(entries.size()); }
+};
+
+/// CompileModel output: everything indexed by dense ids.
+template <typename S>
+struct CompiledModel {
+  int num_vectors = 0;
+  int num_outcomes = 0;
+  int num_sigmas = 0;  ///< |Omega|
+
+  /// p[v][o] = P(outcome o | data vector v).
+  std::vector<std::vector<S>> p;
+  /// f[v].
+  std::vector<S> f;
+  /// Probability of each predicate vector sigma (independent across entries).
+  std::vector<S> sigma_prob;
+  /// sigma_outcome[v][sigma] = outcome id observed for (v, sigma).
+  std::vector<std::vector<int>> sigma_outcome;
+
+  /// Value indices of each data vector.
+  std::vector<std::vector<int>> vector_values;
+  /// Human-readable forms for reports.
+  std::vector<std::string> vector_desc;
+  std::vector<std::string> outcome_desc;
+
+  bool Consistent(int v, int o) const {
+    return !ScalarTraits<S>::IsZero(p[static_cast<size_t>(v)][static_cast<size_t>(o)]);
+  }
+};
+
+/// Enumerates vectors, sigma space, and outcomes. Checks that each entry's
+/// predicate probabilities are a distribution. Size guards: at most 64 data
+/// vectors * 4096 sigmas.
+template <typename S>
+CompiledModel<S> CompileModel(const DiscreteModel<S>& model);
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+/// Weight-oblivious Poisson: entry i sampled with probability probs[i]
+/// independently of its value.
+template <typename S>
+DiscreteModel<S> MakeObliviousModel(std::vector<std::vector<S>> domains,
+                                    std::vector<S> probs, bool seeds_known,
+                                    std::function<S(const std::vector<S>&)> f);
+
+/// Weighted sampling of binary values: a 1-entry is sampled with probability
+/// probs[i]; a 0-entry never. With seeds_known, an unsampled entry whose
+/// predicate would have sampled a 1 certifies the value 0.
+template <typename S>
+DiscreteModel<S> MakeWeightedBinaryModel(std::vector<S> probs,
+                                         bool seeds_known,
+                                         std::function<S(const std::vector<S>&)> f);
+
+/// Weighted threshold sampling over an ascending domain (values[0] == 0):
+/// predicate j = "include values with index >= j" for j = 1..|domain|, plus
+/// the include-nothing predicate; threshold_probs[i][j-1] is the probability
+/// of predicate j and the remainder goes to include-nothing. This is the
+/// discrete analogue of PPS thresholds u_i * tau_i.
+template <typename S>
+DiscreteModel<S> MakeWeightedThresholdModel(
+    std::vector<std::vector<S>> domains,
+    std::vector<std::vector<S>> threshold_probs, bool seeds_known,
+    std::function<S(const std::vector<S>&)> f);
+
+// Scalar-generic function objects for common f.
+template <typename S>
+S MaxS(const std::vector<S>& v) {
+  PIE_CHECK(!v.empty());
+  S best = v[0];
+  for (const S& x : v) {
+    if (best < x) best = x;
+  }
+  return best;
+}
+
+template <typename S>
+S MinS(const std::vector<S>& v) {
+  PIE_CHECK(!v.empty());
+  S best = v[0];
+  for (const S& x : v) {
+    if (x < best) best = x;
+  }
+  return best;
+}
+
+template <typename S>
+S RangeS(const std::vector<S>& v) {
+  return MaxS(v) - MinS(v);
+}
+
+template <typename S>
+S OrS(const std::vector<S>& v) {
+  for (const S& x : v) {
+    if (!ScalarTraits<S>::IsZero(x)) return ScalarTraits<S>::One();
+  }
+  return ScalarTraits<S>::Zero();
+}
+
+/// XOR of two bits (== RG over a binary two-entry domain).
+template <typename S>
+S XorS(const std::vector<S>& v) {
+  PIE_CHECK(v.size() == 2);
+  return RangeS(v);
+}
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+template <typename S>
+CompiledModel<S> CompileModel(const DiscreteModel<S>& model) {
+  const int r = model.r();
+  PIE_CHECK(r >= 1);
+  PIE_CHECK(model.f != nullptr);
+
+  // Validate predicate distributions.
+  for (const auto& entry : model.entries) {
+    PIE_CHECK(!entry.values.empty());
+    PIE_CHECK(!entry.predicates.empty());
+    S total = ScalarTraits<S>::Zero();
+    for (const auto& pred : entry.predicates) {
+      PIE_CHECK(!ScalarTraits<S>::IsNegative(pred.prob));
+      PIE_CHECK(pred.includes.size() == entry.values.size());
+      total = total + pred.prob;
+    }
+    PIE_CHECK(ScalarTraits<S>::IsZero(total - ScalarTraits<S>::One()));
+  }
+
+  CompiledModel<S> out;
+
+  // Data vectors: explicit list or the full product.
+  if (!model.data_vectors.empty()) {
+    out.vector_values = model.data_vectors;
+  } else {
+    std::vector<int> idx(static_cast<size_t>(r), 0);
+    while (true) {
+      out.vector_values.push_back(idx);
+      int pos = r - 1;
+      while (pos >= 0) {
+        if (++idx[static_cast<size_t>(pos)] <
+            static_cast<int>(model.entries[static_cast<size_t>(pos)].values.size())) {
+          break;
+        }
+        idx[static_cast<size_t>(pos)] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  out.num_vectors = static_cast<int>(out.vector_values.size());
+  PIE_CHECK(out.num_vectors <= 64);
+
+  // Sigma space: product of predicate indices.
+  int num_sigmas = 1;
+  for (const auto& entry : model.entries) {
+    num_sigmas *= static_cast<int>(entry.predicates.size());
+    PIE_CHECK(num_sigmas <= 4096);
+  }
+  out.num_sigmas = num_sigmas;
+  out.sigma_prob.resize(static_cast<size_t>(num_sigmas));
+  for (int s = 0; s < num_sigmas; ++s) {
+    S prob = ScalarTraits<S>::One();
+    int rem = s;
+    for (int i = 0; i < r; ++i) {
+      const auto& preds = model.entries[static_cast<size_t>(i)].predicates;
+      const int pi = rem % static_cast<int>(preds.size());
+      rem /= static_cast<int>(preds.size());
+      prob = prob * preds[static_cast<size_t>(pi)].prob;
+    }
+    out.sigma_prob[static_cast<size_t>(s)] = prob;
+  }
+
+  // f values and vector descriptions.
+  out.f.resize(static_cast<size_t>(out.num_vectors));
+  out.vector_desc.resize(static_cast<size_t>(out.num_vectors));
+  for (int v = 0; v < out.num_vectors; ++v) {
+    std::vector<S> values(static_cast<size_t>(r));
+    std::string desc = "(";
+    for (int i = 0; i < r; ++i) {
+      const int vi = out.vector_values[static_cast<size_t>(v)][static_cast<size_t>(i)];
+      values[static_cast<size_t>(i)] =
+          model.entries[static_cast<size_t>(i)].values[static_cast<size_t>(vi)];
+      if (i > 0) desc += ",";
+      desc += "v" + std::to_string(vi);
+    }
+    desc += ")";
+    out.f[static_cast<size_t>(v)] = model.f(values);
+    out.vector_desc[static_cast<size_t>(v)] = desc;
+  }
+
+  // Outcome enumeration. An outcome key encodes, per entry: the visible
+  // predicate index (or -1 when seeds are unknown) and the sampled value
+  // index (or -1 when unsampled).
+  std::map<std::vector<int>, int> outcome_ids;
+  out.p.assign(static_cast<size_t>(out.num_vectors), {});
+  out.sigma_outcome.assign(static_cast<size_t>(out.num_vectors),
+                           std::vector<int>(static_cast<size_t>(num_sigmas), -1));
+
+  for (int v = 0; v < out.num_vectors; ++v) {
+    for (int s = 0; s < num_sigmas; ++s) {
+      std::vector<int> key;
+      key.reserve(static_cast<size_t>(2 * r));
+      std::string desc = "S={";
+      bool first = true;
+      int rem = s;
+      for (int i = 0; i < r; ++i) {
+        const auto& preds = model.entries[static_cast<size_t>(i)].predicates;
+        const int pi = rem % static_cast<int>(preds.size());
+        rem /= static_cast<int>(preds.size());
+        const int vi = out.vector_values[static_cast<size_t>(v)][static_cast<size_t>(i)];
+        const bool in =
+            preds[static_cast<size_t>(pi)].includes[static_cast<size_t>(vi)] != 0;
+        key.push_back(model.seeds_known ? pi : -1);
+        key.push_back(in ? vi : -1);
+        if (in) {
+          if (!first) desc += ",";
+          desc += std::to_string(i) + ":v" + std::to_string(vi);
+          first = false;
+        }
+      }
+      desc += "}";
+      if (model.seeds_known) {
+        desc += " sigma=" + std::to_string(s);
+      }
+
+      auto [it, inserted] =
+          outcome_ids.emplace(std::move(key), static_cast<int>(outcome_ids.size()));
+      const int oid = it->second;
+      if (inserted) out.outcome_desc.push_back(desc);
+      out.sigma_outcome[static_cast<size_t>(v)][static_cast<size_t>(s)] = oid;
+    }
+  }
+  out.num_outcomes = static_cast<int>(outcome_ids.size());
+
+  for (int v = 0; v < out.num_vectors; ++v) {
+    out.p[static_cast<size_t>(v)].assign(static_cast<size_t>(out.num_outcomes),
+                                         ScalarTraits<S>::Zero());
+    for (int s = 0; s < num_sigmas; ++s) {
+      const int oid = out.sigma_outcome[static_cast<size_t>(v)][static_cast<size_t>(s)];
+      out.p[static_cast<size_t>(v)][static_cast<size_t>(oid)] =
+          out.p[static_cast<size_t>(v)][static_cast<size_t>(oid)] +
+          out.sigma_prob[static_cast<size_t>(s)];
+    }
+  }
+  return out;
+}
+
+template <typename S>
+DiscreteModel<S> MakeObliviousModel(std::vector<std::vector<S>> domains,
+                                    std::vector<S> probs, bool seeds_known,
+                                    std::function<S(const std::vector<S>&)> f) {
+  PIE_CHECK(domains.size() == probs.size());
+  DiscreteModel<S> model;
+  model.seeds_known = seeds_known;
+  model.f = std::move(f);
+  for (size_t i = 0; i < domains.size(); ++i) {
+    EntryDomain<S> entry;
+    entry.values = std::move(domains[i]);
+    DiscretePredicate<S> all{probs[i],
+                             std::vector<uint8_t>(entry.values.size(), 1)};
+    DiscretePredicate<S> none{ScalarTraits<S>::One() - probs[i],
+                              std::vector<uint8_t>(entry.values.size(), 0)};
+    entry.predicates = {all, none};
+    model.entries.push_back(std::move(entry));
+  }
+  return model;
+}
+
+template <typename S>
+DiscreteModel<S> MakeWeightedBinaryModel(
+    std::vector<S> probs, bool seeds_known,
+    std::function<S(const std::vector<S>&)> f) {
+  DiscreteModel<S> model;
+  model.seeds_known = seeds_known;
+  model.f = std::move(f);
+  for (const S& p : probs) {
+    EntryDomain<S> entry;
+    entry.values = {ScalarTraits<S>::Zero(), ScalarTraits<S>::One()};
+    // "low threshold": samples the value 1; never samples 0.
+    DiscretePredicate<S> low{p, {0, 1}};
+    DiscretePredicate<S> high{ScalarTraits<S>::One() - p, {0, 0}};
+    entry.predicates = {low, high};
+    model.entries.push_back(std::move(entry));
+  }
+  return model;
+}
+
+template <typename S>
+DiscreteModel<S> MakeWeightedThresholdModel(
+    std::vector<std::vector<S>> domains,
+    std::vector<std::vector<S>> threshold_probs, bool seeds_known,
+    std::function<S(const std::vector<S>&)> f) {
+  PIE_CHECK(domains.size() == threshold_probs.size());
+  DiscreteModel<S> model;
+  model.seeds_known = seeds_known;
+  model.f = std::move(f);
+  for (size_t i = 0; i < domains.size(); ++i) {
+    EntryDomain<S> entry;
+    entry.values = std::move(domains[i]);
+    const size_t n = entry.values.size();
+    PIE_CHECK(ScalarTraits<S>::IsZero(entry.values[0]));
+    PIE_CHECK(threshold_probs[i].size() == n - 1);
+    S rest = ScalarTraits<S>::One();
+    // Predicate j samples values with index >= j (j = 1..n-1): a monotone
+    // threshold below the j-th value.
+    for (size_t j = 1; j < n; ++j) {
+      std::vector<uint8_t> inc(n, 0);
+      for (size_t t = j; t < n; ++t) inc[t] = 1;
+      entry.predicates.push_back({threshold_probs[i][j - 1], std::move(inc)});
+      rest = rest - threshold_probs[i][j - 1];
+    }
+    PIE_CHECK(!ScalarTraits<S>::IsNegative(rest));
+    entry.predicates.push_back({rest, std::vector<uint8_t>(n, 0)});
+    model.entries.push_back(std::move(entry));
+  }
+  return model;
+}
+
+}  // namespace pie

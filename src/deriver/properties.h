@@ -1,0 +1,208 @@
+// Property checkers and analyses for derived estimator tables:
+// unbiasedness, nonnegativity, monotonicity (Section 2.1), per-vector
+// variance and dominance comparisons, existence certificates (used to
+// machine-check the Theorem 6.1 impossibility results), and the Delta(v,
+// eps) quantity of Lemma 2.1.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "deriver/model.h"
+#include "deriver/simplex.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// E[f^ | v] for every data vector.
+template <typename S>
+std::vector<S> ExpectationByVector(const CompiledModel<S>& m,
+                                   const std::vector<S>& x) {
+  PIE_CHECK(static_cast<int>(x.size()) == m.num_outcomes);
+  std::vector<S> out(static_cast<size_t>(m.num_vectors),
+                     ScalarTraits<S>::Zero());
+  for (int v = 0; v < m.num_vectors; ++v) {
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      out[static_cast<size_t>(v)] =
+          out[static_cast<size_t>(v)] +
+          m.p[static_cast<size_t>(v)][static_cast<size_t>(o)] *
+              x[static_cast<size_t>(o)];
+    }
+  }
+  return out;
+}
+
+/// Var[f^ | v] for every data vector.
+template <typename S>
+std::vector<S> VarianceByVector(const CompiledModel<S>& m,
+                                const std::vector<S>& x) {
+  std::vector<S> mean = ExpectationByVector(m, x);
+  std::vector<S> out(static_cast<size_t>(m.num_vectors),
+                     ScalarTraits<S>::Zero());
+  for (int v = 0; v < m.num_vectors; ++v) {
+    S second = ScalarTraits<S>::Zero();
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      second = second +
+               m.p[static_cast<size_t>(v)][static_cast<size_t>(o)] *
+                   x[static_cast<size_t>(o)] * x[static_cast<size_t>(o)];
+    }
+    out[static_cast<size_t>(v)] =
+        second - mean[static_cast<size_t>(v)] * mean[static_cast<size_t>(v)];
+  }
+  return out;
+}
+
+/// True iff E[f^ | v] == f(v) for all v (exact for Rational).
+template <typename S>
+bool IsUnbiased(const CompiledModel<S>& m, const std::vector<S>& x) {
+  const std::vector<S> mean = ExpectationByVector(m, x);
+  for (int v = 0; v < m.num_vectors; ++v) {
+    if (!ScalarTraits<S>::IsZero(mean[static_cast<size_t>(v)] -
+                                 m.f[static_cast<size_t>(v)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True iff every outcome's estimate is >= 0.
+template <typename S>
+bool IsNonnegative(const std::vector<S>& x) {
+  for (const S& xi : x) {
+    if (ScalarTraits<S>::IsNegative(xi)) return false;
+  }
+  return true;
+}
+
+/// True iff the estimator is monotone: whenever outcome o is at least as
+/// informative as o' (V*(o) a subset of V*(o')), x_o >= x_{o'}.
+template <typename S>
+bool IsMonotone(const CompiledModel<S>& m, const std::vector<S>& x) {
+  // consistent[o] = bitmask of data vectors consistent with o.
+  std::vector<uint64_t> consistent(static_cast<size_t>(m.num_outcomes), 0);
+  for (int v = 0; v < m.num_vectors; ++v) {
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      if (m.Consistent(v, o)) {
+        consistent[static_cast<size_t>(o)] |= (1ULL << v);
+      }
+    }
+  }
+  for (int o1 = 0; o1 < m.num_outcomes; ++o1) {
+    for (int o2 = 0; o2 < m.num_outcomes; ++o2) {
+      const uint64_t c1 = consistent[static_cast<size_t>(o1)];
+      const uint64_t c2 = consistent[static_cast<size_t>(o2)];
+      if ((c1 & c2) == c1) {  // V*(o1) subset of V*(o2)
+        if (ScalarTraits<S>::IsNegative(x[static_cast<size_t>(o1)] -
+                                        x[static_cast<size_t>(o2)])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+enum class Dominance {
+  kFirstDominates,   ///< var1 <= var2 everywhere, strictly somewhere
+  kSecondDominates,  ///< var2 <= var1 everywhere, strictly somewhere
+  kEqual,            ///< identical variance on every data vector
+  kIncomparable,     ///< each is strictly better somewhere
+};
+
+/// Compares two estimator tables by per-vector variance.
+template <typename S>
+Dominance CompareDominance(const CompiledModel<S>& m, const std::vector<S>& x1,
+                           const std::vector<S>& x2) {
+  const std::vector<S> v1 = VarianceByVector(m, x1);
+  const std::vector<S> v2 = VarianceByVector(m, x2);
+  bool first_better = false;
+  bool second_better = false;
+  for (int v = 0; v < m.num_vectors; ++v) {
+    const S diff = v1[static_cast<size_t>(v)] - v2[static_cast<size_t>(v)];
+    if (ScalarTraits<S>::IsZero(diff)) continue;
+    if (ScalarTraits<S>::IsNegative(diff)) {
+      first_better = true;
+    } else {
+      second_better = true;
+    }
+  }
+  if (first_better && second_better) return Dominance::kIncomparable;
+  if (first_better) return Dominance::kFirstDominates;
+  if (second_better) return Dominance::kSecondDominates;
+  return Dominance::kEqual;
+}
+
+/// Existence certificate: is there ANY unbiased nonnegative estimator for
+/// the model? Feasibility of {x >= 0, sum_o P(o|v) x_o = f(v) for all v},
+/// decided by exact two-phase simplex. Returns a witness table when
+/// feasible; Status Infeasible is the machine-checked impossibility
+/// certificate (Theorem 6.1 instances).
+template <typename S>
+Result<std::vector<S>> ExistsUnbiasedNonnegative(const CompiledModel<S>& m) {
+  Mat<S> a(m.num_vectors, m.num_outcomes);
+  Vec<S> b(static_cast<size_t>(m.num_vectors));
+  for (int v = 0; v < m.num_vectors; ++v) {
+    for (int o = 0; o < m.num_outcomes; ++o) {
+      a.at(v, o) = m.p[static_cast<size_t>(v)][static_cast<size_t>(o)];
+    }
+    b[static_cast<size_t>(v)] = m.f[static_cast<size_t>(v)];
+  }
+  return FindFeasiblePoint(a, b);
+}
+
+/// Delta(v, eps) of Lemma 2.1 (equation (2)): one minus the largest
+/// probability of a sample-space portion Omega' such that the data vectors
+/// consistent with *every* outcome v produces on Omega' can drive f below
+/// f(v) - eps. Necessary conditions: Delta > 0 for an unbiased nonnegative
+/// estimator to exist; Delta = Omega(eps^2) for bounded variance; Delta =
+/// Omega(eps) for a bounded estimator. Exponential in |Omega| (capped).
+template <typename S>
+S DeltaLemma21(const CompiledModel<S>& m, int v, const S& eps) {
+  PIE_CHECK(v >= 0 && v < m.num_vectors);
+  PIE_CHECK(m.num_sigmas <= 16);
+  PIE_CHECK(m.num_vectors <= 64);
+
+  // Per sigma: bitmask of data vectors consistent with the outcome v yields
+  // under sigma.
+  std::vector<uint64_t> mask(static_cast<size_t>(m.num_sigmas), 0);
+  for (int s = 0; s < m.num_sigmas; ++s) {
+    const int o = m.sigma_outcome[static_cast<size_t>(v)][static_cast<size_t>(s)];
+    for (int w = 0; w < m.num_vectors; ++w) {
+      if (m.Consistent(w, o)) mask[static_cast<size_t>(s)] |= (1ULL << w);
+    }
+  }
+
+  const S threshold = m.f[static_cast<size_t>(v)] - eps;
+  S best = ScalarTraits<S>::Zero();  // max P(Omega') over qualifying subsets
+  bool any = false;
+  for (uint32_t subset = 1; subset < (1u << m.num_sigmas); ++subset) {
+    uint64_t inter = ~0ULL;
+    S prob = ScalarTraits<S>::Zero();
+    for (int s = 0; s < m.num_sigmas; ++s) {
+      if ((subset >> s) & 1u) {
+        inter &= mask[static_cast<size_t>(s)];
+        prob = prob + m.sigma_prob[static_cast<size_t>(s)];
+      }
+    }
+    // inf of f over the consistent intersection.
+    std::optional<S> inf;
+    for (int w = 0; w < m.num_vectors; ++w) {
+      if ((inter >> w) & 1ULL) {
+        if (!inf.has_value() || m.f[static_cast<size_t>(w)] < *inf) {
+          inf = m.f[static_cast<size_t>(w)];
+        }
+      }
+    }
+    if (!inf.has_value()) continue;  // empty intersection: no constraint
+    const S slack = threshold - *inf;
+    if (!ScalarTraits<S>::IsNegative(slack)) {  // inf <= f(v) - eps
+      if (!any || best < prob) best = prob;
+      any = true;
+    }
+  }
+  if (!any) return ScalarTraits<S>::One();  // Delta(v,eps) = 1 by definition
+  return ScalarTraits<S>::One() - best;
+}
+
+}  // namespace pie

@@ -1,0 +1,221 @@
+// Convex quadratic programming with a positive diagonal Hessian, solved
+// exactly by enumeration of active sets.
+//
+//   minimize    (1/2) x^T D x - c^T x        (D diagonal, D_ii > 0)
+//   subject to  A_eq x  = b_eq
+//               A_in x <= b_in
+//
+// The derivation engine's batches (Algorithm 2 / the f^(+≺) construction)
+// produce QPs with a handful of variables and constraints, so we trade
+// asymptotics for certainty: every subset of inequality constraints is
+// tried as the active set; a subset whose KKT system is solvable, primal
+// feasible, and dual feasible is the global optimum (the objective is
+// strictly convex). With Rational scalars the solution is exact, which is
+// what lets tests assert the paper's closed forms to the last digit.
+//
+// The number of inequality rows is capped (kMaxInequalities); derivation
+// domains beyond that should use a numerical QP instead.
+
+#pragma once
+
+#include <vector>
+
+#include "deriver/linalg.h"
+#include "deriver/scalar_traits.h"
+#include "util/status.h"
+
+namespace pie {
+
+inline constexpr int kQpMaxInequalities = 22;
+
+template <typename S>
+struct QpProblem {
+  Vec<S> d;    ///< diagonal of D; all entries must be positive
+  Vec<S> c;    ///< linear term (see objective above)
+  Mat<S> a_eq;
+  Vec<S> b_eq;
+  Mat<S> a_in;
+  Vec<S> b_in;
+};
+
+template <typename S>
+struct QpSolution {
+  Vec<S> x;
+  S objective;
+};
+
+namespace internal {
+
+/// Row-reduces [A|b]; returns the list of independent row indices, or
+/// Infeasible if a dependent row is inconsistent (0 = nonzero).
+template <typename S>
+Result<std::vector<int>> IndependentRows(const Mat<S>& a, const Vec<S>& b) {
+  const int m = a.rows();
+  const int n = a.cols();
+  Mat<S> work(m, n + 1);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) work.at(i, j) = a.at(i, j);
+    work.at(i, n) = b[static_cast<size_t>(i)];
+  }
+  std::vector<int> keep;
+  std::vector<int> rows(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) rows[static_cast<size_t>(i)] = i;
+
+  int rank_row = 0;
+  for (int col = 0; col < n && rank_row < m; ++col) {
+    int pivot = -1;
+    for (int i = rank_row; i < m; ++i) {
+      if (!ScalarTraits<S>::IsZero(work.at(i, col))) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    if (pivot != rank_row) {
+      for (int j = 0; j <= n; ++j) {
+        std::swap(work.at(pivot, j), work.at(rank_row, j));
+      }
+      std::swap(rows[static_cast<size_t>(pivot)],
+                rows[static_cast<size_t>(rank_row)]);
+    }
+    keep.push_back(rows[static_cast<size_t>(rank_row)]);
+    for (int i = rank_row + 1; i < m; ++i) {
+      if (ScalarTraits<S>::IsZero(work.at(i, col))) continue;
+      const S factor = work.at(i, col) / work.at(rank_row, col);
+      for (int j = col; j <= n; ++j) {
+        work.at(i, j) = work.at(i, j) - factor * work.at(rank_row, j);
+      }
+    }
+    ++rank_row;
+  }
+  // Any remaining row must be all-zero including its RHS.
+  for (int i = rank_row; i < m; ++i) {
+    if (!ScalarTraits<S>::IsZero(work.at(i, n))) {
+      return Status::Infeasible("inconsistent equality constraints");
+    }
+  }
+  return keep;
+}
+
+}  // namespace internal
+
+/// Solves the diagonal QP; see file comment. Returns Infeasible when the
+/// constraint set is empty (or when every KKT system is singular, which for
+/// consistent inputs means infeasibility).
+template <typename S>
+Result<QpSolution<S>> SolveDiagonalQp(const QpProblem<S>& qp) {
+  const int n = static_cast<int>(qp.d.size());
+  PIE_CHECK(static_cast<int>(qp.c.size()) == n);
+  PIE_CHECK(qp.a_eq.cols() == n || qp.a_eq.rows() == 0);
+  PIE_CHECK(qp.a_in.cols() == n || qp.a_in.rows() == 0);
+  PIE_CHECK(qp.a_in.rows() <= kQpMaxInequalities);
+  for (const S& di : qp.d) {
+    PIE_CHECK(!ScalarTraits<S>::IsZero(di) && !ScalarTraits<S>::IsNegative(di));
+  }
+
+  // Deduplicate dependent equality rows (or fail fast on inconsistency).
+  auto keep = internal::IndependentRows(qp.a_eq, qp.b_eq);
+  if (!keep.ok()) return keep.status();
+  const std::vector<int>& eq_rows = keep.value();
+  const int m_eq = static_cast<int>(eq_rows.size());
+  const int m_in = qp.a_in.rows();
+
+  auto objective = [&](const Vec<S>& x) {
+    S obj = ScalarTraits<S>::Zero();
+    for (int i = 0; i < n; ++i) {
+      const S xi = x[static_cast<size_t>(i)];
+      obj = obj + qp.d[static_cast<size_t>(i)] * xi * xi /
+                      ScalarTraits<S>::FromInt(2) -
+            qp.c[static_cast<size_t>(i)] * xi;
+    }
+    return obj;
+  };
+
+  for (uint32_t mask = 0; mask < (1u << m_in); ++mask) {
+    // Active rows: all (independent) equalities plus the subset `mask`.
+    std::vector<std::pair<const Mat<S>*, int>> active;
+    for (int e : eq_rows) active.push_back({&qp.a_eq, e});
+    int n_active_in = 0;
+    for (int i = 0; i < m_in; ++i) {
+      if ((mask >> i) & 1u) {
+        active.push_back({&qp.a_in, i});
+        ++n_active_in;
+      }
+    }
+    const int k = static_cast<int>(active.size());
+    if (k > n) continue;  // cannot be linearly independent
+
+    // Build G (k x n), h (k); solve (G D^-1 G^T) lambda = G D^-1 c - h,
+    // then x = D^-1 (c - G^T lambda).
+    Mat<S> gram(k, k);
+    Vec<S> rhs(static_cast<size_t>(k), ScalarTraits<S>::Zero());
+    auto row_coeff = [&](int idx, int j) -> const S& {
+      return active[static_cast<size_t>(idx)].first->at(
+          active[static_cast<size_t>(idx)].second, j);
+    };
+    auto row_rhs = [&](int idx) -> const S& {
+      const auto& [matrix, row] = active[static_cast<size_t>(idx)];
+      return matrix == &qp.a_eq ? qp.b_eq[static_cast<size_t>(row)]
+                                : qp.b_in[static_cast<size_t>(row)];
+    };
+    for (int a = 0; a < k; ++a) {
+      S acc = ScalarTraits<S>::Zero();
+      for (int j = 0; j < n; ++j) {
+        acc = acc + row_coeff(a, j) * qp.c[static_cast<size_t>(j)] /
+                        qp.d[static_cast<size_t>(j)];
+      }
+      rhs[static_cast<size_t>(a)] = acc - row_rhs(a);
+      for (int b = a; b < k; ++b) {
+        S dot = ScalarTraits<S>::Zero();
+        for (int j = 0; j < n; ++j) {
+          dot = dot + row_coeff(a, j) * row_coeff(b, j) /
+                          qp.d[static_cast<size_t>(j)];
+        }
+        gram.at(a, b) = dot;
+        gram.at(b, a) = dot;
+      }
+    }
+    Result<Vec<S>> lambda = k == 0
+                                ? Result<Vec<S>>(Vec<S>{})
+                                : SolveLinearSystem(gram, rhs);
+    if (!lambda.ok()) continue;  // dependent active set; a subset covers it
+
+    Vec<S> x(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      S acc = qp.c[static_cast<size_t>(j)];
+      for (int a = 0; a < k; ++a) {
+        acc = acc - row_coeff(a, j) * lambda.value()[static_cast<size_t>(a)];
+      }
+      x[static_cast<size_t>(j)] = acc / qp.d[static_cast<size_t>(j)];
+    }
+
+    // Dual feasibility: multipliers of active inequalities must be >= 0.
+    bool valid = true;
+    for (int a = m_eq; a < k && valid; ++a) {
+      if (ScalarTraits<S>::IsNegative(
+              lambda.value()[static_cast<size_t>(a)])) {
+        valid = false;
+      }
+    }
+    // Primal feasibility of inactive inequalities.
+    for (int i = 0; i < m_in && valid; ++i) {
+      if ((mask >> i) & 1u) continue;
+      S acc = ScalarTraits<S>::Zero();
+      for (int j = 0; j < n; ++j) {
+        acc = acc + qp.a_in.at(i, j) * x[static_cast<size_t>(j)];
+      }
+      if (ScalarTraits<S>::IsNegative(qp.b_in[static_cast<size_t>(i)] - acc)) {
+        valid = false;
+      }
+    }
+    if (!valid) continue;
+
+    QpSolution<S> sol;
+    sol.objective = objective(x);
+    sol.x = std::move(x);
+    return sol;
+  }
+  return Status::Infeasible("QP has no feasible KKT point");
+}
+
+}  // namespace pie

@@ -1,0 +1,37 @@
+// Uniform treatment of double and exact Rational scalars in the derivation
+// engine. Rational instantiations compare exactly (epsilon 0), so the
+// engine can certify unbiasedness and optimality with no numeric tolerance;
+// double instantiations use small tolerances.
+
+#pragma once
+
+#include <cmath>
+
+#include "util/rational.h"
+
+namespace pie {
+
+template <typename S>
+struct ScalarTraits;
+
+template <>
+struct ScalarTraits<double> {
+  static double Zero() { return 0.0; }
+  static double One() { return 1.0; }
+  static bool IsZero(double x) { return std::fabs(x) <= 1e-11; }
+  static bool IsNegative(double x) { return x < -1e-9; }
+  static double Abs(double x) { return std::fabs(x); }
+  static double FromInt(int64_t v) { return static_cast<double>(v); }
+};
+
+template <>
+struct ScalarTraits<Rational> {
+  static Rational Zero() { return Rational(0); }
+  static Rational One() { return Rational(1); }
+  static bool IsZero(const Rational& x) { return x.IsZero(); }
+  static bool IsNegative(const Rational& x) { return x.IsNegative(); }
+  static Rational Abs(const Rational& x) { return x.Abs(); }
+  static Rational FromInt(int64_t v) { return Rational(v); }
+};
+
+}  // namespace pie

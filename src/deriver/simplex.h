@@ -1,0 +1,219 @@
+// Two-phase dense simplex over a generic scalar, with Bland's rule (finite
+// termination; exact with Rational scalars).
+//
+// Solves   minimize c^T x   subject to   A x = b,  x >= 0.
+//
+// Used by the derivation engine for (a) existence certificates: an unbiased
+// nonnegative estimator over a finite model exists iff the linear system
+// {sum_o P(o|v) x_o = f(v) for all v, x >= 0} is feasible (this is how the
+// Theorem 6.1 impossibility results are machine-checked), and (b) initial
+// feasible points for constrained derivations.
+
+#pragma once
+
+#include <vector>
+
+#include "deriver/linalg.h"
+#include "deriver/scalar_traits.h"
+#include "util/status.h"
+
+namespace pie {
+
+template <typename S>
+struct LpProblem {
+  Mat<S> a;  ///< m x n constraint matrix
+  Vec<S> b;  ///< m right-hand sides
+  Vec<S> c;  ///< n objective coefficients (minimized)
+};
+
+template <typename S>
+struct LpSolution {
+  Vec<S> x;
+  S objective;
+};
+
+namespace internal {
+
+/// Simplex tableau: rows 0..m-1 are constraints, row m is the reduced-cost
+/// row; column n_total is the RHS.
+template <typename S>
+class SimplexTableau {
+ public:
+  SimplexTableau(const Mat<S>& a, const Vec<S>& b, int extra_cols)
+      : m_(a.rows()), n_(a.cols() + extra_cols), t_(m_ + 1, n_ + 1) {
+    for (int i = 0; i < m_; ++i) {
+      const bool flip = ScalarTraits<S>::IsNegative(b[static_cast<size_t>(i)]);
+      for (int j = 0; j < a.cols(); ++j) {
+        t_.at(i, j) = flip ? -a.at(i, j) : a.at(i, j);
+      }
+      t_.at(i, n_) =
+          flip ? -b[static_cast<size_t>(i)] : b[static_cast<size_t>(i)];
+    }
+    basis_.assign(static_cast<size_t>(m_), -1);
+  }
+
+  int m() const { return m_; }
+  int n() const { return n_; }
+  S& at(int i, int j) { return t_.at(i, j); }
+  const S& at(int i, int j) const { return t_.at(i, j); }
+  int basis(int row) const { return basis_[static_cast<size_t>(row)]; }
+  void set_basis(int row, int col) { basis_[static_cast<size_t>(row)] = col; }
+
+  /// Gauss-Jordan pivot on (row, col); updates the objective row too.
+  void Pivot(int row, int col) {
+    const S pivot = t_.at(row, col);
+    PIE_CHECK(!ScalarTraits<S>::IsZero(pivot));
+    for (int j = 0; j <= n_; ++j) t_.at(row, j) = t_.at(row, j) / pivot;
+    for (int i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const S factor = t_.at(i, col);
+      if (ScalarTraits<S>::IsZero(factor)) continue;
+      for (int j = 0; j <= n_; ++j) {
+        t_.at(i, j) = t_.at(i, j) - factor * t_.at(row, j);
+      }
+    }
+    basis_[static_cast<size_t>(row)] = col;
+  }
+
+  /// Runs simplex iterations with Bland's rule on columns < allowed_cols.
+  /// Returns OK at optimum, OutOfRange if unbounded.
+  Status Iterate(int allowed_cols) {
+    while (true) {
+      // Entering column: smallest index with negative reduced cost.
+      int enter = -1;
+      for (int j = 0; j < allowed_cols; ++j) {
+        if (ScalarTraits<S>::IsNegative(t_.at(m_, j))) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return Status::OK();
+      // Leaving row: min ratio, Bland tie-break on basis index.
+      int leave = -1;
+      for (int i = 0; i < m_; ++i) {
+        const S& aij = t_.at(i, enter);
+        if (ScalarTraits<S>::IsZero(aij) || ScalarTraits<S>::IsNegative(aij)) {
+          continue;
+        }
+        if (leave < 0) {
+          leave = i;
+          continue;
+        }
+        // ratio_i < ratio_leave <=> b_i * a_lj < b_l * a_ij
+        const S lhs = t_.at(i, n_) * t_.at(leave, enter);
+        const S rhs = t_.at(leave, n_) * aij;
+        if (lhs < rhs ||
+            (!(rhs < lhs) && basis(i) < basis(leave))) {
+          leave = i;
+        }
+      }
+      if (leave < 0) return Status::OutOfRange("LP is unbounded");
+      Pivot(leave, enter);
+    }
+  }
+
+ private:
+  int m_, n_;
+  Mat<S> t_;
+  std::vector<int> basis_;
+};
+
+}  // namespace internal
+
+/// Solves the standard-form LP. Status codes: Infeasible (no x >= 0 with
+/// Ax = b), OutOfRange (unbounded), otherwise OK with an optimal vertex.
+template <typename S>
+Result<LpSolution<S>> SolveLp(const LpProblem<S>& prob) {
+  const int m = prob.a.rows();
+  const int n = prob.a.cols();
+  PIE_CHECK(static_cast<int>(prob.b.size()) == m);
+  PIE_CHECK(static_cast<int>(prob.c.size()) == n);
+
+  // Phase 1: artificial columns n..n+m-1 form the initial basis.
+  internal::SimplexTableau<S> t(prob.a, prob.b, /*extra_cols=*/m);
+  for (int i = 0; i < m; ++i) {
+    t.at(i, n + i) = ScalarTraits<S>::One();
+    t.set_basis(i, n + i);
+  }
+  // Reduced costs for objective = sum of artificials: r_j = -sum_i T[i][j]
+  // on original columns, 0 on artificials; RHS = -sum_i b_i.
+  for (int j = 0; j <= t.n(); ++j) {
+    if (j >= n && j < t.n()) continue;  // artificial columns keep cost 0
+    S acc = ScalarTraits<S>::Zero();
+    for (int i = 0; i < m; ++i) acc = acc + t.at(i, j);
+    t.at(m, j) = -acc;
+  }
+  Status phase1 = t.Iterate(t.n());
+  if (!phase1.ok()) return phase1;  // cannot be unbounded in theory
+  // Feasible iff the phase-1 optimum is 0 (RHS of the objective row is the
+  // negated objective value).
+  const S phase1_obj = -t.at(m, t.n());
+  if (!ScalarTraits<S>::IsZero(phase1_obj)) {
+    return Status::Infeasible("no nonnegative solution to Ax=b");
+  }
+  // Drive any remaining artificial variables out of the basis.
+  for (int i = 0; i < m; ++i) {
+    if (t.basis(i) < n) continue;
+    int col = -1;
+    for (int j = 0; j < n; ++j) {
+      if (!ScalarTraits<S>::IsZero(t.at(i, j))) {
+        col = j;
+        break;
+      }
+    }
+    if (col >= 0) {
+      t.Pivot(i, col);
+    }
+    // else: redundant row; its basis stays artificial at value 0, harmless.
+  }
+
+  // Phase 2: rebuild the reduced-cost row from the real objective.
+  for (int j = 0; j <= t.n(); ++j) {
+    S cj = (j < n) ? prob.c[static_cast<size_t>(j)] : ScalarTraits<S>::Zero();
+    S zj = ScalarTraits<S>::Zero();
+    for (int i = 0; i < m; ++i) {
+      const int bi = t.basis(i);
+      if (bi >= 0 && bi < n) {
+        zj = zj + prob.c[static_cast<size_t>(bi)] * t.at(i, j);
+      }
+    }
+    t.at(m, j) = cj - zj;
+  }
+  {
+    S obj = ScalarTraits<S>::Zero();
+    for (int i = 0; i < m; ++i) {
+      const int bi = t.basis(i);
+      if (bi >= 0 && bi < n) {
+        obj = obj + prob.c[static_cast<size_t>(bi)] * t.at(i, t.n());
+      }
+    }
+    t.at(m, t.n()) = -obj;
+  }
+  Status phase2 = t.Iterate(n);  // artificials barred from re-entering
+  if (!phase2.ok()) return phase2;
+
+  LpSolution<S> sol;
+  sol.x.assign(static_cast<size_t>(n), ScalarTraits<S>::Zero());
+  for (int i = 0; i < m; ++i) {
+    const int bi = t.basis(i);
+    if (bi >= 0 && bi < n) {
+      sol.x[static_cast<size_t>(bi)] = t.at(i, t.n());
+    }
+  }
+  sol.objective = -t.at(m, t.n());
+  return sol;
+}
+
+/// Finds any x >= 0 with A x = b, or Infeasible.
+template <typename S>
+Result<Vec<S>> FindFeasiblePoint(const Mat<S>& a, const Vec<S>& b) {
+  LpProblem<S> prob;
+  prob.a = a;
+  prob.b = b;
+  prob.c.assign(static_cast<size_t>(a.cols()), ScalarTraits<S>::Zero());
+  auto sol = SolveLp(prob);
+  if (!sol.ok()) return sol.status();
+  return std::move(sol.value().x);
+}
+
+}  // namespace pie

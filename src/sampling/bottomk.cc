@@ -1,0 +1,67 @@
+#include "sampling/bottomk.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace pie {
+
+Status ValidateBottomKConfig(const std::vector<WeightedItem>& items, int k) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  for (const auto& item : items) {
+    PIE_RETURN_IF_ERROR(ValidateWeight(item.weight));
+  }
+  return Status::OK();
+}
+
+BottomKSketch BottomKSample(const std::vector<WeightedItem>& items, int k,
+                            RankFamily family,
+                            const std::function<double(uint64_t)>& seed_fn) {
+  PIE_CHECK(k > 0);
+  BottomKSketch sketch;
+  sketch.family = family;
+  sketch.k = k;
+
+  // Max-heap over the k+1 smallest ranks seen so far: k sketch entries plus
+  // the threshold candidate.
+  auto cmp = [](const BottomKSketch::Entry& a, const BottomKSketch::Entry& b) {
+    return a.rank < b.rank;
+  };
+  std::priority_queue<BottomKSketch::Entry,
+                      std::vector<BottomKSketch::Entry>, decltype(cmp)>
+      heap(cmp);
+
+  for (const auto& item : items) {
+    if (item.weight <= 0) continue;  // zero keys are never sampled
+    const double u = seed_fn(item.key);
+    const double rank = RankValue(family, item.weight, u);
+    heap.push({item.key, item.weight, rank});
+    if (static_cast<int>(heap.size()) > k + 1) heap.pop();
+  }
+
+  if (static_cast<int>(heap.size()) == k + 1) {
+    sketch.threshold = heap.top().rank;  // (k+1)-st smallest rank
+    heap.pop();
+  } else {
+    sketch.threshold = Infinity();  // sketch holds the whole instance
+  }
+
+  sketch.entries.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    sketch.entries[i] = heap.top();
+    heap.pop();
+  }
+  return sketch;
+}
+
+double BottomKSubsetSum(const BottomKSketch& sketch,
+                        const std::function<bool(uint64_t)>& pred) {
+  double sum = 0.0;
+  for (const auto& e : sketch.entries) {
+    if (pred(e.key)) sum += sketch.AdjustedWeight(e);
+  }
+  return sum;
+}
+
+}  // namespace pie

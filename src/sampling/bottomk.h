@@ -1,0 +1,76 @@
+// Bottom-k (order) sampling of a weighted instance (Section 7.1).
+//
+// Every key h with value w(h) > 0 gets a rank r(h) = F_w(h)^{-1}(u(h)) from a
+// reproducible seed u(h); the sketch keeps the k keys of smallest rank plus
+// the (k+1)-st smallest rank as the conditioning threshold. With PPS ranks
+// this is priority sampling (PRI); with EXP ranks it is weighted sampling
+// without replacement.
+//
+// Subset-sum estimation uses rank conditioning (RC): conditioned on the
+// ranks of all other keys, a sampled key h is included exactly when its rank
+// falls below the threshold, which happens with probability
+// F_w(h)(threshold); its Horvitz-Thompson adjusted weight is
+// w(h) / F_w(h)(threshold).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sampling/rank.h"
+#include "util/hashing.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// A (key, value) pair of one instance. Values are nonnegative; zero-valued
+/// keys are never represented explicitly (sparse representation).
+struct WeightedItem {
+  uint64_t key = 0;
+  double weight = 0.0;
+};
+
+/// A bottom-k sketch: the k smallest-ranked keys and the conditioning
+/// threshold.
+struct BottomKSketch {
+  struct Entry {
+    uint64_t key = 0;
+    double weight = 0.0;
+    double rank = 0.0;
+  };
+
+  RankFamily family = RankFamily::kPps;
+  int k = 0;
+  /// (k+1)-st smallest rank over the instance; +infinity when the instance
+  /// has at most k positive keys (then the sketch is exact).
+  double threshold = 0.0;
+  /// Entries sorted by increasing rank; size min(k, #positive keys).
+  std::vector<Entry> entries;
+
+  /// Rank-conditioning inclusion probability of a sketched entry.
+  double InclusionProb(const Entry& e) const {
+    return RankInclusionProb(family, e.weight, threshold);
+  }
+  /// Horvitz-Thompson adjusted weight of a sketched entry.
+  double AdjustedWeight(const Entry& e) const {
+    return e.weight / InclusionProb(e);
+  }
+};
+
+/// Builds the bottom-k sketch of `items` using seeds from `seed_fn`
+/// (reproducible; share the SeedFunction salt across instances to coordinate
+/// samples, or pass any key -> [0,1) function). O(n log k).
+BottomKSketch BottomKSample(const std::vector<WeightedItem>& items, int k,
+                            RankFamily family,
+                            const std::function<double(uint64_t)>& seed_fn);
+
+/// Rank-conditioning estimate of sum of weights over keys selected by
+/// `pred`. Unbiased for any fixed predicate.
+double BottomKSubsetSum(const BottomKSketch& sketch,
+                        const std::function<bool(uint64_t)>& pred);
+
+/// Validates bottom-k parameters.
+Status ValidateBottomKConfig(const std::vector<WeightedItem>& items, int k);
+
+}  // namespace pie

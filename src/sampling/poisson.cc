@@ -1,0 +1,122 @@
+#include "sampling/poisson.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/rank.h"
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+double MaxWhereSampled(const std::vector<uint8_t>& sampled,
+                       const std::vector<double>& value) {
+  double best = 0.0;
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    if (sampled[i]) best = std::max(best, value[i]);
+  }
+  return best;
+}
+
+int CountSampled(const std::vector<uint8_t>& sampled) {
+  int n = 0;
+  for (uint8_t s : sampled) n += s;
+  return n;
+}
+
+}  // namespace
+
+int ObliviousOutcome::NumSampled() const { return CountSampled(sampled); }
+double ObliviousOutcome::MaxSampledValue() const {
+  return MaxWhereSampled(sampled, value);
+}
+
+int PpsOutcome::NumSampled() const { return CountSampled(sampled); }
+double PpsOutcome::MaxSampledValue() const {
+  return MaxWhereSampled(sampled, value);
+}
+
+Status ValidateObliviousConfig(const std::vector<double>& values,
+                               const std::vector<double>& p) {
+  if (values.size() != p.size()) {
+    return Status::InvalidArgument("values and p must have equal length");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("empty data vector");
+  }
+  for (double pi : p) {
+    if (!(pi > 0.0) || pi > 1.0) {
+      return Status::InvalidArgument("probabilities must lie in (0,1]");
+    }
+  }
+  for (double v : values) {
+    PIE_RETURN_IF_ERROR(ValidateWeight(v));
+  }
+  return Status::OK();
+}
+
+Status ValidatePpsConfig(const std::vector<double>& values,
+                         const std::vector<double>& tau) {
+  if (values.size() != tau.size()) {
+    return Status::InvalidArgument("values and tau must have equal length");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("empty data vector");
+  }
+  for (double t : tau) {
+    if (!(t > 0.0) || !std::isfinite(t)) {
+      return Status::InvalidArgument("thresholds must be finite and positive");
+    }
+  }
+  for (double v : values) {
+    PIE_RETURN_IF_ERROR(ValidateWeight(v));
+  }
+  return Status::OK();
+}
+
+ObliviousOutcome SampleObliviousWithSeeds(const std::vector<double>& values,
+                                          const std::vector<double>& p,
+                                          const std::vector<double>& seeds) {
+  PIE_CHECK(values.size() == p.size() && values.size() == seeds.size());
+  ObliviousOutcome out;
+  out.p = p;
+  out.value = values;
+  out.sampled.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.sampled[i] = seeds[i] < p[i] ? 1 : 0;
+    if (!out.sampled[i]) out.value[i] = 0.0;  // not visible to estimators
+  }
+  return out;
+}
+
+ObliviousOutcome SampleOblivious(const std::vector<double>& values,
+                                 const std::vector<double>& p, Rng& rng) {
+  std::vector<double> seeds(values.size());
+  for (double& s : seeds) s = rng.UniformDouble();
+  return SampleObliviousWithSeeds(values, p, seeds);
+}
+
+PpsOutcome SamplePpsWithSeeds(const std::vector<double>& values,
+                              const std::vector<double>& tau,
+                              const std::vector<double>& seeds) {
+  PIE_CHECK(values.size() == tau.size() && values.size() == seeds.size());
+  PpsOutcome out;
+  out.tau = tau;
+  out.seed = seeds;
+  out.value = values;
+  out.sampled.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.sampled[i] = values[i] >= seeds[i] * tau[i] && values[i] > 0 ? 1 : 0;
+    if (!out.sampled[i]) out.value[i] = 0.0;  // not visible to estimators
+  }
+  return out;
+}
+
+PpsOutcome SamplePps(const std::vector<double>& values,
+                     const std::vector<double>& tau, Rng& rng) {
+  std::vector<double> seeds(values.size());
+  for (double& s : seeds) s = rng.UniformDouble();
+  return SamplePpsWithSeeds(values, tau, seeds);
+}
+
+}  // namespace pie

@@ -1,0 +1,80 @@
+// Poisson (independent per-entry) sampling of a dispersed data vector
+// v = (v_1, ..., v_r), one entry per instance (Section 2 of the paper).
+//
+// Two schemes are modeled:
+//  * Weight-oblivious: entry i is sampled with a fixed probability p_i,
+//    independent of v_i.
+//  * Weighted PPS with thresholds tau*_i and seeds u_i ~ U[0,1): entry i is
+//    sampled iff v_i >= u_i * tau*_i, i.e. with probability min(1, v_i/tau*_i).
+//    In the *known seeds* model the seed vector is visible to the estimator,
+//    so a missing entry additionally reveals the upper bound v_i < u_i*tau*_i.
+//
+// Outcomes carry everything an estimator is allowed to look at; the
+// unknown-seeds model is represented by simply not reading `seed`
+// (estimators declare which model they implement).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Outcome of weight-oblivious Poisson sampling of one data vector.
+struct ObliviousOutcome {
+  std::vector<double> p;        ///< per-entry inclusion probabilities
+  std::vector<uint8_t> sampled; ///< 1 iff entry is in the sample
+  std::vector<double> value;    ///< v_i; meaningful only where sampled
+
+  int r() const { return static_cast<int>(p.size()); }
+  int NumSampled() const;
+  bool AllSampled() const { return NumSampled() == r(); }
+  /// Largest sampled value; 0 if nothing is sampled.
+  double MaxSampledValue() const;
+};
+
+/// Draws a weight-oblivious Poisson sample of `values` with inclusion
+/// probabilities `p` (same length, p_i in (0,1]).
+ObliviousOutcome SampleOblivious(const std::vector<double>& values,
+                                 const std::vector<double>& p, Rng& rng);
+
+/// Deterministic variant: entry i is sampled iff seeds[i] < p[i]; used by
+/// exhaustive enumeration in tests.
+ObliviousOutcome SampleObliviousWithSeeds(const std::vector<double>& values,
+                                          const std::vector<double>& p,
+                                          const std::vector<double>& seeds);
+
+/// Outcome of weighted PPS Poisson sampling with known seeds.
+struct PpsOutcome {
+  std::vector<double> tau;      ///< tau*_i > 0, fixed thresholds
+  std::vector<double> seed;     ///< u_i in [0,1); visible iff seeds are known
+  std::vector<uint8_t> sampled; ///< 1 iff v_i >= u_i * tau*_i
+  std::vector<double> value;    ///< v_i; meaningful only where sampled
+
+  int r() const { return static_cast<int>(tau.size()); }
+  int NumSampled() const;
+  /// Largest sampled value; 0 if nothing is sampled.
+  double MaxSampledValue() const;
+  /// Known-seeds upper bound on an unsampled entry: v_i < seed[i]*tau[i].
+  double UpperBound(int i) const { return seed[i] * tau[i]; }
+};
+
+/// Draws a weighted PPS sample of `values` with thresholds `tau`.
+PpsOutcome SamplePps(const std::vector<double>& values,
+                     const std::vector<double>& tau, Rng& rng);
+
+/// Deterministic variant with explicit seeds.
+PpsOutcome SamplePpsWithSeeds(const std::vector<double>& values,
+                              const std::vector<double>& tau,
+                              const std::vector<double>& seeds);
+
+/// Validates sampler configuration (dimensions and parameter ranges).
+Status ValidateObliviousConfig(const std::vector<double>& values,
+                               const std::vector<double>& p);
+Status ValidatePpsConfig(const std::vector<double>& values,
+                         const std::vector<double>& tau);
+
+}  // namespace pie

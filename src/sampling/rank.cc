@@ -1,0 +1,53 @@
+#include "sampling/rank.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pie {
+
+const char* RankFamilyToString(RankFamily family) {
+  switch (family) {
+    case RankFamily::kPps:
+      return "PPS";
+    case RankFamily::kExp:
+      return "EXP";
+  }
+  return "Unknown";
+}
+
+double RankValue(RankFamily family, double w, double u) {
+  PIE_DCHECK(w >= 0);
+  PIE_DCHECK(u >= 0 && u < 1);
+  if (w == 0) return Infinity();
+  switch (family) {
+    case RankFamily::kPps:
+      return u / w;
+    case RankFamily::kExp:
+      return -std::log1p(-u) / w;
+  }
+  return Infinity();
+}
+
+double RankInclusionProb(RankFamily family, double w, double tau) {
+  PIE_DCHECK(w >= 0);
+  PIE_DCHECK(tau >= 0);
+  if (w == 0) return 0.0;
+  if (std::isinf(tau)) return 1.0;
+  switch (family) {
+    case RankFamily::kPps:
+      return std::fmin(1.0, w * tau);
+    case RankFamily::kExp:
+      return -std::expm1(-w * tau);
+  }
+  return 0.0;
+}
+
+Status ValidateWeight(double w) {
+  if (!std::isfinite(w) || w < 0) {
+    return Status::InvalidArgument("weight must be finite and nonnegative");
+  }
+  return Status::OK();
+}
+
+}  // namespace pie

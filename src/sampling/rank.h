@@ -1,0 +1,45 @@
+// Random-rank families for weighted sampling (Section 7.1 of the paper).
+//
+// A rank assignment maps a key with value w and a uniform seed u in [0,1) to
+// a rank r = F_w^{-1}(u), where F_w is the rank CDF for value w. Bottom-k
+// sampling keeps the k smallest ranks; Poisson-tau sampling keeps ranks
+// below a fixed threshold tau.
+//
+//  * PPS ranks: F_w(x) = min(1, w*x); rank u/w. Poisson-tau is probability-
+//    proportional-to-size sampling, bottom-k is priority sampling.
+//  * EXP ranks: F_w(x) = 1 - exp(-w*x); rank -ln(1-u)/w. Bottom-k is
+//    weighted sampling without replacement (successive PPS).
+//
+// Values w = 0 receive rank +infinity and are never sampled (weighted
+// sampling never samples zero entries, Section 2).
+
+#pragma once
+
+#include <limits>
+
+#include "util/status.h"
+
+namespace pie {
+
+enum class RankFamily {
+  kPps,  // uniform rank CDF on [0, 1/w]
+  kExp,  // exponential rank with parameter w
+};
+
+const char* RankFamilyToString(RankFamily family);
+
+/// r = F_w^{-1}(u): the rank of a key with value `w` and seed `u` in [0,1).
+/// Returns +infinity when w == 0.
+double RankValue(RankFamily family, double w, double u);
+
+/// F_w(tau): probability that the rank of a value-w key is below `tau`,
+/// i.e. the inclusion probability under threshold (Poisson-tau) sampling or
+/// under rank conditioning for bottom-k.
+double RankInclusionProb(RankFamily family, double w, double tau);
+
+/// Validates a (family, w) pair: w must be finite and nonnegative.
+Status ValidateWeight(double w);
+
+inline double Infinity() { return std::numeric_limits<double>::infinity(); }
+
+}  // namespace pie

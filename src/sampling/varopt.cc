@@ -1,0 +1,136 @@
+#include "sampling/varopt.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pie {
+
+Status ValidateVarOptConfig(int k) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  return Status::OK();
+}
+
+VarOptSampler::VarOptSampler(int k, uint64_t seed) : k_(k), rng_(seed) {
+  PIE_CHECK(k > 0);
+}
+
+int VarOptSampler::size() const {
+  return static_cast<int>(large_.size() + small_keys_.size());
+}
+
+void VarOptSampler::Add(uint64_t key, double weight) {
+  PIE_CHECK_OK(ValidateWeight(weight));
+  if (weight <= 0) return;
+  total_weight_ += weight;
+  // tau_ only grows, so a new item below tau_ would belong to the small
+  // pool; but small items must all have HT weight tau_, so route everything
+  // through the large heap and let DropOne reclassify.
+  large_.push({key, weight});
+  if (size() > k_) DropOne();
+}
+
+void VarOptSampler::AddAll(const std::vector<WeightedItem>& items) {
+  for (const auto& item : items) Add(item.key, item.weight);
+}
+
+void VarOptSampler::DropOne() {
+  // Pool of this step's individually-weighted small candidates (items popped
+  // from the large heap because they fall below the new threshold).
+  std::vector<HeapItem> stepped;
+  // Old small items count t, each with weight tau_.
+  const double t = static_cast<double>(small_keys_.size());
+  double small_sum = t * tau_;
+  double small_count = t;
+
+  // Grow the small pool until the implied threshold
+  //   tau' = small_sum / (k - |large|)
+  // exceeds every small item and is at most the smallest large weight.
+  while (!large_.empty()) {
+    const double remaining = static_cast<double>(k_) -
+                             static_cast<double>(large_.size());
+    if (remaining > 0 && large_.top().weight * remaining > small_sum) break;
+    stepped.push_back(large_.top());
+    large_.pop();
+    small_sum += stepped.back().weight;
+    small_count += 1.0;
+  }
+  const double remaining = static_cast<double>(k_) -
+                           static_cast<double>(large_.size());
+  PIE_CHECK(remaining > 0);
+  const double new_tau = small_sum / remaining;
+  PIE_DCHECK(new_tau >= tau_);
+
+  // Drop exactly one small item; drop probabilities 1 - w_i/tau' sum to 1
+  // because small_count - small_sum/tau' = (k+1) - |large| - (k - |large|).
+  double u = rng_.UniformDouble();
+  bool dropped = false;
+
+  // Group 1: old small items, each with drop probability 1 - tau_/tau'.
+  const double old_drop_each = 1.0 - (new_tau > 0 ? tau_ / new_tau : 0.0);
+  const double old_drop_mass = t * old_drop_each;
+  if (u < old_drop_mass) {
+    const size_t victim =
+        std::min(static_cast<size_t>(u / old_drop_each),
+                 small_keys_.size() - 1);
+    small_keys_[victim] = small_keys_.back();
+    small_keys_.pop_back();
+    dropped = true;
+  } else {
+    u -= old_drop_mass;
+    // Group 2: this step's individually-weighted items.
+    for (size_t j = 0; j < stepped.size(); ++j) {
+      const double dj = 1.0 - stepped[j].weight / new_tau;
+      if (!dropped && u < dj) {
+        stepped[j] = stepped.back();
+        stepped.pop_back();
+        dropped = true;
+        break;
+      }
+      u -= dj;
+    }
+    // Floating-point slack: if the masses summed to slightly under 1 and we
+    // fell off the end, drop the last stepped item (largest drop deficit is
+    // O(eps)).
+    if (!dropped) {
+      if (!stepped.empty()) {
+        stepped.pop_back();
+      } else {
+        PIE_CHECK(!small_keys_.empty());
+        small_keys_.pop_back();
+      }
+    }
+  }
+
+  for (const auto& item : stepped) small_keys_.push_back(item.key);
+  tau_ = new_tau;
+  PIE_CHECK(size() == k_);
+}
+
+std::vector<VarOptSampler::Entry> VarOptSampler::Sample() const {
+  std::vector<Entry> out;
+  out.reserve(static_cast<size_t>(size()));
+  auto heap_copy = large_;
+  while (!heap_copy.empty()) {
+    const auto& item = heap_copy.top();
+    out.push_back({item.key, item.weight, item.weight});
+    heap_copy.pop();
+  }
+  for (uint64_t key : small_keys_) {
+    // Original weights of small items are intentionally forgotten; their HT
+    // adjusted weight is exactly tau_.
+    out.push_back({key, tau_, tau_});
+  }
+  return out;
+}
+
+double VarOptSampler::SubsetSumEstimate(
+    const std::function<bool(uint64_t)>& pred) const {
+  double sum = 0.0;
+  for (const auto& e : Sample()) {
+    if (pred(e.key)) sum += e.adjusted_weight;
+  }
+  return sum;
+}
+
+}  // namespace pie

@@ -1,0 +1,86 @@
+// VarOpt_k stream sampling (Chao 1982; Cohen, Duffield, Kaplan, Lund,
+// Thorup 2009): a fixed-size weighted sample with PPS inclusion
+// probabilities and variance-optimal subset-sum estimates.
+//
+// The paper (Section 7.1) lists VarOpt alongside Poisson and bottom-k as a
+// sampling scheme estimators must accommodate. VarOpt maintains exactly k
+// items; an item with weight w is included with probability min(1, w/tau)
+// where tau is the final threshold, and its Horvitz-Thompson adjusted weight
+// is max(w, tau). A distinguishing property (tested): the full-population
+// estimate Sum of adjusted weights equals the true total *deterministically*.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sampling/bottomk.h"  // WeightedItem
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Streaming VarOpt_k sampler. Add items one at a time, then read the
+/// sample. O(log k) amortized per item.
+class VarOptSampler {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    double weight = 0.0;           ///< original weight
+    double adjusted_weight = 0.0;  ///< max(weight, tau): HT weight
+  };
+
+  /// Creates a sampler holding at most k items; randomness from `seed`.
+  VarOptSampler(int k, uint64_t seed);
+
+  /// Processes one stream item. Items with weight <= 0 are ignored
+  /// (consistent with weighted sampling of sparse data).
+  void Add(uint64_t key, double weight);
+
+  /// Processes a batch.
+  void AddAll(const std::vector<WeightedItem>& items);
+
+  /// Current threshold tau (0 until the sample first overflows k).
+  double threshold() const { return tau_; }
+
+  /// Number of retained items: min(k, #positive items seen).
+  int size() const;
+
+  /// Total weight of the stream so far.
+  double total_weight() const { return total_weight_; }
+
+  /// Materializes the current sample with adjusted weights.
+  std::vector<Entry> Sample() const;
+
+  /// Unbiased subset-sum estimate over keys selected by `pred`.
+  double SubsetSumEstimate(const std::function<bool(uint64_t)>& pred) const;
+
+ private:
+  struct HeapItem {
+    uint64_t key;
+    double weight;
+    bool operator>(const HeapItem& o) const { return weight > o.weight; }
+  };
+
+  // Resolves an overflow to k+1 items: computes the new threshold, drops
+  // exactly one item, and migrates newly-small items into small_keys_.
+  void DropOne();
+
+  int k_;
+  Rng rng_;
+  double tau_ = 0.0;
+  double total_weight_ = 0.0;
+  // Items with weight > tau_, min-heap by weight.
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> large_;
+  // Items whose HT adjusted weight is exactly tau_ (original weights are no
+  // longer needed -- VarOpt's inclusion probabilities make all small items
+  // exchangeable).
+  std::vector<uint64_t> small_keys_;
+};
+
+/// Validates VarOpt parameters.
+Status ValidateVarOptConfig(int k);
+
+}  // namespace pie

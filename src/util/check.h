@@ -1,0 +1,53 @@
+// Lightweight runtime invariant checks, in the spirit of glog's CHECK.
+//
+// PIE_CHECK(cond)        aborts with a diagnostic when `cond` is false.
+// PIE_CHECK_OK(status)   aborts when a pie::Status is not OK.
+// PIE_DCHECK(cond)       PIE_CHECK in debug builds, no-op in NDEBUG builds.
+//
+// These are for programmer errors (broken invariants), not for recoverable
+// conditions; fallible configuration paths return Status/Result instead.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pie {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "PIE_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pie
+
+#define PIE_CHECK(cond)                                     \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::pie::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                       \
+  } while (0)
+
+#define PIE_CHECK_OK(status_expr)                                       \
+  do {                                                                  \
+    const auto& pie_check_ok_status = (status_expr);                    \
+    if (!pie_check_ok_status.ok()) {                                    \
+      std::fprintf(stderr, "PIE_CHECK_OK failed: %s at %s:%d\n",        \
+                   pie_check_ok_status.ToString().c_str(), __FILE__,    \
+                   __LINE__);                                           \
+      std::fflush(stderr);                                              \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define PIE_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define PIE_DCHECK(cond) PIE_CHECK(cond)
+#endif

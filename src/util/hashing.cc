@@ -1,0 +1,15 @@
+#include "util/hashing.h"
+
+namespace pie {
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Finalize: raw FNV has weak low bits for short inputs.
+  return Mix64(h);
+}
+
+}  // namespace pie

@@ -1,0 +1,56 @@
+// Stable hashing used to implement "reproducible randomization".
+//
+// The paper's known-seeds model (Section 2 and Section 7.2) requires the
+// random seed u_i(h) of key h in instance i to be recoverable at estimation
+// time. We realize seeds as stateless hashes: u_i(h) = Unit(Mix(h, salt_i)).
+// With a shared salt across instances the seeds coincide (shared-seed
+// coordination); with per-instance salts they are independent.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pie {
+
+/// SplitMix64 finalizer: a bijective 64-bit mix with good avalanche.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into one; order-sensitive.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2) + Mix64(b));
+}
+
+/// FNV-1a over bytes, for string keys.
+uint64_t HashBytes(std::string_view bytes);
+
+/// Maps a 64-bit hash to a uniform double in [0, 1) (53 bits).
+inline double UnitUniform(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// A reproducible seed function u(key) in [0,1), parameterized by a salt.
+///
+/// Two SeedFunctions with the same salt produce identical seeds (the PRN /
+/// shared-seed coordination method of Section 7.2); different salts give
+/// independent-looking seeds ("independent sampling with known seeds").
+class SeedFunction {
+ public:
+  explicit SeedFunction(uint64_t salt) : salt_(salt) {}
+
+  /// Seed for an integer key.
+  double operator()(uint64_t key) const {
+    return UnitUniform(HashCombine(salt_, Mix64(key)));
+  }
+
+  uint64_t salt() const { return salt_; }
+
+ private:
+  uint64_t salt_;
+};
+
+}  // namespace pie

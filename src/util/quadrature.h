@@ -1,0 +1,23 @@
+// One-dimensional numerical integration.
+//
+// Exact variances of the weighted known-seeds estimators (Section 5.2)
+// involve integrals of the estimate over the seed of the unsampled entry;
+// the integrands are smooth within the case regions of Figure 3, so adaptive
+// Simpson converges quickly when the caller splits at case boundaries.
+
+#pragma once
+
+#include <functional>
+
+namespace pie {
+
+/// Composite Simpson rule with n (even, >= 2) panels.
+double Simpson(const std::function<double(double)>& f, double a, double b,
+               int n);
+
+/// Adaptive Simpson integration of f over [a, b] to absolute tolerance tol.
+/// max_depth bounds recursion (each level halves the interval).
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-10, int max_depth = 40);
+
+}  // namespace pie

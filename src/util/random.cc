@@ -1,0 +1,15 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace pie {
+
+double Rng::Exponential(double rate) {
+  PIE_DCHECK(rate > 0);
+  // Map u in [0,1) through the inverse CDF; 1-u is in (0,1] so the log is
+  // finite.
+  const double u = UniformDouble();
+  return -std::log1p(-u) / rate;
+}
+
+}  // namespace pie

@@ -1,0 +1,95 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// All stochastic components of libpie (samplers, Monte Carlo cross-checks,
+// workload generators) draw from Rng so that every experiment is exactly
+// reproducible from a 64-bit seed on any platform. The generator is
+// xoshiro256++ seeded via SplitMix64, which is the standard, well-tested
+// pairing recommended by the xoshiro authors.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pie {
+
+/// SplitMix64: a tiny, high-quality 64-bit generator mainly used for seeding
+/// and for stateless hashing (see hashing.h).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 by Blackman & Vigna: fast all-purpose generator with a
+/// 256-bit state and full 64-bit output.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    PIE_DCHECK(lo <= hi);
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  uint64_t UniformInt(uint64_t n) {
+    PIE_DCHECK(n > 0);
+    const uint64_t threshold = (0ULL - n) % n;  // == 2^64 mod n
+    uint64_t x;
+    do {
+      x = NextU64();
+    } while (x < threshold);
+    return x % n;
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Exponential variate with rate `rate` (mean 1/rate).
+  double Exponential(double rate);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace pie

@@ -1,0 +1,95 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+
+namespace pie {
+namespace {
+
+// Narrows an __int128 to int64, aborting on overflow. Rational domains in
+// the derivation engine are tiny, so overflow indicates a genuine bug (or an
+// attempt to run derivation on a domain it was not designed for).
+int64_t Narrow(__int128 x) {
+  PIE_CHECK(x <= INT64_MAX && x >= INT64_MIN);
+  return static_cast<int64_t>(x);
+}
+
+__int128 Gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// Builds a normalized Rational from 128-bit intermediates.
+Rational Normalize(__int128 num, __int128 den) {
+  PIE_CHECK(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  __int128 g = Gcd128(num, den);
+  if (g == 0) g = 1;  // num == 0
+  return Rational(Narrow(num / g), Narrow(den / g));
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) {
+  PIE_CHECK(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  int64_t g = std::gcd(num, den);
+  if (g == 0) g = 1;
+  num_ = num / g;
+  den_ = den / g;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Normalize(static_cast<__int128>(num_) * o.den_ +
+                       static_cast<__int128>(o.num_) * den_,
+                   static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Normalize(static_cast<__int128>(num_) * o.den_ -
+                       static_cast<__int128>(o.num_) * den_,
+                   static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Normalize(static_cast<__int128>(num_) * o.num_,
+                   static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  PIE_CHECK(!o.IsZero());
+  return Normalize(static_cast<__int128>(num_) * o.den_,
+                   static_cast<__int128>(den_) * o.num_);
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  const __int128 lhs = static_cast<__int128>(num_) * o.den_;
+  const __int128 rhs = static_cast<__int128>(o.num_) * den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace pie

@@ -1,0 +1,74 @@
+// Exact rational arithmetic on int64 numerator/denominator.
+//
+// The derivation engine (src/deriver) is templated on its scalar type; with
+// Rational it reproduces the paper's closed-form estimators *exactly* at
+// rational sampling probabilities (p = 1/2, 1/4, ...), which is how the test
+// suite certifies that the hand-coded closed forms in src/core were
+// transcribed correctly. Overflow is a checked fatal error (intermediate
+// products use __int128), which is acceptable because derivation domains are
+// tiny.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/check.h"
+
+namespace pie {
+
+/// An exact rational number num/den in lowest terms with den > 0.
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(int value) : num_(value), den_(1) {}      // NOLINT
+
+  /// Creates num/den; den must be nonzero.
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// "3/4" or "3" when the denominator is 1.
+  std::string ToString() const;
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational Abs() const { return num_ < 0 ? -*this : *this; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  std::strong_ordering operator<=>(const Rational& o) const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Scalar adapters so generic code can treat double and Rational uniformly.
+inline double ToDouble(double x) { return x; }
+inline double ToDouble(const Rational& x) { return x.ToDouble(); }
+
+}  // namespace pie

@@ -1,0 +1,71 @@
+// Streaming summary statistics (Welford's algorithm) and helpers used by the
+// Monte Carlo cross-checks and the benchmark harness.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pie {
+
+/// Numerically stable streaming mean/variance/extremes accumulator.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void Merge(const RunningStat& o);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Population variance (divide by n). Zero for fewer than 2 samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  /// Sample variance (divide by n-1). Zero for fewer than 2 samples.
+  double sample_variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Coefficient of variation: stddev / |mean|. Requires nonzero mean.
+  double cv() const {
+    PIE_DCHECK(mean_ != 0.0);
+    return stddev() / std::fabs(mean_);
+  }
+
+  /// Standard error of the mean (sample stddev / sqrt(n)).
+  double standard_error() const {
+    return count_ < 2 ? 0.0
+                      : std::sqrt(sample_variance() /
+                                  static_cast<double>(count_));
+  }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Relative error |a - b| / max(|b|, floor); floor avoids division blowup
+/// near zero.
+double RelativeError(double a, double b, double floor = 1e-12);
+
+}  // namespace pie

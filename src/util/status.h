@@ -1,0 +1,119 @@
+// Arrow/RocksDB-style error propagation without exceptions.
+//
+// Fallible configuration and derivation paths return Status (or Result<T>
+// for value-returning functions). Hot estimator-evaluation paths never fail
+// and therefore do not pay for Status.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace pie {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  kUnimplemented,
+  kInternal,
+  kInfeasible,  // derivation-specific: no estimator with requested properties
+};
+
+/// Returns a short stable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// Result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    PIE_CHECK(!std::get<Status>(repr_).ok());  // OK status carries no value
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    PIE_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    PIE_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    PIE_CHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pie
+
+/// Propagates a non-OK Status out of the calling function.
+#define PIE_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::pie::Status pie_status_ = (expr);    \
+    if (!pie_status_.ok()) return pie_status_; \
+  } while (0)

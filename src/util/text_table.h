@@ -1,0 +1,36 @@
+// Minimal aligned text-table printer used by the benchmark harness to emit
+// the same rows/series the paper's figures plot.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pie {
+
+/// Collects rows of cells and renders them with right-aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have differing cell counts.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 6);
+  /// Scientific notation, e.g. 1.23e+04.
+  static std::string FmtSci(double v, int precision = 3);
+
+  /// Renders the table with two-space column separation.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pie

@@ -1,0 +1,37 @@
+#include "workload/sets.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pie {
+
+SetPair MakeJaccardSetPair(int n, double jaccard, uint64_t first_key) {
+  PIE_CHECK(n > 0);
+  PIE_CHECK(jaccard >= 0 && jaccard <= 1);
+  const int64_t inter =
+      static_cast<int64_t>(std::llround(2.0 * n * jaccard / (1.0 + jaccard)));
+  PIE_CHECK(inter >= 0 && inter <= n);
+
+  SetPair out;
+  out.intersection = inter;
+  out.union_size = 2 * static_cast<int64_t>(n) - inter;
+  out.jaccard = static_cast<double>(inter) / static_cast<double>(out.union_size);
+
+  // Keys: [first, first+inter) shared; then n-inter unique to each set.
+  uint64_t next = first_key;
+  for (int64_t i = 0; i < inter; ++i) {
+    out.n1.push_back(next);
+    out.n2.push_back(next);
+    ++next;
+  }
+  for (int64_t i = 0; i < n - inter; ++i) {
+    out.n1.push_back(next++);
+  }
+  for (int64_t i = 0; i < n - inter; ++i) {
+    out.n2.push_back(next++);
+  }
+  return out;
+}
+
+}  // namespace pie

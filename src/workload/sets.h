@@ -1,0 +1,25 @@
+// Binary set-pair workloads with a controlled Jaccard coefficient, for the
+// distinct-count experiments (Sections 8.1 and Figure 6).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pie {
+
+/// Two key sets with |N1| = |N2| = n and Jaccard coefficient as close to
+/// `jaccard` as integrality permits.
+struct SetPair {
+  std::vector<uint64_t> n1;
+  std::vector<uint64_t> n2;
+  int64_t intersection = 0;
+  int64_t union_size = 0;
+  double jaccard = 0.0;  ///< realized coefficient
+};
+
+/// Builds the pair on consecutive key ids starting at `first_key`.
+/// intersection = round(2 n J / (1 + J)).
+SetPair MakeJaccardSetPair(int n, double jaccard, uint64_t first_key = 1);
+
+}  // namespace pie

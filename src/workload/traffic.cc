@@ -1,0 +1,116 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "workload/zipf.h"
+
+namespace pie {
+namespace {
+
+// Standard normal via Box-Muller (one value per call; simple and adequate).
+double StandardNormal(Rng& rng) {
+  const double u1 = std::max(rng.UniformDouble(), 1e-300);
+  const double u2 = rng.UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+// Scales raw positive values so they sum to about `target` and rounds up to
+// integers >= 1.
+void NormalizeToTotal(std::vector<double>& values, double target) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  PIE_CHECK(sum > 0);
+  const double scale = target / sum;
+  for (double& v : values) v = std::max(1.0, std::round(v * scale));
+}
+
+}  // namespace
+
+MultiInstanceData GenerateTraffic(const TrafficParams& params) {
+  PIE_CHECK(params.keys_per_instance > 0);
+  PIE_CHECK(params.distinct_total >= params.keys_per_instance);
+  PIE_CHECK(params.distinct_total <= 2 * params.keys_per_instance);
+
+  const int n = params.keys_per_instance;
+  const int overlap = 2 * n - params.distinct_total;  // keys active both hours
+  const int only_each = n - overlap;                  // churn keys per hour
+
+  Rng rng(params.seed);
+  ZipfGenerator zipf(n, params.zipf_exponent);
+
+  // Base rates: a Zipf value per key, shuffled so that key id carries no
+  // rank information.
+  auto draw_base = [&](int count) {
+    std::vector<double> base(static_cast<size_t>(count));
+    for (double& b : base) {
+      b = zipf.ValueOfRank(static_cast<int>(rng.UniformInt(
+                               static_cast<uint64_t>(zipf.n()))) +
+                               1,
+                           1e4);
+    }
+    return base;
+  };
+
+  // Overlapping keys: hour-2 value is the hour-1 rate with lognormal jitter
+  // (multiplicative churn), preserving heavy tails and realistic min/max
+  // ratios.
+  std::vector<double> v1(static_cast<size_t>(n));
+  std::vector<double> v2(static_cast<size_t>(n));
+  {
+    const std::vector<double> base = draw_base(overlap);
+    for (int i = 0; i < overlap; ++i) {
+      const double jitter =
+          std::exp(params.churn_sigma * StandardNormal(rng));
+      v1[static_cast<size_t>(i)] = base[static_cast<size_t>(i)];
+      v2[static_cast<size_t>(i)] = base[static_cast<size_t>(i)] * jitter;
+    }
+    const std::vector<double> churn1 = draw_base(only_each);
+    const std::vector<double> churn2 = draw_base(only_each);
+    for (int i = 0; i < only_each; ++i) {
+      v1[static_cast<size_t>(overlap + i)] =
+          churn1[static_cast<size_t>(i)] * params.churn_value_scale;
+      v2[static_cast<size_t>(overlap + i)] = 0.0;  // placeholder; see below
+    }
+    // Hour-2 churn keys occupy fresh key ids appended after hour-1 keys.
+    v2.resize(static_cast<size_t>(n + only_each), 0.0);
+    v1.resize(static_cast<size_t>(n + only_each), 0.0);
+    for (int i = 0; i < only_each; ++i) {
+      v2[static_cast<size_t>(n + i)] =
+          churn2[static_cast<size_t>(i)] * params.churn_value_scale;
+    }
+  }
+
+  // Normalize each hour's positive values to the target flow total.
+  {
+    std::vector<double> hour1;
+    std::vector<double> hour2;
+    for (double v : v1) {
+      if (v > 0) hour1.push_back(v);
+    }
+    for (double v : v2) {
+      if (v > 0) hour2.push_back(v);
+    }
+    NormalizeToTotal(hour1, params.flows_per_instance);
+    NormalizeToTotal(hour2, params.flows_per_instance);
+    size_t j = 0;
+    for (double& v : v1) {
+      if (v > 0) v = hour1[j++];
+    }
+    j = 0;
+    for (double& v : v2) {
+      if (v > 0) v = hour2[j++];
+    }
+  }
+
+  MultiInstanceData data(2);
+  for (size_t key = 0; key < v1.size(); ++key) {
+    if (v1[key] > 0) data.Set(static_cast<uint64_t>(key + 1), 0, v1[key]);
+    if (v2[key] > 0) data.Set(static_cast<uint64_t>(key + 1), 1, v2[key]);
+  }
+  return data;
+}
+
+}  // namespace pie

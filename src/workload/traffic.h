@@ -1,0 +1,39 @@
+// Synthetic two-hour IP traffic workload (substitution for the paper's
+// proprietary AT&T hourly flow summaries; see DESIGN.md).
+//
+// The Figure 7 experiment needs, per destination IP, the number of active
+// flows in each of two consecutive hours. The estimator comparison depends
+// only on (a) the heavy-tailed marginal value distribution relative to the
+// sampling threshold, (b) the per-key correlation between the two hours
+// (min/max ratio), and (c) the key-overlap structure. The generator
+// reproduces the paper's reported aggregate statistics:
+//   ~2.45e4 distinct destinations per hour, ~3.8e4 over both hours,
+//   ~5.5e5 flows per hour, sum of per-key maxima ~7.47e5.
+
+#pragma once
+
+#include <cstdint>
+
+#include "aggregate/dataset.h"
+#include "util/random.h"
+
+namespace pie {
+
+struct TrafficParams {
+  int keys_per_instance = 24500;  ///< distinct destinations in each hour
+  int distinct_total = 38000;     ///< distinct destinations over both hours
+  double flows_per_instance = 5.5e5;  ///< total flows in each hour
+  double zipf_exponent = 1.05;    ///< heavy tail of per-key flow counts
+  double churn_sigma = 0.45;      ///< lognormal hour-to-hour jitter
+  /// Ephemeral (single-hour) destinations carry smaller flows than
+  /// persistent ones; this scales their base rates. Calibrated so the sum
+  /// of per-key maxima lands near the paper's 7.47e5 at the default sizes.
+  double churn_value_scale = 0.28;
+  uint64_t seed = 20110906;       ///< generator seed (arXiv date of paper)
+};
+
+/// Generates a two-instance data set with the statistics above. Values are
+/// positive integers (flow counts).
+MultiInstanceData GenerateTraffic(const TrafficParams& params);
+
+}  // namespace pie

@@ -1,0 +1,33 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pie {
+
+ZipfGenerator::ZipfGenerator(int n, double s) : n_(n), s_(s) {
+  PIE_CHECK(n >= 1);
+  PIE_CHECK(s >= 0);
+  cdf_.resize(static_cast<size_t>(n));
+  double acc = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    cdf_[static_cast<size_t>(k - 1)] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+int ZipfGenerator::SampleRank(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+double ZipfGenerator::ValueOfRank(int rank, double scale) const {
+  PIE_CHECK(rank >= 1 && rank <= n_);
+  return scale * std::pow(static_cast<double>(rank), -s_);
+}
+
+}  // namespace pie

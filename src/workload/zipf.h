@@ -1,0 +1,34 @@
+// Zipf-distributed values: the standard heavy-tailed model for per-key
+// request/flow counts (used to synthesize the paper's IP-traffic workload).
+
+#pragma once
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace pie {
+
+/// Zipf law over ranks 1..n with exponent s: P(rank = k) proportional to
+/// k^-s. Sampling is by inverse CDF on a precomputed table (O(log n) per
+/// draw).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int n, double s);
+
+  /// Draws a rank in [1, n].
+  int SampleRank(Rng& rng) const;
+
+  /// Deterministic value of a rank: scale / rank^s.
+  double ValueOfRank(int rank, double scale = 1.0) const;
+
+  int n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  int n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace pie

@@ -1,0 +1,150 @@
+// Extending the paper's verified range for its Section 4.1 conjecture.
+//
+// The paper conjectures that the uniform-p max^(L) estimator is monotone,
+// nonnegative, and dominates max^(HT) for all r, and reports verifying the
+// sufficient coefficient conditions of Lemma 4.2 for r <= 4. Here we
+// verify (a) the Lemma 4.2 coefficient conditions up to r = 16 across a p
+// grid, and (b) the monotonicity property itself -- estimates are
+// nondecreasing under information refinement (adding sampled entries) --
+// directly on outcome pairs up to r = 6, plus dominance over HT by exact
+// enumeration. Also the general-p closed-form variance for r = 2.
+
+#include <cmath>
+#include <vector>
+
+#include "core/enumerate.h"
+#include "core/functions.h"
+#include "core/ht.h"
+#include "core/max_oblivious.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+ObliviousOutcome MakeOutcome(const std::vector<double>& values,
+                             const std::vector<double>& p, uint32_t mask) {
+  std::vector<double> seeds(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    seeds[i] = ((mask >> i) & 1u) ? 0.0 : 1.0 - 1e-12;
+  }
+  return SampleObliviousWithSeeds(values, p, seeds);
+}
+
+class Lemma42SweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma42SweepTest, CoefficientConditionsHoldBeyondPaperRange) {
+  // alpha_1 > 0, alpha_i < 0 for i > 1, alpha_1 <= p^-r: sufficient for
+  // monotonicity, nonnegativity, and HT dominance (Lemma 4.2). The paper
+  // checked r <= 4; we sweep a probability grid at each r up to 16.
+  const int r = GetParam();
+  for (double p : {0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
+    const MaxLUniform est(r, p);
+    EXPECT_GT(est.alpha()[0], 0.0) << "r=" << r << " p=" << p;
+    // p^-r overflows no earlier than r=16 at p=0.05? 20^16 ~ 6.5e20: fine.
+    EXPECT_LE(est.alpha()[0], std::pow(p, -r) * (1 + 1e-9))
+        << "r=" << r << " p=" << p;
+    for (int i = 1; i < r; ++i) {
+      // Nonpositive; at large r and p near 1 the trailing coefficients
+      // (~(1-p)^{i-1}) underflow below the prefix sums' ULP and round to
+      // exactly 0, so strict negativity cannot be asserted in double.
+      EXPECT_LE(est.alpha()[static_cast<size_t>(i)], 0.0)
+          << "r=" << r << " p=" << p << " i=" << i;
+      if (r <= 8 || p <= 0.8) {
+        EXPECT_LT(est.alpha()[static_cast<size_t>(i)], 0.0)
+            << "r=" << r << " p=" << p << " i=" << i;
+      }
+    }
+    // Prefix sums must stay positive (estimates of all-equal vectors).
+    for (double a : est.prefix_sums()) {
+      EXPECT_GT(a, 0.0) << "r=" << r << " p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToSixteen, Lemma42SweepTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12, 16));
+
+class MonotonicityConjectureTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MonotonicityConjectureTest, RefinementNeverDecreasesEstimate) {
+  // Direct check of the conjecture's monotonicity claim: for every data
+  // vector and every pair of nested sampled sets S1 subset S2, the
+  // estimate under S2 is at least the estimate under S1.
+  const auto [r, p] = GetParam();
+  const MaxLUniform est(r, p);
+  const std::vector<double> probs(static_cast<size_t>(r), p);
+  Rng rng(1000 + r);
+  for (int t = 0; t < 12; ++t) {
+    std::vector<double> v(static_cast<size_t>(r));
+    for (double& x : v) {
+      const double roll = rng.UniformDouble();
+      x = roll < 0.2 ? 0.0 : (roll < 0.45 ? 4.0 : rng.UniformDouble(0, 9));
+    }
+    std::vector<double> cache(1u << r, 0.0);
+    for (uint32_t mask = 0; mask < (1u << r); ++mask) {
+      cache[mask] = est.Estimate(MakeOutcome(v, probs, mask));
+    }
+    for (uint32_t mask = 0; mask < (1u << r); ++mask) {
+      for (int add = 0; add < r; ++add) {
+        if ((mask >> add) & 1u) continue;
+        const uint32_t bigger = mask | (1u << add);
+        EXPECT_GE(cache[bigger], cache[mask] - 1e-9)
+            << "r=" << r << " p=" << p << " mask=" << mask << "+" << add;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BeyondPaperRange, MonotonicityConjectureTest,
+    ::testing::Combine(::testing::Values(5, 6),
+                       ::testing::Values(0.15, 0.5, 0.85)));
+
+TEST(ConjectureTest, DominanceOverHtAtRFiveAndSix) {
+  for (int r : {5, 6}) {
+    for (double p : {0.2, 0.6}) {
+      const MaxLUniform est(r, p);
+      const std::vector<double> probs(static_cast<size_t>(r), p);
+      Rng rng(77 + r);
+      for (int t = 0; t < 8; ++t) {
+        std::vector<double> v(static_cast<size_t>(r));
+        for (double& x : v) x = rng.UniformDouble(0, 6);
+        EXPECT_LE(est.Variance(v),
+                  ObliviousHtVariance(v, probs, MaxOf) + 1e-9)
+            << "r=" << r << " p=" << p;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form r = 2 variance for arbitrary (p1, p2)
+// ---------------------------------------------------------------------------
+
+class MaxLTwoClosedFormTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MaxLTwoClosedFormTest, MatchesEnumeration) {
+  const auto [p1, p2] = GetParam();
+  const MaxLTwo est(p1, p2);
+  Rng rng(9);
+  for (int t = 0; t < 50; ++t) {
+    const double v1 = rng.UniformDouble(0, 10);
+    const double v2 = rng.UniformDouble(0, 10);
+    EXPECT_NEAR(est.VarianceClosedForm(v1, v2), est.Variance(v1, v2),
+                1e-9 * std::max(1.0, est.Variance(v1, v2)))
+        << v1 << "," << v2;
+  }
+  // Degenerate corners.
+  EXPECT_NEAR(est.VarianceClosedForm(0, 0), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MaxLTwoClosedFormTest,
+    ::testing::Values(std::make_tuple(0.5, 0.5), std::make_tuple(0.1, 0.9),
+                      std::make_tuple(0.3, 0.3), std::make_tuple(0.99, 0.01)));
+
+}  // namespace
+}  // namespace pie

@@ -1,0 +1,287 @@
+// Tests for the extension estimators: weighted min^(HT) (estimable even
+// with unknown seeds), coordinated shared-seed max/min estimators
+// (Section 7.2's "coordination boosts multi-instance estimation"), the
+// general-r weighted OR, and the bottom-k binary sketch for distinct
+// counting.
+
+#include <cmath>
+
+#include "aggregate/distinct.h"
+#include "core/coordinated.h"
+#include "core/functions.h"
+#include "core/ht.h"
+#include "core/min_weighted.h"
+#include "core/or_weighted.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "workload/sets.h"
+
+namespace pie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MinHtWeighted
+// ---------------------------------------------------------------------------
+
+TEST(MinHtWeightedTest, PositiveOnlyWhenAllSampled) {
+  const MinHtWeighted est({10.0, 10.0});
+  {
+    const auto o = SamplePpsWithSeeds({6, 2}, {10, 10}, {0.5, 0.1});
+    EXPECT_NEAR(est.Estimate(o), 2.0 / (0.6 * 0.2), 1e-12);
+  }
+  {
+    const auto o = SamplePpsWithSeeds({6, 2}, {10, 10}, {0.5, 0.5});
+    EXPECT_EQ(est.Estimate(o), 0.0);  // entry 2 missing
+  }
+}
+
+TEST(MinHtWeightedTest, NeverReadsSeeds) {
+  // Identical estimates for any seeds producing the same sampled set: min
+  // is estimable with UNKNOWN seeds (Section 6 discussion).
+  const MinHtWeighted est({10.0, 10.0});
+  const auto a = SamplePpsWithSeeds({6, 2}, {10, 10}, {0.1, 0.05});
+  const auto b = SamplePpsWithSeeds({6, 2}, {10, 10}, {0.59, 0.19});
+  EXPECT_EQ(est.Estimate(a), est.Estimate(b));
+}
+
+TEST(MinHtWeightedTest, UnbiasedOverSeeds) {
+  const std::vector<double> tau = {10.0, 15.0, 8.0};
+  const MinHtWeighted est(tau);
+  Rng rng(3);
+  for (auto v : {std::vector<double>{6, 9, 3}, {2, 2, 2}, {5, 0, 7}}) {
+    RunningStat stat;
+    for (int t = 0; t < 200000; ++t) {
+      stat.Add(est.Estimate(SamplePps(v, tau, rng)));
+    }
+    EXPECT_NEAR(stat.mean(), MinOf(v), 5 * stat.standard_error() + 1e-12);
+  }
+}
+
+TEST(MinHtWeightedTest, VarianceFormulaMatchesMonteCarlo) {
+  const std::vector<double> tau = {10.0, 10.0};
+  const MinHtWeighted est(tau);
+  const std::vector<double> v = {4.0, 6.0};
+  Rng rng(5);
+  RunningStat stat;
+  for (int t = 0; t < 300000; ++t) {
+    stat.Add(est.Estimate(SamplePps(v, tau, rng)));
+  }
+  EXPECT_NEAR(stat.sample_variance(), est.Variance(v), 0.03 * est.Variance(v));
+  EXPECT_NEAR(est.Variance(v), 16.0 * (1.0 / 0.24 - 1.0), 1e-9);
+}
+
+TEST(MinHtWeightedTest, ZeroValueMeansZeroEverything) {
+  const MinHtWeighted est({5.0, 5.0});
+  EXPECT_EQ(est.PositiveProb({0.0, 3.0}), 0.0);
+  EXPECT_EQ(est.Variance({0.0, 3.0}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated estimators
+// ---------------------------------------------------------------------------
+
+TEST(CoordinatedTest, SharedSamplerNestsSamples) {
+  // With a shared seed and equal thresholds, the sampled set is exactly the
+  // set of entries above u*tau: larger values are always included when
+  // smaller ones are.
+  Rng rng(7);
+  for (int t = 0; t < 2000; ++t) {
+    const auto o = SamplePpsShared({2.0, 5.0, 9.0}, {10, 10, 10}, rng);
+    if (o.sampled[0]) {
+      EXPECT_TRUE(o.sampled[1] && o.sampled[2]);
+    }
+    if (o.sampled[1]) {
+      EXPECT_TRUE(o.sampled[2]);
+    }
+  }
+}
+
+TEST(CoordinatedTest, MaxEstimateTable) {
+  const MaxHtCoordinated est({10.0, 10.0});
+  {
+    // u = 0.3: both sampled (6 >= 3, 4 >= 3): max known = 6, p = 0.6.
+    const auto o = SamplePpsSharedWithSeed({6, 4}, {10, 10}, 0.3);
+    EXPECT_NEAR(est.Estimate(o), 6.0 / 0.6, 1e-12);
+  }
+  {
+    // u = 0.5: entry 2 missing, bound 5 < 6: max still known.
+    const auto o = SamplePpsSharedWithSeed({6, 4}, {10, 10}, 0.5);
+    EXPECT_NEAR(est.Estimate(o), 6.0 / 0.6, 1e-12);
+  }
+  {
+    // u = 0.7: nothing sampled.
+    const auto o = SamplePpsSharedWithSeed({6, 4}, {10, 10}, 0.7);
+    EXPECT_EQ(est.Estimate(o), 0.0);
+  }
+}
+
+TEST(CoordinatedTest, MaxUnbiasedOverSharedSeeds) {
+  const std::vector<double> tau = {10.0, 12.0};
+  const MaxHtCoordinated est(tau);
+  Rng rng(11);
+  for (auto v : {std::vector<double>{6, 2}, {3, 3}, {0, 5}, {9, 11}}) {
+    RunningStat stat;
+    for (int t = 0; t < 200000; ++t) {
+      stat.Add(est.Estimate(SamplePpsShared(v, tau, rng)));
+    }
+    EXPECT_NEAR(stat.mean(), MaxOf(v), 5 * stat.standard_error() + 1e-9);
+  }
+}
+
+TEST(CoordinatedTest, MinUnbiasedOverSharedSeeds) {
+  const std::vector<double> tau = {10.0, 12.0};
+  const MinHtCoordinated est(tau);
+  Rng rng(13);
+  for (auto v : {std::vector<double>{6, 2}, {4, 4}, {9, 11}}) {
+    RunningStat stat;
+    for (int t = 0; t < 200000; ++t) {
+      stat.Add(est.Estimate(SamplePpsShared(v, tau, rng)));
+    }
+    EXPECT_NEAR(stat.mean(), MinOf(v), 5 * stat.standard_error() + 1e-9);
+  }
+}
+
+TEST(CoordinatedTest, CoordinationBeatsIndependenceForMax) {
+  // P[positive] is a min of rates instead of a product => lower variance
+  // for every data vector (strictly when both rates < 1).
+  const std::vector<double> tau = {10.0, 10.0};
+  const MaxHtCoordinated coord(tau);
+  const MaxHtWeighted indep(tau);
+  for (double v1 : {1.0, 4.0, 8.0}) {
+    for (double v2 : {0.5, 4.0, 7.0}) {
+      EXPECT_LT(coord.Variance({v1, v2}), indep.Variance({v1, v2}) - 1e-9)
+          << v1 << "," << v2;
+    }
+  }
+}
+
+TEST(CoordinatedTest, CoordinationBeatsIndependenceForMin) {
+  const std::vector<double> tau = {10.0, 10.0};
+  const MinHtCoordinated coord(tau);
+  const MinHtWeighted indep(tau);
+  for (double v1 : {1.0, 4.0, 8.0}) {
+    for (double v2 : {2.0, 4.0, 7.0}) {
+      EXPECT_LT(coord.Variance({v1, v2}), indep.Variance({v1, v2}) - 1e-9);
+    }
+  }
+}
+
+TEST(CoordinatedTest, VarianceFormulasMatchMonteCarlo) {
+  const std::vector<double> tau = {10.0, 10.0};
+  const MaxHtCoordinated max_est(tau);
+  const MinHtCoordinated min_est(tau);
+  const std::vector<double> v = {6.0, 4.0};
+  Rng rng(17);
+  RunningStat mx, mn;
+  for (int t = 0; t < 300000; ++t) {
+    const auto o = SamplePpsShared(v, tau, rng);
+    mx.Add(max_est.Estimate(o));
+    mn.Add(min_est.Estimate(o));
+  }
+  EXPECT_NEAR(mx.sample_variance(), max_est.Variance(v),
+              0.03 * max_est.Variance(v));
+  EXPECT_NEAR(mn.sample_variance(), min_est.Variance(v),
+              0.03 * min_est.Variance(v));
+}
+
+TEST(CoordinatedTest, ThreeInstances) {
+  const std::vector<double> tau = {10.0, 10.0, 10.0};
+  const MaxHtCoordinated est(tau);
+  Rng rng(19);
+  const std::vector<double> v = {2.0, 7.0, 4.0};
+  RunningStat stat;
+  for (int t = 0; t < 200000; ++t) {
+    stat.Add(est.Estimate(SamplePpsShared(v, tau, rng)));
+  }
+  EXPECT_NEAR(stat.mean(), 7.0, 5 * stat.standard_error());
+  // p = 0.7 single event: Var = 49(1/0.7 - 1).
+  EXPECT_NEAR(est.Variance(v), 49.0 * (1.0 / 0.7 - 1.0), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// OrWeightedUniform (general r)
+// ---------------------------------------------------------------------------
+
+TEST(OrWeightedUniformTest, MatchesTwoInstanceWrapper) {
+  const double tau = 3.0;
+  const OrWeightedUniform uni(2, tau);
+  const OrWeightedTwo two(tau, tau);
+  Rng rng(23);
+  for (int t = 0; t < 2000; ++t) {
+    const std::vector<double> v = {rng.Bernoulli(0.5) ? 1.0 : 0.0,
+                                   rng.Bernoulli(0.5) ? 1.0 : 0.0};
+    const auto o = SamplePps(v, {tau, tau}, rng);
+    EXPECT_NEAR(uni.EstimateL(o), two.EstimateL(o), 1e-10);
+    EXPECT_NEAR(uni.EstimateHt(o), two.EstimateHt(o), 1e-10);
+  }
+}
+
+TEST(OrWeightedUniformTest, UnbiasedForRFour) {
+  const double tau = 4.0;  // p = 1/4
+  const OrWeightedUniform est(4, tau);
+  const std::vector<double> taus(4, tau);
+  Rng rng(29);
+  for (int ones = 0; ones <= 4; ++ones) {
+    std::vector<double> v(4, 0.0);
+    for (int i = 0; i < ones; ++i) v[static_cast<size_t>(i)] = 1.0;
+    RunningStat l, ht;
+    for (int t = 0; t < 100000; ++t) {
+      const auto o = SamplePps(v, taus, rng);
+      l.Add(est.EstimateL(o));
+      ht.Add(est.EstimateHt(o));
+    }
+    const double truth = ones > 0 ? 1.0 : 0.0;
+    EXPECT_NEAR(l.mean(), truth, 5 * l.standard_error() + 1e-9) << ones;
+    EXPECT_NEAR(ht.mean(), truth, 5 * ht.standard_error() + 1e-9) << ones;
+    if (ones > 0) {
+      EXPECT_LT(l.sample_variance(), ht.sample_variance());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bottom-k binary sketches for distinct count
+// ---------------------------------------------------------------------------
+
+TEST(BottomKDistinctTest, ExactWhenSetFits) {
+  const std::vector<uint64_t> keys = {1, 2, 3};
+  const auto sketch = SampleBinaryBottomK(keys, 5, 7);
+  EXPECT_EQ(sketch.keys.size(), 3u);
+  EXPECT_EQ(sketch.p, 1.0);
+}
+
+TEST(BottomKDistinctTest, KeepsKSmallestSeeds) {
+  const SetPair pair = MakeJaccardSetPair(500, 0.5);
+  const int k = 50;
+  const auto sketch = SampleBinaryBottomK(pair.n1, k, 99);
+  EXPECT_EQ(sketch.keys.size(), static_cast<size_t>(k));
+  const SeedFunction seed(99);
+  // Every kept seed is below the threshold p; every dropped one is >= p.
+  for (uint64_t key : sketch.keys) EXPECT_LT(seed(key), sketch.p);
+  int below = 0;
+  for (uint64_t key : pair.n1) below += seed(key) < sketch.p ? 1 : 0;
+  EXPECT_EQ(below, k);
+}
+
+TEST(BottomKDistinctTest, EstimatorsUnbiasedOverSalts) {
+  const SetPair pair = MakeJaccardSetPair(600, 0.5);
+  const int k = 120;
+  RunningStat ht, l;
+  for (uint64_t trial = 0; trial < 4000; ++trial) {
+    const auto s1 = SampleBinaryBottomK(pair.n1, k, Mix64(2 * trial + 1));
+    const auto s2 = SampleBinaryBottomK(pair.n2, k, Mix64(2 * trial + 2));
+    const auto c = ClassifyDistinct(s1, s2);
+    ht.Add(DistinctHtEstimate(c, s1.p, s2.p));
+    l.Add(DistinctLEstimate(c, s1.p, s2.p));
+  }
+  const double truth = static_cast<double>(pair.union_size);
+  // Rank conditioning is only approximately independent across keys, but
+  // per-key estimates remain unbiased; allow a slightly wider band.
+  EXPECT_NEAR(ht.mean(), truth, 5 * ht.standard_error());
+  EXPECT_NEAR(l.mean(), truth, 5 * l.standard_error());
+  EXPECT_LT(l.sample_variance(), ht.sample_variance());
+}
+
+}  // namespace
+}  // namespace pie

@@ -1,0 +1,437 @@
+// Tests for the weight-oblivious max estimators (Section 4): closed-form
+// tables, exact unbiasedness by outcome enumeration, nonnegativity,
+// monotonicity, dominance over Horvitz-Thompson, and the paper's Figure 1
+// variance formulas.
+
+#include <cmath>
+#include <vector>
+
+#include "core/enumerate.h"
+#include "core/functions.h"
+#include "core/ht.h"
+#include "core/max_oblivious.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+ObliviousOutcome MakeOutcome(const std::vector<double>& values,
+                             const std::vector<double>& p, uint32_t mask) {
+  std::vector<double> seeds(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    seeds[i] = ((mask >> i) & 1u) ? 0.0 : 1.0 - 1e-12;
+  }
+  return SampleObliviousWithSeeds(values, p, seeds);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive functions
+// ---------------------------------------------------------------------------
+
+TEST(FunctionsTest, Basics) {
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.5};
+  EXPECT_EQ(MaxOf(v), 4.0);
+  EXPECT_EQ(MinOf(v), 1.0);
+  EXPECT_EQ(RangeOf(v), 3.0);
+  EXPECT_DOUBLE_EQ(RangePowOf(v, 2.0), 9.0);
+  EXPECT_EQ(OrOf({0.0, 0.0}), 0.0);
+  EXPECT_EQ(OrOf({0.0, 1.0}), 1.0);
+  EXPECT_EQ(LthOf(v, 1), 4.0);
+  EXPECT_EQ(LthOf(v, 2), 3.0);
+  EXPECT_EQ(LthOf(v, 4), 1.0);
+}
+
+TEST(FunctionsTest, EmptyVectorConventions) {
+  EXPECT_EQ(MaxOf({}), 0.0);
+  EXPECT_EQ(MinOf({}), 0.0);
+  EXPECT_EQ(RangeOf({}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// HT estimator (oblivious)
+// ---------------------------------------------------------------------------
+
+TEST(HtObliviousTest, PositiveOnlyWhenAllSampled) {
+  const std::vector<double> values = {2.0, 5.0};
+  const std::vector<double> p = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(ObliviousHtEstimate(MakeOutcome(values, p, 0b11), MaxOf),
+                   5.0 / 0.125);
+  EXPECT_EQ(ObliviousHtEstimate(MakeOutcome(values, p, 0b01), MaxOf), 0.0);
+  EXPECT_EQ(ObliviousHtEstimate(MakeOutcome(values, p, 0b00), MaxOf), 0.0);
+}
+
+TEST(HtObliviousTest, UnbiasedForAnyFunction) {
+  const std::vector<double> values = {2.0, 5.0, 1.0};
+  const std::vector<double> p = {0.5, 0.25, 0.8};
+  for (const VectorFunction& f :
+       std::vector<VectorFunction>{MaxOf, MinOf, RangeOf}) {
+    const double mean = ObliviousExpectation(values, p, [&](const auto& o) {
+      return ObliviousHtEstimate(o, f);
+    });
+    EXPECT_NEAR(mean, f(values), 1e-12);
+  }
+}
+
+TEST(HtObliviousTest, VarianceFormulaMatchesEnumeration) {
+  const std::vector<double> values = {2.0, 5.0};
+  const std::vector<double> p = {0.5, 0.25};
+  const double analytic = ObliviousHtVariance(values, p, MaxOf);
+  const double exact = ObliviousVariance(values, p, [&](const auto& o) {
+    return ObliviousHtEstimate(o, MaxOf);
+  });
+  EXPECT_NEAR(analytic, exact, 1e-9);
+  EXPECT_NEAR(analytic, 25.0 * (1.0 / 0.125 - 1.0), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// MaxLTwo: closed form of Section 4.1
+// ---------------------------------------------------------------------------
+
+TEST(MaxLTwoTest, Figure1EstimateTable) {
+  // p1 = p2 = 1/2 (Figure 1): S={1}: 4v1/3; S={1,2}: (8max - 4min)/3.
+  const MaxLTwo est(0.5, 0.5);
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> v = {3.0, 2.0};
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, p, 0b00)), 0.0, 1e-12);
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, p, 0b01)), 4.0 * 3.0 / 3.0, 1e-12);
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, p, 0b10)), 4.0 * 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, p, 0b11)),
+              (8.0 * 3.0 - 4.0 * 2.0) / 3.0, 1e-12);
+}
+
+TEST(MaxLTwoTest, MatchesDeterminingVectorForm) {
+  // Equation (12): on S={1,2} with v1 >= v2,
+  // est = v1/(p1 q) - v2 (1-p1)/(p1 q).
+  const double p1 = 0.3, p2 = 0.7;
+  const MaxLTwo est(p1, p2);
+  const double q = p1 + p2 - p1 * p2;
+  const std::vector<double> p = {p1, p2};
+  const double v1 = 5.0, v2 = 2.0;
+  EXPECT_NEAR(est.Estimate(MakeOutcome({v1, v2}, p, 0b11)),
+              v1 / (p1 * q) - v2 * (1 - p1) / (p1 * q), 1e-12);
+  // Symmetric case v2 > v1.
+  EXPECT_NEAR(est.Estimate(MakeOutcome({v2, v1}, p, 0b11)),
+              v1 / (p2 * q) - v2 * (1 - p2) / (p2 * q), 1e-12);
+}
+
+TEST(MaxLTwoTest, EqualValuesUseSingleSampleRate) {
+  // Equation (11): estimate max/(p1+p2-p1p2) whenever the determining
+  // vector has two equal entries.
+  const double p1 = 0.4, p2 = 0.6;
+  const MaxLTwo est(p1, p2);
+  const double q = p1 + p2 - p1 * p2;
+  const std::vector<double> p = {p1, p2};
+  EXPECT_NEAR(est.Estimate(MakeOutcome({7.0, 7.0}, p, 0b11)), 7.0 / q, 1e-12);
+  EXPECT_NEAR(est.Estimate(MakeOutcome({7.0, 7.0}, p, 0b01)), 7.0 / q, 1e-12);
+}
+
+class MaxLTwoGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MaxLTwoGridTest, UnbiasedNonnegativeDominant) {
+  const auto [p1, p2] = GetParam();
+  const MaxLTwo est(p1, p2);
+  const std::vector<double> p = {p1, p2};
+  auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+  for (double v1 : {0.0, 0.5, 1.0, 3.0}) {
+    for (double v2 : {0.0, 1.0, 2.0, 3.0}) {
+      const std::vector<double> v = {v1, v2};
+      EXPECT_NEAR(ObliviousExpectation(v, p, fn), MaxOf(v), 1e-10)
+          << "p=(" << p1 << "," << p2 << ") v=(" << v1 << "," << v2 << ")";
+      EXPECT_GE(ObliviousMinEstimate(v, p, fn), -1e-12);
+      EXPECT_LE(est.Variance(v1, v2),
+                ObliviousHtVariance(v, p, MaxOf) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProbabilityGrid, MaxLTwoGridTest,
+    ::testing::Values(std::make_tuple(0.5, 0.5), std::make_tuple(0.2, 0.8),
+                      std::make_tuple(0.1, 0.1), std::make_tuple(0.9, 0.3),
+                      std::make_tuple(1.0, 0.5), std::make_tuple(0.05, 0.95)));
+
+TEST(MaxLTwoTest, Figure1VarianceFormulas) {
+  // VAR[L] = 11/9 max^2 + 8/9 min^2 - 16/9 max*min at p = 1/2.
+  const MaxLTwo est(0.5, 0.5);
+  for (double mx : {1.0, 2.0}) {
+    for (double mn : {0.0, 0.5, 1.0}) {
+      if (mn > mx) continue;
+      const double expected =
+          11.0 / 9.0 * mx * mx + 8.0 / 9.0 * mn * mn - 16.0 / 9.0 * mx * mn;
+      EXPECT_NEAR(est.Variance(mx, mn), expected, 1e-10);
+      EXPECT_NEAR(est.Variance(mn, mx), expected, 1e-10);  // symmetric
+    }
+  }
+}
+
+TEST(MaxLTwoTest, MonotoneInInformation) {
+  // More informative outcomes give (weakly) larger estimates: the estimate
+  // with both entries sampled is at least the single-entry estimate it
+  // refines (Lemma 3.2 consequence for max^(L)).
+  const MaxLTwo est(0.35, 0.6);
+  const std::vector<double> p = {0.35, 0.6};
+  Rng rng(5);
+  for (int t = 0; t < 2000; ++t) {
+    const double v1 = rng.UniformDouble(0, 10);
+    const double v2 = rng.UniformDouble(0, v1);  // v2 <= v1
+    const double single = est.Estimate(MakeOutcome({v1, v2}, p, 0b01));
+    const double both = est.Estimate(MakeOutcome({v1, v2}, p, 0b11));
+    EXPECT_GE(both, single - 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MaxLUniform: Theorem 4.2 / Algorithm 3
+// ---------------------------------------------------------------------------
+
+TEST(MaxLUniformTest, MatchesClosedFormR2) {
+  // Equation (22): alpha = (1/(p^2(2-p)), -(1-p)/(p^2(2-p))).
+  for (double p : {0.1, 0.3, 0.5, 0.9}) {
+    const MaxLUniform est(2, p);
+    const double denom = p * p * (2.0 - p);
+    EXPECT_NEAR(est.alpha()[0], 1.0 / denom, 1e-12);
+    EXPECT_NEAR(est.alpha()[1], -(1.0 - p) / denom, 1e-12);
+  }
+}
+
+TEST(MaxLUniformTest, MatchesClosedFormR3) {
+  // The explicit r = 3 coefficients printed in Section 4.1.
+  for (double p : {0.2, 0.5, 0.8}) {
+    const MaxLUniform est(3, p);
+    const double d3 = 3.0 - 3.0 * p + p * p;
+    const double a1 =
+        (2.0 - 2.0 * p + p * p) / (p * p * p * (2.0 - p) * d3);
+    const double a2 = -(1.0 - p) / (p * p * p * d3);
+    const double a3 =
+        -(1.0 - p) * (1.0 - p) / (p * p * (2.0 - p) * d3);
+    EXPECT_NEAR(est.alpha()[0], a1, 1e-10) << p;
+    EXPECT_NEAR(est.alpha()[1], a2, 1e-10) << p;
+    EXPECT_NEAR(est.alpha()[2], a3, 1e-10) << p;
+  }
+}
+
+TEST(MaxLUniformTest, PrefixSumsMatchTheorem) {
+  // A_r = 1/(1-(1-p)^r) and A_{r-1} = A_r / (1-(1-p)^{r-1}).
+  for (int r : {2, 3, 4, 5}) {
+    for (double p : {0.25, 0.5, 0.75}) {
+      const MaxLUniform est(r, p);
+      const double ar = 1.0 / (1.0 - std::pow(1.0 - p, r));
+      EXPECT_NEAR(est.prefix_sums()[r - 1], ar, 1e-12);
+      EXPECT_NEAR(est.prefix_sums()[r - 2],
+                  ar / (1.0 - std::pow(1.0 - p, r - 1)), 1e-12);
+    }
+  }
+}
+
+TEST(MaxLUniformTest, AgreesWithMaxLTwo) {
+  const double p = 0.37;
+  const MaxLUniform uniform(2, p);
+  const MaxLTwo two(p, p);
+  const std::vector<double> probs = {p, p};
+  Rng rng(11);
+  for (int t = 0; t < 500; ++t) {
+    const std::vector<double> v = {rng.UniformDouble(0, 5),
+                                   rng.UniformDouble(0, 5)};
+    for (uint32_t mask = 0; mask < 4; ++mask) {
+      const auto outcome = MakeOutcome(v, probs, mask);
+      EXPECT_NEAR(uniform.Estimate(outcome), two.Estimate(outcome), 1e-9);
+    }
+  }
+}
+
+class MaxLUniformUnbiasedTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MaxLUniformUnbiasedTest, ExactlyUnbiasedByEnumeration) {
+  const auto [r, p] = GetParam();
+  const MaxLUniform est(r, p);
+  const std::vector<double> probs(r, p);
+  Rng rng(101 + r);
+  auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> v(r);
+    for (double& x : v) {
+      // Mix of zeros, ties, and distinct values.
+      const double roll = rng.UniformDouble();
+      x = roll < 0.2 ? 0.0 : (roll < 0.4 ? 2.0 : rng.UniformDouble(0, 10));
+    }
+    EXPECT_NEAR(ObliviousExpectation(v, probs, fn), MaxOf(v),
+                1e-8 * std::max(1.0, MaxOf(v)))
+        << "r=" << r << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dimensions, MaxLUniformUnbiasedTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(0.2, 0.5, 0.8)));
+
+TEST(MaxLUniformTest, Lemma42CoefficientSigns) {
+  // alpha_1 > 0, alpha_i < 0 for i > 1, alpha_1 <= p^-r: the sufficient
+  // conditions for monotonicity/nonnegativity/dominance (the paper verified
+  // them for r <= 4; we check further).
+  for (int r : {2, 3, 4, 5, 6}) {
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      const MaxLUniform est(r, p);
+      EXPECT_GT(est.alpha()[0], 0.0);
+      EXPECT_LE(est.alpha()[0], std::pow(p, -r) * (1 + 1e-12));
+      for (int i = 1; i < r; ++i) {
+        EXPECT_LT(est.alpha()[i], 0.0) << "r=" << r << " p=" << p << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(MaxLUniformTest, NonnegativeAndDominatesHtByEnumeration) {
+  for (int r : {2, 3, 4}) {
+    for (double p : {0.3, 0.6}) {
+      const MaxLUniform est(r, p);
+      const std::vector<double> probs(r, p);
+      auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+      Rng rng(7 * r);
+      for (int t = 0; t < 10; ++t) {
+        std::vector<double> v(r);
+        for (double& x : v) x = rng.UniformDouble(0, 4);
+        EXPECT_GE(ObliviousMinEstimate(v, probs, fn), -1e-10);
+        EXPECT_LE(est.Variance(v), ObliviousHtVariance(v, probs, MaxOf) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(MaxLUniformTest, TieInvariance) {
+  // Theorem 4.1: the estimate must not depend on which sorting permutation
+  // breaks ties among equal values. With uniform p this reduces to the
+  // estimate being well-defined from the sorted multiset -- check outcomes
+  // that differ only by which of two equal-valued entries is sampled.
+  const MaxLUniform est(3, 0.4);
+  const std::vector<double> probs = {0.4, 0.4, 0.4};
+  const std::vector<double> v = {5.0, 5.0, 2.0};
+  // Sample entry 0 + 2 vs entry 1 + 2: identical information up to
+  // permutation.
+  const double a = est.Estimate(MakeOutcome(v, probs, 0b101));
+  const double b = est.Estimate(MakeOutcome(v, probs, 0b110));
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(MaxLUniformTest, DegenerateSingleInstance) {
+  // r = 1: the determining vector is the sampled value; estimate v/p.
+  const MaxLUniform est(1, 0.25);
+  ASSERT_EQ(est.alpha().size(), 1u);
+  EXPECT_NEAR(est.alpha()[0], 4.0, 1e-12);
+}
+
+TEST(MaxLUniformTest, FullSamplingIsExact) {
+  // p = 1: estimator must return max exactly (all sampled, no variance).
+  const MaxLUniform est(3, 1.0);
+  const std::vector<double> probs = {1.0, 1.0, 1.0};
+  const std::vector<double> v = {1.0, 7.0, 3.0};
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, probs, 0b111)), 7.0, 1e-12);
+  EXPECT_NEAR(est.Variance(v), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// MaxUTwo / MaxUAsymTwo: Section 4.2
+// ---------------------------------------------------------------------------
+
+TEST(MaxUTwoTest, Figure1EstimateTable) {
+  // p1 = p2 = 1/2: S={1}: 2 v1; S={1,2}: 2 max - 2 min.
+  const MaxUTwo est(0.5, 0.5);
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> v = {3.0, 2.0};
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, p, 0b01)), 6.0, 1e-12);
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, p, 0b10)), 4.0, 1e-12);
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, p, 0b11)), 2.0 * 3.0 - 2.0 * 2.0,
+              1e-12);
+  EXPECT_EQ(est.Estimate(MakeOutcome(v, p, 0b00)), 0.0);
+}
+
+class MaxUTwoGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MaxUTwoGridTest, UnbiasedNonnegativeDominant) {
+  const auto [p1, p2] = GetParam();
+  const MaxUTwo est(p1, p2);
+  const std::vector<double> p = {p1, p2};
+  auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+  for (double v1 : {0.0, 1.0, 2.5}) {
+    for (double v2 : {0.0, 0.5, 2.5, 4.0}) {
+      const std::vector<double> v = {v1, v2};
+      EXPECT_NEAR(ObliviousExpectation(v, p, fn), MaxOf(v), 1e-10);
+      EXPECT_GE(ObliviousMinEstimate(v, p, fn), -1e-12);
+      EXPECT_LE(est.Variance(v1, v2),
+                ObliviousHtVariance(v, p, MaxOf) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProbabilityGrid, MaxUTwoGridTest,
+    ::testing::Values(std::make_tuple(0.5, 0.5), std::make_tuple(0.2, 0.8),
+                      std::make_tuple(0.15, 0.15), std::make_tuple(0.7, 0.9)));
+
+TEST(MaxUTwoTest, Figure1VarianceFormulas) {
+  // Erratum (documented in DESIGN.md): Figure 1 of the paper prints
+  // VAR[U] = 3/4 max^2 + 2 min^2 - 2 max*min, but the paper's own estimate
+  // table (S={1}: 2v1, S={2}: 2v2, S={1,2}: 2max-2min at p=1/2) yields
+  // VAR[U] = max^2 + 2 min^2 - 2 max*min; 3/4 max^2 is unachievable for any
+  // unbiased nonnegative estimator on (v, 0) (the positive outcomes have
+  // total probability 1/2, so E[x^2] >= 2 max^2 already at the optimum).
+  const MaxUTwo est(0.5, 0.5);
+  for (double mx : {1.0, 3.0}) {
+    for (double mn : {0.0, 1.0}) {
+      if (mn > mx) continue;
+      EXPECT_NEAR(est.Variance(mx, mn),
+                  mx * mx + 2.0 * mn * mn - 2.0 * mx * mn, 1e-10);
+    }
+  }
+}
+
+TEST(MaxEstimatorsTest, LAndUAreIncomparable) {
+  // Pareto optimality: L wins on similar values, U wins on disjoint support
+  // (Figure 1 discussion).
+  const MaxLTwo l(0.5, 0.5);
+  const MaxUTwo u(0.5, 0.5);
+  EXPECT_LT(l.Variance(1.0, 1.0), u.Variance(1.0, 1.0));  // 1/3 < 3/4
+  EXPECT_GT(l.Variance(1.0, 0.0), u.Variance(1.0, 0.0));  // 11/9 > 3/4
+}
+
+TEST(MaxUAsymTwoTest, UnbiasedAndNonnegative) {
+  for (auto [p1, p2] : {std::make_pair(0.3, 0.4), std::make_pair(0.5, 0.5),
+                        std::make_pair(0.8, 0.1)}) {
+    const MaxUAsymTwo est(p1, p2);
+    const std::vector<double> p = {p1, p2};
+    auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+    for (double v1 : {0.0, 1.0, 2.0}) {
+      for (double v2 : {0.0, 1.0, 3.0}) {
+        const std::vector<double> v = {v1, v2};
+        EXPECT_NEAR(ObliviousExpectation(v, p, fn), MaxOf(v), 1e-10);
+        EXPECT_GE(ObliviousMinEstimate(v, p, fn), -1e-12);
+      }
+    }
+  }
+}
+
+TEST(MaxUAsymTwoTest, PrioritizesFirstCoordinate) {
+  // Processing (v,0) first gives it the minimum-variance estimate v/p1; the
+  // symmetric estimator must be strictly worse there (when p1+p2 < 1) and
+  // better on (0,v).
+  const double p1 = 0.3, p2 = 0.3;
+  const MaxUAsymTwo asym(p1, p2);
+  const MaxUTwo sym(p1, p2);
+  EXPECT_LT(asym.Variance(1.0, 0.0), sym.Variance(1.0, 0.0));
+  EXPECT_GT(asym.Variance(0.0, 1.0), sym.Variance(0.0, 1.0));
+}
+
+TEST(MaxUAsymTwoTest, FirstCoordinateGetsIdealVariance) {
+  // On (v, 0) the asymmetric estimator achieves the single-entry HT bound
+  // v^2 (1/p1 - 1).
+  const double p1 = 0.4, p2 = 0.6;
+  const MaxUAsymTwo est(p1, p2);
+  EXPECT_NEAR(est.Variance(2.0, 0.0), 4.0 * (1.0 / p1 - 1.0), 1e-10);
+}
+
+}  // namespace
+}  // namespace pie

@@ -1,0 +1,321 @@
+// Tests for the Boolean OR estimators (Section 4.3 and their weighted
+// known-seeds forms, Section 5.1): specialization of max, closed-form
+// variances (equations (23), (24)), asymptotics, and the outcome mapping.
+
+#include <cmath>
+
+#include "core/enumerate.h"
+#include "core/functions.h"
+#include "core/max_oblivious.h"
+#include "core/or_oblivious.h"
+#include "core/or_weighted.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace pie {
+namespace {
+
+ObliviousOutcome MakeOutcome(const std::vector<double>& values,
+                             const std::vector<double>& p, uint32_t mask) {
+  std::vector<double> seeds(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    seeds[i] = ((mask >> i) & 1u) ? 0.0 : 1.0 - 1e-12;
+  }
+  return SampleObliviousWithSeeds(values, p, seeds);
+}
+
+// ---------------------------------------------------------------------------
+// OR^(HT)
+// ---------------------------------------------------------------------------
+
+TEST(OrHtTest, EstimateTable) {
+  const std::vector<double> p = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(OrHtEstimate(MakeOutcome({1, 0}, p, 0b11)), 8.0);
+  EXPECT_DOUBLE_EQ(OrHtEstimate(MakeOutcome({0, 0}, p, 0b11)), 0.0);
+  EXPECT_DOUBLE_EQ(OrHtEstimate(MakeOutcome({1, 1}, p, 0b01)), 0.0);
+}
+
+TEST(OrHtTest, UnbiasedAndVarianceFormula) {
+  const std::vector<double> p = {0.5, 0.25};
+  for (auto v : {std::vector<double>{1, 1}, {1, 0}, {0, 1}}) {
+    EXPECT_NEAR(ObliviousExpectation(v, p, OrHtEstimate), 1.0, 1e-12);
+    EXPECT_NEAR(ObliviousVariance(v, p, OrHtEstimate), OrHtVariance(p), 1e-12);
+  }
+  EXPECT_NEAR(OrHtVariance(p), 1.0 / 0.125 - 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// OR^(L) two instances
+// ---------------------------------------------------------------------------
+
+TEST(OrLTwoTest, SpecializesMaxL) {
+  const double p1 = 0.35, p2 = 0.65;
+  const OrLTwo or_l(p1, p2);
+  const MaxLTwo max_l(p1, p2);
+  const std::vector<double> p = {p1, p2};
+  for (double v1 : {0.0, 1.0}) {
+    for (double v2 : {0.0, 1.0}) {
+      for (uint32_t mask = 0; mask < 4; ++mask) {
+        const auto outcome = MakeOutcome({v1, v2}, p, mask);
+        EXPECT_NEAR(or_l.Estimate(outcome), max_l.Estimate(outcome), 1e-12);
+      }
+    }
+  }
+}
+
+class OrLTwoGridTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(OrLTwoGridTest, UnbiasedNonnegativeDominant) {
+  const auto [p1, p2] = GetParam();
+  const OrLTwo est(p1, p2);
+  const std::vector<double> p = {p1, p2};
+  auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+  for (int v1 : {0, 1}) {
+    for (int v2 : {0, 1}) {
+      const std::vector<double> v = {static_cast<double>(v1),
+                                     static_cast<double>(v2)};
+      EXPECT_NEAR(ObliviousExpectation(v, p, fn), OrOf(v), 1e-12);
+      EXPECT_GE(ObliviousMinEstimate(v, p, fn), -1e-12);
+      if (OrOf(v) == 1.0) {
+        EXPECT_LE(est.Variance(v1, v2), OrHtVariance(p) + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProbabilityGrid, OrLTwoGridTest,
+    ::testing::Values(std::make_tuple(0.5, 0.5), std::make_tuple(0.1, 0.9),
+                      std::make_tuple(0.05, 0.05), std::make_tuple(0.99, 0.4)));
+
+TEST(OrLTwoTest, Equation24Variance) {
+  // VAR[OR^L | (1,1)] = 1/(p1+p2-p1p2) - 1.
+  for (auto [p1, p2] : {std::make_pair(0.5, 0.5), std::make_pair(0.3, 0.7)}) {
+    const OrLTwo est(p1, p2);
+    EXPECT_NEAR(est.VarianceBothOnes(), 1.0 / (p1 + p2 - p1 * p2) - 1.0,
+                1e-12);
+    EXPECT_NEAR(est.Variance(1, 1), est.VarianceBothOnes(), 1e-12);
+  }
+}
+
+TEST(OrLTwoTest, VarianceOneZeroMatchesEnumeration) {
+  for (auto [p1, p2] : {std::make_pair(0.5, 0.5), std::make_pair(0.2, 0.6)}) {
+    const OrLTwo est(p1, p2);
+    EXPECT_NEAR(est.VarianceOneZero(), est.Variance(1, 0), 1e-12);
+  }
+}
+
+TEST(OrLTwoTest, SmallPAsymptotics) {
+  // Section 4.3: as p -> 0, VAR[L|(1,1)] ~ 1/(2p) and VAR[L|(1,0)] ~
+  // 1/(4p^2), vs VAR[HT] ~ 1/p^2.
+  const double p = 1e-3;
+  const OrLTwo est(p, p);
+  EXPECT_NEAR(est.VarianceBothOnes() * 2.0 * p, 1.0, 0.01);
+  EXPECT_NEAR(est.VarianceOneZero() * 4.0 * p * p, 1.0, 0.01);
+  EXPECT_NEAR(OrHtVariance({p, p}) * p * p, 1.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// OR^(L) uniform, general r
+// ---------------------------------------------------------------------------
+
+TEST(OrLUniformTest, EstimateIsPrefixSum) {
+  const OrLUniform est(4, 0.3);
+  const MaxLUniform max_l(4, 0.3);
+  // z sampled zeros with at least one sampled one => A_{r-z}.
+  EXPECT_NEAR(est.EstimateFromCounts(1, 0), max_l.prefix_sums()[3], 1e-12);
+  EXPECT_NEAR(est.EstimateFromCounts(2, 1), max_l.prefix_sums()[2], 1e-12);
+  EXPECT_NEAR(est.EstimateFromCounts(1, 3), max_l.prefix_sums()[0], 1e-12);
+  EXPECT_EQ(est.EstimateFromCounts(0, 2), 0.0);
+}
+
+TEST(OrLUniformTest, AgreesWithMaxLUniformOnOutcomes) {
+  const int r = 5;
+  const double p = 0.4;
+  const OrLUniform or_l(r, p);
+  const MaxLUniform max_l(r, p);
+  const std::vector<double> probs(r, p);
+  Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<double> v(r);
+    for (double& x : v) x = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    const uint32_t mask = static_cast<uint32_t>(rng.UniformInt(1u << r));
+    const auto outcome = MakeOutcome(v, probs, mask);
+    EXPECT_NEAR(or_l.Estimate(outcome), max_l.Estimate(outcome), 1e-10);
+  }
+}
+
+class OrLUniformUnbiasedTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(OrLUniformUnbiasedTest, UnbiasedForEveryOnesCount) {
+  const auto [r, p] = GetParam();
+  const OrLUniform est(r, p);
+  const std::vector<double> probs(r, p);
+  auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+  for (int ones = 0; ones <= r; ++ones) {
+    std::vector<double> v(r, 0.0);
+    for (int i = 0; i < ones; ++i) v[i] = 1.0;
+    EXPECT_NEAR(ObliviousExpectation(v, probs, fn), ones > 0 ? 1.0 : 0.0,
+                1e-9)
+        << "r=" << r << " p=" << p << " ones=" << ones;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OrLUniformUnbiasedTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Values(0.1, 0.5, 0.95)));
+
+TEST(OrLUniformTest, VarianceMatchesEnumeration) {
+  for (int r : {2, 3, 5}) {
+    for (double p : {0.3, 0.7}) {
+      const OrLUniform est(r, p);
+      const std::vector<double> probs(r, p);
+      auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+      for (int ones = 0; ones <= r; ++ones) {
+        std::vector<double> v(r, 0.0);
+        for (int i = 0; i < ones; ++i) v[i] = 1.0;
+        EXPECT_NEAR(est.Variance(ones), ObliviousVariance(v, probs, fn),
+                    1e-9)
+            << "r=" << r << " p=" << p << " ones=" << ones;
+      }
+    }
+  }
+}
+
+TEST(OrLUniformTest, VarianceZeroOnAllZeros) {
+  EXPECT_EQ(OrLUniform(4, 0.5).Variance(0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// OR^(U)
+// ---------------------------------------------------------------------------
+
+TEST(OrUTwoTest, UnbiasedNonnegativeAndBeatsHtOnChange) {
+  for (auto [p1, p2] : {std::make_pair(0.5, 0.5), std::make_pair(0.2, 0.3)}) {
+    const OrUTwo est(p1, p2);
+    const std::vector<double> p = {p1, p2};
+    auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+    for (int v1 : {0, 1}) {
+      for (int v2 : {0, 1}) {
+        const std::vector<double> v = {static_cast<double>(v1),
+                                       static_cast<double>(v2)};
+        EXPECT_NEAR(ObliviousExpectation(v, p, fn), OrOf(v), 1e-12);
+        EXPECT_GE(ObliviousMinEstimate(v, p, fn), -1e-12);
+      }
+    }
+    EXPECT_LT(est.Variance(1, 0), OrHtVariance(p));
+    EXPECT_LT(est.Variance(1, 1), OrHtVariance(p));
+  }
+}
+
+TEST(OrEstimatorsTest, Figure2Ordering) {
+  // Figure 2: L has minimum variance on (1,1); U is the symmetric estimator
+  // with minimum variance on (1,0)/(0,1); both dominate HT.
+  for (double p : {0.1, 0.2, 0.3, 0.5}) {
+    const OrLTwo l(p, p);
+    const OrUTwo u(p, p);
+    EXPECT_LT(l.Variance(1, 1), u.Variance(1, 1));
+    EXPECT_GT(l.Variance(1, 0), u.Variance(1, 0));
+    EXPECT_LT(l.Variance(1, 1), OrHtVariance({p, p}));
+    EXPECT_LT(u.Variance(1, 0), OrHtVariance({p, p}));
+  }
+}
+
+TEST(OrUTwoTest, SmallPAsymptotics) {
+  // As p -> 0: VAR[U|(1,0)] ~ 1/(4p^2) and VAR[U|(1,1)] ~ 1/(2p).
+  const double p = 1e-3;
+  const OrUTwo est(p, p);
+  EXPECT_NEAR(est.Variance(1, 0) * 4.0 * p * p, 1.0, 0.02);
+  EXPECT_NEAR(est.Variance(1, 1) * 2.0 * p, 1.0, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted OR with known seeds (Section 5.1)
+// ---------------------------------------------------------------------------
+
+TEST(OrWeightedTest, BinaryInclusionProbs) {
+  const auto p = BinaryPpsInclusionProbs({2.0, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+}
+
+TEST(OrWeightedTest, MappingClassifiesSeeds) {
+  // tau = 2 => p = 1/2. Entry sampled => mapped sampled value 1; unsampled
+  // with seed below p => mapped sampled value 0; else unsampled.
+  const std::vector<double> tau = {2.0, 2.0};
+  // v = (1, 0); seeds (0.3, 0.3): entry 1 sampled (1 >= 0.6? no!) --
+  // inclusion needs v >= u*tau: 1 >= 0.6 yes. Entry 2 value 0: never.
+  const auto outcome = SamplePpsWithSeeds({1.0, 0.0}, tau, {0.3, 0.3});
+  ASSERT_TRUE(outcome.sampled[0]);
+  ASSERT_FALSE(outcome.sampled[1]);
+  const auto mapped = MapBinaryPpsToOblivious(outcome);
+  EXPECT_TRUE(mapped.sampled[0]);
+  EXPECT_EQ(mapped.value[0], 1.0);
+  EXPECT_TRUE(mapped.sampled[1]);  // seed 0.3 < p = 0.5 certifies the zero
+  EXPECT_EQ(mapped.value[1], 0.0);
+
+  const auto outcome2 = SamplePpsWithSeeds({1.0, 0.0}, tau, {0.3, 0.8});
+  const auto mapped2 = MapBinaryPpsToOblivious(outcome2);
+  EXPECT_FALSE(mapped2.sampled[1]);  // seed 0.8 > p: membership unknown
+}
+
+TEST(OrWeightedTest, MappingPreservesProbabilities) {
+  // The mapped outcome distribution must equal weight-oblivious sampling
+  // with p_i = min(1, 1/tau_i): check per-entry mapped-sampled frequencies.
+  const std::vector<double> tau = {2.5, 4.0};
+  const std::vector<double> p = BinaryPpsInclusionProbs(tau);
+  Rng rng(77);
+  const std::vector<double> v = {1.0, 1.0};
+  int hits0 = 0, hits1 = 0;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    const auto mapped = MapBinaryPpsToOblivious(SamplePps(v, tau, rng));
+    hits0 += mapped.sampled[0];
+    hits1 += mapped.sampled[1];
+  }
+  EXPECT_NEAR(hits0 / static_cast<double>(trials), p[0], 0.005);
+  EXPECT_NEAR(hits1 / static_cast<double>(trials), p[1], 0.005);
+}
+
+TEST(OrWeightedTest, EstimatorsUnbiasedOverSeedDistribution) {
+  const double tau1 = 3.0, tau2 = 5.0;
+  const OrWeightedTwo est(tau1, tau2);
+  Rng rng(123);
+  for (auto v : {std::vector<double>{1, 1}, {1, 0}, {0, 1}, {0, 0}}) {
+    RunningStat ht, l, u;
+    for (int t = 0; t < 200000; ++t) {
+      const auto outcome = SamplePps(v, {tau1, tau2}, rng);
+      ht.Add(est.EstimateHt(outcome));
+      l.Add(est.EstimateL(outcome));
+      u.Add(est.EstimateU(outcome));
+    }
+    const double truth = OrOf(v);
+    EXPECT_NEAR(ht.mean(), truth, 5.0 * ht.standard_error() + 1e-9);
+    EXPECT_NEAR(l.mean(), truth, 5.0 * l.standard_error() + 1e-9);
+    EXPECT_NEAR(u.mean(), truth, 5.0 * u.standard_error() + 1e-9);
+  }
+}
+
+TEST(OrWeightedTest, VarianceMatchesObliviousCase) {
+  // Section 5.1: "The variance of the estimators is the same as in the
+  // weight oblivious case."
+  const double tau = 4.0;  // p = 1/4
+  const double p = 0.25;
+  const OrWeightedTwo est(tau, tau);
+  const OrLTwo oblivious(p, p);
+  Rng rng(321);
+  RunningStat l;
+  for (int t = 0; t < 400000; ++t) {
+    l.Add(est.EstimateL(SamplePps({1, 0}, {tau, tau}, rng)));
+  }
+  const double var_mc = l.sample_variance();
+  EXPECT_NEAR(var_mc, oblivious.VarianceOneZero(),
+              0.05 * oblivious.VarianceOneZero());
+}
+
+}  // namespace
+}  // namespace pie

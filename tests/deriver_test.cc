@@ -1,0 +1,745 @@
+// Tests for the derivation engine: linear algebra, simplex, the exact QP,
+// the discrete model compiler, Algorithm 1 / Algorithm 2, the property
+// checkers, the Lemma 2.1 Delta quantity, and the machine-checked
+// Theorem 6.1 impossibility certificates.
+//
+// Where possible the checks are EXACT: Rational scalars, probabilities like
+// 1/2 and 1/4, and equality to the paper's closed forms with zero
+// tolerance.
+
+#include <functional>
+
+#include "core/max_oblivious.h"
+#include "core/or_oblivious.h"
+#include "deriver/algorithm1.h"
+#include "deriver/algorithm2.h"
+#include "deriver/linalg.h"
+#include "deriver/model.h"
+#include "deriver/properties.h"
+#include "deriver/qp.h"
+#include "deriver/simplex.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+using R = Rational;
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+TEST(LinalgTest, SolvesDouble) {
+  Mat<double> a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  auto x = SolveLinearSystem<double>(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, SolvesRationalExactly) {
+  Mat<R> a(2, 2);
+  a.at(0, 0) = R(1, 2);
+  a.at(0, 1) = R(1, 3);
+  a.at(1, 0) = R(1, 4);
+  a.at(1, 1) = R(1);
+  auto x = SolveLinearSystem<R>(a, {R(1), R(2)});
+  ASSERT_TRUE(x.ok());
+  // Solve by hand: x = (4/5, 9/5).
+  EXPECT_EQ((*x)[0], R(4, 5));
+  EXPECT_EQ((*x)[1], R(9, 5));
+}
+
+TEST(LinalgTest, DetectsSingular) {
+  Mat<double> a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_FALSE(SolveLinearSystem<double>(a, {1, 2}).ok());
+}
+
+TEST(LinalgTest, RandomRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(6));
+    Mat<double> a(n, n);
+    Vec<double> x_true(n);
+    for (int i = 0; i < n; ++i) {
+      x_true[i] = rng.UniformDouble(-3, 3);
+      for (int j = 0; j < n; ++j) a.at(i, j) = rng.UniformDouble(-2, 2);
+    }
+    Vec<double> b(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    }
+    auto x = SolveLinearSystem<double>(a, b);
+    if (!x.ok()) continue;  // singular random draw
+    for (int i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(LinalgTest, DotProduct) {
+  EXPECT_EQ(Dot<R>({R(1, 2), R(3)}, {R(4), R(1, 3)}), R(3));
+  EXPECT_DOUBLE_EQ(Dot<double>({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+// ---------------------------------------------------------------------------
+// Simplex
+// ---------------------------------------------------------------------------
+
+TEST(SimplexTest, SolvesBasicLp) {
+  // min -x1 - 2 x2  s.t.  x1 + x2 + s = 4, x <= ... classic: optimum at
+  // x2 = 4.
+  LpProblem<double> lp;
+  lp.a = Mat<double>(1, 3);
+  lp.a.at(0, 0) = 1;
+  lp.a.at(0, 1) = 1;
+  lp.a.at(0, 2) = 1;  // slack
+  lp.b = {4};
+  lp.c = {-1, -2, 0};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, -8.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, ExactRationalOptimum) {
+  // min x1 + x2 s.t. 2x1 + x2 = 3, x1 + 3x2 = 4  => unique point.
+  LpProblem<R> lp;
+  lp.a = Mat<R>(2, 2);
+  lp.a.at(0, 0) = R(2);
+  lp.a.at(0, 1) = R(1);
+  lp.a.at(1, 0) = R(1);
+  lp.a.at(1, 1) = R(3);
+  lp.b = {R(3), R(4)};
+  lp.c = {R(1), R(1)};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->x[0], R(1));
+  EXPECT_EQ(sol->x[1], R(1));
+  EXPECT_EQ(sol->objective, R(2));
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x1 + x2 = -1 with x >= 0 is infeasible.
+  LpProblem<double> lp;
+  lp.a = Mat<double>(1, 2);
+  lp.a.at(0, 0) = 1;
+  lp.a.at(0, 1) = 1;
+  lp.b = {-1};
+  lp.c = {0, 0};
+  auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x1 s.t. x1 - x2 = 0: x1 can grow without bound.
+  LpProblem<double> lp;
+  lp.a = Mat<double>(1, 2);
+  lp.a.at(0, 0) = 1;
+  lp.a.at(0, 1) = -1;
+  lp.b = {0};
+  lp.c = {-1, 0};
+  auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, HandlesRedundantRows) {
+  // Duplicate constraint rows must not break phase 2.
+  LpProblem<R> lp;
+  lp.a = Mat<R>(2, 2);
+  lp.a.at(0, 0) = R(1);
+  lp.a.at(0, 1) = R(1);
+  lp.a.at(1, 0) = R(2);
+  lp.a.at(1, 1) = R(2);
+  lp.b = {R(2), R(4)};
+  lp.c = {R(1), R(0)};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->objective, R(0));  // put everything on x2
+}
+
+TEST(SimplexTest, FindFeasiblePointWitness) {
+  Mat<R> a(1, 2);
+  a.at(0, 0) = R(1);
+  a.at(0, 1) = R(2);
+  auto x = FindFeasiblePoint<R>(a, {R(3)});
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ((*x)[0] + R(2) * (*x)[1], R(3));
+  EXPECT_FALSE((*x)[0].IsNegative());
+  EXPECT_FALSE((*x)[1].IsNegative());
+}
+
+// ---------------------------------------------------------------------------
+// QP
+// ---------------------------------------------------------------------------
+
+TEST(QpTest, UnconstrainedOptimum) {
+  QpProblem<double> qp;
+  qp.d = {2, 4};
+  qp.c = {2, 4};
+  qp.a_eq = Mat<double>(0, 2);
+  qp.a_in = Mat<double>(0, 2);
+  auto sol = SolveDiagonalQp(qp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-12);  // x = D^-1 c
+  EXPECT_NEAR(sol->x[1], 1.0, 1e-12);
+}
+
+TEST(QpTest, EqualityConstrained) {
+  // min x1^2 + x2^2 s.t. x1 + x2 = 2 => (1,1).
+  QpProblem<R> qp;
+  qp.d = {R(2), R(2)};
+  qp.c = {R(0), R(0)};
+  qp.a_eq = Mat<R>(1, 2);
+  qp.a_eq.at(0, 0) = R(1);
+  qp.a_eq.at(0, 1) = R(1);
+  qp.b_eq = {R(2)};
+  qp.a_in = Mat<R>(0, 2);
+  auto sol = SolveDiagonalQp(qp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->x[0], R(1));
+  EXPECT_EQ(sol->x[1], R(1));
+}
+
+TEST(QpTest, ActiveInequality) {
+  // min (x-3)^2 s.t. x <= 1 => x = 1.
+  QpProblem<double> qp;
+  qp.d = {2};
+  qp.c = {6};
+  qp.a_eq = Mat<double>(0, 1);
+  qp.a_in = Mat<double>(1, 1);
+  qp.a_in.at(0, 0) = 1;
+  qp.b_in = {1};
+  auto sol = SolveDiagonalQp(qp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-12);
+}
+
+TEST(QpTest, InactiveInequalityIgnored) {
+  // min (x-3)^2 s.t. x <= 10 => x = 3.
+  QpProblem<double> qp;
+  qp.d = {2};
+  qp.c = {6};
+  qp.a_eq = Mat<double>(0, 1);
+  qp.a_in = Mat<double>(1, 1);
+  qp.a_in.at(0, 0) = 1;
+  qp.b_in = {10};
+  auto sol = SolveDiagonalQp(qp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 3.0, 1e-12);
+}
+
+TEST(QpTest, ExactRationalWithMixedConstraints) {
+  // min x1^2 + x2^2 - x1  s.t. x1 + x2 = 1, x1 <= 1/4.
+  // Unconstrained-on-line optimum is x1 = 3/4 => inequality binds: x1 = 1/4.
+  QpProblem<R> qp;
+  qp.d = {R(2), R(2)};
+  qp.c = {R(1), R(0)};
+  qp.a_eq = Mat<R>(1, 2);
+  qp.a_eq.at(0, 0) = R(1);
+  qp.a_eq.at(0, 1) = R(1);
+  qp.b_eq = {R(1)};
+  qp.a_in = Mat<R>(1, 2);
+  qp.a_in.at(0, 0) = R(1);
+  qp.b_in = {R(1, 4)};
+  auto sol = SolveDiagonalQp(qp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->x[0], R(1, 4));
+  EXPECT_EQ(sol->x[1], R(3, 4));
+}
+
+TEST(QpTest, InfeasibleConstraints) {
+  // x <= -1 with x >= 0 (as inequality rows).
+  QpProblem<double> qp;
+  qp.d = {2};
+  qp.c = {0};
+  qp.a_eq = Mat<double>(0, 1);
+  qp.a_in = Mat<double>(2, 1);
+  qp.a_in.at(0, 0) = 1;
+  qp.a_in.at(1, 0) = -1;
+  qp.b_in = {-1, 0};
+  EXPECT_FALSE(SolveDiagonalQp(qp).ok());
+}
+
+TEST(QpTest, RedundantEqualitiesHandled) {
+  QpProblem<R> qp;
+  qp.d = {R(2), R(2)};
+  qp.c = {R(0), R(0)};
+  qp.a_eq = Mat<R>(2, 2);
+  qp.a_eq.at(0, 0) = R(1);
+  qp.a_eq.at(0, 1) = R(1);
+  qp.a_eq.at(1, 0) = R(2);
+  qp.a_eq.at(1, 1) = R(2);
+  qp.b_eq = {R(2), R(4)};
+  qp.a_in = Mat<R>(0, 2);
+  auto sol = SolveDiagonalQp(qp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->x[0], R(1));
+  EXPECT_EQ(sol->x[1], R(1));
+}
+
+TEST(QpTest, InconsistentEqualitiesRejected) {
+  QpProblem<R> qp;
+  qp.d = {R(2), R(2)};
+  qp.c = {R(0), R(0)};
+  qp.a_eq = Mat<R>(2, 2);
+  qp.a_eq.at(0, 0) = R(1);
+  qp.a_eq.at(0, 1) = R(1);
+  qp.a_eq.at(1, 0) = R(2);
+  qp.a_eq.at(1, 1) = R(2);
+  qp.b_eq = {R(2), R(5)};  // 2*(row 0) would need b = 4
+  qp.a_in = Mat<R>(0, 2);
+  EXPECT_FALSE(SolveDiagonalQp(qp).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Model compilation
+// ---------------------------------------------------------------------------
+
+TEST(ModelTest, ObliviousBinaryCounts) {
+  auto model = MakeObliviousModel<R>({{R(0), R(1)}, {R(0), R(1)}},
+                                     {R(1, 2), R(1, 2)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  EXPECT_EQ(compiled.num_vectors, 4);
+  // Per entry: sampled-with-value (2 values) or unsampled => 3 states.
+  EXPECT_EQ(compiled.num_outcomes, 9);
+  EXPECT_EQ(compiled.num_sigmas, 4);
+}
+
+TEST(ModelTest, ConditionalProbabilitiesSumToOne) {
+  auto model = MakeObliviousModel<R>({{R(0), R(1), R(2)}, {R(0), R(5)}},
+                                     {R(1, 3), R(2, 5)}, true, MaxS<R>);
+  auto compiled = CompileModel(model);
+  for (int v = 0; v < compiled.num_vectors; ++v) {
+    R total(0);
+    for (int o = 0; o < compiled.num_outcomes; ++o) {
+      total += compiled.p[v][o];
+      EXPECT_FALSE(compiled.p[v][o].IsNegative());
+    }
+    EXPECT_EQ(total, R(1));
+  }
+}
+
+TEST(ModelTest, WeightedBinarySeedVisibility) {
+  // Known seeds: 3 states per entry (sampled-1, certified-0, unknown);
+  // unknown seeds: 2 states (sampled-1, missing).
+  auto known =
+      CompileModel(MakeWeightedBinaryModel<R>({R(1, 2), R(1, 2)}, true, OrS<R>));
+  auto unknown = CompileModel(
+      MakeWeightedBinaryModel<R>({R(1, 2), R(1, 2)}, false, OrS<R>));
+  EXPECT_EQ(known.num_outcomes, 9);
+  EXPECT_EQ(unknown.num_outcomes, 4);
+}
+
+TEST(ModelTest, ThresholdModelMonotonePredicates) {
+  // Domain {0,1,2}, threshold probabilities (P[sample >=1], extra for >=2).
+  auto model = MakeWeightedThresholdModel<double>(
+      {{0, 1, 2}}, {{0.3, 0.4}}, true,
+      [](const std::vector<double>& v) { return v[0]; });
+  auto compiled = CompileModel(model);
+  // Value 2 is sampled by predicates ">=1" and ">=2": probability 0.7;
+  // value 1 by ">=1" only: 0.3; value 0 never. Vector ids follow the
+  // domain: 0 -> value 0, 1 -> value 1, 2 -> value 2.
+  // P(sampled | v) = 1 - P(outcomes consistent with the all-zero vector).
+  auto p_sampled = [&](int v) {
+    double unsampled = 0.0;
+    for (int o = 0; o < compiled.num_outcomes; ++o) {
+      // outcomes consistent with the all-zero vector are the unsampled ones
+      if (compiled.Consistent(0, o)) unsampled += compiled.p[v][o];
+    }
+    return 1.0 - unsampled;
+  };
+  EXPECT_NEAR(p_sampled(2), 0.7, 1e-12);
+  EXPECT_NEAR(p_sampled(1), 0.3, 1e-12);
+  EXPECT_NEAR(p_sampled(0), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: order-based derivation
+// ---------------------------------------------------------------------------
+
+// The OR^(L) order key of Section 4.3: the all-zero vector first, then by
+// the number of zero entries ascending.
+int OrLOrderKey(const std::vector<int>& value_indices) {
+  int zeros = 0;
+  for (int idx : value_indices) zeros += idx == 0 ? 1 : 0;
+  if (zeros == static_cast<int>(value_indices.size())) return -1;
+  return zeros;
+}
+
+TEST(Algorithm1Test, DerivesOrLExactly) {
+  // Oblivious binary, p1 = p2 = 1/2: Algorithm 1 with the #zeros order must
+  // reproduce OR^(L): A_2 = 4/3 on single-positive outcomes, A_1 = 8/3 on
+  // (1,0)-both-sampled outcomes (Figure 1 table with v in {0,1}).
+  auto model = MakeObliviousModel<R>({{R(0), R(1)}, {R(0), R(1)}},
+                                     {R(1, 2), R(1, 2)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto order = OrderByKey(compiled, OrLOrderKey);
+  auto table = DeriveOrderBased(compiled, order);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_TRUE(IsNonnegative(*table));
+  EXPECT_TRUE(IsMonotone(compiled, *table));
+
+  // Cross-check against the closed form, exactly.
+  const OrLTwo closed(0.5, 0.5);
+  // Find outcomes by description through the p-matrix: the vector (1,1) has
+  // id with both indices 1.
+  // Instead of parsing descriptions, check the multiset of estimate values:
+  // 0 (empty/zero outcomes), 4/3, 8/3.
+  for (const R& x : *table) {
+    EXPECT_TRUE(x == R(0) || x == R(4, 3) || x == R(8, 3)) << x.ToString();
+  }
+  // And per-vector variances match the closed form.
+  auto var = VarianceByVector(compiled, *table);
+  for (int v = 0; v < compiled.num_vectors; ++v) {
+    const auto& idx = compiled.vector_values[v];
+    EXPECT_NEAR(ToDouble(var[v]), closed.Variance(idx[0], idx[1]), 1e-12);
+  }
+}
+
+TEST(Algorithm1Test, DerivesMaxLOnThreeLevelDomain) {
+  // Oblivious domain {0,1,2}^2 with the L(v) = #(entries < max) order must
+  // match the MaxLTwo closed form on every outcome type.
+  const double p1 = 0.5, p2 = 0.25;
+  auto model = MakeObliviousModel<double>({{0, 1, 2}, {0, 1, 2}}, {p1, p2},
+                                          true, MaxS<double>);
+  auto compiled = CompileModel(model);
+  auto order = OrderByKey(compiled, [&](const std::vector<int>& vi) {
+    if (vi[0] == 0 && vi[1] == 0) return -1;  // zero vector first
+    const int mx = std::max(vi[0], vi[1]);
+    return (vi[0] < mx ? 1 : 0) + (vi[1] < mx ? 1 : 0);
+  });
+  auto table = DeriveOrderBased(compiled, order);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_TRUE(IsNonnegative(*table));
+
+  const MaxLTwo closed(p1, p2);
+  auto var = VarianceByVector(compiled, *table);
+  for (int v = 0; v < compiled.num_vectors; ++v) {
+    const auto& idx = compiled.vector_values[v];
+    EXPECT_NEAR(var[v], closed.Variance(idx[0], idx[1]), 1e-9)
+        << compiled.vector_desc[v];
+  }
+}
+
+TEST(Algorithm1Test, RationalMaxLMatchesClosedFormExactly) {
+  // p = 1/2 uniform: A_2 = 4/3, A_1 = 8/3 scale to values: on domain
+  // {0, 1, 3} the both-sampled (3,1) outcome must get
+  // max/(p^2) - ((1/p - 1)*3 + (1/p - 1)*1)/q = 12 - (3+1)/(3/4) = 20/3.
+  auto model = MakeObliviousModel<R>({{R(0), R(1), R(3)}, {R(0), R(1), R(3)}},
+                                     {R(1, 2), R(1, 2)}, true, MaxS<R>);
+  auto compiled = CompileModel(model);
+  auto order = OrderByKey(compiled, [&](const std::vector<int>& vi) {
+    if (vi[0] == 0 && vi[1] == 0) return -1;
+    return vi[0] == vi[1] ? 0 : 1;
+  });
+  auto table = DeriveOrderBased(compiled, order);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  // The both-sampled outcomes (3,1) and (1,3) (symmetric under p1 = p2)
+  // are exactly the ones with estimate 20/3.
+  int hits = 0;
+  for (const R& x : *table) hits += (x == R(20, 3)) ? 1 : 0;
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Algorithm1Test, FailsWhenOrderIsInfeasible) {
+  // Weighted binary with UNKNOWN seeds: processing (1,1) last forces a
+  // negative estimate (Theorem 6.1 mechanics); with an order processing
+  // (1,1) before (1,0)/(0,1), Algorithm 1 fails outright because the
+  // single-sample outcomes are already fixed by (1,1)... construct the
+  // degenerate failure: order (0,0) -> (1,1) -> (1,0) -> (0,1). Processing
+  // (1,0) after (1,1) leaves it only outcomes already processed.
+  auto model =
+      MakeWeightedBinaryModel<R>({R(1, 4), R(1, 4)}, false, OrS<R>);
+  auto compiled = CompileModel(model);
+  // ids: (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3 in product order.
+  auto bad = DeriveOrderBased(compiled, std::vector<int>{0, 3, 2, 1});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(Algorithm1Test, UnknownSeedsOrGoesNegative) {
+  // The Theorem 6.1 phenomenon, both ways. With unknown seeds the dense-
+  // first OR^(L) order is infeasible outright (the (1,1) step swallows the
+  // single-sample outcomes, leaving (1,0)/(0,1) over-determined)...
+  auto model =
+      MakeWeightedBinaryModel<R>({R(1, 4), R(1, 4)}, false, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto dense_first =
+      DeriveOrderBased(compiled, OrderByKey(compiled, OrLOrderKey));
+  EXPECT_FALSE(dense_first.ok());
+
+  // ... while the sparse-first order (the proof order of Theorem 6.1)
+  // succeeds but is forced to the negative value (p1+p2-1)/(p1p2) = -8 on
+  // the both-sampled outcome.
+  // Product-order vector ids: (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3.
+  auto table = DeriveOrderBased(compiled, std::vector<int>{0, 1, 2, 3});
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_FALSE(IsNonnegative(*table));
+  bool found = false;
+  for (const R& x : *table) found = found || x == R(-8);
+  EXPECT_TRUE(found);
+}
+
+TEST(Algorithm1Test, KnownSeedsOrStaysNonnegative) {
+  // Same probabilities, but with known seeds partial information rescues
+  // nonnegativity (Section 5.1).
+  auto model = MakeWeightedBinaryModel<R>({R(1, 4), R(1, 4)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto table = DeriveOrderBased(compiled, OrderByKey(compiled, OrLOrderKey));
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_TRUE(IsNonnegative(*table));
+  EXPECT_TRUE(IsMonotone(compiled, *table));
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: constrained / batched derivation
+// ---------------------------------------------------------------------------
+
+int CountPositives(const std::vector<int>& value_indices) {
+  int pos = 0;
+  for (int idx : value_indices) pos += idx > 0 ? 1 : 0;
+  return pos;
+}
+
+TEST(Algorithm2Test, DerivesOrUExactly) {
+  // Batches by #positive entries reproduce OR^(U): at p1 = p2 = 1/4,
+  // single-sample estimate 1/(p(1 + max(0, 1-2p))) = 8/3.
+  auto model = MakeObliviousModel<R>({{R(0), R(1)}, {R(0), R(1)}},
+                                     {R(1, 4), R(1, 4)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto table = DeriveConstrained(compiled, BatchesByKey(compiled, CountPositives));
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_TRUE(IsNonnegative(*table));
+
+  const OrUTwo closed(0.25, 0.25);
+  auto var = VarianceByVector(compiled, *table);
+  for (int v = 0; v < compiled.num_vectors; ++v) {
+    const auto& idx = compiled.vector_values[v];
+    EXPECT_NEAR(ToDouble(var[v]), closed.Variance(idx[0], idx[1]), 1e-12)
+        << compiled.vector_desc[v];
+  }
+  // Exact single-sample estimate value.
+  bool found = false;
+  for (const R& x : *table) found = found || x == R(8, 3);
+  EXPECT_TRUE(found);
+}
+
+TEST(Algorithm2Test, DerivesMaxUOnMultiValueDomain) {
+  // Domain {0,1,2}^2, batches by #positives: estimates on single-sampled
+  // outcomes must scale linearly (v/(p(1+max(0,1-2p)))) as in the
+  // continuous-value construction, p = 1/4 => value 2 maps to 16/3.
+  auto model = MakeObliviousModel<R>({{R(0), R(1), R(2)}, {R(0), R(1), R(2)}},
+                                     {R(1, 4), R(1, 4)}, true, MaxS<R>);
+  auto compiled = CompileModel(model);
+  auto table = DeriveConstrained(compiled, BatchesByKey(compiled, CountPositives));
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_TRUE(IsNonnegative(*table));
+
+  const MaxUTwo closed(0.25, 0.25);
+  auto var = VarianceByVector(compiled, *table);
+  for (int v = 0; v < compiled.num_vectors; ++v) {
+    const auto& idx = compiled.vector_values[v];
+    EXPECT_NEAR(ToDouble(var[v]),
+                closed.Variance(static_cast<double>(idx[0]),
+                                static_cast<double>(idx[1])),
+                1e-12)
+        << compiled.vector_desc[v];
+  }
+  bool found_8_3 = false, found_16_3 = false;
+  for (const R& x : *table) {
+    found_8_3 = found_8_3 || x == R(8, 3);
+    found_16_3 = found_16_3 || x == R(16, 3);
+  }
+  EXPECT_TRUE(found_8_3);
+  EXPECT_TRUE(found_16_3);
+}
+
+TEST(Algorithm2Test, SingletonBatchesMatchAlgorithm1WhenNonnegative) {
+  // f^(+≺) == f^(≺) whenever the latter is nonnegative (Section 3).
+  auto model = MakeObliviousModel<R>({{R(0), R(1)}, {R(0), R(1)}},
+                                     {R(1, 2), R(1, 2)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto order = OrderByKey(compiled, OrLOrderKey);
+  auto plain = DeriveOrderBased(compiled, order);
+  auto constrained = DeriveConstrainedOrder(compiled, order);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(constrained.ok());
+  for (int o = 0; o < compiled.num_outcomes; ++o) {
+    EXPECT_EQ((*plain)[o], (*constrained)[o]) << o;
+  }
+}
+
+TEST(Algorithm2Test, AsymmetricOrderReproducesUasEstimator) {
+  // Singleton batches processing (1,0) before (0,1) give the asymmetric
+  // max^(Uas) of Section 4.2: S={1} -> 1/p1; S={2} -> 1/max(1-p1, p2).
+  auto model = MakeObliviousModel<R>({{R(0), R(1)}, {R(0), R(1)}},
+                                     {R(1, 4), R(1, 4)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  // Product order: (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3.
+  auto table = DeriveConstrainedOrder(compiled, std::vector<int>{0, 2, 1, 3});
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_TRUE(IsNonnegative(*table));
+  // 1/p1 = 4 and 1/max(1-p1, p2) = 4/3 must both appear.
+  bool found_4 = false, found_4_3 = false;
+  for (const R& x : *table) {
+    found_4 = found_4 || x == R(4);
+    found_4_3 = found_4_3 || x == R(4, 3);
+  }
+  EXPECT_TRUE(found_4);
+  EXPECT_TRUE(found_4_3);
+}
+
+TEST(Algorithm2Test, InfeasibleWhenNoNonnegativeEstimatorExists) {
+  auto model =
+      MakeWeightedBinaryModel<R>({R(1, 4), R(1, 4)}, false, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto table =
+      DeriveConstrained(compiled, BatchesByKey(compiled, CountPositives));
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInfeasible);
+}
+
+// ---------------------------------------------------------------------------
+// Properties, dominance, existence, Lemma 2.1
+// ---------------------------------------------------------------------------
+
+TEST(PropertiesTest, HtTableDominatedByL) {
+  auto model = MakeObliviousModel<R>({{R(0), R(1)}, {R(0), R(1)}},
+                                     {R(1, 2), R(1, 2)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto l_table =
+      DeriveOrderBased(compiled, OrderByKey(compiled, OrLOrderKey));
+  ASSERT_TRUE(l_table.ok());
+
+  // Build the HT table directly: 4/prod(p) on all-sampled outcomes with a
+  // one; everything else zero.
+  std::vector<R> ht(compiled.num_outcomes, R(0));
+  for (int o = 0; o < compiled.num_outcomes; ++o) {
+    // All-sampled outcomes are consistent with exactly one vector.
+    int consistent = 0, witness = -1;
+    for (int v = 0; v < compiled.num_vectors; ++v) {
+      if (compiled.Consistent(v, o)) {
+        ++consistent;
+        witness = v;
+      }
+    }
+    if (consistent == 1 && !compiled.f[witness].IsZero()) {
+      ht[o] = R(4);  // 1/(1/2 * 1/2)
+    }
+  }
+  EXPECT_TRUE(IsUnbiased(compiled, ht));
+  EXPECT_EQ(CompareDominance(compiled, *l_table, ht),
+            Dominance::kFirstDominates);
+  EXPECT_EQ(CompareDominance(compiled, ht, *l_table),
+            Dominance::kSecondDominates);
+  EXPECT_EQ(CompareDominance(compiled, ht, ht), Dominance::kEqual);
+}
+
+TEST(PropertiesTest, LAndUAreIncomparable) {
+  auto model = MakeObliviousModel<R>({{R(0), R(1)}, {R(0), R(1)}},
+                                     {R(1, 4), R(1, 4)}, true, OrS<R>);
+  auto compiled = CompileModel(model);
+  auto l_table = DeriveOrderBased(compiled, OrderByKey(compiled, OrLOrderKey));
+  auto u_table =
+      DeriveConstrained(compiled, BatchesByKey(compiled, CountPositives));
+  ASSERT_TRUE(l_table.ok());
+  ASSERT_TRUE(u_table.ok());
+  EXPECT_EQ(CompareDominance(compiled, *l_table, *u_table),
+            Dominance::kIncomparable);
+}
+
+TEST(ExistenceTest, Theorem61OrImpossibleWithUnknownSeeds) {
+  // p1 + p2 < 1: no unbiased nonnegative estimator for OR; at p1 + p2 >= 1
+  // one exists. The LP is the machine-checkable certificate.
+  auto infeasible = CompileModel(
+      MakeWeightedBinaryModel<R>({R(1, 4), R(1, 4)}, false, OrS<R>));
+  auto result = ExistsUnbiasedNonnegative(infeasible);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+
+  auto feasible = CompileModel(
+      MakeWeightedBinaryModel<R>({R(2, 3), R(2, 3)}, false, OrS<R>));
+  auto witness = ExistsUnbiasedNonnegative(feasible);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(IsUnbiased(feasible, *witness));
+  EXPECT_TRUE(IsNonnegative(*witness));
+}
+
+TEST(ExistenceTest, Theorem61XorImpossibleForAnyProbability) {
+  // RG^d over binary = XOR: impossible with unknown seeds even at high
+  // sampling probabilities (the second argument of Theorem 6.1).
+  for (R p : {R(1, 4), R(1, 2), R(9, 10)}) {
+    auto compiled =
+        CompileModel(MakeWeightedBinaryModel<R>({p, p}, false, XorS<R>));
+    auto result = ExistsUnbiasedNonnegative(compiled);
+    EXPECT_FALSE(result.ok()) << p.ToString();
+  }
+}
+
+TEST(ExistenceTest, XorPossibleWithKnownSeeds) {
+  // Known seeds reveal certified zeros, making XOR estimable.
+  auto compiled = CompileModel(
+      MakeWeightedBinaryModel<R>({R(1, 2), R(1, 2)}, true, XorS<R>));
+  auto witness = ExistsUnbiasedNonnegative(compiled);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *witness));
+  EXPECT_TRUE(IsNonnegative(*witness));
+}
+
+TEST(ExistenceTest, ObliviousAlwaysFeasible) {
+  auto compiled = CompileModel(MakeObliviousModel<R>(
+      {{R(0), R(1)}, {R(0), R(1)}}, {R(1, 10), R(1, 10)}, true, OrS<R>));
+  EXPECT_TRUE(ExistsUnbiasedNonnegative(compiled).ok());
+}
+
+TEST(DeltaTest, OrKnownVsUnknownSeeds) {
+  // Lemma 2.1 on data (1,0), f = OR, eps in (0,1]:
+  // unknown seeds: Delta = p1 (only the "entry-1 predicate high" portion
+  // leaves OR=0 possible); with p1+p2<1 this is fine (>0) -- the OR
+  // impossibility is a finer phenomenon than Lemma 2.1's necessary
+  // condition.
+  auto unknown = CompileModel(
+      MakeWeightedBinaryModel<R>({R(1, 4), R(1, 3)}, false, OrS<R>));
+  // vector (1,0) has product index {1,0} -> id 2 (entry-0-major product
+  // enumeration: (0,0)=0,(0,1)=1,(1,0)=2,(1,1)=3).
+  EXPECT_EQ(DeltaLemma21(unknown, 2, R(1, 2)), R(1, 4));
+  EXPECT_EQ(DeltaLemma21(unknown, 2, R(1)), R(1, 4));
+}
+
+TEST(DeltaTest, XorUnknownSeedsHasDeltaZero) {
+  // For XOR at (1,0) every outcome is consistent with (1,1) (XOR=0), so
+  // Delta(v, eps) = 0: Lemma 2.1 directly certifies nonexistence.
+  auto unknown = CompileModel(
+      MakeWeightedBinaryModel<R>({R(1, 4), R(1, 3)}, false, XorS<R>));
+  EXPECT_EQ(DeltaLemma21(unknown, 2, R(1, 2)), R(0));
+}
+
+TEST(DeltaTest, AllOrNothingGivesSamplingProbability) {
+  // Single entry, oblivious: Delta(v, eps) = p for 0 < eps <= f(v): the
+  // sample either reveals everything (probability p) or nothing.
+  auto compiled = CompileModel(MakeObliviousModel<R>(
+      {{R(0), R(1)}}, {R(2, 7)}, true,
+      [](const std::vector<R>& v) { return v[0]; }));
+  EXPECT_EQ(DeltaLemma21(compiled, 1, R(1, 2)), R(2, 7));
+}
+
+}  // namespace
+}  // namespace pie

@@ -1,0 +1,144 @@
+// Tests for the general-probability r = 3 max^(L) (Theorem 4.1 with the
+// equation-(18) / k=1 permuted prefix sums).
+
+#include <array>
+#include <cmath>
+
+#include "core/enumerate.h"
+#include "core/functions.h"
+#include "core/ht.h"
+#include "core/max_l_three.h"
+#include "core/max_oblivious.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+ObliviousOutcome MakeOutcome(const std::vector<double>& values,
+                             const std::vector<double>& p, uint32_t mask) {
+  std::vector<double> seeds(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    seeds[i] = ((mask >> i) & 1u) ? 0.0 : 1.0 - 1e-12;
+  }
+  return SampleObliviousWithSeeds(values, p, seeds);
+}
+
+TEST(MaxLThreeTest, PrefixSumsReduceToUniformCase) {
+  const double p = 0.4;
+  const MaxLThree general(p, p, p);
+  const MaxLUniform uniform(3, p);
+  EXPECT_NEAR(general.A3(), uniform.prefix_sums()[2], 1e-12);
+  EXPECT_NEAR(general.A2(0, 1), uniform.prefix_sums()[1], 1e-12);
+  EXPECT_NEAR(general.A1(2), uniform.prefix_sums()[0], 1e-12);
+}
+
+TEST(MaxLThreeTest, AgreesWithUniformEstimatorEverywhere) {
+  const double p = 0.3;
+  const MaxLThree general(p, p, p);
+  const MaxLUniform uniform(3, p);
+  const std::vector<double> probs = {p, p, p};
+  Rng rng(3);
+  for (int t = 0; t < 300; ++t) {
+    const std::vector<double> v = {rng.UniformDouble(0, 5),
+                                   rng.UniformDouble(0, 5),
+                                   rng.UniformDouble(0, 5)};
+    for (uint32_t mask = 0; mask < 8; ++mask) {
+      const auto o = MakeOutcome(v, probs, mask);
+      EXPECT_NEAR(general.Estimate(o), uniform.Estimate(o), 1e-9);
+    }
+  }
+}
+
+class MaxLThreeGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(MaxLThreeGridTest, ExactlyUnbiasedByEnumeration) {
+  const auto [p1, p2, p3] = GetParam();
+  const MaxLThree est(p1, p2, p3);
+  const std::vector<double> probs = {p1, p2, p3};
+  auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+  Rng rng(11);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<double> v(3);
+    for (double& x : v) {
+      const double roll = rng.UniformDouble();
+      x = roll < 0.25 ? 0.0 : (roll < 0.5 ? 3.0 : rng.UniformDouble(0, 8));
+    }
+    EXPECT_NEAR(ObliviousExpectation(v, probs, fn), MaxOf(v),
+                1e-9 * std::max(1.0, MaxOf(v)))
+        << "p=(" << p1 << "," << p2 << "," << p3 << ") v=(" << v[0] << ","
+        << v[1] << "," << v[2] << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProbabilityGrid, MaxLThreeGridTest,
+    ::testing::Values(std::make_tuple(0.2, 0.5, 0.8),
+                      std::make_tuple(0.5, 0.5, 0.5),
+                      std::make_tuple(0.1, 0.2, 0.3),
+                      std::make_tuple(0.9, 0.4, 0.7),
+                      std::make_tuple(1.0, 0.5, 0.25),
+                      std::make_tuple(0.05, 0.95, 0.5)));
+
+TEST(MaxLThreeTest, TieBreakingInvariance) {
+  // Theorem 4.1's symmetry property: the estimate is independent of which
+  // sorting permutation breaks ties among equal determining-vector values.
+  const MaxLThree est(0.3, 0.6, 0.2);
+  // phi has ties in positions {0,1}: permutations (0,1,2) and (1,0,2) must
+  // give the same estimate; check via both orderings of the array.
+  const double a = est.EstimateFromDeterminingVector({5.0, 5.0, 2.0});
+  // Manually compute with the other tie order: swap which of the two equal
+  // entries is "first" by relabeling probabilities instead.
+  const MaxLThree relabeled(0.6, 0.3, 0.2);
+  const double b = relabeled.EstimateFromDeterminingVector({5.0, 5.0, 2.0});
+  EXPECT_NEAR(a, b, 1e-10);
+  // Trailing tie {1,2}.
+  const double c = est.EstimateFromDeterminingVector({7.0, 4.0, 4.0});
+  const MaxLThree relabeled2(0.3, 0.2, 0.6);
+  const double d = relabeled2.EstimateFromDeterminingVector({7.0, 4.0, 4.0});
+  EXPECT_NEAR(c, d, 1e-10);
+}
+
+TEST(MaxLThreeTest, OutcomeTieInvariance) {
+  // Two outcomes carrying permuted-equal information give equal estimates.
+  const double p = 0.35;
+  const MaxLThree est(p, p, p);
+  const std::vector<double> probs = {p, p, p};
+  const std::vector<double> v = {6.0, 6.0, 1.0};
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, probs, 0b101)),
+              est.Estimate(MakeOutcome(v, probs, 0b110)), 1e-10);
+}
+
+TEST(MaxLThreeTest, NonnegativeAndDominatesHtOnGrid) {
+  const MaxLThree est(0.25, 0.5, 0.75);
+  const std::vector<double> probs = {0.25, 0.5, 0.75};
+  auto fn = [&](const ObliviousOutcome& o) { return est.Estimate(o); };
+  Rng rng(17);
+  for (int t = 0; t < 60; ++t) {
+    std::vector<double> v(3);
+    for (double& x : v) x = rng.UniformDouble(0, 5);
+    EXPECT_GE(ObliviousMinEstimate(v, probs, fn), -1e-9);
+    EXPECT_LE(est.Variance({v[0], v[1], v[2]}),
+              ObliviousHtVariance(v, probs, MaxOf) + 1e-9);
+  }
+}
+
+TEST(MaxLThreeTest, ZeroVectorGivesZero) {
+  const MaxLThree est(0.3, 0.4, 0.5);
+  const std::vector<double> probs = {0.3, 0.4, 0.5};
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    EXPECT_EQ(est.Estimate(MakeOutcome({0, 0, 0}, probs, mask)), 0.0);
+  }
+}
+
+TEST(MaxLThreeTest, AllSampledCertainWhenProbabilitiesOne) {
+  const MaxLThree est(1.0, 1.0, 1.0);
+  const std::vector<double> probs = {1.0, 1.0, 1.0};
+  const std::vector<double> v = {2.0, 9.0, 5.0};
+  EXPECT_NEAR(est.Estimate(MakeOutcome(v, probs, 0b111)), 9.0, 1e-10);
+  EXPECT_NEAR(est.Variance({2.0, 9.0, 5.0}), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace pie

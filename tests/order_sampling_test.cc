@@ -1,0 +1,178 @@
+// Properties of order (bottom-k) sampling that Section 7.1 cites from the
+// literature: EXP ranks realize weighted sampling without replacement, PPS
+// ranks realize priority sampling; plus coordination behavior across
+// similar instances.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "gtest/gtest.h"
+#include "sampling/bottomk.h"
+#include "sampling/rank.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace pie {
+namespace {
+
+TEST(OrderSamplingTest, ExpRanksFirstPickIsProportionalToWeight) {
+  // With EXP ranks, the minimum-rank key is drawn with probability
+  // w_i / sum(w) -- the first step of successive weighted sampling.
+  const std::vector<WeightedItem> items = {{1, 1.0}, {2, 2.0}, {3, 3.0},
+                                           {4, 4.0}};
+  const double total = 10.0;
+  std::map<uint64_t, int> first_counts;
+  const int trials = 200000;
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    uint64_t argmin = 0;
+    double best = Infinity();
+    for (const auto& item : items) {
+      const double r =
+          RankValue(RankFamily::kExp, item.weight, rng.UniformDouble());
+      if (r < best) {
+        best = r;
+        argmin = item.key;
+      }
+    }
+    ++first_counts[argmin];
+  }
+  for (const auto& item : items) {
+    EXPECT_NEAR(first_counts[item.key] / static_cast<double>(trials),
+                item.weight / total, 0.01)
+        << item.key;
+  }
+}
+
+TEST(OrderSamplingTest, ExpRanksSecondPickMatchesWithoutReplacement) {
+  // Conditioned on the first pick, the second-smallest rank is distributed
+  // as weighted sampling from the remainder: P(first=3, second=4) =
+  // (w3/W) * (w4/(W-w3)).
+  const std::vector<WeightedItem> items = {{1, 1.0}, {2, 2.0}, {3, 3.0},
+                                           {4, 4.0}};
+  const double total = 10.0;
+  std::map<std::pair<uint64_t, uint64_t>, int> pair_counts;
+  const int trials = 300000;
+  Rng rng(7);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::pair<double, uint64_t>> ranked;
+    for (const auto& item : items) {
+      ranked.push_back(
+          {RankValue(RankFamily::kExp, item.weight, rng.UniformDouble()),
+           item.key});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    ++pair_counts[{ranked[0].second, ranked[1].second}];
+  }
+  auto weight_of = [&](uint64_t key) {
+    for (const auto& item : items) {
+      if (item.key == key) return item.weight;
+    }
+    return 0.0;
+  };
+  for (const auto& [pair, count] : pair_counts) {
+    const double w1 = weight_of(pair.first);
+    const double w2 = weight_of(pair.second);
+    const double expected = (w1 / total) * (w2 / (total - w1));
+    EXPECT_NEAR(count / static_cast<double>(trials), expected,
+                5.0 * std::sqrt(expected / trials) + 2e-3)
+        << pair.first << "," << pair.second;
+  }
+}
+
+TEST(OrderSamplingTest, PpsBottomKIsPrioritySampling) {
+  // Priority sampling: inclusion of key i given threshold tau is
+  // min(1, w_i * tau). Verify empirical inclusion against the rank-
+  // conditioning probability computed from each realized sketch.
+  Rng rng(11);
+  std::vector<WeightedItem> items;
+  for (uint64_t i = 1; i <= 40; ++i) {
+    items.push_back({i, std::ceil(rng.UniformDouble(1, 30))});
+  }
+  // For a fixed key, E[1{included}] == E[F_w(threshold_without_key)]; use
+  // the estimator identity instead: the HT adjusted weights must average
+  // to the true weight for every key.
+  std::vector<RunningStat> adjusted(items.size());
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    const auto sketch = BottomKSample(items, 10, RankFamily::kPps,
+                                      SeedFunction(Mix64(t * 31 + 7)));
+    std::vector<double> per_key(items.size(), 0.0);
+    for (const auto& e : sketch.entries) {
+      per_key[e.key - 1] = sketch.AdjustedWeight(e);
+    }
+    for (size_t i = 0; i < items.size(); ++i) adjusted[i].Add(per_key[i]);
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_NEAR(adjusted[i].mean(), items[i].weight,
+                5.0 * adjusted[i].standard_error())
+        << "key " << items[i].key;
+  }
+}
+
+TEST(OrderSamplingTest, CoordinatedSketchesTrackValueChangesConsistently) {
+  // Consistent ranks (Section 7.2): when one instance's values dominate
+  // another's everywhere, its bottom-k sample "covers" the other's in rank:
+  // every key sampled in the smaller-valued instance with rank r also has
+  // rank <= r in the larger-valued instance.
+  Rng rng(13);
+  std::vector<WeightedItem> small, large;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    const double w = rng.UniformDouble(1, 20);
+    small.push_back({i, w});
+    large.push_back({i, w * rng.UniformDouble(1.0, 3.0)});
+  }
+  const SeedFunction seed(77);
+  const auto sk_small = BottomKSample(small, 15, RankFamily::kExp, seed);
+  const auto sk_large = BottomKSample(large, 15, RankFamily::kExp, seed);
+  std::map<uint64_t, double> large_ranks;
+  for (const auto& item : large) {
+    large_ranks[item.key] =
+        RankValue(RankFamily::kExp, item.weight, seed(item.key));
+  }
+  for (const auto& e : sk_small.entries) {
+    EXPECT_LE(large_ranks[e.key], e.rank + 1e-15) << e.key;
+  }
+}
+
+TEST(OrderSamplingTest, ThresholdDistributionShiftsWithK) {
+  // Larger k => larger (k+1)-st smallest rank threshold, monotonically in
+  // expectation and per fixed seed.
+  Rng rng(17);
+  std::vector<WeightedItem> items;
+  for (uint64_t i = 1; i <= 200; ++i) {
+    items.push_back({i, rng.UniformDouble(0.5, 5.0)});
+  }
+  const SeedFunction seed(5);
+  double last = 0.0;
+  for (int k : {5, 20, 80, 150}) {
+    const auto sketch = BottomKSample(items, k, RankFamily::kPps, seed);
+    EXPECT_GT(sketch.threshold, last);
+    last = sketch.threshold;
+  }
+}
+
+TEST(OrderSamplingTest, BottomKSubsetSumVarianceShrinksWithK) {
+  Rng rng(19);
+  std::vector<WeightedItem> items;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    items.push_back({i, std::ceil(rng.UniformDouble(1, 50))});
+  }
+  auto pred = [](uint64_t key) { return key % 4 == 0; };
+  auto variance_at_k = [&](int k) {
+    RunningStat stat;
+    for (int t = 0; t < 8000; ++t) {
+      const auto sketch = BottomKSample(items, k, RankFamily::kExp,
+                                        SeedFunction(Mix64(t * 13 + 1)));
+      stat.Add(BottomKSubsetSum(sketch, pred));
+    }
+    return stat.sample_variance();
+  };
+  const double v10 = variance_at_k(10);
+  const double v40 = variance_at_k(40);
+  EXPECT_LT(v40, 0.5 * v10);
+}
+
+}  // namespace
+}  // namespace pie

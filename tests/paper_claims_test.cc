@@ -1,0 +1,227 @@
+// One test per substantive claim in the paper's narrative, beyond the
+// figure reproductions: Lemma 2.1's quantitative necessary conditions,
+// Lemma 3.1/3.2 (order-based estimators are unbiased/Pareto; monotonicity
+// criterion), the Section 5 outcome-mapping equivalence at general r, the
+// Pareto structure across processing orders, and the sample-based
+// confidence intervals built on the Section 8.1 variance formulas.
+
+#include <algorithm>
+#include <cmath>
+
+#include "aggregate/distinct.h"
+#include "core/or_oblivious.h"
+#include "core/or_weighted.h"
+#include "deriver/algorithm1.h"
+#include "deriver/algorithm2.h"
+#include "deriver/model.h"
+#include "deriver/properties.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "workload/sets.h"
+
+namespace pie {
+namespace {
+
+using R = Rational;
+
+int OrLOrderKey(const std::vector<int>& v) {
+  int zeros = 0;
+  for (int x : v) zeros += x == 0 ? 1 : 0;
+  return zeros == static_cast<int>(v.size()) ? -1 : zeros;
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 2.1: quantitative necessary conditions
+// ---------------------------------------------------------------------------
+
+TEST(Lemma21Test, DeltaScalesWithEpsilonForBoundedVarianceCases) {
+  // For OR with known seeds an unbiased nonnegative bounded-variance
+  // estimator exists, so Delta(v, eps) = Omega(eps^2) must hold. On the
+  // binary domain f only takes values {0, 1}, so Delta is constant in eps
+  // over (0, 1]: exactly p1 = 1/4 at v = (1, 0) (the only way to leave
+  // OR = 0 possible is the "entry-1 predicate high" portion of the sample
+  // space) -- comfortably satisfying the quadratic lower bound.
+  auto compiled = CompileModel(
+      MakeWeightedBinaryModel<R>({R(1, 4), R(1, 4)}, true, OrS<R>));
+  EXPECT_EQ(DeltaLemma21(compiled, 2, R(1, 2)), R(1, 4));
+  EXPECT_EQ(DeltaLemma21(compiled, 2, R(1, 10)), R(1, 4));
+  EXPECT_EQ(DeltaLemma21(compiled, 2, R(1)), R(1, 4));
+}
+
+TEST(Lemma21Test, DeltaMonotoneInEpsilon) {
+  // Directly verify Delta(v, eps) is nondecreasing in eps on a model where
+  // intermediate f values exist (3-level domain).
+  auto compiled = CompileModel(MakeObliviousModel<R>(
+      {{R(0), R(1), R(2)}}, {R(1, 3)}, true,
+      [](const std::vector<R>& v) { return v[0]; }));
+  // Vector index 2 = value 2.
+  const R d1 = DeltaLemma21(compiled, 2, R(1, 2));   // need inf <= 3/2
+  const R d2 = DeltaLemma21(compiled, 2, R(3, 2));   // need inf <= 1/2
+  EXPECT_LE(d1, d2);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3.1 / 3.2 structure
+// ---------------------------------------------------------------------------
+
+TEST(Lemma31Test, OrderBasedEstimatorIsUniqueGivenOrder) {
+  // Re-deriving with the same order must give the identical table
+  // (uniqueness claim of Lemma 3.1's construction).
+  auto compiled = CompileModel(MakeObliviousModel<R>(
+      {{R(0), R(1)}, {R(0), R(1)}}, {R(2, 5), R(1, 3)}, true, OrS<R>));
+  auto order = OrderByKey(compiled, OrLOrderKey);
+  auto a = DeriveOrderBased(compiled, order);
+  auto b = DeriveOrderBased(compiled, order);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int o = 0; o < compiled.num_outcomes; ++o) {
+    EXPECT_EQ((*a)[static_cast<size_t>(o)], (*b)[static_cast<size_t>(o)]);
+  }
+}
+
+TEST(Lemma31Test, AllConstrainedOrdersArePairwiseNonDominating) {
+  // Every f^(+≺) is Pareto optimal, so no derived table may strictly
+  // dominate another: across all 4! singleton orders of the binary OR
+  // model, pairwise comparisons must be Equal or Incomparable.
+  auto compiled = CompileModel(MakeObliviousModel<R>(
+      {{R(0), R(1)}, {R(0), R(1)}}, {R(1, 4), R(1, 4)}, true, OrS<R>));
+  std::vector<int> order = {0, 1, 2, 3};
+  std::vector<std::vector<R>> tables;
+  do {
+    auto t = DeriveConstrainedOrder(compiled, order);
+    if (t.ok() && IsUnbiased(compiled, *t) && IsNonnegative(*t)) {
+      tables.push_back(*t);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  ASSERT_GE(tables.size(), 4u);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = 0; j < tables.size(); ++j) {
+      if (i == j) continue;
+      const Dominance d = CompareDominance(compiled, tables[i], tables[j]);
+      EXPECT_TRUE(d == Dominance::kEqual || d == Dominance::kIncomparable)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Lemma32Test, MonotonicityCriterion) {
+  // Lemma 3.2: f^(≺) is monotone iff every outcome's estimate is at most
+  // the estimate on outcomes determined by each consistent vector. The L
+  // order satisfies it; the U construction does not (estimate 0 on the
+  // fully-sampled (1,1) outcome).
+  auto compiled = CompileModel(MakeObliviousModel<R>(
+      {{R(0), R(1)}, {R(0), R(1)}}, {R(1, 2), R(1, 2)}, true, OrS<R>));
+  auto l = DeriveOrderBased(compiled, OrderByKey(compiled, OrLOrderKey));
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(IsMonotone(compiled, *l));
+
+  auto u = DeriveConstrained(
+      compiled, BatchesByKey(compiled, [](const std::vector<int>& v) {
+        int pos = 0;
+        for (int x : v) pos += x > 0 ? 1 : 0;
+        return pos;
+      }));
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(IsMonotone(compiled, *u));
+}
+
+// ---------------------------------------------------------------------------
+// Section 5: the outcome-mapping equivalence at general r
+// ---------------------------------------------------------------------------
+
+TEST(Section5Test, WeightedKnownSeedsEqualsObliviousAtRThree) {
+  // Compile the weighted binary known-seeds model at r = 3 and derive
+  // OR^(L); its per-vector variances must match the uniform-p oblivious
+  // closed form (the Section 5 equivalence), computed by OrLUniform.
+  const R p(1, 2);
+  auto compiled = CompileModel(
+      MakeWeightedBinaryModel<R>({p, p, p}, true, OrS<R>));
+  auto table = DeriveOrderBased(compiled, OrderByKey(compiled, OrLOrderKey));
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(IsUnbiased(compiled, *table));
+  EXPECT_TRUE(IsNonnegative(*table));
+
+  const OrLUniform closed(3, 0.5);
+  auto var = VarianceByVector(compiled, *table);
+  for (int v = 0; v < compiled.num_vectors; ++v) {
+    int ones = 0;
+    for (int idx : compiled.vector_values[static_cast<size_t>(v)]) {
+      ones += idx;
+    }
+    EXPECT_NEAR(ToDouble(var[static_cast<size_t>(v)]), closed.Variance(ones),
+                1e-10)
+        << compiled.vector_desc[static_cast<size_t>(v)];
+  }
+}
+
+TEST(Section5Test, MappedEstimatorMatchesDerivedOnSampledOutcomes) {
+  // The runtime path (OrWeightedUniform: map the PPS outcome, apply the
+  // oblivious prefix-sum estimator) agrees with Monte Carlo unbiasedness
+  // at r = 3 for every ones-count.
+  const double tau = 2.0;  // p = 1/2
+  const OrWeightedUniform est(3, tau);
+  Rng rng(5);
+  for (int ones = 0; ones <= 3; ++ones) {
+    std::vector<double> v(3, 0.0);
+    for (int i = 0; i < ones; ++i) v[static_cast<size_t>(i)] = 1.0;
+    RunningStat stat;
+    for (int t = 0; t < 100000; ++t) {
+      stat.Add(est.EstimateL(SamplePps(v, {tau, tau, tau}, rng)));
+    }
+    EXPECT_NEAR(stat.mean(), ones > 0 ? 1.0 : 0.0,
+                5 * stat.standard_error() + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Section 8.1 confidence intervals (plug-in)
+// ---------------------------------------------------------------------------
+
+TEST(DistinctCiTest, IntersectionEstimateIsUnbiased) {
+  const SetPair pair = MakeJaccardSetPair(1200, 0.5);
+  RunningStat stat;
+  for (uint64_t trial = 0; trial < 4000; ++trial) {
+    const auto s1 = SampleBinaryInstance(pair.n1, 0.25, Mix64(3 * trial + 1));
+    const auto s2 = SampleBinaryInstance(pair.n2, 0.25, Mix64(3 * trial + 2));
+    stat.Add(DistinctIntersectionEstimate(ClassifyDistinct(s1, s2), 0.25,
+                                          0.25));
+  }
+  EXPECT_NEAR(stat.mean(), static_cast<double>(pair.intersection),
+              4 * stat.standard_error());
+}
+
+TEST(DistinctCiTest, JaccardRatioEstimateIsConsistent) {
+  const SetPair pair = MakeJaccardSetPair(20000, 0.7);
+  const auto s1 = SampleBinaryInstance(pair.n1, 0.3, 17);
+  const auto s2 = SampleBinaryInstance(pair.n2, 0.3, 23);
+  const auto ci = DistinctLEstimateWithCi(ClassifyDistinct(s1, s2), 0.3, 0.3);
+  EXPECT_NEAR(ci.jaccard, pair.jaccard, 0.1);
+}
+
+TEST(DistinctCiTest, CoverageNearNominal) {
+  const SetPair pair = MakeJaccardSetPair(3000, 0.4);
+  const double truth = static_cast<double>(pair.union_size);
+  int covered = 0;
+  const int trials = 2000;
+  for (uint64_t trial = 0; trial < static_cast<uint64_t>(trials); ++trial) {
+    const auto s1 = SampleBinaryInstance(pair.n1, 0.2, Mix64(5 * trial + 1));
+    const auto s2 = SampleBinaryInstance(pair.n2, 0.2, Mix64(5 * trial + 2));
+    const auto ci =
+        DistinctLEstimateWithCi(ClassifyDistinct(s1, s2), 0.2, 0.2);
+    if (truth >= ci.lo && truth <= ci.hi) ++covered;
+  }
+  const double coverage = covered / static_cast<double>(trials);
+  EXPECT_GE(coverage, 0.92);
+  EXPECT_LE(coverage, 0.99);
+}
+
+TEST(DistinctCiTest, DegenerateEmptySample) {
+  DistinctClassification empty;
+  const auto ci = DistinctLEstimateWithCi(empty, 0.5, 0.5);
+  EXPECT_EQ(ci.estimate, 0.0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 0.0);
+}
+
+}  // namespace
+}  // namespace pie

@@ -1,0 +1,192 @@
+// Robustness and failure-injection tests: invariant checks abort on misuse
+// (death tests), degenerate parameter regimes, and numerical stress at
+// larger dimensions than the paper exercised.
+
+#include <cmath>
+
+#include "core/enumerate.h"
+#include "core/functions.h"
+#include "core/max_oblivious.h"
+#include "core/max_weighted.h"
+#include "core/or_oblivious.h"
+#include "gtest/gtest.h"
+#include "sampling/bottomk.h"
+#include "sampling/poisson.h"
+#include "sampling/varopt.h"
+#include "util/check.h"
+#include "util/rational.h"
+#include "util/status.h"
+#include "workload/traffic.h"
+
+namespace pie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Death tests: programmer errors must fail fast, not corrupt results
+// ---------------------------------------------------------------------------
+
+using RobustnessDeathTest = ::testing::Test;
+
+TEST(RobustnessDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(PIE_CHECK(1 == 2), "PIE_CHECK failed");
+}
+
+TEST(RobustnessDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(PIE_CHECK_OK(Status::InvalidArgument("boom")), "boom");
+}
+
+TEST(RobustnessDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_DEATH({ (void)r.value(); }, "PIE_CHECK failed");
+}
+
+TEST(RobustnessDeathTest, RationalDivisionByZeroAborts) {
+  EXPECT_DEATH({ Rational x = Rational(1) / Rational(0); (void)x; },
+               "PIE_CHECK failed");
+}
+
+TEST(RobustnessDeathTest, RationalOverflowAborts) {
+  // Numerator overflow past int64 must abort rather than wrap silently.
+  const Rational big(INT64_MAX / 2, 1);
+  EXPECT_DEATH({ Rational x = big * big; (void)x; }, "PIE_CHECK failed");
+}
+
+TEST(RobustnessDeathTest, EstimatorRejectsWrongArity) {
+  const MaxLTwo est(0.5, 0.5);
+  ObliviousOutcome o;
+  o.p = {0.5, 0.5, 0.5};
+  o.sampled = {1, 1, 1};
+  o.value = {1.0, 2.0, 3.0};
+  EXPECT_DEATH({ (void)est.Estimate(o); }, "PIE_CHECK failed");
+}
+
+TEST(RobustnessDeathTest, VarOptRejectsNegativeWeight) {
+  VarOptSampler sampler(4, 1);
+  EXPECT_DEATH(sampler.Add(1, -2.0), "");
+}
+
+TEST(RobustnessDeathTest, TrafficRejectsInconsistentSizes) {
+  TrafficParams params;
+  params.keys_per_instance = 100;
+  params.distinct_total = 250;  // > 2 * keys_per_instance
+  EXPECT_DEATH({ auto d = GenerateTraffic(params); (void)d; },
+               "PIE_CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate parameter regimes
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, VarOptEqualWeightsIsUniform) {
+  // All-equal weights: every item should appear with probability k/n.
+  const int n = 30, k = 6;
+  std::vector<int> hits(n, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    VarOptSampler sampler(k, static_cast<uint64_t>(t) * 0x9e3779b9ULL + 5);
+    for (int i = 0; i < n; ++i) sampler.Add(static_cast<uint64_t>(i), 3.0);
+    for (const auto& e : sampler.Sample()) ++hits[e.key];
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(trials),
+                static_cast<double>(k) / n, 0.02)
+        << i;
+  }
+}
+
+TEST(RobustnessTest, VarOptKOne) {
+  // k = 1 degenerates to single weighted sampling; total estimate stays
+  // exact.
+  VarOptSampler sampler(1, 7);
+  double total = 0.0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    sampler.Add(i, static_cast<double>(i % 7 + 1));
+    total += static_cast<double>(i % 7 + 1);
+  }
+  EXPECT_EQ(sampler.size(), 1);
+  const auto sample = sampler.Sample();
+  EXPECT_NEAR(sample[0].adjusted_weight, total, 1e-6 * total);
+}
+
+TEST(RobustnessTest, BottomKWithKOne) {
+  std::vector<WeightedItem> items = {{1, 5.0}, {2, 1.0}, {3, 9.0}};
+  const auto sketch = BottomKSample(items, 1, RankFamily::kPps, SeedFunction(3));
+  EXPECT_EQ(sketch.entries.size(), 1u);
+  EXPECT_GT(sketch.threshold, sketch.entries[0].rank);
+}
+
+TEST(RobustnessTest, EmptyInstanceSketches) {
+  const auto sketch =
+      BottomKSample({}, 4, RankFamily::kExp, SeedFunction(1));
+  EXPECT_TRUE(sketch.entries.empty());
+  EXPECT_TRUE(std::isinf(sketch.threshold));
+  EXPECT_EQ(BottomKSubsetSum(sketch, [](uint64_t) { return true; }), 0.0);
+}
+
+TEST(RobustnessTest, ExtremeSamplingProbabilities) {
+  // p very close to 0 and to 1: estimators stay finite and unbiased.
+  for (double p : {1e-6, 1.0 - 1e-12}) {
+    const MaxLTwo est(p, p);
+    const std::vector<double> probs = {p, p};
+    const std::vector<double> v = {2.0, 1.0};
+    const double mean = ObliviousExpectation(v, probs, [&](const auto& o) {
+      return est.Estimate(o);
+    });
+    EXPECT_NEAR(mean, 2.0, 1e-6);
+  }
+}
+
+TEST(RobustnessTest, WeightedEstimatorAtTinyAndHugeThresholds) {
+  // tau below all values: deterministic; tau astronomically large: the
+  // estimate stays finite and nonnegative for any outcome that can occur.
+  const MaxLWeightedTwo tiny(1e-6, 1e-6);
+  EXPECT_NEAR(tiny.EstimateFromDeterminingVector(5.0, 3.0), 5.0, 1e-9);
+  const MaxLWeightedTwo huge(1e9, 1e9);
+  const double est = huge.EstimateFromDeterminingVector(5.0, 3.0);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_GE(est, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dimension stress
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, MaxLUniformLargeR) {
+  // r = 24, p = 0.5: coefficients stay finite; exact unbiasedness by full
+  // 2^12 enumeration at r = 12.
+  const MaxLUniform wide(24, 0.5);
+  for (double a : wide.alpha()) EXPECT_TRUE(std::isfinite(a));
+  EXPECT_GT(wide.prefix_sums()[23], 0.0);
+
+  const int r = 12;
+  const MaxLUniform est(r, 0.5);
+  const std::vector<double> probs(r, 0.5);
+  Rng rng(9);
+  std::vector<double> v(r);
+  for (double& x : v) x = std::floor(rng.UniformDouble(0, 9));
+  const double mean = ObliviousExpectation(v, probs, [&](const auto& o) {
+    return est.Estimate(o);
+  });
+  EXPECT_NEAR(mean, MaxOf(v), 1e-6 * std::max(1.0, MaxOf(v)));
+}
+
+TEST(RobustnessTest, OrLUniformLargeRVarianceConsistency) {
+  // O(r^2) variance path at r = 20 agrees with direct enumeration at the
+  // largest r where enumeration is still cheap (r = 16).
+  const int r = 16;
+  const double p = 0.4;
+  const OrLUniform est(r, p);
+  const std::vector<double> probs(r, p);
+  std::vector<double> v(r, 0.0);
+  for (int i = 0; i < 5; ++i) v[static_cast<size_t>(i)] = 1.0;
+  const double direct = ObliviousVariance(v, probs, [&](const auto& o) {
+    return est.Estimate(o);
+  });
+  EXPECT_NEAR(est.Variance(5), direct, 1e-7 * direct);
+
+  const OrLUniform wide(20, 0.3);
+  EXPECT_TRUE(std::isfinite(wide.Variance(10)));
+}
+
+}  // namespace
+}  // namespace pie

@@ -1,0 +1,403 @@
+// Tests for src/sampling: rank families, Poisson samplers (oblivious and
+// weighted PPS), bottom-k sketches, and VarOpt.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "sampling/bottomk.h"
+#include "sampling/poisson.h"
+#include "sampling/rank.h"
+#include "sampling/varopt.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace pie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rank families
+// ---------------------------------------------------------------------------
+
+TEST(RankTest, PpsRankFormula) {
+  EXPECT_DOUBLE_EQ(RankValue(RankFamily::kPps, 4.0, 0.5), 0.125);
+  EXPECT_DOUBLE_EQ(RankValue(RankFamily::kPps, 1.0, 0.25), 0.25);
+}
+
+TEST(RankTest, ExpRankFormula) {
+  const double r = RankValue(RankFamily::kExp, 2.0, 0.5);
+  EXPECT_NEAR(r, -std::log(0.5) / 2.0, 1e-15);
+}
+
+TEST(RankTest, ZeroWeightNeverSampled) {
+  EXPECT_TRUE(std::isinf(RankValue(RankFamily::kPps, 0.0, 0.3)));
+  EXPECT_TRUE(std::isinf(RankValue(RankFamily::kExp, 0.0, 0.3)));
+  EXPECT_EQ(RankInclusionProb(RankFamily::kPps, 0.0, 1.0), 0.0);
+}
+
+TEST(RankTest, InclusionProbMatchesCdf) {
+  // P[rank < tau] should equal RankInclusionProb for both families.
+  for (RankFamily family : {RankFamily::kPps, RankFamily::kExp}) {
+    const double w = 0.7;
+    const double tau = 0.9;
+    Rng rng(42);
+    int hits = 0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i) {
+      if (RankValue(family, w, rng.UniformDouble()) < tau) ++hits;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(trials),
+                RankInclusionProb(family, w, tau), 0.005)
+        << RankFamilyToString(family);
+  }
+}
+
+TEST(RankTest, InclusionProbClampsToOne) {
+  EXPECT_DOUBLE_EQ(RankInclusionProb(RankFamily::kPps, 10.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(RankInclusionProb(RankFamily::kPps, 2.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(RankInclusionProb(RankFamily::kExp, 5.0, Infinity()), 1.0);
+}
+
+TEST(RankTest, ExpMinRankIsExponentialOfSum) {
+  // EXP ranks: min rank over a set ~ EXP(sum of weights); check the mean.
+  const std::vector<double> weights = {1.0, 2.5, 0.5, 4.0};
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  Rng rng(7);
+  RunningStat stat;
+  for (int trial = 0; trial < 100000; ++trial) {
+    double min_rank = Infinity();
+    for (double w : weights) {
+      min_rank =
+          std::min(min_rank, RankValue(RankFamily::kExp, w, rng.UniformDouble()));
+    }
+    stat.Add(min_rank);
+  }
+  EXPECT_NEAR(stat.mean(), 1.0 / total, 0.002);
+}
+
+TEST(RankTest, ValidateWeightRejectsBadInput) {
+  EXPECT_TRUE(ValidateWeight(1.5).ok());
+  EXPECT_TRUE(ValidateWeight(0.0).ok());
+  EXPECT_FALSE(ValidateWeight(-1.0).ok());
+  EXPECT_FALSE(ValidateWeight(std::nan("")).ok());
+  EXPECT_FALSE(ValidateWeight(Infinity()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Poisson samplers
+// ---------------------------------------------------------------------------
+
+TEST(PoissonTest, ValidateConfigs) {
+  EXPECT_TRUE(ValidateObliviousConfig({1.0, 2.0}, {0.5, 1.0}).ok());
+  EXPECT_FALSE(ValidateObliviousConfig({1.0}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(ValidateObliviousConfig({1.0, 1.0}, {0.0, 0.5}).ok());
+  EXPECT_FALSE(ValidateObliviousConfig({1.0, 1.0}, {0.5, 1.5}).ok());
+  EXPECT_FALSE(ValidateObliviousConfig({}, {}).ok());
+  EXPECT_TRUE(ValidatePpsConfig({1.0, 0.0}, {2.0, 3.0}).ok());
+  EXPECT_FALSE(ValidatePpsConfig({1.0, 1.0}, {0.0, 1.0}).ok());
+  EXPECT_FALSE(ValidatePpsConfig({-1.0, 1.0}, {1.0, 1.0}).ok());
+}
+
+TEST(PoissonTest, ObliviousSeedsControlInclusion) {
+  const auto out =
+      SampleObliviousWithSeeds({5.0, 7.0, 9.0}, {0.5, 0.5, 0.5}, {0.4, 0.6, 0.1});
+  EXPECT_TRUE(out.sampled[0]);
+  EXPECT_FALSE(out.sampled[1]);
+  EXPECT_TRUE(out.sampled[2]);
+  EXPECT_EQ(out.value[0], 5.0);
+  EXPECT_EQ(out.value[1], 0.0);  // hidden
+  EXPECT_EQ(out.value[2], 9.0);
+  EXPECT_EQ(out.NumSampled(), 2);
+  EXPECT_EQ(out.MaxSampledValue(), 9.0);
+  EXPECT_FALSE(out.AllSampled());
+}
+
+TEST(PoissonTest, ObliviousInclusionFrequencies) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const std::vector<double> p = {0.2, 0.5, 0.9};
+  Rng rng(19);
+  std::vector<int> hits(3, 0);
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    const auto out = SampleOblivious(values, p, rng);
+    for (int i = 0; i < 3; ++i) hits[i] += out.sampled[i];
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(trials), p[i], 0.01);
+  }
+}
+
+TEST(PoissonTest, PpsInclusionRule) {
+  // v >= u * tau <=> sampled.
+  const auto out = SamplePpsWithSeeds({3.0, 3.0}, {10.0, 10.0}, {0.2, 0.4});
+  EXPECT_TRUE(out.sampled[0]);   // 3 >= 2
+  EXPECT_FALSE(out.sampled[1]);  // 3 < 4
+  EXPECT_DOUBLE_EQ(out.UpperBound(1), 4.0);
+}
+
+TEST(PoissonTest, PpsZeroNeverSampled) {
+  Rng rng(3);
+  for (int t = 0; t < 1000; ++t) {
+    const auto out = SamplePps({0.0, 5.0}, {1.0, 1.0}, rng);
+    EXPECT_FALSE(out.sampled[0]);
+    EXPECT_TRUE(out.sampled[1]);  // 5 >= u*1 always
+  }
+}
+
+TEST(PoissonTest, PpsInclusionProbabilityIsPps) {
+  const double v = 2.5;
+  const double tau = 10.0;
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    hits += SamplePps({v}, {tau}, rng).sampled[0];
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), v / tau, 0.004);
+}
+
+TEST(PoissonTest, PpsUnsampledBoundHolds) {
+  Rng rng(29);
+  for (int t = 0; t < 10000; ++t) {
+    const auto out = SamplePps({4.0}, {16.0}, rng);
+    if (!out.sampled[0]) {
+      EXPECT_GT(out.UpperBound(0), 4.0);  // v < u*tau
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bottom-k
+// ---------------------------------------------------------------------------
+
+std::vector<WeightedItem> MakeItems(int n, uint64_t key_base, Rng& rng) {
+  std::vector<WeightedItem> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({key_base + static_cast<uint64_t>(i),
+                     std::floor(rng.UniformDouble(1.0, 100.0))});
+  }
+  return items;
+}
+
+TEST(BottomKTest, ValidatesConfig) {
+  EXPECT_FALSE(ValidateBottomKConfig({}, 0).ok());
+  EXPECT_TRUE(ValidateBottomKConfig({{1, 2.0}}, 3).ok());
+  EXPECT_FALSE(ValidateBottomKConfig({{1, -2.0}}, 3).ok());
+}
+
+TEST(BottomKTest, KeepsKSmallestRanks) {
+  Rng rng(5);
+  const auto items = MakeItems(50, 100, rng);
+  const SeedFunction seed(77);
+  const int k = 10;
+  const auto sketch = BottomKSample(items, k, RankFamily::kPps, seed);
+  ASSERT_EQ(static_cast<int>(sketch.entries.size()), k);
+
+  // Brute-force ranks.
+  std::vector<double> all_ranks;
+  for (const auto& item : items) {
+    all_ranks.push_back(RankValue(RankFamily::kPps, item.weight, seed(item.key)));
+  }
+  std::sort(all_ranks.begin(), all_ranks.end());
+  // Entries are the k smallest, sorted ascending; threshold is the (k+1)-st.
+  for (int i = 0; i < k; ++i) {
+    EXPECT_DOUBLE_EQ(sketch.entries[i].rank, all_ranks[i]);
+  }
+  EXPECT_DOUBLE_EQ(sketch.threshold, all_ranks[k]);
+}
+
+TEST(BottomKTest, SmallInstanceIsExact) {
+  Rng rng(9);
+  const auto items = MakeItems(5, 10, rng);
+  const auto sketch = BottomKSample(items, 8, RankFamily::kExp, SeedFunction(3));
+  EXPECT_EQ(sketch.entries.size(), 5u);
+  EXPECT_TRUE(std::isinf(sketch.threshold));
+  double total = 0.0;
+  double est = 0.0;
+  for (const auto& item : items) total += item.weight;
+  for (const auto& e : sketch.entries) est += sketch.AdjustedWeight(e);
+  EXPECT_NEAR(est, total, 1e-9);  // adjusted weight == weight when exact
+}
+
+TEST(BottomKTest, SkipsZeroWeights) {
+  std::vector<WeightedItem> items = {{1, 0.0}, {2, 5.0}, {3, 0.0}, {4, 2.0}};
+  const auto sketch = BottomKSample(items, 10, RankFamily::kPps, SeedFunction(1));
+  EXPECT_EQ(sketch.entries.size(), 2u);
+  for (const auto& e : sketch.entries) EXPECT_GT(e.weight, 0.0);
+}
+
+class BottomKUnbiasedTest
+    : public ::testing::TestWithParam<RankFamily> {};
+
+TEST_P(BottomKUnbiasedTest, SubsetSumIsUnbiased) {
+  // Rank-conditioning estimator: mean over independent salts approaches the
+  // true subset sum.
+  Rng rng(13);
+  const auto items = MakeItems(30, 0, rng);
+  double true_sum = 0.0;
+  auto pred = [](uint64_t key) { return key % 3 == 0; };
+  for (const auto& item : items) {
+    if (pred(item.key)) true_sum += item.weight;
+  }
+  RunningStat stat;
+  for (uint64_t salt = 0; salt < 20000; ++salt) {
+    const auto sketch =
+        BottomKSample(items, 8, GetParam(), SeedFunction(salt * 1315423911ULL + 7));
+    stat.Add(BottomKSubsetSum(sketch, pred));
+  }
+  EXPECT_NEAR(stat.mean(), true_sum, 4.0 * stat.standard_error());
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, BottomKUnbiasedTest,
+                         ::testing::Values(RankFamily::kPps, RankFamily::kExp));
+
+TEST(BottomKTest, SharedSeedRanksAreConsistent) {
+  // Consistent ranks (Section 7.2): with a shared seed, a larger value gets
+  // a smaller rank; equal values get equal ranks.
+  const SeedFunction seed(55);
+  Rng rng(17);
+  for (int t = 0; t < 1000; ++t) {
+    const uint64_t key = rng.NextU64();
+    const double u = seed(key);
+    const double w_small = rng.UniformDouble(0.1, 10.0);
+    const double w_large = w_small + rng.UniformDouble(0.0, 10.0);
+    for (RankFamily family : {RankFamily::kPps, RankFamily::kExp}) {
+      EXPECT_LE(RankValue(family, w_large, u), RankValue(family, w_small, u));
+      EXPECT_EQ(RankValue(family, w_small, u), RankValue(family, w_small, u));
+    }
+  }
+}
+
+TEST(BottomKTest, CoordinatedSketchesOverlapMoreThanIndependent) {
+  // Shared-salt bottom-k samples of two similar instances share most keys;
+  // independent salts share few (the motivation for coordination).
+  Rng rng(21);
+  const auto items = MakeItems(200, 0, rng);
+  auto items2 = items;  // identical second instance
+  const int k = 20;
+  const auto a = BottomKSample(items, k, RankFamily::kPps, SeedFunction(1));
+  const auto b_coord = BottomKSample(items2, k, RankFamily::kPps, SeedFunction(1));
+  const auto b_indep = BottomKSample(items2, k, RankFamily::kPps, SeedFunction(2));
+
+  auto overlap = [](const BottomKSketch& x, const BottomKSketch& y) {
+    std::set<uint64_t> keys;
+    for (const auto& e : x.entries) keys.insert(e.key);
+    int shared = 0;
+    for (const auto& e : y.entries) shared += keys.count(e.key);
+    return shared;
+  };
+  EXPECT_EQ(overlap(a, b_coord), k);  // identical data + salt => same sketch
+  EXPECT_LT(overlap(a, b_indep), k / 2);
+}
+
+// ---------------------------------------------------------------------------
+// VarOpt
+// ---------------------------------------------------------------------------
+
+TEST(VarOptTest, ValidatesConfig) {
+  EXPECT_FALSE(ValidateVarOptConfig(0).ok());
+  EXPECT_TRUE(ValidateVarOptConfig(5).ok());
+}
+
+TEST(VarOptTest, HoldsEverythingUnderK) {
+  VarOptSampler sampler(10, 42);
+  for (uint64_t i = 0; i < 6; ++i) sampler.Add(i, 1.0 + static_cast<double>(i));
+  EXPECT_EQ(sampler.size(), 6);
+  EXPECT_EQ(sampler.threshold(), 0.0);
+  for (const auto& e : sampler.Sample()) {
+    EXPECT_EQ(e.weight, e.adjusted_weight);
+  }
+}
+
+TEST(VarOptTest, FixedSampleSize) {
+  Rng rng(31);
+  VarOptSampler sampler(16, 99);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    sampler.Add(i, rng.UniformDouble(0.5, 20.0));
+  }
+  EXPECT_EQ(sampler.size(), 16);
+  EXPECT_EQ(sampler.Sample().size(), 16u);
+  EXPECT_GT(sampler.threshold(), 0.0);
+}
+
+TEST(VarOptTest, IgnoresNonPositiveWeights) {
+  VarOptSampler sampler(4, 1);
+  sampler.Add(1, 0.0);
+  sampler.Add(2, 3.0);
+  EXPECT_EQ(sampler.size(), 1);
+}
+
+TEST(VarOptTest, TotalEstimateIsExact) {
+  // The VarOpt signature property: sum of adjusted weights equals the true
+  // total deterministically.
+  Rng rng(37);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    VarOptSampler sampler(8, seed);
+    double total = 0.0;
+    for (uint64_t i = 0; i < 200; ++i) {
+      const double w = std::floor(rng.UniformDouble(1.0, 50.0));
+      total += w;
+      sampler.Add(i, w);
+    }
+    double est = 0.0;
+    for (const auto& e : sampler.Sample()) est += e.adjusted_weight;
+    EXPECT_NEAR(est, total, 1e-6 * total);
+    EXPECT_NEAR(sampler.total_weight(), total, 1e-9);
+  }
+}
+
+TEST(VarOptTest, InclusionProbabilitiesArePps) {
+  // Inclusion frequency of each item should approach min(1, w/tau).
+  const std::vector<double> weights = {1, 1, 1, 1, 2, 2, 4, 8, 30};
+  const int k = 4;
+  const int trials = 40000;
+  std::vector<int> hits(weights.size(), 0);
+  double tau_sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    VarOptSampler sampler(k, static_cast<uint64_t>(t) * 2654435761ULL + 1);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      sampler.Add(i, weights[i]);
+    }
+    for (const auto& e : sampler.Sample()) ++hits[e.key];
+    tau_sum += sampler.threshold();
+  }
+  const double tau = tau_sum / trials;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(trials),
+                std::fmin(1.0, weights[i] / tau), 0.02)
+        << "item " << i;
+  }
+}
+
+TEST(VarOptTest, SubsetSumIsUnbiased) {
+  Rng rng(41);
+  std::vector<WeightedItem> items = MakeItems(60, 0, rng);
+  auto pred = [](uint64_t key) { return key % 2 == 0; };
+  double true_sum = 0.0;
+  for (const auto& item : items) {
+    if (pred(item.key)) true_sum += item.weight;
+  }
+  RunningStat stat;
+  for (int t = 0; t < 20000; ++t) {
+    VarOptSampler sampler(12, static_cast<uint64_t>(t) + 17);
+    sampler.AddAll(items);
+    stat.Add(sampler.SubsetSumEstimate(pred));
+  }
+  EXPECT_NEAR(stat.mean(), true_sum, 4.0 * stat.standard_error());
+}
+
+TEST(VarOptTest, ThresholdGrowsMonotonically) {
+  Rng rng(43);
+  VarOptSampler sampler(8, 3);
+  double last_tau = 0.0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    sampler.Add(i, rng.UniformDouble(0.1, 5.0));
+    EXPECT_GE(sampler.threshold(), last_tau - 1e-12);
+    last_tau = sampler.threshold();
+  }
+}
+
+}  // namespace
+}  // namespace pie

@@ -1,0 +1,366 @@
+// Tests for src/util: Status/Result, PRNG, hashing, Rational, stats,
+// quadrature, text tables.
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "util/hashing.h"
+#include "util/quadrature.h"
+#include "util/random.h"
+#include "util/rational.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/text_table.h"
+
+namespace pie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad p");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad p");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad p");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kInfeasible}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMomentsMatchUniform) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.UniformDouble());
+  EXPECT_NEAR(stat.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stat.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(5);
+  const uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt(n)];
+  for (uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k], draws / static_cast<double>(n),
+                5.0 * std::sqrt(draws / static_cast<double>(n)));
+  }
+}
+
+TEST(RngTest, ExponentialHasCorrectMean) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stat.variance(), 0.25, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 1e5, 0.3, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(HashingTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);  // no collisions on consecutive inputs
+}
+
+TEST(HashingTest, UnitUniformInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = UnitUniform(rng.NextU64());
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashingTest, SeedFunctionReproducible) {
+  SeedFunction f(99);
+  SeedFunction g(99);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(f(key), g(key));
+  }
+}
+
+TEST(HashingTest, SeedFunctionSaltsAreIndependentLooking) {
+  SeedFunction f(1);
+  SeedFunction g(2);
+  RunningStat diff;
+  for (uint64_t key = 0; key < 20000; ++key) {
+    diff.Add(f(key) * g(key));
+  }
+  // E[U*V] = 1/4 for independent uniforms.
+  EXPECT_NEAR(diff.mean(), 0.25, 0.01);
+}
+
+TEST(HashingTest, SeedFunctionUniformMoments) {
+  SeedFunction f(7);
+  RunningStat stat;
+  for (uint64_t key = 0; key < 100000; ++key) stat.Add(f(key));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stat.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(HashingTest, HashBytesDistinguishesStrings) {
+  EXPECT_NE(HashBytes("alpha"), HashBytes("beta"));
+  EXPECT_EQ(HashBytes("alpha"), HashBytes("alpha"));
+}
+
+// ---------------------------------------------------------------------------
+// Rational
+// ---------------------------------------------------------------------------
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(RationalTest, NormalizesNegativeDenominator) {
+  Rational r(1, -2);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(RationalTest, Arithmetic) {
+  const Rational half(1, 2);
+  const Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+}
+
+TEST(RationalTest, ComparisonAndOrdering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(RationalTest, ToDoubleAndToString) {
+  EXPECT_DOUBLE_EQ(Rational(3, 4).ToDouble(), 0.75);
+  EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(Rational(8, 4).ToString(), "2");
+  std::ostringstream os;
+  os << Rational(-1, 7);
+  EXPECT_EQ(os.str(), "-1/7");
+}
+
+TEST(RationalTest, LargeIntermediatesStayExact) {
+  // (a/b) * (b/a) == 1 even when a*b would overflow naive int32.
+  const Rational a(123456789, 987654321);
+  EXPECT_EQ(a * (Rational(1) / a), Rational(1));
+}
+
+TEST(RationalTest, AbsAndNegation) {
+  EXPECT_EQ(Rational(-3, 4).Abs(), Rational(3, 4));
+  EXPECT_EQ(-Rational(3, 4), Rational(-3, 4));
+  EXPECT_TRUE(Rational(-1, 9).IsNegative());
+  EXPECT_TRUE(Rational(0, 5).IsZero());
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 3);
+  r -= Rational(1, 6);
+  r *= Rational(3, 2);
+  r /= Rational(1, 2);
+  EXPECT_EQ(r, Rational(2, 1));
+}
+
+// ---------------------------------------------------------------------------
+// RunningStat
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  RunningStat stat;
+  double sum = 0.0;
+  for (double x : xs) {
+    stat.Add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(stat.mean(), mean, 1e-12);
+  EXPECT_NEAR(stat.variance(), ss / xs.size(), 1e-12);
+  EXPECT_NEAR(stat.sample_variance(), ss / (xs.size() - 1), 1e-12);
+  EXPECT_EQ(stat.count(), static_cast<int64_t>(xs.size()));
+  EXPECT_EQ(stat.min(), -3.0);
+  EXPECT_EQ(stat.max(), 7.25);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  Rng rng(31);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble(-5, 5);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  const double mean = a.mean();
+  a.Merge(empty);
+  EXPECT_EQ(a.mean(), mean);
+  empty.Merge(a);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStatTest, StandardErrorShrinks) {
+  Rng rng(37);
+  RunningStat small, large;
+  for (int i = 0; i < 100; ++i) small.Add(rng.UniformDouble());
+  for (int i = 0; i < 10000; ++i) large.Add(rng.UniformDouble());
+  EXPECT_GT(small.standard_error(), large.standard_error());
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_NEAR(RelativeError(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_EQ(RelativeError(5.0, 5.0), 0.0);
+  // Floor prevents blowup near zero.
+  EXPECT_LE(RelativeError(1e-15, 0.0), 1e-2);
+}
+
+// ---------------------------------------------------------------------------
+// Quadrature
+// ---------------------------------------------------------------------------
+
+TEST(QuadratureTest, SimpsonExactForCubics) {
+  auto f = [](double x) { return x * x * x - 2 * x + 1; };
+  // Simpson integrates cubics exactly.
+  EXPECT_NEAR(Simpson(f, 0, 2, 2), 4.0 - 4.0 + 2.0, 1e-12);
+}
+
+TEST(QuadratureTest, AdaptiveSimpsonSmooth) {
+  EXPECT_NEAR(AdaptiveSimpson([](double x) { return std::sin(x); }, 0.0,
+                              3.141592653589793),
+              2.0, 1e-9);
+}
+
+TEST(QuadratureTest, AdaptiveSimpsonLogSingularity) {
+  // Integrand with an integrable endpoint singularity like the weighted
+  // max^(L) estimate: int_0^1 ln(1/x) dx = 1.
+  const double v = AdaptiveSimpson([](double x) { return -std::log(x); },
+                                   1e-13, 1.0, 1e-10, 48);
+  EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+TEST(QuadratureTest, AdaptiveSimpsonEmptyInterval) {
+  EXPECT_EQ(AdaptiveSimpson([](double x) { return x; }, 2.0, 2.0), 0.0);
+}
+
+TEST(QuadratureTest, LogSquaredSingularity) {
+  // int_0^1 ln(x)^2 dx = 2 (the second-moment analogue).
+  const double v = AdaptiveSimpson(
+      [](double x) { return std::log(x) * std::log(x); }, 1e-13, 1.0, 1e-10,
+      48);
+  EXPECT_NEAR(v, 2.0, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// TextTable
+// ---------------------------------------------------------------------------
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"a", "long_header"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"100", "2000"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, FormatsNumbers) {
+  EXPECT_EQ(TextTable::Fmt(0.5, 3), "0.5");
+  EXPECT_EQ(TextTable::FmtSci(12345.0, 2), "1.23e+04");
+}
+
+}  // namespace
+}  // namespace pie
