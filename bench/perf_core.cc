@@ -12,6 +12,7 @@
 #include "deriver/algorithm1.h"
 #include "deriver/model.h"
 #include "deriver/properties.h"
+#include "engine/engine.h"
 #include "sampling/poisson.h"
 #include "util/random.h"
 
@@ -95,6 +96,87 @@ void BM_MaxLWeightedVarianceQuadrature(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxLWeightedVarianceQuadrature);
+
+// ---------------------------------------------------------------------------
+// Batched engine vs per-call dispatch. Same estimator (uniform max^(L),
+// r = 32, O(r^2) coefficient table), same outcomes; what varies is where
+// the setup cost lands:
+//  * PerKeyConstruct rebuilds the estimator for every key -- the pattern
+//    the free-function aggregate code used (e.g. bottom-k dominance);
+//  * EnginePerCall pays one memoized engine lookup (mutex + map) per key;
+//  * EngineBatch resolves the kernel once per batch and streams the
+//    outcomes through EstimateBatch with a reused result buffer.
+// The acceptance bar: the batch path is at least as fast per estimate as
+// either per-call loop.
+// ---------------------------------------------------------------------------
+
+constexpr int kEngineBatchR = 32;
+constexpr int kEngineBatchSize = 1024;
+
+KernelSpec EngineMaxSpec() {
+  KernelSpec spec;
+  spec.function = Function::kMax;
+  spec.scheme = Scheme::kOblivious;
+  spec.family = Family::kL;
+  return spec;
+}
+
+OutcomeBatch MakeEngineBatch(const SamplingParams& params) {
+  Rng rng(11);
+  std::vector<double> values(kEngineBatchR);
+  for (double& v : values) v = rng.UniformDouble(0, 10);
+  OutcomeBatch batch;
+  for (int i = 0; i < kEngineBatchSize; ++i) {
+    batch.AddOblivious() = SampleOblivious(values, params.per_entry, rng);
+  }
+  return batch;
+}
+
+void BM_MaxLUniformPerKeyConstruct(benchmark::State& state) {
+  const SamplingParams params(std::vector<double>(kEngineBatchR, 0.2));
+  const OutcomeBatch batch = MakeEngineBatch(params);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int i = 0; i < batch.size(); ++i) {
+      const MaxLUniform est(kEngineBatchR, 0.2);  // O(r^2) setup per key
+      sum += est.Estimate(batch[i].oblivious);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kEngineBatchSize);
+}
+BENCHMARK(BM_MaxLUniformPerKeyConstruct);
+
+void BM_MaxLUniformEnginePerCall(benchmark::State& state) {
+  const SamplingParams params(std::vector<double>(kEngineBatchR, 0.2));
+  const OutcomeBatch batch = MakeEngineBatch(params);
+  auto& engine = EstimationEngine::Global();
+  const KernelSpec spec = EngineMaxSpec();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int i = 0; i < batch.size(); ++i) {
+      sum += (*engine.Kernel(spec, params))->Estimate(batch[i]);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kEngineBatchSize);
+}
+BENCHMARK(BM_MaxLUniformEnginePerCall);
+
+void BM_MaxLUniformEngineBatch(benchmark::State& state) {
+  const SamplingParams params(std::vector<double>(kEngineBatchR, 0.2));
+  const OutcomeBatch batch = MakeEngineBatch(params);
+  auto& engine = EstimationEngine::Global();
+  const KernelSpec spec = EngineMaxSpec();
+  std::vector<double> estimates;  // reused across iterations
+  for (auto _ : state) {
+    const KernelHandle kernel = engine.Kernel(spec, params).value();
+    EstimateBatch(*kernel, batch, &estimates);
+    benchmark::DoNotOptimize(estimates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kEngineBatchSize);
+}
+BENCHMARK(BM_MaxLUniformEngineBatch);
 
 void BM_DeriverCompileBinaryR3(benchmark::State& state) {
   for (auto _ : state) {

@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "aggregate/dominance.h"
 #include "aggregate/sketch.h"
+#include "engine/engine.h"
 #include "sampling/bottomk.h"
 #include "sampling/varopt.h"
 #include "util/hashing.h"
@@ -67,6 +69,39 @@ void BM_VarOptStream(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_VarOptStream)->Arg(10000)->Arg(100000);
+
+// Outcome-batch assembly from two PPS sketches: the scan that feeds the
+// estimation engine. OutcomeBatch recycles slot capacity across Clear(), so
+// steady-state assembly is allocation-free.
+void BM_PairOutcomeBatchAssembly(benchmark::State& state) {
+  const auto items = MakeItems(static_cast<int>(state.range(0)));
+  const auto s1 = PpsInstanceSketch::Build(items, 0.05, 1);
+  const auto s2 = PpsInstanceSketch::Build(items, 0.05, 2);
+  OutcomeBatch batch;
+  for (auto _ : state) {
+    batch.Clear();
+    for (const auto& e : s1.entries()) {
+      MakePairOutcomeInto(s1, s2, e.key, &batch.AddPps());
+    }
+    benchmark::DoNotOptimize(batch.size());
+  }
+  state.SetItemsProcessed(state.iterations() * s1.size());
+}
+BENCHMARK(BM_PairOutcomeBatchAssembly)->Arg(100000);
+
+// End-to-end max-dominance scan: assemble + estimate through the engine's
+// memoized weighted kernels (the refactored aggregate path).
+void BM_EstimateMaxDominance(benchmark::State& state) {
+  const auto items = MakeItems(static_cast<int>(state.range(0)));
+  const auto s1 = PpsInstanceSketch::Build(items, 0.05, 1);
+  const auto s2 = PpsInstanceSketch::Build(items, 0.05, 2);
+  for (auto _ : state) {
+    auto est = EstimateMaxDominance(s1, s2);
+    benchmark::DoNotOptimize(est.l);
+  }
+  state.SetItemsProcessed(state.iterations() * s1.size());
+}
+BENCHMARK(BM_EstimateMaxDominance)->Arg(100000);
 
 void BM_FindPpsTau(benchmark::State& state) {
   const auto items = MakeItems(100000);

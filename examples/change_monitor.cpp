@@ -9,7 +9,8 @@
 //
 // This exercises bottom-k sketches with rank-conditioning subset sums,
 // VarOpt as an alternative fixed-size summary, and the weighted
-// max/min-dominance estimators.
+// max/min-dominance estimators (served by the estimation engine's memoized
+// kernels underneath the aggregate API).
 //
 // Build & run:  ./build/examples/change_monitor
 

@@ -8,6 +8,10 @@
 // (weighted sampling, unknown seeds) NO unbiased nonnegative estimator
 // exists, and the engine produces the infeasibility certificate.
 //
+// The tables derived here are exactly what the estimation engine's
+// registered kernels (engine/registry.cc) implement in closed form; the
+// deriver is the machine-checked ground truth behind them.
+//
 // Build & run:  ./build/examples/derive_estimator
 
 #include <cstdio>

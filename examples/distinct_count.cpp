@@ -10,12 +10,18 @@
 // whether it was genuinely absent on day 2 or merely unsampled -- the
 // partial information that makes the L estimator dominate HT.
 //
+// The aggregate layer routes each per-key estimate through the estimation
+// engine's OR kernels; below we also query the kernel directly to show the
+// per-category weights the aggregate sums.
+//
 // Build & run:  ./build/examples/distinct_count
 
+#include <cmath>
 #include <cstdio>
 #include <set>
 
 #include "aggregate/distinct.h"
+#include "engine/engine.h"
 #include "util/stats.h"
 #include "workload/sets.h"
 
@@ -52,6 +58,23 @@ int main() {
               std::sqrt(pie::DistinctLVariance(truth, days.jaccard, p, p)),
               std::sqrt(pie::DistinctHtVariance(truth, p, p) /
                         pie::DistinctLVariance(truth, days.jaccard, p, p)));
+
+  // The same estimate, first-principles: a key's contribution depends only
+  // on its seed classification, so the aggregate is counts times the OR^(L)
+  // kernel's estimate of one representative outcome per category.
+  const pie::KernelHandle or_l =
+      pie::EstimationEngine::Global()
+          .Kernel({pie::Function::kOr, pie::Scheme::kOblivious,
+                   pie::Regime::kKnownSeeds, pie::Family::kL},
+                  {p, p})
+          .value();
+  pie::ObliviousOutcome both;
+  both.p = {p, p};
+  both.sampled = {1, 1};
+  both.value = {1.0, 1.0};
+  std::printf("\nper-key weight of a both-sampled URL under \"%s\": %.2f\n",
+              or_l->name().c_str(),
+              or_l->Estimate(pie::Outcome::FromOblivious(both)));
 
   // Selected sub-population: URLs with even key ("one domain").
   auto pred = [](uint64_t key) { return key % 2 == 0; };

@@ -8,6 +8,10 @@
 // sum_h max(v1(h), v2(h)) -- the workload a cache sized for the worst hour
 // must handle -- plus the min-dominance norm and the L1 change distance.
 //
+// EstimateMaxDominance assembles one outcome batch from the two sketches
+// and drives it through the engine's memoized max^(HT) / max^(L) weighted
+// kernels; the analytic variances reuse the same kernels' Variance hooks.
+//
 // Build & run:  ./build/examples/max_dominance
 
 #include <cmath>

@@ -1,4 +1,5 @@
-// Quickstart: estimating max across two sampled snapshots of a value.
+// Quickstart: estimating max across two sampled snapshots of a value,
+// driven through the estimation engine.
 //
 // Scenario: a sensor reports a reading in two time periods; to save power,
 // each period's reading is transmitted only with probability 1/2
@@ -10,43 +11,63 @@
 // information from outcomes where only one reading arrives (a lower bound
 // on the peak) and provably dominates HT.
 //
+// Estimators are addressed by (function, sampling scheme, information
+// regime, family): the engine instantiates the right closed form from the
+// registry, memoizes it, and estimates whole batches of outcomes.
+//
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/functions.h"
-#include "core/ht.h"
-#include "core/max_oblivious.h"
-#include "sampling/poisson.h"
+#include "engine/engine.h"
 #include "util/random.h"
 #include "util/stats.h"
 
 int main() {
-  const double p = 0.5;                      // transmission probability
+  const double p = 0.5;                          // transmission probability
   const std::vector<double> truth = {8.0, 6.0};  // the two real readings
-  const std::vector<double> probs = {p, p};
+  const pie::SamplingParams params = {p, p};
 
-  pie::Rng rng(2011);
-  const pie::MaxLTwo max_l(p, p);
+  // Look the two estimators up in the engine: same function (max), same
+  // sampling scheme, different family.
+  pie::KernelSpec spec;
+  spec.function = pie::Function::kMax;
+  spec.scheme = pie::Scheme::kOblivious;
+  auto& engine = pie::EstimationEngine::Global();
+  spec.family = pie::Family::kHt;
+  const pie::KernelHandle ht = engine.Kernel(spec, params).value();
+  spec.family = pie::Family::kL;
+  const pie::KernelHandle max_l = engine.Kernel(spec, params).value();
+  std::printf("kernels: \"%s\" vs \"%s\"\n\n", ht->name().c_str(),
+              max_l->name().c_str());
 
   // One concrete sample.
-  const pie::ObliviousOutcome outcome = pie::SampleOblivious(truth, probs, rng);
+  pie::Rng rng(2011);
+  const pie::Outcome outcome =
+      pie::SampleOutcome(pie::Scheme::kOblivious, params, truth, rng);
   std::printf("one outcome: reading 1 %s, reading 2 %s\n",
-              outcome.sampled[0] ? "arrived" : "missing",
-              outcome.sampled[1] ? "arrived" : "missing");
-  std::printf("  HT estimate of the peak: %.3f\n",
-              pie::ObliviousHtEstimate(outcome, pie::MaxOf));
-  std::printf("  L  estimate of the peak: %.3f\n", max_l.Estimate(outcome));
+              outcome.oblivious.sampled[0] ? "arrived" : "missing",
+              outcome.oblivious.sampled[1] ? "arrived" : "missing");
+  std::printf("  HT estimate of the peak: %.3f\n", ht->Estimate(outcome));
+  std::printf("  L  estimate of the peak: %.3f\n", max_l->Estimate(outcome));
 
-  // Repeat many times: both are unbiased, L has much lower variance.
-  pie::RunningStat ht_stat, l_stat;
+  // Repeat many times, estimating the whole batch with each kernel: both
+  // are unbiased, L has much lower variance.
+  pie::OutcomeBatch batch;
   for (int trial = 0; trial < 200000; ++trial) {
-    const auto o = pie::SampleOblivious(truth, probs, rng);
-    ht_stat.Add(pie::ObliviousHtEstimate(o, pie::MaxOf));
-    l_stat.Add(max_l.Estimate(o));
+    batch.AddOblivious() =
+        pie::SampleOutcome(pie::Scheme::kOblivious, params, truth, rng)
+            .oblivious;
   }
+  std::vector<double> estimates;
+  pie::RunningStat ht_stat, l_stat;
+  EstimateBatch(*ht, batch, &estimates);
+  for (double e : estimates) ht_stat.Add(e);
+  EstimateBatch(*max_l, batch, &estimates);
+  for (double e : estimates) l_stat.Add(e);
   std::printf("\nover %lld trials (true peak = %.1f):\n",
-              static_cast<long long>(ht_stat.count()), pie::MaxOf(truth));
+              static_cast<long long>(ht_stat.count()),
+              pie::TrueValue(spec, truth));
   std::printf("  HT: mean %.4f  variance %8.4f\n", ht_stat.mean(),
               ht_stat.sample_variance());
   std::printf("  L : mean %.4f  variance %8.4f  (%.2fx lower)\n",
@@ -55,7 +76,6 @@ int main() {
 
   // The exact variances, no simulation needed.
   std::printf("\nanalytic: HT %.4f, L %.4f\n",
-              pie::ObliviousHtVariance(truth, probs, pie::MaxOf),
-              max_l.Variance(truth[0], truth[1]));
+              ht->Variance(truth).value(), max_l->Variance(truth).value());
   return 0;
 }

@@ -6,7 +6,9 @@
 // HT estimator is nearly useless at r = 4 (a user's membership must be
 // resolved in ALL four weeks, probability ~p^4 per user), while the
 // partial-information estimator stays sharp using the Theorem 4.2 prefix
-// sums A_{r-z}.
+// sums A_{r-z}. EstimateDistinctMulti fetches the general-r OR^(L) kernel
+// from the estimation engine, which memoizes the prefix-sum table across
+// calls.
 //
 // Build & run:  ./build/examples/weekly_audience
 

@@ -5,10 +5,89 @@
 #include <unordered_set>
 #include <utility>
 
-#include "core/or_oblivious.h"
+#include "engine/engine.h"
 #include "util/check.h"
 
 namespace pie {
+namespace {
+
+// The distinct-count estimators are the sum aggregate of per-key Boolean OR
+// (Section 8.1): by symmetry a key's estimate depends only on its seed
+// classification category, so the aggregate collapses to counts times the
+// OR kernel's estimate on one representative outcome per category. The
+// categories map to binary weight-oblivious outcomes (a certified absence
+// IS a sampled 0 under the Section 5.1 equivalence):
+//   F11 -> both sampled, values (1,1)     F1? -> only entry 1 sampled, (1,-)
+//   F10 -> both sampled, values (1,0)     F?1 -> only entry 2 sampled, (-,1)
+//   F01 -> both sampled, values (0,1)
+struct CategoryWeights {
+  double f11, f10, f01, f1q, fq1;
+};
+
+ObliviousOutcome CategoryOutcome(double p1, double p2, bool s1, double v1,
+                                 bool s2, double v2) {
+  ObliviousOutcome o;
+  o.p = {p1, p2};
+  o.sampled = {static_cast<uint8_t>(s1), static_cast<uint8_t>(s2)};
+  o.value = {v1, v2};
+  return o;
+}
+
+// Uses the registry's uncached Create: sample-size planning bisects over p,
+// and caching hundreds of one-shot (p, p) kernels in the global engine
+// would only bloat it (OR r=2 kernel construction is trivial).
+Result<std::unique_ptr<EstimatorKernel>> OrKernel(Family family, double p1,
+                                                  double p2) {
+  return KernelRegistry::Global().Create(
+      {Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, family},
+      SamplingParams({p1, p2}));
+}
+
+// Shared memo machinery for the per-(family, p1, p2) weight tables below.
+// Estimation loops and variance formulas are called with a fixed (p1, p2)
+// per trial/key scan; a one-entry memo per family makes repeat calls pure
+// arithmetic while keeping parameter sweeps (sample-size bisection)
+// allocation-bounded. Fill computes the payload from the family's kernel.
+template <typename Weights, typename Fill>
+const Weights& MemoizedOrWeights(Family family, double p1, double p2,
+                                 const Fill& fill) {
+  struct Memo {
+    bool valid = false;
+    Family family = Family::kHt;
+    double p1 = 0.0, p2 = 0.0;
+    Weights weights{};
+  };
+  static thread_local Memo memo_by_family[2];
+  Memo& memo = memo_by_family[family == Family::kHt ? 0 : 1];
+  if (!(memo.valid && memo.family == family && memo.p1 == p1 &&
+        memo.p2 == p2)) {
+    auto kernel = OrKernel(family, p1, p2);
+    PIE_CHECK_OK(kernel.status());
+    memo.weights = fill(**kernel);
+    memo.family = family;
+    memo.p1 = p1;
+    memo.p2 = p2;
+    memo.valid = true;
+  }
+  return memo.weights;
+}
+
+CategoryWeights DistinctWeights(Family family, double p1, double p2) {
+  return MemoizedOrWeights<CategoryWeights>(
+      family, p1, p2, [&](const EstimatorKernel& k) {
+        auto weight = [&k](ObliviousOutcome o) {
+          return k.Estimate(Outcome::FromOblivious(std::move(o)));
+        };
+        return CategoryWeights{
+            weight(CategoryOutcome(p1, p2, true, 1, true, 1)),
+            weight(CategoryOutcome(p1, p2, true, 1, true, 0)),
+            weight(CategoryOutcome(p1, p2, true, 0, true, 1)),
+            weight(CategoryOutcome(p1, p2, true, 1, false, 0)),
+            weight(CategoryOutcome(p1, p2, false, 0, true, 1))};
+      });
+}
+
+}  // namespace
 
 BinaryInstanceSketch SampleBinaryInstance(const std::vector<uint64_t>& keys,
                                           double p, uint64_t salt) {
@@ -81,15 +160,22 @@ DistinctClassification ClassifyDistinct(
 
 double DistinctHtEstimate(const DistinctClassification& c, double p1,
                           double p2) {
-  return static_cast<double>(c.f11 + c.f10 + c.f01) / (p1 * p2);
+  const CategoryWeights w = DistinctWeights(Family::kHt, p1, p2);
+  return static_cast<double>(c.f11) * w.f11 +
+         static_cast<double>(c.f10) * w.f10 +
+         static_cast<double>(c.f01) * w.f01 +
+         static_cast<double>(c.f1q) * w.f1q +
+         static_cast<double>(c.fq1) * w.fq1;
 }
 
 double DistinctLEstimate(const DistinctClassification& c, double p1,
                          double p2) {
-  const double q = p1 + p2 - p1 * p2;
-  return static_cast<double>(c.f11 + c.f1q + c.fq1) / q +
-         static_cast<double>(c.f10) / (p1 * q) +
-         static_cast<double>(c.f01) / (p2 * q);
+  const CategoryWeights w = DistinctWeights(Family::kL, p1, p2);
+  return static_cast<double>(c.f11) * w.f11 +
+         static_cast<double>(c.f10) * w.f10 +
+         static_cast<double>(c.f01) * w.f01 +
+         static_cast<double>(c.f1q) * w.f1q +
+         static_cast<double>(c.fq1) * w.fq1;
 }
 
 double DistinctIntersectionEstimate(const DistinctClassification& c,
@@ -113,23 +199,41 @@ DistinctEstimateWithCi DistinctLEstimateWithCi(const DistinctClassification& c,
   return out;
 }
 
+namespace {
+
+// Per-key variances of the three membership patterns, from the OR kernel's
+// Variance hook, memoized through the same helper as DistinctWeights.
+struct VarianceWeights {
+  double v11, v10, v01;
+};
+
+VarianceWeights DistinctVarianceWeights(Family family, double p1, double p2) {
+  return MemoizedOrWeights<VarianceWeights>(
+      family, p1, p2, [](const EstimatorKernel& k) {
+        return VarianceWeights{k.Variance({1.0, 1.0}).value(),
+                               k.Variance({1.0, 0.0}).value(),
+                               k.Variance({0.0, 1.0}).value()};
+      });
+}
+
+}  // namespace
+
 double DistinctHtVariance(double distinct, double p1, double p2) {
-  return distinct * (1.0 / (p1 * p2) - 1.0);
+  // The HT per-key variance 1/(p1 p2) - 1 is the same for every membership
+  // pattern with OR(v) = 1, so the aggregate does not depend on Jaccard.
+  return distinct * DistinctVarianceWeights(Family::kHt, p1, p2).v11;
 }
 
 double DistinctLVariance(double distinct, double jaccard, double p1,
                          double p2) {
   PIE_CHECK(jaccard >= 0 && jaccard <= 1);
-  OrLTwo or_l(p1, p2);
   // Keys in the intersection are (1,1) keys; the rest of the union splits
   // between (1,0) and (0,1). With p1 = p2 the two have equal variance; for
   // generality split the non-intersection mass evenly.
+  const VarianceWeights w = DistinctVarianceWeights(Family::kL, p1, p2);
   const double both = distinct * jaccard;
   const double only = distinct - both;
-  OrLTwo or_l_swapped(p2, p1);
-  return both * or_l.VarianceBothOnes() +
-         0.5 * only * or_l.VarianceOneZero() +
-         0.5 * only * or_l_swapped.VarianceOneZero();
+  return both * w.v11 + 0.5 * only * (w.v10 + w.v01);
 }
 
 }  // namespace pie

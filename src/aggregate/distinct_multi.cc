@@ -3,10 +3,37 @@
 #include <cmath>
 #include <unordered_map>
 
-#include "core/or_oblivious.h"
+#include "engine/engine.h"
 #include "util/check.h"
 
 namespace pie {
+namespace {
+
+KernelSpec OrObliviousSpec(Family family) {
+  return {Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, family};
+}
+
+// Representative binary outcome with one sampled 1, `zeros` sampled 0s
+// (seed-certified absences), and the rest unsampled. By symmetry the OR^(L)
+// estimate of any outcome with at least one sampled 1 depends only on the
+// number of sampled 0s (the prefix sum A_{r-z}), so one evaluation per z
+// covers every key in that class.
+ObliviousOutcome RepresentativeOutcome(int r, double p, int ones, int zeros) {
+  ObliviousOutcome o;
+  o.p.assign(static_cast<size_t>(r), p);
+  o.sampled.assign(static_cast<size_t>(r), 0);
+  o.value.assign(static_cast<size_t>(r), 0.0);
+  for (int i = 0; i < ones; ++i) {
+    o.sampled[static_cast<size_t>(i)] = 1;
+    o.value[static_cast<size_t>(i)] = 1.0;
+  }
+  for (int i = ones; i < ones + zeros; ++i) {
+    o.sampled[static_cast<size_t>(i)] = 1;
+  }
+  return o;
+}
+
+}  // namespace
 
 DistinctMultiEstimates EstimateDistinctMulti(
     const std::vector<BinaryInstanceSketch>& sketches,
@@ -18,7 +45,22 @@ DistinctMultiEstimates EstimateDistinctMulti(
     PIE_CHECK(std::fabs(s.p - p) < 1e-12 &&
               "multi-instance distinct count requires uniform p");
   }
-  const OrLUniform or_l(r, p);
+  auto& engine = EstimationEngine::Global();
+  const SamplingParams params(std::vector<double>(static_cast<size_t>(r), p));
+  auto or_l = engine.Kernel(OrObliviousSpec(Family::kL), params);
+  auto or_ht = engine.Kernel(OrObliviousSpec(Family::kHt), params);
+  PIE_CHECK_OK(or_l.status());
+  PIE_CHECK_OK(or_ht.status());
+
+  // Per-class weights, one kernel evaluation per sampled-zero count; the
+  // engine's memoized kernel amortizes the Theorem 4.2 prefix-sum table.
+  std::vector<double> l_weight(static_cast<size_t>(r));
+  for (int z = 0; z < r; ++z) {
+    l_weight[static_cast<size_t>(z)] = (*or_l)->Estimate(
+        Outcome::FromOblivious(RepresentativeOutcome(r, p, 1, z)));
+  }
+  const double ht_weight = (*or_ht)->Estimate(
+      Outcome::FromOblivious(RepresentativeOutcome(r, p, 1, r - 1)));
 
   // Membership map: key -> bitmask of sketches containing it.
   std::unordered_map<uint64_t, uint32_t> members;
@@ -30,7 +72,6 @@ DistinctMultiEstimates EstimateDistinctMulti(
   }
 
   DistinctMultiEstimates out;
-  const double ht_weight = 1.0 / std::pow(p, r);
   for (const auto& [key, mask] : members) {
     int ones = 0;
     int zeros = 0;
@@ -41,7 +82,7 @@ DistinctMultiEstimates EstimateDistinctMulti(
         ++zeros;  // certified absent from instance i
       }
     }
-    out.l += or_l.EstimateFromCounts(ones, zeros);
+    out.l += l_weight[static_cast<size_t>(zeros)];
     if (ones + zeros == r) out.ht += ht_weight;
   }
   return out;
@@ -50,11 +91,16 @@ DistinctMultiEstimates EstimateDistinctMulti(
 double DistinctMultiLVariance(const std::vector<int64_t>& counts, int r,
                               double p) {
   PIE_CHECK(static_cast<int>(counts.size()) == r);
-  const OrLUniform or_l(r, p);
+  auto or_l = EstimationEngine::Global().Kernel(
+      OrObliviousSpec(Family::kL),
+      SamplingParams(std::vector<double>(static_cast<size_t>(r), p)));
+  PIE_CHECK_OK(or_l.status());
+  std::vector<double> values(static_cast<size_t>(r), 0.0);
   double var = 0.0;
   for (int m = 1; m <= r; ++m) {
+    values[static_cast<size_t>(m - 1)] = 1.0;  // m leading ones
     var += static_cast<double>(counts[static_cast<size_t>(m - 1)]) *
-           or_l.Variance(m);
+           (*or_l)->Variance(values).value();
   }
   return var;
 }

@@ -4,12 +4,15 @@
 #include <map>
 #include <unordered_set>
 
-#include "core/ht.h"
-#include "core/max_weighted.h"
+#include "engine/engine.h"
 #include "util/check.h"
 
 namespace pie {
 namespace {
+
+KernelSpec MaxPpsSpec(Family family) {
+  return {Function::kMax, Scheme::kPps, Regime::kKnownSeeds, family};
+}
 
 // Iterates over the union of sampled keys, calling fn once per key.
 void ForEachSampledKey(const PpsInstanceSketch& s1,
@@ -33,13 +36,23 @@ void ForEachSampledKey(const PpsInstanceSketch& s1,
 MaxDominanceEstimates EstimateMaxDominance(
     const PpsInstanceSketch& s1, const PpsInstanceSketch& s2,
     const std::function<bool(uint64_t)>& pred) {
-  const MaxHtWeighted ht({s1.tau(), s2.tau()});
-  const MaxLWeightedTwo l(s1.tau(), s2.tau());
+  auto& engine = EstimationEngine::Global();
+  const SamplingParams params({s1.tau(), s2.tau()});
+  auto ht = engine.Kernel(MaxPpsSpec(Family::kHt), params);
+  auto l = engine.Kernel(MaxPpsSpec(Family::kL), params);
+  PIE_CHECK_OK(ht.status());
+  PIE_CHECK_OK(l.status());
+
+  // Stream the union of sampled keys: each outcome is assembled once into a
+  // reused scratch slot and fed to both memoized kernels -- O(1) memory,
+  // no per-key estimator setup.
   MaxDominanceEstimates out;
+  Outcome scratch;
+  scratch.scheme = Scheme::kPps;
   ForEachSampledKey(s1, s2, pred, [&](uint64_t key) {
-    const PpsOutcome outcome = MakePairOutcome(s1, s2, key);
-    out.ht += ht.Estimate(outcome);
-    out.l += l.Estimate(outcome);
+    MakePairOutcomeInto(s1, s2, key, &scratch.pps);
+    out.ht += (*ht)->Estimate(scratch);
+    out.l += (*l)->Estimate(scratch);
   });
   return out;
 }
@@ -47,14 +60,28 @@ MaxDominanceEstimates EstimateMaxDominance(
 double EstimateMinDominanceHt(const PpsInstanceSketch& s1,
                               const PpsInstanceSketch& s2,
                               const std::function<bool(uint64_t)>& pred) {
+  auto& engine = EstimationEngine::Global();
+  auto min_ht = engine.Kernel(
+      {Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt},
+      SamplingParams({s1.tau(), s2.tau()}));
+  PIE_CHECK_OK(min_ht.status());
+
+  // min^(HT) needs only the sampled values; the outcome is filled straight
+  // from the scan (no seed hashing -- the unknown-seeds kernel never reads
+  // seeds, but the outcome still carries a seed slot for interface parity).
+  Outcome scratch;
+  scratch.scheme = Scheme::kPps;
+  PpsOutcome& o = scratch.pps;
+  o.tau.assign({s1.tau(), s2.tau()});
+  o.seed.assign(2, 0.0);
+  o.sampled.assign(2, 1);
   double total = 0.0;
   for (const auto& e : s1.entries()) {
     if (pred && !pred(e.key)) continue;
     double v2 = 0.0;
     if (!s2.Lookup(e.key, &v2)) continue;  // min needs both entries
-    const double rho1 = std::fmin(1.0, e.weight / s1.tau());
-    const double rho2 = std::fmin(1.0, v2 / s2.tau());
-    total += std::fmin(e.weight, v2) / (rho1 * rho2);
+    o.value.assign({e.weight, v2});
+    total += (*min_ht)->Estimate(scratch);
   }
   return total;
 }
@@ -69,8 +96,12 @@ MaxDominanceVariance AnalyticMaxDominanceVariance(
     const MultiInstanceData& data, double tau1, double tau2,
     double quad_tol) {
   PIE_CHECK(data.num_instances() == 2);
-  const MaxHtWeighted ht({tau1, tau2});
-  const MaxLWeightedTwo l(tau1, tau2, quad_tol);
+  auto& engine = EstimationEngine::Global();
+  const SamplingParams params({tau1, tau2}, quad_tol);
+  auto ht = engine.Kernel(MaxPpsSpec(Family::kHt), params);
+  auto l = engine.Kernel(MaxPpsSpec(Family::kL), params);
+  PIE_CHECK_OK(ht.status());
+  PIE_CHECK_OK(l.status());
   // Integer-valued workloads (flow counts) repeat value pairs heavily, and
   // the per-key L variance requires quadrature: memoize per distinct pair.
   std::map<std::pair<double, double>, double> l_cache;
@@ -78,11 +109,11 @@ MaxDominanceVariance AnalyticMaxDominanceVariance(
   for (uint64_t key : data.Keys()) {
     const std::vector<double> v = data.Values(key);
     out.sum_max += std::fmax(v[0], v[1]);
-    out.ht += ht.Variance(v);
+    out.ht += (*ht)->Variance(v).value();
     const auto cache_key = std::make_pair(v[0], v[1]);
     auto it = l_cache.find(cache_key);
     if (it == l_cache.end()) {
-      it = l_cache.emplace(cache_key, l.Variance(v[0], v[1])).first;
+      it = l_cache.emplace(cache_key, (*l)->Variance(v).value()).first;
     }
     out.l += it->second;
   }

@@ -3,8 +3,7 @@
 #include <cmath>
 #include <unordered_map>
 
-#include "core/ht.h"
-#include "core/max_weighted.h"
+#include "engine/engine.h"
 #include "util/check.h"
 #include "util/hashing.h"
 
@@ -49,29 +48,59 @@ MaxDominanceEstimates EstimateMaxDominancePriority(
   for (const auto& e : s1.sketch.entries) in1.emplace(e.key, e.weight);
   for (const auto& e : s2.sketch.entries) in2.emplace(e.key, e.weight);
 
+  // Rank conditioning gives each key one of four (tau1, tau2) combinations
+  // (inclusion vs exclusion threshold per sketch). Resolve the four kernel
+  // pairs up front -- one engine lookup each, memoized across calls -- so
+  // the per-key work is pure estimation; the old code rebuilt both weighted
+  // estimators for every key.
+  auto& engine = EstimationEngine::Global();
+  const KernelSpec ht_spec{Function::kMax, Scheme::kPps, Regime::kKnownSeeds,
+                           Family::kHt};
+  const KernelSpec l_spec{Function::kMax, Scheme::kPps, Regime::kKnownSeeds,
+                          Family::kL};
+  const double tau1_of[2] = {s1.ExclusionTau(), s1.InclusionTau()};
+  const double tau2_of[2] = {s2.ExclusionTau(), s2.InclusionTau()};
+  struct KernelPair {
+    KernelHandle ht, l;
+  };
+  KernelPair kernels[2][2];
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      if (a == 0 && b == 0) continue;  // absent-from-both keys never scanned
+      const SamplingParams params({tau1_of[a], tau2_of[b]});
+      auto ht = engine.Kernel(ht_spec, params);
+      auto l = engine.Kernel(l_spec, params);
+      PIE_CHECK_OK(ht.status());
+      PIE_CHECK_OK(l.status());
+      kernels[a][b] = {*ht, *l};
+    }
+  }
+
   MaxDominanceEstimates out;
+  Outcome scratch;  // reused across keys
+  scratch.scheme = Scheme::kPps;
+  PpsOutcome& o = scratch.pps;
   auto process = [&](uint64_t key) {
     if (pred && !pred(key)) return;
-    PpsOutcome o;
     o.sampled.assign(2, 0);
     o.value.assign(2, 0.0);
-    o.seed = {seed1(key), seed2(key)};
+    o.seed.assign({seed1(key), seed2(key)});
     auto it1 = in1.find(key);
     auto it2 = in2.find(key);
-    o.tau = {it1 != in1.end() ? s1.InclusionTau() : s1.ExclusionTau(),
-             it2 != in2.end() ? s2.InclusionTau() : s2.ExclusionTau()};
-    if (it1 != in1.end()) {
+    const int present1 = it1 != in1.end() ? 1 : 0;
+    const int present2 = it2 != in2.end() ? 1 : 0;
+    o.tau.assign({tau1_of[present1], tau2_of[present2]});
+    if (present1) {
       o.sampled[0] = 1;
       o.value[0] = it1->second;
     }
-    if (it2 != in2.end()) {
+    if (present2) {
       o.sampled[1] = 1;
       o.value[1] = it2->second;
     }
-    const MaxHtWeighted ht({o.tau[0], o.tau[1]});
-    const MaxLWeightedTwo l(o.tau[0], o.tau[1]);
-    out.ht += ht.Estimate(o);
-    out.l += l.Estimate(o);
+    const KernelPair& pair = kernels[present1][present2];
+    out.ht += pair.ht->Estimate(scratch);
+    out.l += pair.l->Estimate(scratch);
   };
 
   for (const auto& [key, weight] : in1) process(key);

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <functional>
 
+// The cv formulas evaluate the engine-backed Section 8.1 variances
+// (aggregate/distinct routes them through the registry's OR kernels); the
+// bisection below sweeps p, which is why those paths use uncached registry
+// kernels rather than the global engine cache.
 #include "aggregate/distinct.h"
 #include "util/check.h"
 

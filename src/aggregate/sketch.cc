@@ -83,20 +83,27 @@ Result<double> FindPpsTauForExpectedSize(
 PpsOutcome MakePairOutcome(const PpsInstanceSketch& s1,
                            const PpsInstanceSketch& s2, uint64_t key) {
   PpsOutcome out;
-  out.tau = {s1.tau(), s2.tau()};
-  out.seed = {s1.seed_fn()(key), s2.seed_fn()(key)};
-  out.sampled.assign(2, 0);
-  out.value.assign(2, 0.0);
+  MakePairOutcomeInto(s1, s2, key, &out);
+  return out;
+}
+
+void MakePairOutcomeInto(const PpsInstanceSketch& s1,
+                         const PpsInstanceSketch& s2, uint64_t key,
+                         PpsOutcome* out) {
+  PIE_CHECK(out != nullptr);
+  out->tau.assign({s1.tau(), s2.tau()});
+  out->seed.assign({s1.seed_fn()(key), s2.seed_fn()(key)});
+  out->sampled.assign(2, 0);
+  out->value.assign(2, 0.0);
   double v = 0.0;
   if (s1.Lookup(key, &v)) {
-    out.sampled[0] = 1;
-    out.value[0] = v;
+    out->sampled[0] = 1;
+    out->value[0] = v;
   }
   if (s2.Lookup(key, &v)) {
-    out.sampled[1] = 1;
-    out.value[1] = v;
+    out->sampled[1] = 1;
+    out->value[1] = v;
   }
-  return out;
 }
 
 }  // namespace pie

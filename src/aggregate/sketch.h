@@ -62,4 +62,11 @@ Result<double> FindPpsTauForExpectedSize(const std::vector<WeightedItem>& items,
 PpsOutcome MakePairOutcome(const PpsInstanceSketch& s1,
                            const PpsInstanceSketch& s2, uint64_t key);
 
+/// In-place variant for batched scans: overwrites `out` reusing its inner
+/// vectors' capacity, so assembling outcomes into engine OutcomeBatch slots
+/// allocates nothing in steady state.
+void MakePairOutcomeInto(const PpsInstanceSketch& s1,
+                         const PpsInstanceSketch& s2, uint64_t key,
+                         PpsOutcome* out);
+
 }  // namespace pie

@@ -112,10 +112,10 @@ double MaxLWeightedTwo::Moment(double v1, double v2, bool squared) const {
     const double cap = v1 / tau2_;  // beyond this, the bound clips at v1
     double integral = 0.0;
     if (cap > lo && cap < 1.0) {
-      integral = AdaptiveSimpson(f, lo, cap, tol) +
-                 AdaptiveSimpson(f, cap, 1.0, tol);
+      integral = AdaptiveSimpsonT(f, lo, cap, tol) +
+                 AdaptiveSimpsonT(f, cap, 1.0, tol);
     } else {
-      integral = AdaptiveSimpson(f, lo, 1.0, tol);
+      integral = AdaptiveSimpsonT(f, lo, 1.0, tol);
     }
     total += rho1 * integral;
   }
@@ -129,10 +129,10 @@ double MaxLWeightedTwo::Moment(double v1, double v2, bool squared) const {
     const double cap = v2 / tau1_;
     double integral = 0.0;
     if (cap > lo && cap < 1.0) {
-      integral = AdaptiveSimpson(f, lo, cap, tol) +
-                 AdaptiveSimpson(f, cap, 1.0, tol);
+      integral = AdaptiveSimpsonT(f, lo, cap, tol) +
+                 AdaptiveSimpsonT(f, cap, 1.0, tol);
     } else {
-      integral = AdaptiveSimpson(f, lo, 1.0, tol);
+      integral = AdaptiveSimpsonT(f, lo, 1.0, tol);
     }
     total += rho2 * integral;
   }

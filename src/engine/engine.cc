@@ -1,0 +1,132 @@
+#include "engine/engine.h"
+
+#include <tuple>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pie {
+
+Outcome& OutcomeBatch::Add(Scheme scheme) {
+  if (size_ == slots_.size()) {
+    slots_.emplace_back();
+  }
+  Outcome& slot = slots_[size_++];
+  slot.scheme = scheme;
+  return slot;
+}
+
+void EstimateBatch(const EstimatorKernel& kernel, const OutcomeBatch& batch,
+                   std::vector<double>* out) {
+  PIE_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(static_cast<size_t>(batch.size()));
+  for (int i = 0; i < batch.size(); ++i) {
+    out->push_back(kernel.Estimate(batch[i]));
+  }
+}
+
+double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch) {
+  double sum = 0.0;
+  for (int i = 0; i < batch.size(); ++i) {
+    sum += kernel.Estimate(batch[i]);
+  }
+  return sum;
+}
+
+EstimationEngine& EstimationEngine::Global() {
+  static EstimationEngine* engine = new EstimationEngine();
+  return *engine;
+}
+
+namespace {
+
+using KeyView =
+    std::tuple<int, int, int, int, int, const std::vector<double>&, double>;
+
+}  // namespace
+
+bool EstimationEngine::CacheKeyLess::operator()(const CacheKey& a,
+                                                const CacheKey& b) const {
+  return KeyView(a.function, a.scheme, a.regime, a.family, a.l, a.per_entry,
+                 a.quad_tol) <
+         KeyView(b.function, b.scheme, b.regime, b.family, b.l, b.per_entry,
+                 b.quad_tol);
+}
+
+bool EstimationEngine::CacheKeyLess::operator()(const CacheKey& a,
+                                                const CacheQuery& b) const {
+  return KeyView(a.function, a.scheme, a.regime, a.family, a.l, a.per_entry,
+                 a.quad_tol) <
+         KeyView(static_cast<int>(b.spec->function),
+                 static_cast<int>(b.spec->scheme),
+                 static_cast<int>(b.spec->regime),
+                 static_cast<int>(b.spec->family), b.spec->l,
+                 b.params->per_entry, b.params->quad_tol);
+}
+
+bool EstimationEngine::CacheKeyLess::operator()(const CacheQuery& a,
+                                                const CacheKey& b) const {
+  return KeyView(static_cast<int>(a.spec->function),
+                 static_cast<int>(a.spec->scheme),
+                 static_cast<int>(a.spec->regime),
+                 static_cast<int>(a.spec->family), a.spec->l,
+                 a.params->per_entry, a.params->quad_tol) <
+         KeyView(b.function, b.scheme, b.regime, b.family, b.l, b.per_entry,
+                 b.quad_tol);
+}
+
+Result<KernelHandle> EstimationEngine::Kernel(const KernelSpec& spec,
+                                              const SamplingParams& params) {
+  // Key the cache on the canonical spec so regime aliases (oblivious
+  // regimes, PPS known-seeds served by an unknown-seeds estimator) share
+  // one cached kernel.
+  const KernelSpec canonical = KernelRegistry::Global().CanonicalSpec(spec);
+  const CacheQuery query{&canonical, &params};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(query);
+    if (it != cache_.end()) return it->second;
+  }
+  // Construct outside the lock: coefficient recursions can be O(r^2).
+  auto created = KernelRegistry::Global().Create(canonical, params);
+  if (!created.ok()) return created.status();
+  KernelHandle handle(std::move(created).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(cache_.size()) >= kMaxCachedKernels) {
+    cache_.clear();  // outstanding KernelHandles keep their kernels alive
+  }
+  CacheKey key{static_cast<int>(canonical.function),
+               static_cast<int>(canonical.scheme),
+               static_cast<int>(canonical.regime),
+               static_cast<int>(canonical.family),
+               canonical.l, params.per_entry, params.quad_tol};
+  auto [it, inserted] = cache_.emplace(std::move(key), handle);
+  if (!inserted) handle = it->second;  // a racing creator won; share its kernel
+  return handle;
+}
+
+Result<double> EstimationEngine::EstimateSum(const KernelSpec& spec,
+                                             const SamplingParams& params,
+                                             const OutcomeBatch& batch) {
+  auto kernel = Kernel(spec, params);
+  if (!kernel.ok()) return kernel.status();
+  return pie::EstimateSum(**kernel, batch);
+}
+
+Status EstimationEngine::EstimateBatch(const KernelSpec& spec,
+                                       const SamplingParams& params,
+                                       const OutcomeBatch& batch,
+                                       std::vector<double>* out) {
+  auto kernel = Kernel(spec, params);
+  if (!kernel.ok()) return kernel.status();
+  pie::EstimateBatch(**kernel, batch, out);
+  return Status::OK();
+}
+
+int EstimationEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(cache_.size());
+}
+
+}  // namespace pie

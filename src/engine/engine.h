@@ -1,0 +1,144 @@
+// Batched estimation engine (the entry point the aggregate layer drives).
+//
+// Two costs dominated the old free-function call sites:
+//  * per-key estimator construction -- e.g. the Theorem 4.2 coefficient
+//    recursion is O(r^2) and the bottom-k dominance path rebuilt its
+//    estimators for every key;
+//  * per-key allocation of outcome vectors.
+// The engine removes both: Kernel() memoizes constructed kernels by
+// (spec, params) so coefficient/quadrature tables are computed once, and
+// OutcomeBatch recycles outcome slots (including their inner vectors'
+// capacity) across Clear() calls, so a steady-state scan allocates nothing.
+//
+// Typical use:
+//   auto& engine = EstimationEngine::Global();
+//   KernelHandle ht = engine.Kernel(ht_spec, params).value();
+//   KernelHandle l = engine.Kernel(l_spec, params).value();
+//   batch.Clear();
+//   for (key : keys) MakePairOutcomeInto(s1, s2, key, &batch.AddPps());
+//   double ht_sum = EstimateSum(*ht, batch);  // one pass per kernel,
+//   double l_sum = EstimateSum(*l, batch);    // outcomes assembled once
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/kernel.h"
+#include "engine/registry.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// A reusable vector of outcome slots. Clear() resets the logical size but
+/// keeps every slot (and the capacity of its inner vectors) alive, so
+/// refilling the batch for the next scan reuses the same memory.
+class OutcomeBatch {
+ public:
+  void Clear() { size_ = 0; }
+  int size() const { return static_cast<int>(size_); }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the next slot, tagged for the given scheme. The caller
+  /// overwrites the payload fields; stale data from a previous use of the
+  /// slot is the caller's to overwrite (assign every field you read).
+  Outcome& Add(Scheme scheme);
+
+  /// Convenience: next slot tagged kPps, returning the payload directly.
+  PpsOutcome& AddPps() { return Add(Scheme::kPps).pps; }
+  /// Convenience: next slot tagged kOblivious, returning the payload.
+  ObliviousOutcome& AddOblivious() {
+    return Add(Scheme::kOblivious).oblivious;
+  }
+
+  const Outcome& operator[](int i) const {
+    return slots_[static_cast<size_t>(i)];
+  }
+
+ private:
+  std::vector<Outcome> slots_;
+  size_t size_ = 0;
+};
+
+/// Applies the kernel to every outcome, appending to `out` (cleared first;
+/// capacity is reused across calls).
+void EstimateBatch(const EstimatorKernel& kernel, const OutcomeBatch& batch,
+                   std::vector<double>* out);
+
+/// Sum of per-outcome estimates: the per-key contributions of a sum
+/// aggregate (Section 7's sum-of-f(v) queries).
+double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch);
+
+/// A shared, immutable kernel handle. Callers hold it for as long as they
+/// estimate with the kernel; the engine's cache holds another reference, so
+/// cache eviction never invalidates a handle in use.
+using KernelHandle = std::shared_ptr<const EstimatorKernel>;
+
+/// Creates kernels through the registry and memoizes them by
+/// (spec, params), so the per-(function, scheme, regime, family, config)
+/// setup work -- coefficient recursions, prefix-sum tables -- happens once
+/// per engine rather than once per call or per key. Thread-safe. Cache
+/// lookups are allocation-free on hits. The cache is bounded: workloads
+/// that sweep unboundedly many distinct params (e.g. data-dependent
+/// thresholds in a long-running service) cannot grow it past
+/// kMaxCachedKernels -- it is reset wholesale and refilled, while
+/// outstanding KernelHandles keep their kernels alive.
+class EstimationEngine {
+ public:
+  /// Cache capacity; crossing it clears and refills the cache (simple and
+  /// O(1) amortized; an LRU would be overkill for kernel-sized objects).
+  static constexpr int kMaxCachedKernels = 1024;
+
+  EstimationEngine() = default;
+  EstimationEngine(const EstimationEngine&) = delete;
+  EstimationEngine& operator=(const EstimationEngine&) = delete;
+
+  /// A process-wide engine for library-internal call sites (the aggregate
+  /// layer). Sweeps over many distinct params (e.g. parameter searches)
+  /// should prefer a local engine or KernelRegistry::Create to avoid
+  /// churning the shared cache.
+  static EstimationEngine& Global();
+
+  /// The memoized kernel for (spec, params); created on first use.
+  Result<KernelHandle> Kernel(const KernelSpec& spec,
+                              const SamplingParams& params);
+
+  /// Convenience: estimate a whole batch with the memoized kernel.
+  Result<double> EstimateSum(const KernelSpec& spec,
+                             const SamplingParams& params,
+                             const OutcomeBatch& batch);
+  Status EstimateBatch(const KernelSpec& spec, const SamplingParams& params,
+                       const OutcomeBatch& batch, std::vector<double>* out);
+
+  /// Number of distinct kernels currently cached (telemetry/tests).
+  int cache_size() const;
+
+ private:
+  struct CacheKey {
+    int function;
+    int scheme;
+    int regime;
+    int family;
+    int l;
+    std::vector<double> per_entry;
+    double quad_tol;
+  };
+  /// Borrowed view of a lookup key; avoids copying per_entry on hits.
+  struct CacheQuery {
+    const KernelSpec* spec;
+    const SamplingParams* params;
+  };
+  struct CacheKeyLess {
+    using is_transparent = void;
+    bool operator()(const CacheKey& a, const CacheKey& b) const;
+    bool operator()(const CacheKey& a, const CacheQuery& b) const;
+    bool operator()(const CacheQuery& a, const CacheKey& b) const;
+  };
+
+  mutable std::mutex mu_;
+  std::map<CacheKey, KernelHandle, CacheKeyLess> cache_;
+};
+
+}  // namespace pie

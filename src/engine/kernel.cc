@@ -1,0 +1,104 @@
+#include "engine/kernel.h"
+
+#include <cmath>
+
+#include "core/functions.h"
+#include "util/check.h"
+
+namespace pie {
+
+const char* FunctionToString(Function f) {
+  switch (f) {
+    case Function::kMax:
+      return "max";
+    case Function::kOr:
+      return "or";
+    case Function::kMin:
+      return "min";
+    case Function::kLthLargest:
+      return "lth-largest";
+  }
+  return "?";
+}
+
+const char* SchemeToString(Scheme s) {
+  switch (s) {
+    case Scheme::kOblivious:
+      return "oblivious";
+    case Scheme::kPps:
+      return "pps";
+  }
+  return "?";
+}
+
+const char* RegimeToString(Regime r) {
+  switch (r) {
+    case Regime::kKnownSeeds:
+      return "known-seeds";
+    case Regime::kUnknownSeeds:
+      return "unknown-seeds";
+  }
+  return "?";
+}
+
+const char* FamilyToString(Family f) {
+  switch (f) {
+    case Family::kHt:
+      return "HT";
+    case Family::kL:
+      return "L";
+    case Family::kU:
+      return "U";
+    case Family::kUAsym:
+      return "Uasym";
+  }
+  return "?";
+}
+
+std::string KernelSpec::ToString() const {
+  std::string out = FunctionToString(function);
+  if (function == Function::kLthLargest) {
+    out += "(l=" + std::to_string(l) + ")";
+  }
+  out += std::string("/") + SchemeToString(scheme) + "/" +
+         RegimeToString(regime) + "/" + FamilyToString(family);
+  return out;
+}
+
+bool SamplingParams::IsUniform() const {
+  for (double x : per_entry) {
+    if (x != per_entry[0]) return false;
+  }
+  return true;
+}
+
+double TrueValue(const KernelSpec& spec, const std::vector<double>& values) {
+  switch (spec.function) {
+    case Function::kMax:
+      return MaxOf(values);
+    case Function::kOr:
+      return OrOf(values);
+    case Function::kMin:
+      return MinOf(values);
+    case Function::kLthLargest:
+      return LthOf(values, spec.l);
+  }
+  PIE_CHECK(false && "unreachable");
+  return 0.0;
+}
+
+Outcome SampleOutcome(Scheme scheme, const SamplingParams& params,
+                      const std::vector<double>& values, Rng& rng) {
+  PIE_CHECK(params.r() == static_cast<int>(values.size()));
+  switch (scheme) {
+    case Scheme::kOblivious:
+      return Outcome::FromOblivious(
+          SampleOblivious(values, params.per_entry, rng));
+    case Scheme::kPps:
+      return Outcome::FromPps(SamplePps(values, params.per_entry, rng));
+  }
+  PIE_CHECK(false && "unreachable");
+  return Outcome();
+}
+
+}  // namespace pie

@@ -1,0 +1,156 @@
+// The estimation engine's kernel abstraction.
+//
+// The paper derives a *family* of per-key optimal unbiased estimators, one
+// per combination of target function (max, OR, min, l-th largest), sampling
+// scheme (weight-oblivious Poisson vs weighted PPS), and information regime
+// (seeds known vs unknown). src/core/ implements each as its own class with
+// its own constructor and Estimate signature; the engine wraps them behind
+// one interface so the aggregate layer, benchmarks, and applications can
+// drive any of them generically and in batches.
+//
+// An EstimatorKernel estimates one key's contribution f(v) from an Outcome
+// (the sampled values plus the inclusion probabilities / thresholds and
+// seeds the regime allows the estimator to read). Kernels are immutable
+// after construction: all coefficient tables (e.g. the Theorem 4.2 alpha
+// recursion) are computed once, so sharing one kernel across millions of
+// keys amortizes the setup the free-function API redid per call site.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sampling/poisson.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Target function f(v_1, ..., v_r) estimated by a kernel.
+enum class Function {
+  kMax,
+  kOr,          ///< Boolean OR over a binary domain
+  kMin,
+  kLthLargest,  ///< l-th largest entry (l = 1 is max, l = r is min)
+};
+
+/// How each instance's entry was sampled.
+enum class Scheme {
+  kOblivious,  ///< fixed inclusion probability p_i, independent of v_i
+  kPps,        ///< weighted PPS: sampled iff v_i >= u_i * tau*_i
+};
+
+/// What the estimator may read besides the sampled values. For the
+/// oblivious scheme the sampled set is full information, so the regime is
+/// immaterial and normalized to kKnownSeeds on lookup.
+enum class Regime {
+  kKnownSeeds,    ///< seed vector visible (missing entries bound the value)
+  kUnknownSeeds,  ///< only the sampled set and values are visible
+};
+
+/// Which estimator of the family to use; the paper's L and U variants are
+/// Pareto-optimal and incomparable, HT is the classical baseline.
+enum class Family {
+  kHt,     ///< Horvitz-Thompson (all-or-nothing information)
+  kL,      ///< dense-first order-optimal estimator (max^(L), OR^(L), ...)
+  kU,      ///< sparse-first partition-optimal estimator (max^(U), OR^(U))
+  kUAsym,  ///< asymmetric Pareto-optimal variant (max^(Uas), r = 2)
+};
+
+const char* FunctionToString(Function f);
+const char* SchemeToString(Scheme s);
+const char* RegimeToString(Regime r);
+const char* FamilyToString(Family f);
+
+/// Registry / engine key: which estimator to instantiate.
+struct KernelSpec {
+  Function function = Function::kMax;
+  Scheme scheme = Scheme::kOblivious;
+  Regime regime = Regime::kKnownSeeds;
+  Family family = Family::kL;
+  int l = 1;  ///< order statistic, used only by kLthLargest
+
+  /// "max/pps/known-seeds/L"-style description.
+  std::string ToString() const;
+
+  friend bool operator==(const KernelSpec& a, const KernelSpec& b) {
+    return a.function == b.function && a.scheme == b.scheme &&
+           a.regime == b.regime && a.family == b.family && a.l == b.l;
+  }
+};
+
+/// Per-instance sampler configuration a kernel is instantiated for:
+/// inclusion probabilities p_i (oblivious) or PPS thresholds tau*_i (pps).
+/// quad_tol is the adaptive-quadrature tolerance used by kernels whose
+/// closed-form variance requires seed integrals (known-seeds weighted max).
+struct SamplingParams {
+  std::vector<double> per_entry;
+  double quad_tol = 1e-10;
+
+  SamplingParams() = default;
+  SamplingParams(std::initializer_list<double> entries)
+      : per_entry(entries) {}
+  explicit SamplingParams(std::vector<double> entries, double tol = 1e-10)
+      : per_entry(std::move(entries)), quad_tol(tol) {}
+
+  int r() const { return static_cast<int>(per_entry.size()); }
+  /// True when every entry equals the first (uniform p or uniform tau).
+  bool IsUniform() const;
+};
+
+/// One key's sampling outcome, tagged by scheme. Exactly one of the two
+/// payloads is meaningful; both are kept as members (not a variant) so
+/// batch slots can be overwritten in place without reallocating the inner
+/// vectors.
+struct Outcome {
+  Scheme scheme = Scheme::kOblivious;
+  ObliviousOutcome oblivious;
+  PpsOutcome pps;
+
+  static Outcome FromOblivious(ObliviousOutcome o) {
+    Outcome out;
+    out.scheme = Scheme::kOblivious;
+    out.oblivious = std::move(o);
+    return out;
+  }
+  static Outcome FromPps(PpsOutcome o) {
+    Outcome out;
+    out.scheme = Scheme::kPps;
+    out.pps = std::move(o);
+    return out;
+  }
+};
+
+/// Estimates one key's f(v) contribution from an outcome. Thread-safe after
+/// construction (estimation is const and touches no shared mutable state).
+class EstimatorKernel {
+ public:
+  virtual ~EstimatorKernel() = default;
+
+  /// Unbiased estimate of f(v) from one outcome. The outcome's scheme must
+  /// match the kernel's spec.
+  virtual double Estimate(const Outcome& outcome) const = 0;
+
+  /// Exact variance on a data vector, where core provides a closed form /
+  /// enumeration; Unimplemented otherwise.
+  virtual Result<double> Variance(
+      const std::vector<double>& /*values*/) const {
+    return Status::Unimplemented("no exact variance for kernel " + name());
+  }
+
+  /// Human-readable kernel name ("max^(L) oblivious r=2", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Ground truth f(v) for a kernel spec (dispatches to core/functions).
+double TrueValue(const KernelSpec& spec, const std::vector<double>& values);
+
+/// Draws one outcome of `values` under the spec'd scheme: SampleOblivious
+/// for kOblivious (params = inclusion probabilities), SamplePps for kPps
+/// (params = thresholds). Shared by the Monte Carlo test fixture and the
+/// benchmarks.
+Outcome SampleOutcome(Scheme scheme, const SamplingParams& params,
+                      const std::vector<double>& values, Rng& rng);
+
+}  // namespace pie

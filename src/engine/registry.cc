@@ -1,0 +1,597 @@
+#include "engine/registry.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/functions.h"
+#include "core/ht.h"
+#include "core/max_l_three.h"
+#include "core/max_oblivious.h"
+#include "core/max_weighted.h"
+#include "core/min_weighted.h"
+#include "core/or_oblivious.h"
+#include "core/or_weighted.h"
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Adapter kernels around the core estimator classes. Each adapter fixes the
+// sampler configuration at construction so per-key estimation reuses the
+// precomputed coefficient tables.
+// ---------------------------------------------------------------------------
+
+// Matches an entry on everything but l: LthLargest registrations carry a
+// representative l, and the requested l is passed to the factory.
+bool SpecMatches(const KernelSpec& entry, const KernelSpec& lookup) {
+  return entry.function == lookup.function &&
+         entry.scheme == lookup.scheme && entry.regime == lookup.regime &&
+         entry.family == lookup.family;
+}
+
+Status RequireR(int got, int r) {
+  if (got != r) {
+    return Status::InvalidArgument("kernel requires r = " + std::to_string(r) +
+                                   " instances, got " + std::to_string(got));
+  }
+  return Status::OK();
+}
+
+Status RequireBinary(const std::vector<double>& values) {
+  for (double v : values) {
+    if (v != 0.0 && v != 1.0) {
+      return Status::InvalidArgument("OR variance requires binary values");
+    }
+  }
+  return Status::OK();
+}
+
+/// Horvitz-Thompson over weight-oblivious outcomes for any primitive f.
+class ObliviousHtKernel : public EstimatorKernel {
+ public:
+  ObliviousHtKernel(std::string name, VectorFunction f,
+                    std::vector<double> p)
+      : name_(std::move(name)), f_(std::move(f)), p_(std::move(p)) {}
+
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return ObliviousHtEstimate(outcome.oblivious, f_);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    return ObliviousHtVariance(values, p_, f_);
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  VectorFunction f_;
+  std::vector<double> p_;
+};
+
+class MaxLTwoKernel : public EstimatorKernel {
+ public:
+  MaxLTwoKernel(double p1, double p2) : est_(p1, p2) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
+    return est_.Variance(values[0], values[1]);
+  }
+  std::string name() const override { return "max^(L) oblivious r=2"; }
+
+ private:
+  MaxLTwo est_;
+};
+
+class MaxLThreeKernel : public EstimatorKernel {
+ public:
+  MaxLThreeKernel(double p1, double p2, double p3) : est_(p1, p2, p3) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 3));
+    return est_.Variance({values[0], values[1], values[2]});
+  }
+  std::string name() const override { return "max^(L) oblivious r=3"; }
+
+ private:
+  MaxLThree est_;
+};
+
+class MaxLUniformKernel : public EstimatorKernel {
+ public:
+  MaxLUniformKernel(int r, double p) : est_(r, p) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    if (static_cast<int>(values.size()) != est_.r() || est_.r() > 25) {
+      return Status::InvalidArgument(
+          "exact max^(L) variance needs matching r <= 25");
+    }
+    return est_.Variance(values);
+  }
+  std::string name() const override {
+    return "max^(L) oblivious uniform r=" + std::to_string(est_.r());
+  }
+
+ private:
+  MaxLUniform est_;
+};
+
+class MaxUTwoKernel : public EstimatorKernel {
+ public:
+  MaxUTwoKernel(double p1, double p2) : est_(p1, p2) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
+    return est_.Variance(values[0], values[1]);
+  }
+  std::string name() const override { return "max^(U) oblivious r=2"; }
+
+ private:
+  MaxUTwo est_;
+};
+
+class MaxUAsymTwoKernel : public EstimatorKernel {
+ public:
+  MaxUAsymTwoKernel(double p1, double p2) : est_(p1, p2) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
+    return est_.Variance(values[0], values[1]);
+  }
+  std::string name() const override { return "max^(Uas) oblivious r=2"; }
+
+ private:
+  MaxUAsymTwo est_;
+};
+
+class OrLTwoKernel : public EstimatorKernel {
+ public:
+  OrLTwoKernel(double p1, double p2) : est_(p1, p2) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
+    PIE_RETURN_IF_ERROR(RequireBinary(values));
+    return est_.Variance(static_cast<int>(values[0]),
+                         static_cast<int>(values[1]));
+  }
+  std::string name() const override { return "OR^(L) oblivious r=2"; }
+
+ private:
+  OrLTwo est_;
+};
+
+class OrLUniformKernel : public EstimatorKernel {
+ public:
+  OrLUniformKernel(int r, double p) : est_(r, p) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
+    PIE_RETURN_IF_ERROR(RequireBinary(values));
+    int ones = 0;
+    for (double v : values) ones += v != 0.0 ? 1 : 0;
+    return est_.Variance(ones);
+  }
+  std::string name() const override {
+    return "OR^(L) oblivious uniform r=" + std::to_string(est_.r());
+  }
+
+ private:
+  OrLUniform est_;
+};
+
+class OrUTwoKernel : public EstimatorKernel {
+ public:
+  OrUTwoKernel(double p1, double p2) : est_(p1, p2) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    return est_.Estimate(outcome.oblivious);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
+    PIE_RETURN_IF_ERROR(RequireBinary(values));
+    return est_.Variance(static_cast<int>(values[0]),
+                         static_cast<int>(values[1]));
+  }
+  std::string name() const override { return "OR^(U) oblivious r=2"; }
+
+ private:
+  OrUTwo est_;
+};
+
+class MaxHtWeightedKernel : public EstimatorKernel {
+ public:
+  explicit MaxHtWeightedKernel(std::vector<double> tau)
+      : est_(std::move(tau)) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    return est_.Estimate(outcome.pps);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    return est_.Variance(values);
+  }
+  std::string name() const override {
+    return "max^(HT) pps known-seeds r=" +
+           std::to_string(est_.tau().size());
+  }
+
+ private:
+  MaxHtWeighted est_;
+};
+
+class MaxLWeightedTwoKernel : public EstimatorKernel {
+ public:
+  MaxLWeightedTwoKernel(double tau1, double tau2, double quad_tol)
+      : est_(tau1, tau2, quad_tol) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    return est_.Estimate(outcome.pps);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
+    return est_.Variance(values[0], values[1]);
+  }
+  std::string name() const override { return "max^(L) pps known-seeds r=2"; }
+
+ private:
+  MaxLWeightedTwo est_;
+};
+
+/// OR over weighted PPS samples with known seeds, r = 2; the family selects
+/// HT, L, or U through the binary outcome mapping of Section 5.1.
+class OrWeightedTwoKernel : public EstimatorKernel {
+ public:
+  OrWeightedTwoKernel(double tau1, double tau2, Family family)
+      : est_(tau1, tau2), family_(family) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    switch (family_) {
+      case Family::kHt:
+        return est_.EstimateHt(outcome.pps);
+      case Family::kL:
+        return est_.EstimateL(outcome.pps);
+      default:
+        return est_.EstimateU(outcome.pps);
+    }
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
+    PIE_RETURN_IF_ERROR(RequireBinary(values));
+    // Section 5.1: over binary domains the known-seeds weighted outcome is
+    // equivalent to an oblivious one with p_i = min(1, 1/tau_i).
+    const int v1 = static_cast<int>(values[0]);
+    const int v2 = static_cast<int>(values[1]);
+    switch (family_) {
+      case Family::kHt:
+        return OrOf(values) == 0.0 ? 0.0
+                                   : OrHtVariance({est_.p1(), est_.p2()});
+      case Family::kL:
+        return OrLTwo(est_.p1(), est_.p2()).Variance(v1, v2);
+      default:
+        return OrUTwo(est_.p1(), est_.p2()).Variance(v1, v2);
+    }
+  }
+  std::string name() const override {
+    return std::string("OR^(") + FamilyToString(family_) +
+           ") pps known-seeds r=2";
+  }
+
+ private:
+  OrWeightedTwo est_;
+  Family family_;
+};
+
+/// OR over r weighted PPS samples with a uniform threshold, HT or L.
+class OrWeightedUniformKernel : public EstimatorKernel {
+ public:
+  OrWeightedUniformKernel(int r, double tau, Family family)
+      : est_(r, tau), family_(family) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    return family_ == Family::kHt ? est_.EstimateHt(outcome.pps)
+                                  : est_.EstimateL(outcome.pps);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
+    PIE_RETURN_IF_ERROR(RequireBinary(values));
+    if (OrOf(values) == 0.0) return 0.0;
+    if (family_ == Family::kHt) {
+      return OrHtVariance(std::vector<double>(
+          static_cast<size_t>(est_.r()), est_.p()));
+    }
+    int ones = 0;
+    for (double v : values) ones += v != 0.0 ? 1 : 0;
+    return OrLUniform(est_.r(), est_.p()).Variance(ones);
+  }
+  std::string name() const override {
+    return std::string("OR^(") + FamilyToString(family_) +
+           ") pps known-seeds uniform r=" + std::to_string(est_.r());
+  }
+
+ private:
+  OrWeightedUniform est_;
+  Family family_;
+};
+
+class MinHtWeightedKernel : public EstimatorKernel {
+ public:
+  explicit MinHtWeightedKernel(std::vector<double> tau)
+      : est_(std::move(tau)) {}
+  double Estimate(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    return est_.Estimate(outcome.pps);
+  }
+  Result<double> Variance(const std::vector<double>& values) const override {
+    return est_.Variance(values);
+  }
+  std::string name() const override {
+    return "min^(HT) pps r=" + std::to_string(est_.tau().size());
+  }
+
+ private:
+  MinHtWeighted est_;
+};
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+using KernelResult = Result<std::unique_ptr<EstimatorKernel>>;
+
+KernelResult MakeMaxObliviousL(const KernelSpec&,
+                               const SamplingParams& params) {
+  const auto& p = params.per_entry;
+  if (params.r() == 2) {
+    return std::unique_ptr<EstimatorKernel>(new MaxLTwoKernel(p[0], p[1]));
+  }
+  if (params.r() == 3) {
+    return std::unique_ptr<EstimatorKernel>(
+        new MaxLThreeKernel(p[0], p[1], p[2]));
+  }
+  if (params.r() >= 1 && params.IsUniform()) {
+    return std::unique_ptr<EstimatorKernel>(
+        new MaxLUniformKernel(params.r(), p[0]));
+  }
+  return Status::InvalidArgument(
+      "general-p max^(L) has closed forms only for r <= 3; r >= 4 requires "
+      "uniform p (Theorem 4.2)");
+}
+
+KernelResult MakeMaxObliviousU(const KernelSpec&,
+                               const SamplingParams& params) {
+  PIE_RETURN_IF_ERROR(RequireR(params.r(), 2));
+  return std::unique_ptr<EstimatorKernel>(
+      new MaxUTwoKernel(params.per_entry[0], params.per_entry[1]));
+}
+
+KernelResult MakeMaxObliviousUAsym(const KernelSpec&,
+                                   const SamplingParams& params) {
+  PIE_RETURN_IF_ERROR(RequireR(params.r(), 2));
+  return std::unique_ptr<EstimatorKernel>(
+      new MaxUAsymTwoKernel(params.per_entry[0], params.per_entry[1]));
+}
+
+KernelResult MakeMaxObliviousHt(const KernelSpec&,
+                                const SamplingParams& params) {
+  return std::unique_ptr<EstimatorKernel>(new ObliviousHtKernel(
+      "max^(HT) oblivious r=" + std::to_string(params.r()), MaxOf,
+      params.per_entry));
+}
+
+KernelResult MakeOrObliviousL(const KernelSpec&,
+                              const SamplingParams& params) {
+  const auto& p = params.per_entry;
+  if (params.r() == 2) {
+    return std::unique_ptr<EstimatorKernel>(new OrLTwoKernel(p[0], p[1]));
+  }
+  if (params.r() >= 1 && params.IsUniform()) {
+    return std::unique_ptr<EstimatorKernel>(
+        new OrLUniformKernel(params.r(), p[0]));
+  }
+  return Status::InvalidArgument(
+      "general-p OR^(L) has closed forms only for r = 2; r >= 3 requires "
+      "uniform p");
+}
+
+KernelResult MakeOrObliviousU(const KernelSpec&,
+                              const SamplingParams& params) {
+  PIE_RETURN_IF_ERROR(RequireR(params.r(), 2));
+  return std::unique_ptr<EstimatorKernel>(
+      new OrUTwoKernel(params.per_entry[0], params.per_entry[1]));
+}
+
+KernelResult MakeOrObliviousHt(const KernelSpec&,
+                               const SamplingParams& params) {
+  return std::unique_ptr<EstimatorKernel>(new ObliviousHtKernel(
+      "OR^(HT) oblivious r=" + std::to_string(params.r()), OrOf,
+      params.per_entry));
+}
+
+KernelResult MakeMaxPpsL(const KernelSpec&, const SamplingParams& params) {
+  PIE_RETURN_IF_ERROR(RequireR(params.r(), 2));
+  return std::unique_ptr<EstimatorKernel>(new MaxLWeightedTwoKernel(
+      params.per_entry[0], params.per_entry[1], params.quad_tol));
+}
+
+KernelResult MakeMaxPpsHt(const KernelSpec&, const SamplingParams& params) {
+  if (params.r() < 1) return Status::InvalidArgument("empty params");
+  return std::unique_ptr<EstimatorKernel>(
+      new MaxHtWeightedKernel(params.per_entry));
+}
+
+KernelResult MakeOrPps(const KernelSpec& spec, const SamplingParams& params) {
+  if (params.r() == 2) {
+    return std::unique_ptr<EstimatorKernel>(new OrWeightedTwoKernel(
+        params.per_entry[0], params.per_entry[1], spec.family));
+  }
+  if (spec.family != Family::kU && params.r() >= 1 && params.IsUniform()) {
+    return std::unique_ptr<EstimatorKernel>(new OrWeightedUniformKernel(
+        params.r(), params.per_entry[0], spec.family));
+  }
+  return Status::InvalidArgument(
+      "weighted OR supports r = 2 (any thresholds) or uniform tau (HT/L)");
+}
+
+KernelResult MakeMinPpsHt(const KernelSpec&, const SamplingParams& params) {
+  if (params.r() < 1) return Status::InvalidArgument("empty params");
+  return std::unique_ptr<EstimatorKernel>(
+      new MinHtWeightedKernel(params.per_entry));
+}
+
+KernelResult MakeLthLargestHt(const KernelSpec& spec,
+                              const SamplingParams& params) {
+  if (spec.l < 1 || spec.l > params.r()) {
+    return Status::InvalidArgument("order statistic l must be in [1, r]");
+  }
+  const int l = spec.l;
+  return std::unique_ptr<EstimatorKernel>(new ObliviousHtKernel(
+      "lth-largest^(HT) oblivious l=" + std::to_string(l) +
+          " r=" + std::to_string(params.r()),
+      [l](const std::vector<double>& v) { return LthOf(v, l); },
+      params.per_entry));
+}
+
+void RegisterBuiltins(KernelRegistry& registry) {
+  auto add = [&registry](Function fn, Scheme sc, Regime re, Family fa,
+                         std::string description, KernelFactory factory,
+                         std::vector<SamplingParams> examples, int l = 1) {
+    KernelEntry entry;
+    entry.spec = {fn, sc, re, fa, l};
+    entry.description = std::move(description);
+    entry.factory = std::move(factory);
+    entry.example_params = std::move(examples);
+    PIE_CHECK_OK(registry.Register(std::move(entry)));
+  };
+
+  // --- weight-oblivious Poisson (Section 4) ---
+  add(Function::kMax, Scheme::kOblivious, Regime::kKnownSeeds, Family::kL,
+      "dense-first Pareto-optimal max (Thm 4.1/4.2)", MakeMaxObliviousL,
+      {{0.5, 0.3}, {0.5, 0.3, 0.7}, {0.4, 0.4, 0.4, 0.4}});
+  add(Function::kMax, Scheme::kOblivious, Regime::kKnownSeeds, Family::kU,
+      "sparse-first Pareto-optimal max (Sec 4.2)", MakeMaxObliviousU,
+      {{0.5, 0.3}});
+  add(Function::kMax, Scheme::kOblivious, Regime::kKnownSeeds,
+      Family::kUAsym, "asymmetric Pareto-optimal max (Sec 4.2)",
+      MakeMaxObliviousUAsym, {{0.5, 0.3}});
+  add(Function::kMax, Scheme::kOblivious, Regime::kKnownSeeds, Family::kHt,
+      "all-sampled Horvitz-Thompson max", MakeMaxObliviousHt,
+      {{0.5, 0.3}, {0.6, 0.7, 0.8}});
+  add(Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, Family::kL,
+      "dense-first OR, the distinct-count building block (Sec 4.3)",
+      MakeOrObliviousL, {{0.5, 0.3}, {0.2, 0.2, 0.2, 0.2}});
+  add(Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, Family::kU,
+      "sparse-first OR (Sec 4.3)", MakeOrObliviousU, {{0.5, 0.3}});
+  add(Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, Family::kHt,
+      "all-sampled Horvitz-Thompson OR", MakeOrObliviousHt,
+      {{0.5, 0.3}, {0.3, 0.3, 0.3}});
+  add(Function::kLthLargest, Scheme::kOblivious, Regime::kKnownSeeds,
+      Family::kHt, "all-sampled Horvitz-Thompson l-th largest",
+      MakeLthLargestHt, {{0.5, 0.4, 0.6}}, /*l=*/2);
+
+  // --- weighted PPS with known seeds (Section 5) ---
+  add(Function::kMax, Scheme::kPps, Regime::kKnownSeeds, Family::kL,
+      "Pareto-optimal weighted max from seed bounds (Sec 5.2)", MakeMaxPpsL,
+      {{10.0, 8.0}});
+  add(Function::kMax, Scheme::kPps, Regime::kKnownSeeds, Family::kHt,
+      "inverse-probability weighted max (Sec 5.2)", MakeMaxPpsHt,
+      {{10.0, 8.0}, {5.0, 7.0, 9.0}});
+  add(Function::kOr, Scheme::kPps, Regime::kKnownSeeds, Family::kL,
+      "weighted OR via the binary outcome mapping (Sec 5.1)", MakeOrPps,
+      {{3.0, 2.0}, {4.0, 4.0, 4.0}});
+  add(Function::kOr, Scheme::kPps, Regime::kKnownSeeds, Family::kU,
+      "weighted OR^(U) via the binary outcome mapping (Sec 5.1)", MakeOrPps,
+      {{3.0, 2.0}});
+  add(Function::kOr, Scheme::kPps, Regime::kKnownSeeds, Family::kHt,
+      "weighted OR^(HT) via the binary outcome mapping (Sec 5.1)", MakeOrPps,
+      {{3.0, 2.0}, {4.0, 4.0, 4.0}});
+
+  // --- weighted PPS, unknown seeds (Section 6) ---
+  add(Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt,
+      "inverse-probability min, the one unknown-seeds quantile (Sec 6)",
+      MakeMinPpsHt, {{10.0, 8.0}, {6.0, 6.0, 6.0}});
+}
+
+}  // namespace
+
+KernelRegistry& KernelRegistry::Global() {
+  static KernelRegistry* registry = [] {
+    auto* r = new KernelRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status KernelRegistry::Register(KernelEntry entry) {
+  if (!entry.factory) {
+    return Status::InvalidArgument("kernel entry has no factory");
+  }
+  // Dedup on the same key lookup uses (l is a factory parameter, not part
+  // of the lookup key): a second entry differing only in l would be
+  // silently unreachable, so reject it here instead.
+  for (const auto& existing : entries_) {
+    if (SpecMatches(existing.spec, entry.spec)) {
+      return Status::InvalidArgument("duplicate kernel spec " +
+                                     entry.spec.ToString());
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+KernelSpec KernelRegistry::CanonicalSpec(const KernelSpec& spec) const {
+  KernelSpec lookup = spec;
+  // The oblivious sampled set is full information; both regimes name the
+  // same estimator.
+  if (lookup.scheme == Scheme::kOblivious) {
+    lookup.regime = Regime::kKnownSeeds;
+    return lookup;
+  }
+  // An estimator that needs only unknown seeds remains valid when seeds are
+  // known; a known-seeds request served only by an unknown-seeds
+  // registration canonicalizes to it.
+  if (lookup.scheme == Scheme::kPps && lookup.regime == Regime::kKnownSeeds) {
+    for (const auto& entry : entries_) {
+      if (SpecMatches(entry.spec, lookup)) return lookup;
+    }
+    KernelSpec weaker = lookup;
+    weaker.regime = Regime::kUnknownSeeds;
+    for (const auto& entry : entries_) {
+      if (SpecMatches(entry.spec, weaker)) return weaker;
+    }
+  }
+  return lookup;
+}
+
+Result<std::unique_ptr<EstimatorKernel>> KernelRegistry::Create(
+    const KernelSpec& spec, const SamplingParams& params) const {
+  const KernelSpec lookup = CanonicalSpec(spec);
+  for (const auto& entry : entries_) {
+    if (SpecMatches(entry.spec, lookup)) {
+      return entry.factory(lookup, params);
+    }
+  }
+  return Status::NotFound("no kernel registered for " + spec.ToString());
+}
+
+}  // namespace pie

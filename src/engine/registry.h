@@ -1,0 +1,77 @@
+// Kernel registry: maps (function, sampling scheme, information regime,
+// family) to a factory that instantiates the matching core estimator for a
+// concrete sampler configuration.
+//
+// The registry is the seam where new estimator families plug in: register a
+// factory under a KernelSpec and every registry-driven consumer -- the
+// batched engine, the shared unbiasedness test fixture in
+// tests/engine_test.cc, the benchmarks -- picks it up without changes.
+// Factories may reject configurations they have no construction for (e.g.
+// general-p max^(L) is closed-form only up to r = 3; larger r requires a
+// uniform p) by returning a non-OK Result.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/kernel.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// Instantiates a kernel for a concrete sampler configuration.
+using KernelFactory =
+    std::function<Result<std::unique_ptr<EstimatorKernel>>(
+        const KernelSpec&, const SamplingParams&)>;
+
+/// A registered kernel family.
+struct KernelEntry {
+  KernelSpec spec;
+  std::string description;
+  KernelFactory factory;
+  /// Sampler configurations this family supports, used by the shared test
+  /// fixture to auto-cover every registered kernel with Monte Carlo
+  /// unbiasedness and nonnegativity checks.
+  std::vector<SamplingParams> example_params;
+};
+
+class KernelRegistry {
+ public:
+  /// The process-wide registry, with the paper's built-in estimator
+  /// families registered on first use.
+  static KernelRegistry& Global();
+
+  /// Registers a kernel family. Fails on a spec already registered (the
+  /// `l` field is a factory parameter, not part of the lookup key, so two
+  /// entries may not differ only in l). Registration is a startup-time
+  /// operation: it is NOT safe concurrently with Create/CanonicalSpec/
+  /// Entries or with estimation through an EstimationEngine -- register
+  /// every family before the first concurrent lookup.
+  Status Register(KernelEntry entry);
+
+  /// The canonical spec `spec` resolves to: the oblivious scheme's regime
+  /// is normalized to kKnownSeeds (the sampled set is full information
+  /// either way), and a PPS known-seeds request served only by an
+  /// unknown-seeds registration maps to that registration (an estimator
+  /// needing less information stays valid with more). Unresolvable specs
+  /// are returned with only the oblivious normalization applied. Cache
+  /// layers (EstimationEngine) key on this so regime aliases share one
+  /// kernel.
+  KernelSpec CanonicalSpec(const KernelSpec& spec) const;
+
+  /// Instantiates the kernel for `spec` and `params` (after CanonicalSpec
+  /// normalization). NotFound if no family is registered under the spec.
+  Result<std::unique_ptr<EstimatorKernel>> Create(
+      const KernelSpec& spec, const SamplingParams& params) const;
+
+  /// All registered families, in registration order.
+  const std::vector<KernelEntry>& Entries() const { return entries_; }
+
+ private:
+  std::vector<KernelEntry> entries_;
+};
+
+}  // namespace pie

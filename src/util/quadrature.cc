@@ -1,54 +1,15 @@
 #include "util/quadrature.h"
 
-#include <cmath>
-
-#include "util/check.h"
-
 namespace pie {
-namespace {
-
-double AdaptiveSimpsonImpl(const std::function<double(double)>& f, double a,
-                           double b, double fa, double fm, double fb,
-                           double whole, double tol, int depth) {
-  const double m = 0.5 * (a + b);
-  const double lm = 0.5 * (a + m);
-  const double rm = 0.5 * (m + b);
-  const double flm = f(lm);
-  const double frm = f(rm);
-  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
-  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
-  const double delta = left + right - whole;
-  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
-    return left + right + delta / 15.0;  // Richardson extrapolation
-  }
-  return AdaptiveSimpsonImpl(f, a, m, fa, flm, fm, left, 0.5 * tol,
-                             depth - 1) +
-         AdaptiveSimpsonImpl(f, m, b, fm, frm, fb, right, 0.5 * tol,
-                             depth - 1);
-}
-
-}  // namespace
 
 double Simpson(const std::function<double(double)>& f, double a, double b,
                int n) {
-  PIE_CHECK(n >= 2 && n % 2 == 0);
-  const double h = (b - a) / n;
-  double sum = f(a) + f(b);
-  for (int i = 1; i < n; ++i) {
-    sum += f(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
-  }
-  return sum * h / 3.0;
+  return SimpsonT(f, a, b, n);
 }
 
 double AdaptiveSimpson(const std::function<double(double)>& f, double a,
                        double b, double tol, int max_depth) {
-  if (a == b) return 0.0;
-  const double fa = f(a);
-  const double fb = f(b);
-  const double m = 0.5 * (a + b);
-  const double fm = f(m);
-  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
-  return AdaptiveSimpsonImpl(f, a, b, fa, fm, fb, whole, tol, max_depth);
+  return AdaptiveSimpsonT(f, a, b, tol, max_depth);
 }
 
 }  // namespace pie

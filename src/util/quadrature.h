@@ -4,19 +4,75 @@
 // involve integrals of the estimate over the seed of the unsampled entry;
 // the integrands are smooth within the case regions of Figure 3, so adaptive
 // Simpson converges quickly when the caller splits at case boundaries.
+//
+// The hot path is templated on the integrand so callers passing lambdas pay
+// no std::function indirection per evaluation; thin std::function overloads
+// are kept for ABI stability (existing callers and the .cc definitions).
 
 #pragma once
 
+#include <cmath>
 #include <functional>
 
-namespace pie {
+#include "util/check.h"
 
-/// Composite Simpson rule with n (even, >= 2) panels.
-double Simpson(const std::function<double(double)>& f, double a, double b,
-               int n);
+namespace pie {
+namespace quadrature_internal {
+
+template <typename F>
+double AdaptiveSimpsonImpl(F&& f, double a, double b, double fa, double fm,
+                           double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson extrapolation
+  }
+  return AdaptiveSimpsonImpl(f, a, m, fa, flm, fm, left, 0.5 * tol,
+                             depth - 1) +
+         AdaptiveSimpsonImpl(f, m, b, fm, frm, fb, right, 0.5 * tol,
+                             depth - 1);
+}
+
+}  // namespace quadrature_internal
+
+/// Composite Simpson rule with n (even, >= 2) panels. Templated hot path.
+template <typename F>
+double SimpsonT(F&& f, double a, double b, int n) {
+  PIE_CHECK(n >= 2 && n % 2 == 0);
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
 
 /// Adaptive Simpson integration of f over [a, b] to absolute tolerance tol.
-/// max_depth bounds recursion (each level halves the interval).
+/// max_depth bounds recursion (each level halves the interval). Templated
+/// hot path.
+template <typename F>
+double AdaptiveSimpsonT(F&& f, double a, double b, double tol = 1e-10,
+                        int max_depth = 40) {
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return quadrature_internal::AdaptiveSimpsonImpl(f, a, b, fa, fm, fb, whole,
+                                                  tol, max_depth);
+}
+
+/// std::function wrappers (stable ABI; prefer the templated forms in hot
+/// loops).
+double Simpson(const std::function<double(double)>& f, double a, double b,
+               int n);
 double AdaptiveSimpson(const std::function<double(double)>& f, double a,
                        double b, double tol = 1e-10, int max_depth = 40);
 

@@ -1,0 +1,311 @@
+// Tests for the estimation engine: registry coverage, kernel memoization,
+// batch semantics, and a shared parameterized fixture that auto-covers
+// every registered kernel family with Monte Carlo unbiasedness and
+// nonnegativity smoke checks -- new kernels registered with example_params
+// are picked up without touching this file.
+
+#include <cctype>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "gtest/gtest.h"
+#include "util/hashing.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace pie {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared unbiasedness / nonnegativity fixture
+// ---------------------------------------------------------------------------
+
+struct KernelCase {
+  const KernelEntry* entry;
+  SamplingParams params;
+};
+
+std::vector<KernelCase> AllRegisteredCases() {
+  std::vector<KernelCase> cases;
+  for (const auto& entry : KernelRegistry::Global().Entries()) {
+    EXPECT_FALSE(entry.example_params.empty())
+        << "kernel " << entry.spec.ToString()
+        << " registered without example params: the shared fixture cannot "
+           "cover it";
+    for (const auto& params : entry.example_params) {
+      cases.push_back({&entry, params});
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const testing::TestParamInfo<KernelCase>& info) {
+  std::string name = info.param.entry->spec.ToString() + "_r" +
+                     std::to_string(info.param.params.r()) + "_" +
+                     std::to_string(info.index);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+// Data vectors appropriate for the kernel's function and configuration:
+// binary membership patterns for OR, positive reals scaled to the sampler
+// parameters otherwise (for PPS that exercises both below- and
+// above-threshold entries).
+std::vector<std::vector<double>> TestVectors(const KernelCase& c) {
+  const int r = c.params.r();
+  std::vector<std::vector<double>> vectors;
+  if (c.entry->spec.function == Function::kOr) {
+    std::vector<double> one_hot(static_cast<size_t>(r), 0.0);
+    one_hot[0] = 1.0;
+    vectors.push_back(one_hot);
+    vectors.push_back(std::vector<double>(static_cast<size_t>(r), 1.0));
+    if (r > 2) {
+      std::vector<double> mixed(static_cast<size_t>(r), 1.0);
+      mixed[static_cast<size_t>(r) - 1] = 0.0;
+      vectors.push_back(mixed);
+    }
+    vectors.push_back(std::vector<double>(static_cast<size_t>(r), 0.0));
+    return vectors;
+  }
+  double scale = 1.0;
+  if (c.entry->spec.scheme == Scheme::kPps) {
+    for (double tau : c.params.per_entry) scale = std::fmax(scale, tau);
+  } else {
+    scale = 10.0;
+  }
+  std::vector<double> similar, spread;
+  for (int i = 0; i < r; ++i) {
+    similar.push_back(scale * (0.55 + 0.05 * i));
+    spread.push_back(scale * 0.15 * (i + 1));
+  }
+  vectors.push_back(similar);
+  vectors.push_back(spread);
+  // One entry far above every threshold / certain to dominate.
+  std::vector<double> peaked(spread);
+  peaked[0] = 2.0 * scale;
+  vectors.push_back(peaked);
+  return vectors;
+}
+
+class RegisteredKernelTest : public testing::TestWithParam<KernelCase> {};
+
+TEST_P(RegisteredKernelTest, UnbiasedAndNonnegative) {
+  const KernelCase& c = GetParam();
+  auto kernel = c.entry->factory(c.entry->spec, c.params);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+
+  for (const auto& values : TestVectors(c)) {
+    const double truth = TrueValue(c.entry->spec, values);
+    // One fixed stream per (kernel, data vector): deterministic, so a pass
+    // is reproducible.
+    Rng rng(HashCombine(HashBytes(c.entry->spec.ToString()),
+                        static_cast<uint64_t>(values[0] * 4096)));
+    RunningStat stat;
+    constexpr int kTrials = 30000;
+    for (int t = 0; t < kTrials; ++t) {
+      const Outcome outcome =
+          SampleOutcome(c.entry->spec.scheme, c.params, values, rng);
+      const double est = (*kernel)->Estimate(outcome);
+      ASSERT_GE(est, -1e-9) << (*kernel)->name()
+                            << " produced a negative estimate";
+      stat.Add(est);
+    }
+    // 4 sigma of the empirical standard error, plus a tiny absolute slack
+    // for exact (zero-variance) cases.
+    const double tolerance = 4.0 * stat.standard_error() + 1e-9;
+    EXPECT_NEAR(stat.mean(), truth, tolerance)
+        << (*kernel)->name() << " looks biased on vector starting with "
+        << values[0];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredKernels, RegisteredKernelTest,
+                         testing::ValuesIn(AllRegisteredCases()), CaseName);
+
+// ---------------------------------------------------------------------------
+// Registry coverage and lookup semantics
+// ---------------------------------------------------------------------------
+
+TEST(KernelRegistryTest, CoversTheSixCoreFamilies) {
+  auto resolvable = [](KernelSpec spec, SamplingParams params) {
+    return KernelRegistry::Global().Create(spec, params).ok();
+  };
+  // MaxOblivious, OrOblivious, MaxWeighted, OrWeighted, MinWeighted,
+  // LthLargest -- the families the engine must serve.
+  EXPECT_TRUE(resolvable({Function::kMax, Scheme::kOblivious,
+                          Regime::kKnownSeeds, Family::kL},
+                         {0.5, 0.5}));
+  EXPECT_TRUE(resolvable({Function::kOr, Scheme::kOblivious,
+                          Regime::kKnownSeeds, Family::kL},
+                         {0.5, 0.5}));
+  EXPECT_TRUE(resolvable(
+      {Function::kMax, Scheme::kPps, Regime::kKnownSeeds, Family::kL},
+      {10.0, 8.0}));
+  EXPECT_TRUE(resolvable(
+      {Function::kOr, Scheme::kPps, Regime::kKnownSeeds, Family::kL},
+      {3.0, 2.0}));
+  EXPECT_TRUE(resolvable(
+      {Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt},
+      {10.0, 8.0}));
+  KernelSpec lth{Function::kLthLargest, Scheme::kOblivious,
+                 Regime::kKnownSeeds, Family::kHt};
+  lth.l = 2;
+  EXPECT_TRUE(resolvable(lth, {0.5, 0.5, 0.5}));
+}
+
+TEST(KernelRegistryTest, ObliviousRegimeIsNormalized) {
+  // Oblivious outcomes are full information; both regimes resolve.
+  auto a = KernelRegistry::Global().Create(
+      {Function::kMax, Scheme::kOblivious, Regime::kKnownSeeds, Family::kL},
+      {0.5, 0.5});
+  auto b = KernelRegistry::Global().Create(
+      {Function::kMax, Scheme::kOblivious, Regime::kUnknownSeeds,
+       Family::kL},
+      {0.5, 0.5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->name(), (*b)->name());
+}
+
+TEST(KernelRegistryTest, KnownSeedsFallsBackToUnknownSeedsEstimator) {
+  // min^(HT) needs only unknown seeds; asking for the known-seeds regime
+  // must still find it (more information never invalidates an estimator).
+  auto kernel = KernelRegistry::Global().Create(
+      {Function::kMin, Scheme::kPps, Regime::kKnownSeeds, Family::kHt},
+      {10.0, 8.0});
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+}
+
+TEST(KernelRegistryTest, UnknownCombinationsAreNotFound) {
+  // The paper proves no unbiased nonnegative weighted-max estimator exists
+  // under unknown seeds; nothing is registered there.
+  auto kernel = KernelRegistry::Global().Create(
+      {Function::kMax, Scheme::kPps, Regime::kUnknownSeeds, Family::kL},
+      {10.0, 8.0});
+  EXPECT_FALSE(kernel.ok());
+  EXPECT_EQ(kernel.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KernelRegistryTest, FactoriesRejectUnsupportedConfigurations) {
+  // General-p max^(L) has closed forms only up to r = 3.
+  auto kernel = KernelRegistry::Global().Create(
+      {Function::kMax, Scheme::kOblivious, Regime::kKnownSeeds, Family::kL},
+      {0.1, 0.2, 0.3, 0.4});
+  EXPECT_FALSE(kernel.ok());
+  EXPECT_EQ(kernel.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Engine memoization and batch semantics
+// ---------------------------------------------------------------------------
+
+TEST(EstimationEngineTest, MemoizesKernelsBySpecAndParams) {
+  EstimationEngine engine;
+  const KernelSpec spec{Function::kMax, Scheme::kOblivious,
+                        Regime::kKnownSeeds, Family::kL};
+  auto a = engine.Kernel(spec, {0.3, 0.3, 0.3, 0.3});
+  auto b = engine.Kernel(spec, {0.3, 0.3, 0.3, 0.3});
+  auto c = engine.Kernel(spec, {0.4, 0.4, 0.4, 0.4});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*a, *b) << "same spec+params must reuse the cached kernel";
+  EXPECT_NE(*a, *c) << "different params must not share a kernel";
+  EXPECT_EQ(engine.cache_size(), 2);
+}
+
+TEST(EstimationEngineTest, RegimeAliasesShareOneCachedKernel) {
+  EstimationEngine engine;
+  // Oblivious: regime immaterial.
+  auto known = engine.Kernel({Function::kMax, Scheme::kOblivious,
+                              Regime::kKnownSeeds, Family::kL},
+                             {0.5, 0.3});
+  auto unknown = engine.Kernel({Function::kMax, Scheme::kOblivious,
+                                Regime::kUnknownSeeds, Family::kL},
+                               {0.5, 0.3});
+  ASSERT_TRUE(known.ok());
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(*known, *unknown);
+  // PPS known-seeds min falls back to the unknown-seeds estimator; both
+  // requests must share one cache entry.
+  auto min_known = engine.Kernel(
+      {Function::kMin, Scheme::kPps, Regime::kKnownSeeds, Family::kHt},
+      {10.0, 8.0});
+  auto min_unknown = engine.Kernel(
+      {Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt},
+      {10.0, 8.0});
+  ASSERT_TRUE(min_known.ok());
+  ASSERT_TRUE(min_unknown.ok());
+  EXPECT_EQ(*min_known, *min_unknown);
+  EXPECT_EQ(engine.cache_size(), 2);
+}
+
+TEST(EstimationEngineTest, BatchMatchesPerCallEstimates) {
+  EstimationEngine engine;
+  const KernelSpec spec{Function::kMax, Scheme::kOblivious,
+                        Regime::kKnownSeeds, Family::kL};
+  const SamplingParams params = {0.5, 0.3};
+  auto kernel = engine.Kernel(spec, params);
+  ASSERT_TRUE(kernel.ok());
+
+  Rng rng(7);
+  OutcomeBatch batch;
+  std::vector<double> expected;
+  double expected_sum = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const Outcome outcome = SampleOutcome(
+        Scheme::kOblivious, params,
+        {rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)}, rng);
+    batch.AddOblivious() = outcome.oblivious;
+    expected.push_back((*kernel)->Estimate(outcome));
+    expected_sum += expected.back();
+  }
+  std::vector<double> got;
+  ASSERT_TRUE(engine.EstimateBatch(spec, params, batch, &got).ok());
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], expected[i]);
+  }
+  auto sum = engine.EstimateSum(spec, params, batch);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, expected_sum);
+}
+
+TEST(EstimationEngineTest, OutcomeBatchReusesSlotsAcrossClear) {
+  OutcomeBatch batch;
+  for (int i = 0; i < 16; ++i) {
+    PpsOutcome& o = batch.AddPps();
+    o.tau.assign(2, 10.0);
+    o.seed.assign(2, 0.5);
+    o.sampled.assign(2, 1);
+    o.value.assign(2, 3.0);
+  }
+  EXPECT_EQ(batch.size(), 16);
+  const Outcome* first_slot = &batch[0];
+  batch.Clear();
+  EXPECT_EQ(batch.size(), 0);
+  batch.Add(Scheme::kPps);
+  EXPECT_EQ(&batch[0], first_slot) << "Clear() must keep slot storage";
+}
+
+TEST(EstimationEngineTest, VarianceHooksMatchKnownClosedForms) {
+  EstimationEngine engine;
+  auto or_l = engine.Kernel(
+      {Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, Family::kL},
+      {0.4, 0.4});
+  ASSERT_TRUE(or_l.ok());
+  // Equation (24): Var on (1,1) is 1/q - 1 with q = p1 + p2 - p1 p2.
+  const double q = 0.4 + 0.4 - 0.16;
+  auto var = (*or_l)->Variance({1.0, 1.0});
+  ASSERT_TRUE(var.ok());
+  EXPECT_NEAR(*var, 1.0 / q - 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pie
