@@ -1,0 +1,155 @@
+// Engineering microbenchmarks (google-benchmark) for the store layer:
+// streaming ingest throughput (single shard and contended multi-writer),
+// snapshot capture latency on clean vs dirty stores, and snapshot-query
+// throughput as a function of shard count. These seed the perf trajectory
+// for the concurrent-serving scenario: the acceptance bar is >= 1M
+// updates/s into a single shard in Release, with query throughput scaling
+// as shards (and worker threads) are added.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "store/query_service.h"
+#include "store/sketch_store.h"
+#include "store/streaming_sketch.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+std::vector<WeightedItem> SkewedRecords(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedItem> records;
+  records.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    records.push_back(
+        {static_cast<uint64_t>(1 + rng.UniformInt(1u << 20)),
+         std::ceil(200.0 / (1 + static_cast<double>(rng.UniformInt(60))))});
+  }
+  return records;
+}
+
+SketchStoreOptions StoreOptions(int num_shards) {
+  SketchStoreOptions options;
+  options.num_shards = num_shards;
+  options.default_tau = 400.0;  // ~a few thousand sampled keys
+  options.salt = 1234;
+  return options;
+}
+
+// Raw streaming sketch ingest: the per-record floor (hash + threshold
+// test), before sharding and locking.
+void BM_StreamingSketchIngest(benchmark::State& state) {
+  const auto records = SkewedRecords(1 << 16, 1);
+  StreamingPpsSketch sketch(400.0, /*salt=*/7);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = records[i++ & 0xffff];
+    sketch.Update(r.key, r.weight);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamingSketchIngest);
+
+// Store ingest through the shard map and mutex, single writer. Arg is the
+// shard count (1 = the acceptance-bar configuration).
+void BM_StoreIngest(benchmark::State& state) {
+  const auto records = SkewedRecords(1 << 16, 2);
+  SketchStore store(StoreOptions(static_cast<int>(state.range(0))));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = records[i++ & 0xffff];
+    store.Update(0, r.key, r.weight);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreIngest)->Arg(1)->Arg(8)->Arg(32);
+
+// Contended ingest: all benchmark threads write the same 8-shard store.
+class StoreIngestMt : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (store_ == nullptr) store_ = std::make_unique<SketchStore>(StoreOptions(8));
+  }
+  void TearDown(const benchmark::State& state) override {
+    if (state.thread_index() == 0) store_.reset();
+  }
+
+ protected:
+  static std::mutex mu_;
+  static std::unique_ptr<SketchStore> store_;
+};
+std::mutex StoreIngestMt::mu_;
+std::unique_ptr<SketchStore> StoreIngestMt::store_;
+
+BENCHMARK_DEFINE_F(StoreIngestMt, Updates)(benchmark::State& state) {
+  const auto records =
+      SkewedRecords(1 << 16, 100 + static_cast<uint64_t>(state.thread_index()));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = records[i++ & 0xffff];
+    store_->Update(state.thread_index(), r.key, r.weight);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(StoreIngestMt, Updates)->Threads(1)->Threads(2)->Threads(4);
+
+// Snapshot latency. Clean: every shard's published copy is current, so
+// Snapshot() is S atomic loads. Dirty: one write per iteration forces one
+// shard re-capture (copy of that shard's sampled entries).
+void BM_SnapshotClean(benchmark::State& state) {
+  SketchStore store(StoreOptions(static_cast<int>(state.range(0))));
+  store.UpdateBatch(0, SkewedRecords(1 << 16, 3));
+  benchmark::DoNotOptimize(store.Snapshot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Snapshot());
+  }
+}
+BENCHMARK(BM_SnapshotClean)->Arg(8)->Arg(64);
+
+void BM_SnapshotAfterWrite(benchmark::State& state) {
+  SketchStore store(StoreOptions(static_cast<int>(state.range(0))));
+  store.UpdateBatch(0, SkewedRecords(1 << 16, 4));
+  uint64_t key = 0;
+  for (auto _ : state) {
+    store.Update(0, ++key, 1e6);  // heavy: always sampled, dirties one shard
+    benchmark::DoNotOptimize(store.Snapshot());
+  }
+}
+BENCHMARK(BM_SnapshotAfterWrite)->Arg(8)->Arg(64);
+
+// Snapshot queries vs shard count: the same two-instance data set, stored
+// at Arg shards and scanned with Arg worker threads. Throughput is keys
+// estimated per second; it should scale with shards on multi-core hosts.
+void BM_QueryMaxDominance(benchmark::State& state) {
+  const int num_shards = static_cast<int>(state.range(0));
+  SketchStore store(StoreOptions(num_shards));
+  store.UpdateBatch(0, SkewedRecords(1 << 17, 5));
+  store.UpdateBatch(1, SkewedRecords(1 << 17, 6));
+  const auto snapshot = store.Snapshot();
+  int64_t union_keys = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    for (const auto& [instance, sketch] : snapshot->Shard(s).sketches()) {
+      union_keys += sketch.size();  // upper bound; overlap is tiny
+    }
+  }
+  QueryService service(snapshot, {/*num_threads=*/num_shards});
+  for (auto _ : state) {
+    auto est = service.MaxDominance(0, 1);
+    benchmark::DoNotOptimize(est.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * union_keys);
+}
+// UseRealTime: the scan's worker threads don't bill to the main thread's
+// CPU clock, so wall time is the meaningful scaling metric.
+BENCHMARK(BM_QueryMaxDominance)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+}  // namespace pie
+
+BENCHMARK_MAIN();

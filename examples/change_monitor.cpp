@@ -1,27 +1,28 @@
-// Change monitoring across sampled snapshots: a small end-to-end pipeline.
+// Change monitoring across streamed periods: a small end-to-end pipeline
+// through the sketch store.
 //
 // Scenario: a fleet of servers reports per-resource request counts every
-// period; the collector keeps only a bottom-k sketch per period (priority
-// sampling / PPS ranks with hash seeds). An operator wants to monitor, per
-// period pair, (a) the total activity of a watched resource group, and
+// period; the collector absorbs the records as they arrive -- no period is
+// ever materialized in full. Weighted records stream into a sharded
+// SketchStore (one instance per period, per-period PPS thresholds from
+// day-0 calibration); an operator monitors, per period pair, (a) the total
+// activity of a watched resource group from a snapshot subset-sum, and
 // (b) an upper bound on churn via the L1 distance between consecutive
-// periods estimated from independent PPS sketches with known seeds.
-//
-// This exercises bottom-k sketches with rank-conditioning subset sums,
-// VarOpt as an alternative fixed-size summary, and the weighted
-// max/min-dominance estimators (served by the estimation engine's memoized
-// kernels underneath the aggregate API).
+// periods answered by the store's QueryService. A streaming bottom-k
+// sketch (priority sampling) and VarOpt cover the same subset-sum with
+// fixed-size summaries.
 //
 // Build & run:  ./build/examples/change_monitor
 
 #include <cmath>
 #include <cstdio>
 
-#include "aggregate/dominance.h"
 #include "aggregate/sketch.h"
-#include "core/functions.h"
 #include "sampling/bottomk.h"
 #include "sampling/varopt.h"
+#include "store/query_service.h"
+#include "store/sketch_store.h"
+#include "store/streaming_sketch.h"
 #include "util/random.h"
 #include "workload/traffic.h"
 
@@ -34,46 +35,66 @@ int main() {
   const auto items1 = periods.InstanceItems(0);
   const auto items2 = periods.InstanceItems(1);
 
-  // (a) Watched group: every 7th resource. Bottom-k sketch per period.
+  // Calibrate per-period PPS thresholds for ~k-key sketches (day-0 sizing),
+  // then stream both periods' records into the store.
+  const int k = 500;
+  const auto tau1 = pie::FindPpsTauForExpectedSize(items1, k);
+  const auto tau2 = pie::FindPpsTauForExpectedSize(items2, k);
+  PIE_CHECK_OK(tau1.status());
+  PIE_CHECK_OK(tau2.status());
+  pie::SketchStoreOptions options;
+  options.num_shards = 8;
+  options.instance_tau[0] = *tau1;
+  options.instance_tau[1] = *tau2;
+  options.salt = 71;
+  pie::SketchStore store(options);
+  store.UpdateBatch(0, items1);
+  store.UpdateBatch(1, items2);
+  const auto snapshot = store.Snapshot();
+  pie::QueryService service(snapshot);
+
+  // (a) Watched group: every 7th resource, from the live snapshot.
   auto watched = [](uint64_t key) { return key % 7 == 0; };
   double truth1 = 0;
   for (const auto& item : items1) {
     if (watched(item.key)) truth1 += item.weight;
   }
-  const int k = 500;
-  const auto sketch1 =
-      pie::BottomKSample(items1, k, pie::RankFamily::kPps, pie::SeedFunction(11));
-  const double bottomk_est = pie::BottomKSubsetSum(sketch1, watched);
+  const double store_est = service.SubsetSumHt(0, watched);
   std::printf("watched-group load, period 1: truth %.0f\n", truth1);
-  std::printf("  bottom-%d (priority sample) estimate: %.0f (%+.2f%%)\n", k,
+  std::printf("  store snapshot (~%d-key PPS) estimate: %.0f (%+.2f%%)\n", k,
+              store_est, 100 * (store_est - truth1) / truth1);
+
+  // A streaming bottom-k (priority) sketch answers the same query with a
+  // fixed-size summary, still one record at a time.
+  pie::StreamingBottomkSketch bottomk(k, pie::RankFamily::kPps, /*salt=*/11);
+  for (const auto& item : items1) bottomk.Update(item.key, item.weight);
+  const double bottomk_est =
+      pie::BottomKSubsetSum(bottomk.Finalize(), watched);
+  std::printf("  streaming bottom-%d estimate:          %.0f (%+.2f%%)\n", k,
               bottomk_est, 100 * (bottomk_est - truth1) / truth1);
 
   // VarOpt gives the same query with a variance-optimal fixed-size sample.
   pie::VarOptSampler varopt(k, /*seed=*/31);
   varopt.AddAll(items1);
   const double varopt_est = varopt.SubsetSumEstimate(watched);
-  std::printf("  VarOpt-%d estimate:                   %.0f (%+.2f%%)\n", k,
+  std::printf("  VarOpt-%d estimate:                    %.0f (%+.2f%%)\n", k,
               varopt_est, 100 * (varopt_est - truth1) / truth1);
 
-  // (b) Churn between periods from independent PPS sketches (known seeds).
-  const auto tau1 = pie::FindPpsTauForExpectedSize(items1, k);
-  const auto tau2 = pie::FindPpsTauForExpectedSize(items2, k);
-  PIE_CHECK_OK(tau1.status());
-  PIE_CHECK_OK(tau2.status());
-  const auto pps1 = pie::PpsInstanceSketch::Build(items1, *tau1, 71);
-  const auto pps2 = pie::PpsInstanceSketch::Build(items2, *tau2, 72);
+  // (b) Churn between periods: L1 distance answered over the snapshot
+  // (independent per-instance seeds with known seeds, Section 8.2).
   const double true_l1 =
       periods.SumAggregate([](const std::vector<double>& v) {
         return std::fabs(v[0] - v[1]);
       });
-  const double l1_est = pie::EstimateL1Distance(pps1, pps2);
+  const auto l1_est = service.L1Distance(0, 1);
+  PIE_CHECK_OK(l1_est.status());
   std::printf("\nchurn (L1 distance) between periods: truth %.0f\n", true_l1);
-  std::printf("  estimate from two %d-key PPS sketches: %.0f (%+.2f%%)\n", k,
-              l1_est, 100 * (l1_est - true_l1) / true_l1);
+  std::printf("  estimate from two ~%d-key store sketches: %.0f (%+.2f%%)\n",
+              k, *l1_est, 100 * (*l1_est - true_l1) / true_l1);
 
   // Alert rule demo: churn above 25% of total volume.
   const double volume = periods.InstanceTotal(0);
-  std::printf("  churn/volume: %.1f%% -> %s\n", 100 * l1_est / volume,
-              l1_est > 0.25 * volume ? "ALERT" : "ok");
+  std::printf("  churn/volume: %.1f%% -> %s\n", 100 * *l1_est / volume,
+              *l1_est > 0.25 * volume ? "ALERT" : "ok");
   return 0;
 }

@@ -1,14 +1,18 @@
-// Multi-week distinct audience: the r > 2 generalization of Section 8.1.
+// Multi-week distinct audience: the r > 2 generalization of Section 8.1,
+// ingested through the streaming sketch store.
 //
-// Scenario: four weekly logs each record the set of active user ids; each
-// week is summarized independently by a 15% hash-seeded sample. Marketing
-// asks for the four-week distinct audience (union size) -- a query whose
-// HT estimator is nearly useless at r = 4 (a user's membership must be
-// resolved in ALL four weeks, probability ~p^4 per user), while the
-// partial-information estimator stays sharp using the Theorem 4.2 prefix
-// sums A_{r-z}. EstimateDistinctMulti fetches the general-r OR^(L) kernel
-// from the estimation engine, which memoizes the prefix-sum table across
-// calls.
+// Scenario: four weekly logs each record the set of active user ids. The
+// logs are no longer dumped and summarized offline -- each active-user
+// event is fed record-by-record into a sharded SketchStore (unit weights,
+// tau = 1/p, so membership is sampled with probability p under the
+// instance's hash seeds). Marketing asks for the four-week distinct
+// audience (union size) -- a query whose HT estimator is nearly useless at
+// r = 4 (a user's membership must be resolved in ALL four weeks,
+// probability ~p^4 per user), while the partial-information estimator
+// stays sharp. The query runs two ways that agree: the store's
+// QueryService (per-shard engine batches over a snapshot) and the
+// Section 8.1 classification path over per-instance views of the same
+// snapshot.
 //
 // Build & run:  ./build/examples/weekly_audience
 
@@ -17,7 +21,10 @@
 #include <set>
 #include <vector>
 
+#include "aggregate/distinct.h"
 #include "aggregate/distinct_multi.h"
+#include "store/query_service.h"
+#include "store/sketch_store.h"
 #include "util/random.h"
 
 int main() {
@@ -44,27 +51,57 @@ int main() {
   for (const auto& week : weeks) uni.insert(week.begin(), week.end());
   const double truth = static_cast<double>(uni.size());
 
-  // Sample each week independently (known hash seeds).
+  // Stream each week's events into the store. Unit weights with
+  // tau = 1/p make PPS inclusion (1 >= u/p) the classic p-sampling of the
+  // key set; per-week salts are derived from the store salt (independent
+  // samples with known seeds).
   const double p = 0.15;
-  std::vector<pie::BinaryInstanceSketch> sketches;
+  pie::SketchStoreOptions options;
+  options.num_shards = 8;
+  options.default_tau = 1.0 / p;
+  options.salt = 900;
+  pie::SketchStore store(options);
   for (size_t w = 0; w < weeks.size(); ++w) {
-    sketches.push_back(
-        pie::SampleBinaryInstance(weeks[w], p, /*salt=*/900 + w));
-    std::printf("week %zu: %zu of %zu users sampled\n", w + 1,
-                sketches.back().keys.size(), weeks[w].size());
+    for (uint64_t user : weeks[w]) {
+      store.Update(static_cast<int>(w), user, 1.0);
+    }
+  }
+  const auto snapshot = store.Snapshot();
+  for (size_t w = 0; w < weeks.size(); ++w) {
+    std::printf("week %zu: %llu of %zu events absorbed, %d users sampled\n",
+                w + 1,
+                static_cast<unsigned long long>(
+                    snapshot->UpdateCount(static_cast<int>(w))),
+                weeks[w].size(),
+                snapshot->MergedInstance(static_cast<int>(w)).size());
   }
 
-  const auto est = pie::EstimateDistinctMulti(sketches);
+  // Path 1: the store's query service -- per-shard OR batches through the
+  // estimation engine.
+  pie::QueryService service(snapshot);
+  const auto est = service.DistinctUnion({0, 1, 2, 3});
+  PIE_CHECK_OK(est.status());
   std::printf("\nfour-week distinct audience: truth %.0f\n", truth);
   std::printf("  HT estimate %.0f  (error %+.1f%%)  -- needs all four "
               "memberships resolved\n",
-              est.ht, 100 * (est.ht - truth) / truth);
+              est->ht, 100 * (est->ht - truth) / truth);
   std::printf("  L  estimate %.0f  (error %+.1f%%)  -- uses partial "
               "information\n",
-              est.l, 100 * (est.l - truth) / truth);
+              est->l, 100 * (est->l - truth) / truth);
 
-  // Why: per-key full information has probability ~p + (1-p)p ... vs the
-  // L estimator which gets signal from every certified absence.
+  // Path 2: the Section 8.1 classification over per-instance snapshot
+  // views (the pre-store API); the two paths agree on the same sample.
+  std::vector<pie::BinaryInstanceSketch> sketches;
+  for (size_t w = 0; w < weeks.size(); ++w) {
+    sketches.push_back(
+        pie::BinaryInstanceFromStore(*snapshot, static_cast<int>(w)));
+  }
+  const auto multi = pie::EstimateDistinctMulti(sketches);
+  std::printf("  classification path: HT %.0f, L %.0f (same sample)\n",
+              multi.ht, multi.l);
+
+  // Why: per-key full information has probability ~p^4 vs the L estimator
+  // which gets signal from every certified absence.
   std::printf(
       "\nanalytic: at r=4, p=%.2f the HT estimator's per-key full-info\n"
       "probability is about %.4f; the L estimator assigns positive weight\n"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "engine/engine.h"
+#include "store/sketch_store.h"
 #include "util/check.h"
 
 namespace pie {
@@ -98,6 +99,20 @@ BinaryInstanceSketch SampleBinaryInstance(const std::vector<uint64_t>& keys,
   const SeedFunction seed(salt);
   for (uint64_t key : keys) {
     if (seed(key) < p) sketch.keys.push_back(key);
+  }
+  return sketch;
+}
+
+BinaryInstanceSketch BinaryInstanceFromStore(const StoreSnapshot& snapshot,
+                                             int instance) {
+  const double tau = snapshot.TauFor(instance);
+  BinaryInstanceSketch sketch;
+  sketch.p = std::fmin(1.0, 1.0 / tau);
+  sketch.salt = snapshot.InstanceSalt(instance);
+  const StreamingPpsSketch merged = snapshot.MergedInstance(instance);
+  for (const auto& e : merged.EntriesByKey()) {
+    PIE_CHECK(e.weight == 1.0);  // set semantics: unit-weight records only
+    sketch.keys.push_back(e.key);
   }
   return sketch;
 }

@@ -25,6 +25,8 @@
 
 namespace pie {
 
+class StoreSnapshot;
+
 /// Poisson sample of a key set with hash seeds: h is kept iff u(h) < p.
 struct BinaryInstanceSketch {
   double p = 0.0;
@@ -37,6 +39,13 @@ struct BinaryInstanceSketch {
 /// Samples the key set `keys` with probability `p` and salt `salt`.
 BinaryInstanceSketch SampleBinaryInstance(const std::vector<uint64_t>& keys,
                                           double p, uint64_t salt);
+
+/// The binary membership sketch of one store instance, for feeding store-
+/// ingested key sets (unit-weight records, tau = 1/p) into the Section 8.1
+/// classification path: keys are the instance's sampled keys (canonical
+/// order), p = min(1, 1/tau), salt the instance's seed salt.
+BinaryInstanceSketch BinaryInstanceFromStore(const StoreSnapshot& snapshot,
+                                             int instance);
 
 /// Bottom-k sample of a key set (Section 8.1's fixed-size alternative): the
 /// k keys of smallest seed, with the (k+1)-st smallest seed playing the

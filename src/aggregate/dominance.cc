@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "engine/engine.h"
+#include "store/query_service.h"
 #include "util/check.h"
 
 namespace pie {
@@ -90,6 +91,34 @@ double EstimateL1Distance(const PpsInstanceSketch& s1,
                           const PpsInstanceSketch& s2) {
   const MaxDominanceEstimates max_est = EstimateMaxDominance(s1, s2);
   return max_est.l - EstimateMinDominanceHt(s1, s2);
+}
+
+namespace {
+
+// A synchronous thin bridge: the snapshot is borrowed (no-op deleter) and
+// scanned inline -- per-call worker-thread spawn/join would dominate the
+// repeat-call pattern these wrappers serve. Callers wanting the parallel
+// per-shard scan use QueryService directly.
+QueryService BorrowedQueryService(const StoreSnapshot& snapshot) {
+  return QueryService(
+      std::shared_ptr<const StoreSnapshot>(&snapshot,
+                                           [](const StoreSnapshot*) {}),
+      {/*num_threads=*/1});
+}
+
+}  // namespace
+
+MaxDominanceEstimates EstimateMaxDominance(const StoreSnapshot& snapshot,
+                                           int i1, int i2) {
+  const auto est = BorrowedQueryService(snapshot).MaxDominance(i1, i2);
+  PIE_CHECK_OK(est.status());
+  return {est->ht, est->l};
+}
+
+double EstimateL1Distance(const StoreSnapshot& snapshot, int i1, int i2) {
+  const auto est = BorrowedQueryService(snapshot).L1Distance(i1, i2);
+  PIE_CHECK_OK(est.status());
+  return *est;
 }
 
 MaxDominanceVariance AnalyticMaxDominanceVariance(

@@ -11,6 +11,8 @@
 
 namespace pie {
 
+class StoreSnapshot;
+
 /// Estimates of the max-dominance norm sum_h max(v1(h), v2(h)).
 struct MaxDominanceEstimates {
   double ht = 0.0;
@@ -38,6 +40,13 @@ double EstimateMinDominanceHt(const PpsInstanceSketch& s1,
 /// estimator recovers exact values under weighted sampling).
 double EstimateL1Distance(const PpsInstanceSketch& s1,
                           const PpsInstanceSketch& s2);
+
+/// Store-ingested variants: the same aggregates over two instances of a
+/// SketchStore snapshot, answered by the store's QueryService (per-shard
+/// parallel OutcomeBatches through the engine, deterministic reduction).
+MaxDominanceEstimates EstimateMaxDominance(const StoreSnapshot& snapshot,
+                                           int i1, int i2);
+double EstimateL1Distance(const StoreSnapshot& snapshot, int i1, int i2);
 
 /// Exact (analytic) variances of the max-dominance estimators on a two-
 /// instance data set: per-key variance formulas summed over keys

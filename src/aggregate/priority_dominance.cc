@@ -32,9 +32,18 @@ double PrioritySketch::ExclusionTau() const {
 
 PrioritySketch BuildPrioritySketch(const std::vector<WeightedItem>& items,
                                    int k, uint64_t salt) {
+  // Thin wrapper over the store layer's one-pass builder: the batch and
+  // streaming paths produce byte-identical sketches by construction.
+  StreamingBottomkSketch stream(k, RankFamily::kPps, salt);
+  for (const auto& item : items) stream.Update(item.key, item.weight);
+  return FromStreamingBottomk(stream);
+}
+
+PrioritySketch FromStreamingBottomk(const StreamingBottomkSketch& stream) {
+  PIE_CHECK(stream.family() == RankFamily::kPps);
   PrioritySketch out;
-  out.salt = salt;
-  out.sketch = BottomKSample(items, k, RankFamily::kPps, SeedFunction(salt));
+  out.salt = stream.salt();
+  out.sketch = stream.Finalize();
   return out;
 }
 

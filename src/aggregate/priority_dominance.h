@@ -19,6 +19,7 @@
 
 #include "aggregate/dominance.h"
 #include "sampling/bottomk.h"
+#include "store/streaming_sketch.h"
 
 namespace pie {
 
@@ -36,9 +37,13 @@ struct PrioritySketch {
   double ExclusionTau() const;
 };
 
-/// Builds the priority (PPS-rank bottom-k) sketch of one instance.
+/// Builds the priority (PPS-rank bottom-k) sketch of one instance (a thin
+/// wrapper feeding the one-pass StreamingBottomkSketch builder).
 PrioritySketch BuildPrioritySketch(const std::vector<WeightedItem>& items,
                                    int k, uint64_t salt);
+
+/// Adopts a one-pass bottom-k builder's state (must use PPS ranks).
+PrioritySketch FromStreamingBottomk(const StreamingBottomkSketch& stream);
 
 /// Max-dominance estimates (HT and L) over two priority sketches, applying
 /// the Section 5 per-key estimators under rank conditioning. Conditionally

@@ -2,24 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "store/sketch_store.h"
 #include "util/check.h"
 
 namespace pie {
 
 PpsInstanceSketch PpsInstanceSketch::Build(
     const std::vector<WeightedItem>& items, double tau, uint64_t salt) {
-  PIE_CHECK(tau > 0 && std::isfinite(tau));
-  PpsInstanceSketch sketch(tau, salt);
-  for (const auto& item : items) {
-    if (item.weight <= 0) continue;
-    const double u = sketch.seed_fn_(item.key);
-    if (item.weight >= u * tau) {
-      sketch.entries_.push_back(item);
-      sketch.by_key_.emplace(item.key, item.weight);
-    }
+  StreamingPpsSketch stream(tau, salt);
+  for (const auto& item : items) stream.Update(item.key, item.weight);
+  return FromStreaming(stream);
+}
+
+PpsInstanceSketch PpsInstanceSketch::FromStreaming(
+    const StreamingPpsSketch& stream) {
+  PpsInstanceSketch sketch(stream.tau(), stream.salt());
+  sketch.entries_ = stream.entries();
+  sketch.by_key_.reserve(sketch.entries_.size());
+  for (const auto& e : sketch.entries_) {
+    sketch.by_key_.emplace(e.key, e.weight);
   }
   return sketch;
+}
+
+PpsInstanceSketch MaterializeInstance(const StoreSnapshot& snapshot,
+                                      int instance) {
+  return PpsInstanceSketch::FromStreaming(snapshot.MergedInstance(instance));
 }
 
 bool PpsInstanceSketch::Lookup(uint64_t key, double* value) const {
@@ -29,25 +39,16 @@ bool PpsInstanceSketch::Lookup(uint64_t key, double* value) const {
   return true;
 }
 
-double PpsInstanceSketch::SubsetSumEstimate(
-    const std::function<bool(uint64_t)>& pred) const {
-  double sum = 0.0;
-  for (const auto& e : entries_) {
-    if (pred(e.key)) {
-      sum += e.weight / std::fmin(1.0, e.weight / tau_);
-    }
-  }
-  return sum;
-}
-
 Result<double> FindPpsTauForExpectedSize(
     const std::vector<WeightedItem>& items, double target) {
   double positive = 0.0;
   double max_weight = 0.0;
+  double min_weight = Infinity();
   for (const auto& item : items) {
     if (item.weight > 0) {
       positive += 1.0;
       max_weight = std::max(max_weight, item.weight);
+      min_weight = std::min(min_weight, item.weight);
     }
   }
   if (!(target > 0.0) || target > positive) {
@@ -61,15 +62,19 @@ Result<double> FindPpsTauForExpectedSize(
     }
     return s;
   };
-  // Expected size is nonincreasing in tau; bracket then bisect.
-  double lo = max_weight;  // expected size = #positive at tau <= min weight
+  // Expected size is nonincreasing in tau; bracket then bisect. At
+  // tau <= min weight every key is sampled with probability 1, so
+  // [min_weight, max_weight] brackets every target up to #positive --
+  // including target == #positive exactly (returned without bisection).
+  double lo = max_weight;
+  if (expected_size(lo) < target) lo = min_weight;
+  if (expected_size(lo) == target) return lo;
   double hi = max_weight;
-  if (expected_size(lo) < target) {
-    // target == positive handled here: shrink lo until satisfied.
-    lo = 1e-12;
-  }
   while (expected_size(hi) > target) hi *= 2.0;
-  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * hi; ++iter) {
+  // The bracket halves each step, so ~60 steps reach the last representable
+  // double; terminate on one-ulp-tight relative width.
+  constexpr double kRelTol = 4 * std::numeric_limits<double>::epsilon();
+  for (int iter = 0; iter < 200 && hi - lo > kRelTol * hi; ++iter) {
     const double mid = 0.5 * (lo + hi);
     if (expected_size(mid) > target) {
       lo = mid;

@@ -8,24 +8,35 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "sampling/bottomk.h"
 #include "sampling/poisson.h"
+#include "store/streaming_sketch.h"
 #include "util/hashing.h"
 #include "util/status.h"
 
 namespace pie {
 
+class StoreSnapshot;
+
 /// Poisson PPS sketch of one instance: key h is included iff
 /// v(h) >= u(h) * tau, i.e. with probability min(1, v(h)/tau).
+///
+/// A thin estimation-side view over the store layer's one-pass builder:
+/// Build feeds the batch through a StreamingPpsSketch, so the batch and
+/// streaming paths produce identical sample sets by construction.
 class PpsInstanceSketch {
  public:
   /// Builds the sketch of `items` with threshold `tau` and seed salt `salt`.
   static PpsInstanceSketch Build(const std::vector<WeightedItem>& items,
                                  double tau, uint64_t salt);
+
+  /// Adopts the sample of a one-pass builder (same tau, salt, entries).
+  static PpsInstanceSketch FromStreaming(const StreamingPpsSketch& stream);
 
   double tau() const { return tau_; }
   uint64_t salt() const { return salt_; }
@@ -37,7 +48,18 @@ class PpsInstanceSketch {
   bool Lookup(uint64_t key, double* value) const;
 
   /// Horvitz-Thompson subset-sum estimate of this instance's values.
-  double SubsetSumEstimate(const std::function<bool(uint64_t)>& pred) const;
+  /// Templated on the predicate so the hot scan pays no std::function
+  /// indirection or allocation (mirrors the PR 1 quadrature treatment).
+  template <typename Pred>
+  double SubsetSumEstimate(Pred&& pred) const {
+    double sum = 0.0;
+    for (const auto& e : entries_) {
+      if (pred(e.key)) {
+        sum += e.weight / std::fmin(1.0, e.weight / tau_);
+      }
+    }
+    return sum;
+  }
 
  private:
   PpsInstanceSketch(double tau, uint64_t salt)
@@ -49,6 +71,12 @@ class PpsInstanceSketch {
   std::vector<WeightedItem> entries_;
   std::unordered_map<uint64_t, double> by_key_;
 };
+
+/// The exact global sketch of one store instance, materialized from a
+/// snapshot by shard fan-in merge; plugs into the aggregate-layer
+/// estimators (EstimateMaxDominance, MakePairOutcomeInto, ...) unchanged.
+PpsInstanceSketch MaterializeInstance(const StoreSnapshot& snapshot,
+                                      int instance);
 
 /// Finds tau such that the expected PPS sample size sum_h min(1, v(h)/tau)
 /// equals `target` (binary search; returns +0-sized result checks). Returns

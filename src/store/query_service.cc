@@ -1,0 +1,235 @@
+#include "store/query_service.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+KernelSpec MaxPpsSpec(Family family) {
+  return {Function::kMax, Scheme::kPps, Regime::kKnownSeeds, family};
+}
+
+KernelSpec OrPpsSpec(Family family) {
+  return {Function::kOr, Scheme::kPps, Regime::kKnownSeeds, family};
+}
+
+}  // namespace
+
+QueryService::QueryService(std::shared_ptr<const StoreSnapshot> snapshot,
+                           QueryServiceOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  PIE_CHECK(snapshot_ != nullptr);
+  PIE_CHECK(options_.num_threads >= 0);
+}
+
+void QueryService::ForEachShard(const std::function<void(int)>& fn) const {
+  const int num_shards = snapshot_->num_shards();
+  int threads = options_.num_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  if (threads > num_shards) threads = num_shards;
+  if (threads <= 1) {
+    for (int s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int s = next.fetch_add(1, std::memory_order_relaxed);
+           s < num_shards;
+           s = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(s);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+Result<DualEstimate> QueryService::MaxDominance(int i1, int i2) const {
+  const double tau1 = snapshot_->TauFor(i1);
+  const double tau2 = snapshot_->TauFor(i2);
+  const SamplingParams params({tau1, tau2}, options_.quad_tol);
+  auto& engine = EstimationEngine::Global();
+  auto ht = engine.Kernel(MaxPpsSpec(Family::kHt), params);
+  auto l = engine.Kernel(MaxPpsSpec(Family::kL), params);
+  PIE_RETURN_IF_ERROR(ht.status());
+  PIE_RETURN_IF_ERROR(l.status());
+
+  const SeedFunction seed1(snapshot_->InstanceSalt(i1));
+  const SeedFunction seed2(snapshot_->InstanceSalt(i2));
+  const int num_shards = snapshot_->num_shards();
+  std::vector<double> ht_partial(static_cast<size_t>(num_shards), 0.0);
+  std::vector<double> l_partial(static_cast<size_t>(num_shards), 0.0);
+  ForEachShard([&](int s) {
+    const ShardSnapshot& shard = snapshot_->Shard(s);
+    const StreamingPpsSketch* s1 = shard.Instance(i1);
+    const StreamingPpsSketch* s2 = shard.Instance(i2);
+    OutcomeBatch batch;
+    auto add_key = [&](uint64_t key) {
+      PpsOutcome& o = batch.AddPps();
+      o.tau.assign({tau1, tau2});
+      o.seed.assign({seed1(key), seed2(key)});
+      o.sampled.assign(2, 0);
+      o.value.assign(2, 0.0);
+      double v = 0.0;
+      if (s1 != nullptr && s1->Lookup(key, &v)) {
+        o.sampled[0] = 1;
+        o.value[0] = v;
+      }
+      if (s2 != nullptr && s2->Lookup(key, &v)) {
+        o.sampled[1] = 1;
+        o.value[1] = v;
+      }
+    };
+    if (s1 != nullptr) {
+      for (const auto& e : s1->entries()) add_key(e.key);
+    }
+    if (s2 != nullptr) {
+      for (const auto& e : s2->entries()) {
+        if (s1 == nullptr || !s1->Lookup(e.key, nullptr)) add_key(e.key);
+      }
+    }
+    ht_partial[static_cast<size_t>(s)] = EstimateSum(**ht, batch);
+    l_partial[static_cast<size_t>(s)] = EstimateSum(**l, batch);
+  });
+
+  DualEstimate out;
+  for (int s = 0; s < num_shards; ++s) {
+    out.ht += ht_partial[static_cast<size_t>(s)];
+    out.l += l_partial[static_cast<size_t>(s)];
+  }
+  return out;
+}
+
+Result<double> QueryService::MinDominanceHt(int i1, int i2) const {
+  const double tau1 = snapshot_->TauFor(i1);
+  const double tau2 = snapshot_->TauFor(i2);
+  auto min_ht = EstimationEngine::Global().Kernel(
+      {Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt},
+      SamplingParams({tau1, tau2}, options_.quad_tol));
+  PIE_RETURN_IF_ERROR(min_ht.status());
+
+  const int num_shards = snapshot_->num_shards();
+  std::vector<double> partial(static_cast<size_t>(num_shards), 0.0);
+  ForEachShard([&](int s) {
+    const ShardSnapshot& shard = snapshot_->Shard(s);
+    const StreamingPpsSketch* s1 = shard.Instance(i1);
+    const StreamingPpsSketch* s2 = shard.Instance(i2);
+    if (s1 == nullptr || s2 == nullptr) return;
+    // min^(HT) needs both entries; the unknown-seeds kernel never reads
+    // the seed slot, which stays zeroed for interface parity.
+    OutcomeBatch batch;
+    for (const auto& e : s1->entries()) {
+      double v2 = 0.0;
+      if (!s2->Lookup(e.key, &v2)) continue;
+      PpsOutcome& o = batch.AddPps();
+      o.tau.assign({tau1, tau2});
+      o.seed.assign(2, 0.0);
+      o.sampled.assign(2, 1);
+      o.value.assign({e.weight, v2});
+    }
+    partial[static_cast<size_t>(s)] = EstimateSum(**min_ht, batch);
+  });
+
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+Result<double> QueryService::L1Distance(int i1, int i2) const {
+  auto max_est = MaxDominance(i1, i2);
+  PIE_RETURN_IF_ERROR(max_est.status());
+  auto min_est = MinDominanceHt(i1, i2);
+  PIE_RETURN_IF_ERROR(min_est.status());
+  return max_est->l - *min_est;
+}
+
+Result<DualEstimate> QueryService::DistinctUnion(
+    const std::vector<int>& instances) const {
+  const int r = static_cast<int>(instances.size());
+  if (r < 2) {
+    return Status::InvalidArgument("distinct union needs >= 2 instances");
+  }
+  std::vector<double> taus;
+  taus.reserve(instances.size());
+  for (int instance : instances) taus.push_back(snapshot_->TauFor(instance));
+  const SamplingParams params(taus, options_.quad_tol);
+  auto& engine = EstimationEngine::Global();
+  auto ht = engine.Kernel(OrPpsSpec(Family::kHt), params);
+  auto l = engine.Kernel(OrPpsSpec(Family::kL), params);
+  PIE_RETURN_IF_ERROR(ht.status());
+  PIE_RETURN_IF_ERROR(l.status());
+
+  std::vector<SeedFunction> seeds;
+  seeds.reserve(instances.size());
+  for (int instance : instances) {
+    seeds.emplace_back(snapshot_->InstanceSalt(instance));
+  }
+  const int num_shards = snapshot_->num_shards();
+  std::vector<double> ht_partial(static_cast<size_t>(num_shards), 0.0);
+  std::vector<double> l_partial(static_cast<size_t>(num_shards), 0.0);
+  std::atomic<bool> non_unit_weight{false};
+  ForEachShard([&](int s) {
+    const ShardSnapshot& shard = snapshot_->Shard(s);
+    std::vector<const StreamingPpsSketch*> sketches(static_cast<size_t>(r));
+    for (int j = 0; j < r; ++j) {
+      sketches[static_cast<size_t>(j)] = shard.Instance(instances[j]);
+    }
+    OutcomeBatch batch;
+    // Each instance's entries contribute the keys no earlier instance
+    // already covered, so the union is scanned exactly once per key.
+    for (int j = 0; j < r; ++j) {
+      const StreamingPpsSketch* sj = sketches[static_cast<size_t>(j)];
+      if (sj == nullptr) continue;
+      for (const auto& e : sj->entries()) {
+        if (e.weight != 1.0) {
+          non_unit_weight.store(true, std::memory_order_relaxed);
+          return;
+        }
+        bool covered = false;
+        for (int j2 = 0; j2 < j && !covered; ++j2) {
+          const StreamingPpsSketch* prev = sketches[static_cast<size_t>(j2)];
+          covered = prev != nullptr && prev->Lookup(e.key, nullptr);
+        }
+        if (covered) continue;
+        PpsOutcome& o = batch.AddPps();
+        o.tau.assign(taus.begin(), taus.end());
+        o.sampled.assign(static_cast<size_t>(r), 0);
+        o.value.assign(static_cast<size_t>(r), 0.0);
+        o.seed.resize(static_cast<size_t>(r));
+        for (int j2 = 0; j2 < r; ++j2) {
+          o.seed[static_cast<size_t>(j2)] =
+              seeds[static_cast<size_t>(j2)](e.key);
+          const StreamingPpsSketch* other = sketches[static_cast<size_t>(j2)];
+          if (other != nullptr && other->Lookup(e.key, nullptr)) {
+            o.sampled[static_cast<size_t>(j2)] = 1;
+            o.value[static_cast<size_t>(j2)] = 1.0;
+          }
+        }
+      }
+    }
+    ht_partial[static_cast<size_t>(s)] = EstimateSum(**ht, batch);
+    l_partial[static_cast<size_t>(s)] = EstimateSum(**l, batch);
+  });
+  if (non_unit_weight.load()) {
+    return Status::InvalidArgument(
+        "distinct union requires unit-weight ingestion (set semantics)");
+  }
+
+  DualEstimate out;
+  for (int s = 0; s < num_shards; ++s) {
+    out.ht += ht_partial[static_cast<size_t>(s)];
+    out.l += l_partial[static_cast<size_t>(s)];
+  }
+  return out;
+}
+
+}  // namespace pie

@@ -1,0 +1,87 @@
+// Engine-batched estimation queries over store snapshots.
+//
+// A QueryService binds one immutable StoreSnapshot and answers the
+// Section 8 sum aggregates -- max/min dominance, L1 distance, distinct /
+// Boolean-OR counts -- by scanning the union of sampled keys shard by
+// shard: each shard's keys are assembled into a per-shard OutcomeBatch
+// (reused slots, allocation-free in steady state) and streamed through the
+// estimation engine's memoized kernels, with a final deterministic
+// reduction in shard order. Shards are independent, so the scan fans out
+// across worker threads; results are bitwise identical for any thread
+// count because each shard's partial is computed identically and the
+// reduction order is fixed.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+#include "store/sketch_store.h"
+#include "util/status.h"
+
+namespace pie {
+
+struct QueryServiceOptions {
+  /// Worker threads for the per-shard scan; 0 picks
+  /// min(hardware_concurrency, num_shards). 1 scans inline.
+  int num_threads = 0;
+  /// Quadrature tolerance forwarded to kernels that integrate seed bounds.
+  double quad_tol = 1e-10;
+};
+
+/// The classical baseline and the paper's partial-information estimate of
+/// the same aggregate, side by side.
+struct DualEstimate {
+  double ht = 0.0;
+  double l = 0.0;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(std::shared_ptr<const StoreSnapshot> snapshot,
+                        QueryServiceOptions options = {});
+
+  /// Max-dominance norm sum_h max(v_i1(h), v_i2(h)) (Section 8.2), via the
+  /// per-key weighted max^(HT) / max^(L) kernels over the union of sampled
+  /// keys.
+  Result<DualEstimate> MaxDominance(int i1, int i2) const;
+
+  /// Min-dominance norm sum_h min(v_i1(h), v_i2(h)) via min^(HT)
+  /// (Section 6; keys sampled in both instances contribute).
+  Result<double> MinDominanceHt(int i1, int i2) const;
+
+  /// Unbiased L1 distance sum_h |v_i1(h) - v_i2(h)| as max^(L) - min^(HT).
+  Result<double> L1Distance(int i1, int i2) const;
+
+  /// Distinct count |union of instances| (Section 8.1) as the sum
+  /// aggregate of per-key Boolean OR. Requires unit-weight ingestion (set
+  /// semantics: every record weight 1, so tau = 1/p); more than two
+  /// instances additionally require a uniform tau.
+  Result<DualEstimate> DistinctUnion(const std::vector<int>& instances) const;
+
+  /// Horvitz-Thompson subset-sum estimate of one instance's total over
+  /// keys selected by `pred` (templated: no allocation on the scan).
+  template <typename Pred>
+  double SubsetSumHt(int instance, Pred&& pred) const {
+    double total = 0.0;
+    for (int s = 0; s < snapshot_->num_shards(); ++s) {
+      const StreamingPpsSketch* sketch = snapshot_->Shard(s).Instance(instance);
+      if (sketch != nullptr) total += sketch->SubsetSumEstimate(pred);
+    }
+    return total;
+  }
+
+  const StoreSnapshot& snapshot() const { return *snapshot_; }
+
+ private:
+  /// Runs fn(shard) for every shard, fanning out across options_.num_threads
+  /// workers. fn must only touch its own shard's slots.
+  void ForEachShard(const std::function<void(int)>& fn) const;
+
+  std::shared_ptr<const StoreSnapshot> snapshot_;
+  QueryServiceOptions options_;
+};
+
+}  // namespace pie

@@ -1,0 +1,149 @@
+#include "store/sketch_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+double TauFromOptions(const SketchStoreOptions& options, int instance) {
+  auto it = options.instance_tau.find(instance);
+  return it != options.instance_tau.end() ? it->second : options.default_tau;
+}
+
+uint64_t SaltFromOptions(const SketchStoreOptions& options, int instance) {
+  if (options.coordinated) return options.salt;
+  return HashCombine(options.salt, static_cast<uint64_t>(instance));
+}
+
+// Validated before the shard vector is sized: a nonpositive count must hit
+// the check, not convert to a huge size_t inside std::vector.
+size_t CheckedShardCount(int num_shards) {
+  PIE_CHECK(num_shards > 0);
+  return static_cast<size_t>(num_shards);
+}
+
+}  // namespace
+
+const StreamingPpsSketch* ShardSnapshot::Instance(int instance) const {
+  auto it = sketches_.find(instance);
+  return it != sketches_.end() ? &it->second : nullptr;
+}
+
+double StoreSnapshot::TauFor(int instance) const {
+  return TauFromOptions(options_, instance);
+}
+
+uint64_t StoreSnapshot::InstanceSalt(int instance) const {
+  return SaltFromOptions(options_, instance);
+}
+
+std::vector<int> StoreSnapshot::Instances() const {
+  std::vector<int> out;
+  for (const auto& shard : shards_) {
+    for (const auto& [instance, sketch] : shard->sketches()) {
+      out.push_back(instance);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t StoreSnapshot::UpdateCount(int instance) const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const StreamingPpsSketch* sketch = shard->Instance(instance);
+    if (sketch != nullptr) total += sketch->num_updates();
+  }
+  return total;
+}
+
+StreamingPpsSketch StoreSnapshot::MergedInstance(int instance) const {
+  StreamingPpsSketch merged(TauFor(instance), InstanceSalt(instance));
+  for (const auto& shard : shards_) {
+    const StreamingPpsSketch* sketch = shard->Instance(instance);
+    if (sketch != nullptr) merged.Merge(*sketch);
+  }
+  return merged;
+}
+
+SketchStore::SketchStore(SketchStoreOptions options)
+    : options_(std::move(options)),
+      shards_(CheckedShardCount(options_.num_shards)) {
+  PIE_CHECK(options_.default_tau > 0 && std::isfinite(options_.default_tau));
+  for (const auto& [instance, tau] : options_.instance_tau) {
+    PIE_CHECK(tau > 0 && std::isfinite(tau));
+  }
+}
+
+double SketchStore::TauFor(int instance) const {
+  return TauFromOptions(options_, instance);
+}
+
+uint64_t SketchStore::InstanceSalt(int instance) const {
+  return SaltFromOptions(options_, instance);
+}
+
+StreamingPpsSketch& SketchStore::LiveSketch(Shard& shard, int instance) {
+  auto it = shard.live.find(instance);
+  if (it == shard.live.end()) {
+    it = shard.live
+             .emplace(instance, StreamingPpsSketch(TauFor(instance),
+                                                   InstanceSalt(instance)))
+             .first;
+  }
+  return it->second;
+}
+
+void SketchStore::Update(int instance, uint64_t key, double weight) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  LiveSketch(shard, instance).Update(key, weight);
+  shard.version.fetch_add(1, std::memory_order_release);
+}
+
+void SketchStore::UpdateBatch(int instance,
+                              const std::vector<WeightedItem>& items) {
+  // Group records by shard so each dirtied shard pays one lock/version
+  // update per batch instead of one per record. Bucketing preserves the
+  // per-shard arrival order of the original sequence.
+  std::vector<std::vector<WeightedItem>> by_shard(shards_.size());
+  for (const auto& item : items) {
+    by_shard[static_cast<size_t>(ShardOf(item.key))].push_back(item);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    StreamingPpsSketch& sketch = LiveSketch(shard, instance);
+    for (const auto& item : by_shard[s]) sketch.Update(item.key, item.weight);
+    shard.version.fetch_add(by_shard[s].size(), std::memory_order_release);
+  }
+}
+
+std::shared_ptr<const StoreSnapshot> SketchStore::Snapshot() const {
+  auto snapshot = std::make_shared<StoreSnapshot>();
+  snapshot->options_ = options_;
+  snapshot->shards_.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    const uint64_t version = shard.version.load(std::memory_order_acquire);
+    std::shared_ptr<const ShardSnapshot> published =
+        std::atomic_load_explicit(&shard.published,
+                                  std::memory_order_acquire);
+    if (published == nullptr || published->version() != version) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      published = std::make_shared<const ShardSnapshot>(
+          shard.version.load(std::memory_order_relaxed), shard.live);
+      std::atomic_store_explicit(&shard.published, published,
+                                 std::memory_order_release);
+    }
+    snapshot->shards_.push_back(std::move(published));
+  }
+  return snapshot;
+}
+
+}  // namespace pie

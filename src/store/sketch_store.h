@@ -1,0 +1,146 @@
+// Key-hash sharded streaming sketch store with consistent snapshot reads.
+//
+// The ingestion tier between the samplers and the estimation workloads:
+// many writer threads feed (instance, key, weight) records; each record is
+// routed by key hash to one of N shards and absorbed into that shard's
+// per-instance StreamingPpsSketch under the shard's mutex. Readers obtain
+// immutable StoreSnapshot views and run engine-batched estimation against
+// them (see store/query_service.h) without ever contending with writers.
+//
+// Snapshot consistency semantics: a snapshot captures each shard at one
+// instant (all records the shard had absorbed at that instant, across all
+// instances -- shard capture is atomic under the shard mutex). Different
+// shards may be captured a few records apart, so a snapshot is a per-shard
+// consistent cut, not a global barrier; because every sketch is a
+// permutation-invariant function of its absorbed record set, each shard's
+// view equals a single-threaded replay of exactly the records it had
+// absorbed. Snapshots are cheap when the store is quiet: each shard
+// publishes its latest copy through an atomic shared_ptr tagged with the
+// shard version, and Snapshot() reuses the published copy lock-free
+// whenever no write has landed since.
+//
+// Seed coordination: instance i samples with seeds u_i(h) derived from
+// salt_i. By default salts are derived per instance from the store salt
+// (independent samples with known seeds -- what the Section 8 estimators
+// assume); options.coordinated shares one salt across instances (the PRN
+// method of Section 7.2).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "store/streaming_sketch.h"
+#include "util/hashing.h"
+
+namespace pie {
+
+struct SketchStoreOptions {
+  int num_shards = 16;
+  /// PPS threshold used by every instance sketch unless overridden below.
+  double default_tau = 1.0;
+  /// Per-instance threshold overrides (e.g. from per-period FindPpsTau
+  /// calibration).
+  std::map<int, double> instance_tau;
+  /// Base salt; per-instance seed salts are derived from it.
+  uint64_t salt = 0;
+  /// Share one seed salt across instances (Section 7.2 PRN coordination)
+  /// instead of deriving independent per-instance salts.
+  bool coordinated = false;
+};
+
+/// One shard's immutable capture: every instance sketch the shard held at
+/// capture time, tagged with the shard version that produced it.
+class ShardSnapshot {
+ public:
+  ShardSnapshot(uint64_t version, std::map<int, StreamingPpsSketch> sketches)
+      : version_(version), sketches_(std::move(sketches)) {}
+
+  uint64_t version() const { return version_; }
+  /// The shard's sketch of `instance`, or nullptr if the shard never saw a
+  /// record for it.
+  const StreamingPpsSketch* Instance(int instance) const;
+  const std::map<int, StreamingPpsSketch>& sketches() const {
+    return sketches_;
+  }
+
+ private:
+  uint64_t version_;
+  std::map<int, StreamingPpsSketch> sketches_;
+};
+
+/// An immutable store-wide view: one ShardSnapshot per shard. Shareable
+/// across query threads without synchronization.
+class StoreSnapshot {
+ public:
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardSnapshot& Shard(int shard) const { return *shards_[shard]; }
+  const SketchStoreOptions& options() const { return options_; }
+
+  double TauFor(int instance) const;
+  uint64_t InstanceSalt(int instance) const;
+
+  /// Instances with at least one absorbed record, ascending.
+  std::vector<int> Instances() const;
+  /// Total Update() calls absorbed for `instance` across shards.
+  uint64_t UpdateCount(int instance) const;
+  /// Exact global per-instance sketch, recovered by shard fan-in merge.
+  StreamingPpsSketch MergedInstance(int instance) const;
+
+ private:
+  friend class SketchStore;
+  SketchStoreOptions options_;
+  std::vector<std::shared_ptr<const ShardSnapshot>> shards_;
+};
+
+class SketchStore {
+ public:
+  explicit SketchStore(SketchStoreOptions options);
+  SketchStore(const SketchStore&) = delete;
+  SketchStore& operator=(const SketchStore&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int ShardOf(uint64_t key) const {
+    return static_cast<int>(Mix64(key) % shards_.size());
+  }
+  double TauFor(int instance) const;
+  uint64_t InstanceSalt(int instance) const;
+
+  /// Absorbs one record. Thread-safe; blocks only writers hitting the same
+  /// shard.
+  void Update(int instance, uint64_t key, double weight);
+  /// Absorbs a batch of records for one instance.
+  void UpdateBatch(int instance, const std::vector<WeightedItem>& items);
+
+  /// Captures a consistent view (semantics in the file comment). Reuses
+  /// each shard's published copy lock-free when the shard is unchanged;
+  /// otherwise briefly takes that shard's mutex to copy and republish.
+  std::shared_ptr<const StoreSnapshot> Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::map<int, StreamingPpsSketch> live;  // guarded by mu
+    /// Bumped under mu after every absorbed record; read lock-free by
+    /// Snapshot() to detect unchanged shards.
+    std::atomic<uint64_t> version{0};
+    /// Latest capture, tagged with the version it reflects. Accessed only
+    /// through the std::atomic_{load,store}_explicit shared_ptr overloads:
+    /// ThreadSanitizer cannot see through libstdc++'s
+    /// std::atomic<shared_ptr> internal lock-bit protocol (false races in
+    /// the tsan CI job), while the free functions' synchronization is
+    /// fully TSan-visible.
+    mutable std::shared_ptr<const ShardSnapshot> published;
+  };
+
+  StreamingPpsSketch& LiveSketch(Shard& shard, int instance);
+
+  SketchStoreOptions options_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace pie

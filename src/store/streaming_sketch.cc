@@ -1,0 +1,94 @@
+#include "store/streaming_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pie {
+
+StreamingPpsSketch::StreamingPpsSketch(double tau, uint64_t salt)
+    : tau_(tau), seed_fn_(salt) {
+  PIE_CHECK(tau > 0 && std::isfinite(tau));
+}
+
+void StreamingPpsSketch::Merge(const StreamingPpsSketch& other) {
+  PIE_CHECK(other.tau_ == tau_);
+  PIE_CHECK(other.salt() == salt());
+  // Replaying the other stream's sampled entries is exact: its rejected
+  // records would be rejected here too (same seeds, same tau), and its
+  // sampled ones arrive with their accumulated weights.
+  for (const auto& e : other.entries_) {
+    auto it = index_.find(e.key);
+    if (it != index_.end()) {
+      entries_[it->second].weight += e.weight;
+    } else {
+      index_.emplace(e.key, entries_.size());
+      entries_.push_back(e);
+    }
+  }
+  num_updates_ += other.num_updates_;
+}
+
+std::vector<WeightedItem> StreamingPpsSketch::EntriesByKey() const {
+  std::vector<WeightedItem> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WeightedItem& a, const WeightedItem& b) {
+              return a.key < b.key;
+            });
+  return sorted;
+}
+
+StreamingBottomkSketch::StreamingBottomkSketch(int k, RankFamily family,
+                                               uint64_t salt)
+    : k_(k), family_(family), seed_fn_(salt) {
+  PIE_CHECK(k > 0);
+}
+
+void StreamingBottomkSketch::Push(const BottomKSketch::Entry& entry) {
+  auto by_rank = [](const BottomKSketch::Entry& a,
+                    const BottomKSketch::Entry& b) { return a.rank < b.rank; };
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), by_rank);
+  if (static_cast<int>(heap_.size()) > k_ + 1) {
+    std::pop_heap(heap_.begin(), heap_.end(), by_rank);
+    heap_.pop_back();
+  }
+}
+
+void StreamingBottomkSketch::Update(uint64_t key, double weight) {
+  ++num_updates_;
+  if (weight <= 0) return;  // rank +infinity, never retained
+  Push({key, weight, RankValue(family_, weight, seed_fn_(key))});
+}
+
+void StreamingBottomkSketch::Merge(const StreamingBottomkSketch& other) {
+  PIE_CHECK(other.k_ == k_);
+  PIE_CHECK(other.family_ == family_);
+  PIE_CHECK(other.salt() == salt());
+  // The union's k+1 smallest ranks are each among their own substream's
+  // k+1 smallest, all of which `other` still holds with keys and weights.
+  for (const auto& entry : other.heap_) Push(entry);
+  num_updates_ += other.num_updates_;
+}
+
+BottomKSketch StreamingBottomkSketch::Finalize() const {
+  BottomKSketch sketch;
+  sketch.family = family_;
+  sketch.k = k_;
+
+  sketch.entries = heap_;
+  std::sort(sketch.entries.begin(), sketch.entries.end(),
+            [](const BottomKSketch::Entry& a, const BottomKSketch::Entry& b) {
+              return a.rank < b.rank;
+            });
+  if (static_cast<int>(sketch.entries.size()) == k_ + 1) {
+    sketch.threshold = sketch.entries.back().rank;
+    sketch.entries.pop_back();
+  } else {
+    sketch.threshold = Infinity();  // sketch holds the whole instance
+  }
+  return sketch;
+}
+
+}  // namespace pie

@@ -138,6 +138,67 @@ TEST(SketchTest, FindTauRejectsBadTargets) {
   EXPECT_TRUE(FindPpsTauForExpectedSize(items, 20.0).ok());
 }
 
+double ExpectedPpsSize(const std::vector<WeightedItem>& items, double tau) {
+  double s = 0.0;
+  for (const auto& item : items) {
+    if (item.weight > 0) s += std::fmin(1.0, item.weight / tau);
+  }
+  return s;
+}
+
+TEST(SketchTest, FindTauTargetEqualsItemCount) {
+  // target == #items demands inclusion probability 1 everywhere, i.e.
+  // tau <= min weight -- including when weights span orders of magnitude.
+  const std::vector<WeightedItem> items = {
+      {1, 1e-6}, {2, 3.0}, {3, 250.0}, {4, 0.5}};
+  const auto tau = FindPpsTauForExpectedSize(items, 4.0);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_LE(*tau, 1e-6);
+  EXPECT_EQ(ExpectedPpsSize(items, *tau), 4.0);
+}
+
+TEST(SketchTest, FindTauSingleItemInput) {
+  const std::vector<WeightedItem> items = {{42, 7.0}};
+  const auto exact = FindPpsTauForExpectedSize(items, 1.0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(*exact, 7.0);
+  EXPECT_EQ(ExpectedPpsSize(items, *exact), 1.0);
+
+  // Fractional target: min(1, 7/tau) = 0.4 at tau = 17.5.
+  const auto fractional = FindPpsTauForExpectedSize(items, 0.4);
+  ASSERT_TRUE(fractional.ok());
+  EXPECT_NEAR(*fractional, 17.5, 1e-9);
+}
+
+TEST(SketchTest, FindTauAllEqualWeights) {
+  const std::vector<WeightedItem> items(10, WeightedItem{0, 3.0});
+  std::vector<WeightedItem> keyed = items;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    keyed[i].key = static_cast<uint64_t>(i + 1);
+  }
+  // Full-size target resolves without bisection (tau = the shared weight).
+  const auto full = FindPpsTauForExpectedSize(keyed, 10.0);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, 3.0);
+  // Half-size target: min(1, 3/tau) = 0.5 at tau = 6.
+  const auto half = FindPpsTauForExpectedSize(keyed, 5.0);
+  ASSERT_TRUE(half.ok());
+  EXPECT_NEAR(*half, 6.0, 1e-9);
+  EXPECT_NEAR(ExpectedPpsSize(keyed, *half), 5.0, 1e-9);
+}
+
+TEST(SketchTest, FindTauTerminationIsUlpTight) {
+  Rng rng(29);
+  const auto items = ZipfishItems(300, rng);
+  for (double target : {1.0, 37.5, 299.0}) {
+    const auto tau = FindPpsTauForExpectedSize(items, target);
+    ASSERT_TRUE(tau.ok());
+    // The returned tau hits the target to near machine precision (the old
+    // bound guaranteed only ~1e-12 relative bracket width).
+    EXPECT_NEAR(ExpectedPpsSize(items, *tau), target, 1e-9 * target);
+  }
+}
+
 TEST(SketchTest, SubsetSumUnbiased) {
   Rng rng(11);
   const auto items = ZipfishItems(100, rng);
@@ -152,6 +213,35 @@ TEST(SketchTest, SubsetSumUnbiased) {
     stat.Add(sketch.SubsetSumEstimate(pred));
   }
   EXPECT_NEAR(stat.mean(), truth, 4 * stat.standard_error());
+}
+
+TEST(SketchTest, PairOutcomeReusesCapacityAcrossCalls) {
+  Rng rng(13);
+  const auto items = ZipfishItems(50, rng);
+  const auto s1 = PpsInstanceSketch::Build(items, 40.0, 100);
+  const auto s2 = PpsInstanceSketch::Build(items, 60.0, 200);
+
+  PpsOutcome out;
+  MakePairOutcomeInto(s1, s2, items[0].key, &out);
+  const size_t tau_cap = out.tau.capacity();
+  const size_t seed_cap = out.seed.capacity();
+  const size_t sampled_cap = out.sampled.capacity();
+  const size_t value_cap = out.value.capacity();
+
+  // Steady state: refilling the same slot for any key reuses the inner
+  // vectors' capacity -- no per-key allocation on batched scans.
+  for (const auto& item : items) {
+    MakePairOutcomeInto(s1, s2, item.key, &out);
+    EXPECT_EQ(out.tau.capacity(), tau_cap);
+    EXPECT_EQ(out.seed.capacity(), seed_cap);
+    EXPECT_EQ(out.sampled.capacity(), sampled_cap);
+    EXPECT_EQ(out.value.capacity(), value_cap);
+    // And the payload is fully overwritten each time.
+    EXPECT_EQ(out.seed[0], s1.seed_fn()(item.key));
+    EXPECT_EQ(out.seed[1], s2.seed_fn()(item.key));
+    double v = 0.0;
+    EXPECT_EQ(out.sampled[0] != 0, s1.Lookup(item.key, &v));
+  }
 }
 
 TEST(SketchTest, PairOutcomeAssembly) {

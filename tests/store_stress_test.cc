@@ -1,0 +1,199 @@
+// Multi-threaded ingest-while-query stress test for the sketch store,
+// designed to run under ThreadSanitizer (see the tsan CI job).
+//
+// Four ingest threads (one instance each) stream deterministic update
+// sequences into a shared store while two query threads repeatedly take
+// snapshots and verify the core consistency contract: every (shard,
+// instance) view in a snapshot equals a single-threaded replay of exactly
+// the update prefix it claims to contain (each instance is written by one
+// thread, so the shard's received subsequence is a prefix of that thread's
+// per-shard sequence, identified by the sketch's update count). Queries
+// over a snapshot must equal the same queries over a store rebuilt
+// single-threaded from those prefixes, bitwise.
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "store/query_service.h"
+#include "store/sketch_store.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+constexpr int kNumInstances = 4;
+constexpr int kNumIngestThreads = kNumInstances;  // one instance per thread
+constexpr int kNumQueryThreads = 2;
+constexpr int kUpdatesPerInstance = 30000;
+
+SketchStoreOptions StressOptions() {
+  SketchStoreOptions options;
+  options.num_shards = 8;
+  options.default_tau = 50.0;
+  options.salt = 424242;
+  return options;
+}
+
+/// The deterministic update sequence instance `i`'s writer thread applies.
+std::vector<WeightedItem> InstanceUpdates(int instance) {
+  Rng rng(1000 + static_cast<uint64_t>(instance));
+  std::vector<WeightedItem> updates;
+  updates.reserve(kUpdatesPerInstance);
+  for (int u = 0; u < kUpdatesPerInstance; ++u) {
+    // Overlapping key universe across instances; skewed weights.
+    const uint64_t key = static_cast<uint64_t>(1 + rng.UniformInt(20000));
+    const double weight = std::ceil(200.0 / (1 + rng.UniformInt(40)));
+    updates.push_back({key, weight});
+  }
+  return updates;
+}
+
+/// The prefix of `updates` that landed in `shard`, replayed single-threaded
+/// into a fresh sketch: `count` is the number of records the snapshot's
+/// (shard, instance) sketch reports having absorbed.
+StreamingPpsSketch ReplayShardPrefix(const SketchStore& store,
+                                     const std::vector<WeightedItem>& updates,
+                                     int instance, int shard, uint64_t count) {
+  StreamingPpsSketch replay(store.TauFor(instance),
+                            store.InstanceSalt(instance));
+  uint64_t applied = 0;
+  for (const auto& update : updates) {
+    if (applied == count) break;
+    if (store.ShardOf(update.key) != shard) continue;
+    replay.Update(update.key, update.weight);
+    ++applied;
+  }
+  EXPECT_EQ(applied, count);
+  return replay;
+}
+
+void ExpectSameSample(const StreamingPpsSketch& a,
+                      const StreamingPpsSketch& b) {
+  ASSERT_EQ(a.size(), b.size());
+  const auto& ae = a.entries();
+  const auto& be = b.entries();
+  for (size_t i = 0; i < ae.size(); ++i) {
+    // Arrival order and weights are reproduced exactly (single writer per
+    // (shard, instance), deterministic sequence).
+    ASSERT_EQ(ae[i].key, be[i].key) << i;
+    ASSERT_EQ(ae[i].weight, be[i].weight) << i;
+  }
+}
+
+TEST(StoreStressTest, ConcurrentIngestAndSnapshotQueries) {
+  SketchStore store(StressOptions());
+  std::vector<std::vector<WeightedItem>> updates;
+  updates.reserve(kNumInstances);
+  for (int i = 0; i < kNumInstances; ++i) updates.push_back(InstanceUpdates(i));
+
+  std::atomic<int> writers_done{0};
+  std::atomic<int> snapshots_checked{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kNumIngestThreads + kNumQueryThreads);
+
+  for (int i = 0; i < kNumIngestThreads; ++i) {
+    threads.emplace_back([&store, &updates, &writers_done, i] {
+      for (const auto& update : updates[static_cast<size_t>(i)]) {
+        store.Update(i, update.key, update.weight);
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+
+  for (int q = 0; q < kNumQueryThreads; ++q) {
+    threads.emplace_back([&store, &updates, &writers_done, &snapshots_checked,
+                          q] {
+      Rng rng(90 + static_cast<uint64_t>(q));
+      while (true) {
+        const bool final_pass = writers_done.load() == kNumIngestThreads;
+        const auto snapshot = store.Snapshot();
+
+        // (1) Replay check: every (shard, instance) view equals a
+        // single-threaded replay of the prefix it claims. Spot-check one
+        // random shard per pass (all shards on the final pass).
+        for (int shard = 0; shard < store.num_shards(); ++shard) {
+          if (!final_pass &&
+              shard != static_cast<int>(rng.UniformInt(
+                           static_cast<uint64_t>(store.num_shards())))) {
+            continue;
+          }
+          for (int instance = 0; instance < kNumInstances; ++instance) {
+            const StreamingPpsSketch* view =
+                snapshot->Shard(shard).Instance(instance);
+            if (view == nullptr) continue;
+            const StreamingPpsSketch replay = ReplayShardPrefix(
+                store, updates[static_cast<size_t>(instance)], instance,
+                shard, view->num_updates());
+            ExpectSameSample(*view, replay);
+          }
+        }
+
+        // (2) Query check: estimates over the live snapshot equal the same
+        // queries over a store rebuilt single-threaded from the snapshot's
+        // per-shard prefixes, bitwise.
+        SketchStore rebuilt(StressOptions());
+        for (int shard = 0; shard < store.num_shards(); ++shard) {
+          for (int instance = 0; instance < kNumInstances; ++instance) {
+            const StreamingPpsSketch* view =
+                snapshot->Shard(shard).Instance(instance);
+            if (view == nullptr) continue;
+            uint64_t applied = 0;
+            for (const auto& update : updates[static_cast<size_t>(instance)]) {
+              if (applied == view->num_updates()) break;
+              if (store.ShardOf(update.key) != shard) continue;
+              rebuilt.Update(instance, update.key, update.weight);
+              ++applied;
+            }
+          }
+        }
+        const QueryService live(snapshot, {/*num_threads=*/2});
+        const QueryService replayed(rebuilt.Snapshot(), {/*num_threads=*/1});
+        const auto live_max = live.MaxDominance(0, 1);
+        const auto replay_max = replayed.MaxDominance(0, 1);
+        ASSERT_TRUE(live_max.ok());
+        ASSERT_TRUE(replay_max.ok());
+        EXPECT_EQ(live_max->ht, replay_max->ht);
+        EXPECT_EQ(live_max->l, replay_max->l);
+        const auto live_l1 = live.L1Distance(2, 3);
+        const auto replay_l1 = replayed.L1Distance(2, 3);
+        ASSERT_TRUE(live_l1.ok());
+        ASSERT_TRUE(replay_l1.ok());
+        EXPECT_EQ(*live_l1, *replay_l1);
+
+        snapshots_checked.fetch_add(1);
+        if (final_pass) break;
+      }
+    });
+  }
+
+  for (auto& thread : threads) thread.join();
+  // Both query threads ran at least their final full-verification pass.
+  EXPECT_GE(snapshots_checked.load(), kNumQueryThreads);
+
+  // The settled store equals a full single-threaded replay.
+  const auto final_snapshot = store.Snapshot();
+  for (int instance = 0; instance < kNumInstances; ++instance) {
+    EXPECT_EQ(final_snapshot->UpdateCount(instance),
+              static_cast<uint64_t>(kUpdatesPerInstance));
+    StreamingPpsSketch replay(store.TauFor(instance),
+                              store.InstanceSalt(instance));
+    for (const auto& update : updates[static_cast<size_t>(instance)]) {
+      replay.Update(update.key, update.weight);
+    }
+    const auto merged = final_snapshot->MergedInstance(instance);
+    const auto merged_sorted = merged.EntriesByKey();
+    const auto replay_sorted = replay.EntriesByKey();
+    ASSERT_EQ(merged_sorted.size(), replay_sorted.size());
+    for (size_t i = 0; i < merged_sorted.size(); ++i) {
+      EXPECT_EQ(merged_sorted[i].key, replay_sorted[i].key);
+      EXPECT_EQ(merged_sorted[i].weight, replay_sorted[i].weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pie

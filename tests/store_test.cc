@@ -1,0 +1,444 @@
+// Tests for the store layer: one-pass streaming sketch builders
+// (equivalence with the batch builders on any arrival order, exact
+// merges), the sharded SketchStore's snapshot semantics, and the
+// QueryService's parity with the aggregate-layer estimators.
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "aggregate/distinct.h"
+#include "aggregate/distinct_multi.h"
+#include "aggregate/dominance.h"
+#include "aggregate/sketch.h"
+#include "gtest/gtest.h"
+#include "sampling/bottomk.h"
+#include "store/query_service.h"
+#include "store/sketch_store.h"
+#include "store/streaming_sketch.h"
+#include "util/random.h"
+#include "workload/sets.h"
+
+namespace pie {
+namespace {
+
+std::vector<WeightedItem> ZipfishItems(int n, Rng& rng) {
+  std::vector<WeightedItem> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({static_cast<uint64_t>(i + 1),
+                     std::ceil(100.0 / (1 + rng.UniformInt(50)))});
+  }
+  return items;
+}
+
+std::vector<std::vector<WeightedItem>> Permutations(
+    const std::vector<WeightedItem>& items) {
+  std::vector<std::vector<WeightedItem>> perms;
+  perms.push_back(items);
+  perms.push_back({items.rbegin(), items.rend()});
+  std::mt19937_64 shuffler(12345);
+  for (int i = 0; i < 3; ++i) {
+    auto shuffled = items;
+    std::shuffle(shuffled.begin(), shuffled.end(), shuffler);
+    perms.push_back(std::move(shuffled));
+  }
+  return perms;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingPpsSketch
+// ---------------------------------------------------------------------------
+
+TEST(StreamingPpsTest, MatchesBatchBuildOnAnyPermutation) {
+  Rng rng(3);
+  const auto items = ZipfishItems(300, rng);
+  const double tau = 40.0;
+  const uint64_t salt = 9;
+  const auto batch = PpsInstanceSketch::Build(items, tau, salt);
+  std::vector<WeightedItem> batch_sorted(batch.entries());
+  std::sort(batch_sorted.begin(), batch_sorted.end(),
+            [](const WeightedItem& a, const WeightedItem& b) {
+              return a.key < b.key;
+            });
+  ASSERT_GT(batch.size(), 0);
+
+  for (const auto& perm : Permutations(items)) {
+    StreamingPpsSketch stream(tau, salt);
+    for (const auto& item : perm) stream.Update(item.key, item.weight);
+    const auto stream_sorted = stream.EntriesByKey();
+    ASSERT_EQ(stream_sorted.size(), batch_sorted.size());
+    for (size_t i = 0; i < stream_sorted.size(); ++i) {
+      EXPECT_EQ(stream_sorted[i].key, batch_sorted[i].key);
+      EXPECT_EQ(stream_sorted[i].weight, batch_sorted[i].weight);  // bitwise
+    }
+    EXPECT_EQ(stream.num_updates(), items.size());
+  }
+}
+
+TEST(StreamingPpsTest, MergeOfDisjointPartsMatchesDirect) {
+  Rng rng(5);
+  const auto items = ZipfishItems(400, rng);
+  const double tau = 25.0;
+  const uint64_t salt = 77;
+  StreamingPpsSketch direct(tau, salt);
+  for (const auto& item : items) direct.Update(item.key, item.weight);
+
+  std::vector<StreamingPpsSketch> parts(
+      4, StreamingPpsSketch(tau, salt));
+  for (const auto& item : items) {
+    parts[Mix64(item.key) % 4].Update(item.key, item.weight);
+  }
+  StreamingPpsSketch merged(tau, salt);
+  for (const auto& part : parts) merged.Merge(part);
+
+  const auto direct_sorted = direct.EntriesByKey();
+  const auto merged_sorted = merged.EntriesByKey();
+  ASSERT_EQ(direct_sorted.size(), merged_sorted.size());
+  for (size_t i = 0; i < direct_sorted.size(); ++i) {
+    EXPECT_EQ(direct_sorted[i].key, merged_sorted[i].key);
+    EXPECT_EQ(direct_sorted[i].weight, merged_sorted[i].weight);
+  }
+  EXPECT_EQ(merged.num_updates(), direct.num_updates());
+}
+
+TEST(StreamingPpsTest, SampledKeyAccumulatesRepeats) {
+  StreamingPpsSketch stream(10.0, /*salt=*/1);
+  // Weight 100 clears any threshold; repeats accumulate exactly.
+  stream.Update(42, 100.0);
+  stream.Update(42, 7.0);
+  double value = 0.0;
+  ASSERT_TRUE(stream.Lookup(42, &value));
+  EXPECT_EQ(value, 107.0);
+  EXPECT_EQ(stream.size(), 1);
+  EXPECT_EQ(stream.num_updates(), 2u);
+}
+
+TEST(StreamingPpsTest, TemplatedSubsetSumMatchesSketchPath) {
+  Rng rng(11);
+  const auto items = ZipfishItems(200, rng);
+  StreamingPpsSketch stream(60.0, /*salt=*/13);
+  for (const auto& item : items) stream.Update(item.key, item.weight);
+  const auto view = PpsInstanceSketch::FromStreaming(stream);
+  auto pred = [](uint64_t key) { return key % 3 == 0; };
+  EXPECT_EQ(stream.SubsetSumEstimate(pred), view.SubsetSumEstimate(pred));
+}
+
+// ---------------------------------------------------------------------------
+// StreamingBottomkSketch
+// ---------------------------------------------------------------------------
+
+void ExpectSketchesIdentical(const BottomKSketch& a, const BottomKSketch& b) {
+  EXPECT_EQ(a.family, b.family);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.threshold, b.threshold);  // bitwise (also covers +inf)
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].key, b.entries[i].key);
+    EXPECT_EQ(a.entries[i].weight, b.entries[i].weight);
+    EXPECT_EQ(a.entries[i].rank, b.entries[i].rank);
+  }
+}
+
+TEST(StreamingBottomkTest, MatchesBatchSamplerOnAnyPermutation) {
+  Rng rng(7);
+  const auto items = ZipfishItems(500, rng);
+  for (RankFamily family : {RankFamily::kPps, RankFamily::kExp}) {
+    const int k = 64;
+    const uint64_t salt = 21;
+    const auto batch = BottomKSample(items, k, family, SeedFunction(salt));
+    for (const auto& perm : Permutations(items)) {
+      StreamingBottomkSketch stream(k, family, salt);
+      for (const auto& item : perm) stream.Update(item.key, item.weight);
+      ExpectSketchesIdentical(stream.Finalize(), batch);
+    }
+  }
+}
+
+TEST(StreamingBottomkTest, MergeOfDisjointPartsMatchesDirect) {
+  Rng rng(9);
+  const auto items = ZipfishItems(300, rng);
+  const int k = 48;
+  const uint64_t salt = 33;
+  const auto batch =
+      BottomKSample(items, k, RankFamily::kPps, SeedFunction(salt));
+
+  // Uneven split: one part smaller than k (infinite threshold), one large.
+  std::vector<StreamingBottomkSketch> parts(
+      3, StreamingBottomkSketch(k, RankFamily::kPps, salt));
+  for (size_t i = 0; i < items.size(); ++i) {
+    const int part = i < 10 ? 0 : (i % 2 == 0 ? 1 : 2);
+    parts[static_cast<size_t>(part)].Update(items[i].key, items[i].weight);
+  }
+  StreamingBottomkSketch merged(k, RankFamily::kPps, salt);
+  for (const auto& part : parts) merged.Merge(part);
+  ExpectSketchesIdentical(merged.Finalize(), batch);
+  EXPECT_EQ(merged.num_updates(), items.size());
+}
+
+TEST(StreamingBottomkTest, FewerThanKItemsIsExact) {
+  StreamingBottomkSketch stream(10, RankFamily::kPps, /*salt=*/3);
+  stream.Update(1, 5.0);
+  stream.Update(2, 3.0);
+  stream.Update(3, 0.0);  // never retained
+  const auto sketch = stream.Finalize();
+  EXPECT_EQ(sketch.entries.size(), 2u);
+  EXPECT_TRUE(std::isinf(sketch.threshold));
+}
+
+// ---------------------------------------------------------------------------
+// SketchStore snapshots
+// ---------------------------------------------------------------------------
+
+SketchStoreOptions SmallStoreOptions() {
+  SketchStoreOptions options;
+  options.num_shards = 4;
+  options.default_tau = 30.0;
+  options.salt = 101;
+  return options;
+}
+
+TEST(SketchStoreTest, SnapshotReusesCleanShardsAndSeesWrites) {
+  Rng rng(15);
+  const auto items = ZipfishItems(200, rng);
+  SketchStore store(SmallStoreOptions());
+  store.UpdateBatch(0, items);
+
+  const auto snap1 = store.Snapshot();
+  const auto snap2 = store.Snapshot();
+  for (int s = 0; s < store.num_shards(); ++s) {
+    // Quiet shards republish nothing: both snapshots share the same
+    // immutable per-shard capture.
+    EXPECT_EQ(&snap1->Shard(s), &snap2->Shard(s)) << s;
+  }
+
+  // One write dirties exactly its shard.
+  const uint64_t key = 999983;
+  store.Update(0, key, 1e6);
+  const auto snap3 = store.Snapshot();
+  for (int s = 0; s < store.num_shards(); ++s) {
+    if (s == store.ShardOf(key)) {
+      EXPECT_NE(&snap1->Shard(s), &snap3->Shard(s));
+    } else {
+      EXPECT_EQ(&snap1->Shard(s), &snap3->Shard(s));
+    }
+  }
+  // The old snapshot is immutable: the new key is visible only in snap3.
+  EXPECT_FALSE(snap1->MergedInstance(0).Lookup(key, nullptr));
+  EXPECT_TRUE(snap3->MergedInstance(0).Lookup(key, nullptr));
+}
+
+TEST(SketchStoreTest, MaterializeMatchesDirectBuild) {
+  Rng rng(17);
+  const auto items = ZipfishItems(500, rng);
+  const auto options = SmallStoreOptions();
+  SketchStore store(options);
+  store.UpdateBatch(2, items);
+  const auto snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot->Instances(), std::vector<int>{2});
+  EXPECT_EQ(snapshot->UpdateCount(2), items.size());
+
+  const auto materialized = MaterializeInstance(*snapshot, 2);
+  const auto direct = PpsInstanceSketch::Build(items, options.default_tau,
+                                               store.InstanceSalt(2));
+  ASSERT_EQ(materialized.size(), direct.size());
+  for (const auto& e : direct.entries()) {
+    double value = 0.0;
+    ASSERT_TRUE(materialized.Lookup(e.key, &value)) << e.key;
+    EXPECT_EQ(value, e.weight);
+  }
+  EXPECT_EQ(materialized.tau(), direct.tau());
+  EXPECT_EQ(materialized.salt(), direct.salt());
+}
+
+TEST(SketchStoreTest, SaltDerivation) {
+  SketchStoreOptions options = SmallStoreOptions();
+  {
+    SketchStore store(options);
+    EXPECT_NE(store.InstanceSalt(0), store.InstanceSalt(1));
+  }
+  options.coordinated = true;
+  {
+    SketchStore store(options);
+    EXPECT_EQ(store.InstanceSalt(0), store.InstanceSalt(1));
+    EXPECT_EQ(store.InstanceSalt(0), options.salt);
+  }
+}
+
+TEST(SketchStoreTest, PerInstanceTauOverride) {
+  SketchStoreOptions options = SmallStoreOptions();
+  options.instance_tau[1] = 7.5;
+  SketchStore store(options);
+  EXPECT_EQ(store.TauFor(0), options.default_tau);
+  EXPECT_EQ(store.TauFor(1), 7.5);
+  store.Update(1, 4, 1.0);
+  EXPECT_EQ(store.Snapshot()->TauFor(1), 7.5);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService parity with the aggregate layer
+// ---------------------------------------------------------------------------
+
+struct TwoInstanceStore {
+  std::shared_ptr<SketchStore> store;
+  std::vector<WeightedItem> items1, items2;
+};
+
+TwoInstanceStore MakeTwoInstanceStore() {
+  Rng rng(23);
+  TwoInstanceStore out;
+  // Overlapping universes with distinct weights per instance.
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t key = static_cast<uint64_t>(1 + rng.UniformInt(800));
+    const double weight = std::ceil(100.0 / (1 + rng.UniformInt(30)));
+    auto& items = i % 2 == 0 ? out.items1 : out.items2;
+    bool seen = false;
+    for (const auto& item : items) seen = seen || item.key == key;
+    if (!seen) items.push_back({key, weight});
+  }
+  SketchStoreOptions options;
+  options.num_shards = 8;
+  options.default_tau = 20.0;
+  options.salt = 5150;
+  out.store = std::make_shared<SketchStore>(options);
+  out.store->UpdateBatch(0, out.items1);
+  out.store->UpdateBatch(1, out.items2);
+  return out;
+}
+
+TEST(QueryServiceTest, MaxDominanceMatchesAggregatePath) {
+  const auto fixture = MakeTwoInstanceStore();
+  const auto snapshot = fixture.store->Snapshot();
+  QueryService service(snapshot, {/*num_threads=*/1});
+  const auto store_est = service.MaxDominance(0, 1);
+  ASSERT_TRUE(store_est.ok());
+
+  const auto s1 = MaterializeInstance(*snapshot, 0);
+  const auto s2 = MaterializeInstance(*snapshot, 1);
+  const auto direct = EstimateMaxDominance(s1, s2);
+  EXPECT_NEAR(store_est->ht, direct.ht, 1e-9 * std::fabs(direct.ht));
+  EXPECT_NEAR(store_est->l, direct.l, 1e-9 * std::fabs(direct.l));
+
+  // The aggregate layer's snapshot overload is the same computation.
+  const auto bridged = EstimateMaxDominance(*snapshot, 0, 1);
+  EXPECT_EQ(bridged.ht, store_est->ht);
+  EXPECT_EQ(bridged.l, store_est->l);
+}
+
+TEST(QueryServiceTest, MinAndL1MatchAggregatePath) {
+  const auto fixture = MakeTwoInstanceStore();
+  const auto snapshot = fixture.store->Snapshot();
+  QueryService service(snapshot, {/*num_threads=*/1});
+  const auto s1 = MaterializeInstance(*snapshot, 0);
+  const auto s2 = MaterializeInstance(*snapshot, 1);
+
+  const auto min_est = service.MinDominanceHt(0, 1);
+  ASSERT_TRUE(min_est.ok());
+  const double direct_min = EstimateMinDominanceHt(s1, s2);
+  EXPECT_NEAR(*min_est, direct_min, 1e-9 * std::fabs(direct_min));
+
+  const auto l1_est = service.L1Distance(0, 1);
+  ASSERT_TRUE(l1_est.ok());
+  const double direct_l1 = EstimateL1Distance(s1, s2);
+  EXPECT_NEAR(*l1_est, direct_l1, 1e-9 * std::fabs(direct_l1));
+  EXPECT_NEAR(EstimateL1Distance(*snapshot, 0, 1), *l1_est,
+              1e-12 * std::fabs(*l1_est));
+}
+
+TEST(QueryServiceTest, ParallelScanIsBitwiseDeterministic) {
+  const auto fixture = MakeTwoInstanceStore();
+  const auto snapshot = fixture.store->Snapshot();
+  const auto sequential =
+      QueryService(snapshot, {/*num_threads=*/1}).MaxDominance(0, 1);
+  const auto parallel =
+      QueryService(snapshot, {/*num_threads=*/4}).MaxDominance(0, 1);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(sequential->ht, parallel->ht);  // bitwise: fixed reduction order
+  EXPECT_EQ(sequential->l, parallel->l);
+}
+
+TEST(QueryServiceTest, DistinctUnionMatchesClassificationPath) {
+  const SetPair pair = MakeJaccardSetPair(3000, 0.4);
+  SketchStoreOptions options;
+  options.num_shards = 8;
+  options.default_tau = 1.0 / 0.25;  // p = 0.25 membership sampling
+  options.salt = 31337;
+  SketchStore store(options);
+  for (uint64_t key : pair.n1) store.Update(0, key, 1.0);
+  for (uint64_t key : pair.n2) store.Update(1, key, 1.0);
+  const auto snapshot = store.Snapshot();
+
+  QueryService service(snapshot, {/*num_threads=*/2});
+  const auto est = service.DistinctUnion({0, 1});
+  ASSERT_TRUE(est.ok());
+
+  const auto b1 = BinaryInstanceFromStore(*snapshot, 0);
+  const auto b2 = BinaryInstanceFromStore(*snapshot, 1);
+  const auto c = ClassifyDistinct(b1, b2);
+  const double ht = DistinctHtEstimate(c, b1.p, b2.p);
+  const double l = DistinctLEstimate(c, b1.p, b2.p);
+  EXPECT_NEAR(est->ht, ht, 1e-9 * std::fabs(ht) + 1e-9);
+  EXPECT_NEAR(est->l, l, 1e-9 * std::fabs(l) + 1e-9);
+}
+
+TEST(QueryServiceTest, DistinctUnionMultiInstanceMatchesMultiPath) {
+  Rng rng(41);
+  SketchStoreOptions options;
+  options.num_shards = 4;
+  options.default_tau = 1.0 / 0.2;
+  options.salt = 2024;
+  SketchStore store(options);
+  std::vector<std::vector<uint64_t>> sets(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int u = 0; u < 2000; ++u) {
+      const uint64_t key = static_cast<uint64_t>(1 + rng.UniformInt(4000));
+      sets[static_cast<size_t>(i)].push_back(key);
+    }
+    std::sort(sets[static_cast<size_t>(i)].begin(),
+              sets[static_cast<size_t>(i)].end());
+    sets[static_cast<size_t>(i)].erase(
+        std::unique(sets[static_cast<size_t>(i)].begin(),
+                    sets[static_cast<size_t>(i)].end()),
+        sets[static_cast<size_t>(i)].end());
+    for (uint64_t key : sets[static_cast<size_t>(i)]) {
+      store.Update(i, key, 1.0);
+    }
+  }
+  const auto snapshot = store.Snapshot();
+  const auto est =
+      QueryService(snapshot, {/*num_threads=*/1}).DistinctUnion({0, 1, 2});
+  ASSERT_TRUE(est.ok());
+
+  std::vector<BinaryInstanceSketch> sketches;
+  for (int i = 0; i < 3; ++i) {
+    sketches.push_back(BinaryInstanceFromStore(*snapshot, i));
+  }
+  const auto multi = EstimateDistinctMulti(sketches);
+  EXPECT_NEAR(est->ht, multi.ht, 1e-9 * std::fabs(multi.ht) + 1e-9);
+  EXPECT_NEAR(est->l, multi.l, 1e-9 * std::fabs(multi.l) + 1e-9);
+}
+
+TEST(QueryServiceTest, DistinctUnionRejectsWeightedIngestion) {
+  SketchStoreOptions options;
+  options.num_shards = 2;
+  options.default_tau = 5.0;
+  SketchStore store(options);
+  store.Update(0, 1, 50.0);  // heavy: sampled with certainty
+  store.Update(1, 2, 50.0);
+  const auto est = QueryService(store.Snapshot()).DistinctUnion({0, 1});
+  EXPECT_FALSE(est.ok());
+}
+
+TEST(QueryServiceTest, SubsetSumMatchesMaterializedSketch) {
+  const auto fixture = MakeTwoInstanceStore();
+  const auto snapshot = fixture.store->Snapshot();
+  QueryService service(snapshot);
+  const auto s1 = MaterializeInstance(*snapshot, 0);
+  auto pred = [](uint64_t key) { return key % 5 != 0; };
+  EXPECT_NEAR(service.SubsetSumHt(0, pred), s1.SubsetSumEstimate(pred),
+              1e-9 * std::fabs(s1.SubsetSumEstimate(pred)));
+}
+
+}  // namespace
+}  // namespace pie
