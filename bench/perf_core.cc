@@ -103,9 +103,10 @@ BENCHMARK(BM_MaxLWeightedVarianceQuadrature);
 // the setup cost lands:
 //  * PerKeyConstruct rebuilds the estimator for every key -- the pattern
 //    the free-function aggregate code used (e.g. bottom-k dominance);
-//  * EnginePerCall pays one memoized engine lookup (mutex + map) per key;
-//  * EngineBatch resolves the kernel once per batch and streams the
-//    outcomes through EstimateBatch with a reused result buffer.
+//  * EnginePerCall pays one memoized engine lookup (mutex + map) plus a
+//    virtual Estimate per key;
+//  * EngineBatch resolves the kernel once per batch and drives one
+//    EstimateMany pass over the columnar slabs.
 // The acceptance bar: the batch path is at least as fast per estimate as
 // either per-call loop.
 // ---------------------------------------------------------------------------
@@ -121,25 +122,34 @@ KernelSpec EngineMaxSpec() {
   return spec;
 }
 
-OutcomeBatch MakeEngineBatch(const SamplingParams& params) {
+std::vector<Outcome> MakeEngineOutcomes(const SamplingParams& params) {
   Rng rng(11);
   std::vector<double> values(kEngineBatchR);
   for (double& v : values) v = rng.UniformDouble(0, 10);
-  OutcomeBatch batch;
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(kEngineBatchSize);
   for (int i = 0; i < kEngineBatchSize; ++i) {
-    batch.AddOblivious() = SampleOblivious(values, params.per_entry, rng);
+    outcomes.push_back(Outcome::FromOblivious(
+        SampleOblivious(values, params.per_entry, rng)));
   }
+  return outcomes;
+}
+
+OutcomeBatch MakeEngineBatch(const std::vector<Outcome>& outcomes, int r) {
+  OutcomeBatch batch;
+  batch.Reset(Scheme::kOblivious, r);
+  for (const Outcome& outcome : outcomes) batch.Append(outcome.oblivious);
   return batch;
 }
 
 void BM_MaxLUniformPerKeyConstruct(benchmark::State& state) {
   const SamplingParams params(std::vector<double>(kEngineBatchR, 0.2));
-  const OutcomeBatch batch = MakeEngineBatch(params);
+  const std::vector<Outcome> outcomes = MakeEngineOutcomes(params);
   for (auto _ : state) {
     double sum = 0.0;
-    for (int i = 0; i < batch.size(); ++i) {
+    for (const Outcome& outcome : outcomes) {
       const MaxLUniform est(kEngineBatchR, 0.2);  // O(r^2) setup per key
-      sum += est.Estimate(batch[i].oblivious);
+      sum += est.Estimate(outcome.oblivious);
     }
     benchmark::DoNotOptimize(sum);
   }
@@ -149,13 +159,13 @@ BENCHMARK(BM_MaxLUniformPerKeyConstruct);
 
 void BM_MaxLUniformEnginePerCall(benchmark::State& state) {
   const SamplingParams params(std::vector<double>(kEngineBatchR, 0.2));
-  const OutcomeBatch batch = MakeEngineBatch(params);
+  const std::vector<Outcome> outcomes = MakeEngineOutcomes(params);
   auto& engine = EstimationEngine::Global();
   const KernelSpec spec = EngineMaxSpec();
   for (auto _ : state) {
     double sum = 0.0;
-    for (int i = 0; i < batch.size(); ++i) {
-      sum += (*engine.Kernel(spec, params))->Estimate(batch[i]);
+    for (const Outcome& outcome : outcomes) {
+      sum += (*engine.Kernel(spec, params))->Estimate(outcome);
     }
     benchmark::DoNotOptimize(sum);
   }
@@ -165,7 +175,8 @@ BENCHMARK(BM_MaxLUniformEnginePerCall);
 
 void BM_MaxLUniformEngineBatch(benchmark::State& state) {
   const SamplingParams params(std::vector<double>(kEngineBatchR, 0.2));
-  const OutcomeBatch batch = MakeEngineBatch(params);
+  const OutcomeBatch batch =
+      MakeEngineBatch(MakeEngineOutcomes(params), kEngineBatchR);
   auto& engine = EstimationEngine::Global();
   const KernelSpec spec = EngineMaxSpec();
   std::vector<double> estimates;  // reused across iterations
@@ -177,6 +188,88 @@ void BM_MaxLUniformEngineBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kEngineBatchSize);
 }
 BENCHMARK(BM_MaxLUniformEngineBatch);
+
+// ---------------------------------------------------------------------------
+// Scalar vs batched r = 2 oblivious max/OR sum scan -- the columnar
+// refactor's acceptance comparison. Same memoized kernels (max^(L) and
+// OR^(L), r = 2), same outcomes; Scalar drives one virtual Estimate per
+// key over scalar Outcome structs (the pre-columnar hot path), Batched
+// drives one EstimateMany per kernel over the columnar slabs. CI's
+// bench-smoke job extracts both keys/s rates and their ratio into
+// BENCH_core.json (scalar_keys_per_s / batched_keys_per_s / speedup).
+// ---------------------------------------------------------------------------
+
+constexpr int kScanSize = 8192;
+
+struct ScanFixture {
+  KernelHandle max_l;
+  KernelHandle or_l;
+  std::vector<Outcome> max_outcomes;
+  std::vector<Outcome> or_outcomes;
+  OutcomeBatch max_batch;
+  OutcomeBatch or_batch;
+};
+
+const ScanFixture& GetScanFixture() {
+  static const ScanFixture* fixture = [] {
+    auto* f = new ScanFixture();
+    auto& engine = EstimationEngine::Global();
+    const SamplingParams params({0.5, 0.3});
+    f->max_l = engine
+                   .Kernel({Function::kMax, Scheme::kOblivious,
+                            Regime::kKnownSeeds, Family::kL},
+                           params)
+                   .value();
+    f->or_l = engine
+                  .Kernel({Function::kOr, Scheme::kOblivious,
+                           Regime::kKnownSeeds, Family::kL},
+                          params)
+                  .value();
+    Rng rng(17);
+    f->max_batch.Reset(Scheme::kOblivious, 2);
+    f->or_batch.Reset(Scheme::kOblivious, 2);
+    for (int i = 0; i < kScanSize; ++i) {
+      f->max_outcomes.push_back(Outcome::FromOblivious(SampleOblivious(
+          {rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)},
+          params.per_entry, rng)));
+      f->max_batch.Append(f->max_outcomes.back().oblivious);
+      f->or_outcomes.push_back(Outcome::FromOblivious(SampleOblivious(
+          {rng.UniformDouble() < 0.5 ? 1.0 : 0.0,
+           rng.UniformDouble() < 0.5 ? 1.0 : 0.0},
+          params.per_entry, rng)));
+      f->or_batch.Append(f->or_outcomes.back().oblivious);
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_CoreScanR2Scalar(benchmark::State& state) {
+  const ScanFixture& f = GetScanFixture();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const Outcome& outcome : f.max_outcomes) {
+      sum += f.max_l->Estimate(outcome);
+    }
+    for (const Outcome& outcome : f.or_outcomes) {
+      sum += f.or_l->Estimate(outcome);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kScanSize);
+}
+BENCHMARK(BM_CoreScanR2Scalar);
+
+void BM_CoreScanR2Batched(benchmark::State& state) {
+  const ScanFixture& f = GetScanFixture();
+  for (auto _ : state) {
+    const double sum = EstimateSum(*f.max_l, f.max_batch) +
+                       EstimateSum(*f.or_l, f.or_batch);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kScanSize);
+}
+BENCHMARK(BM_CoreScanR2Batched);
 
 void BM_DeriverCompileBinaryR3(benchmark::State& state) {
   for (auto _ : state) {

@@ -71,17 +71,18 @@ void BM_VarOptStream(benchmark::State& state) {
 BENCHMARK(BM_VarOptStream)->Arg(10000)->Arg(100000);
 
 // Outcome-batch assembly from two PPS sketches: the scan that feeds the
-// estimation engine. OutcomeBatch recycles slot capacity across Clear(), so
-// steady-state assembly is allocation-free.
+// estimation engine. OutcomeBatch keeps its columnar slabs across Clear(),
+// so steady-state assembly is allocation-free.
 void BM_PairOutcomeBatchAssembly(benchmark::State& state) {
   const auto items = MakeItems(static_cast<int>(state.range(0)));
   const auto s1 = PpsInstanceSketch::Build(items, 0.05, 1);
   const auto s2 = PpsInstanceSketch::Build(items, 0.05, 2);
   OutcomeBatch batch;
+  batch.Reset(Scheme::kPps, 2);
   for (auto _ : state) {
     batch.Clear();
     for (const auto& e : s1.entries()) {
-      MakePairOutcomeInto(s1, s2, e.key, &batch.AddPps());
+      AppendPairOutcome(s1, s2, e.key, &batch);
     }
     benchmark::DoNotOptimize(batch.size());
   }

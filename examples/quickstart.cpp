@@ -52,12 +52,14 @@ int main() {
   std::printf("  L  estimate of the peak: %.3f\n", max_l->Estimate(outcome));
 
   // Repeat many times, estimating the whole batch with each kernel: both
-  // are unbiased, L has much lower variance.
+  // are unbiased, L has much lower variance. The batch stores outcomes
+  // columnar, so each kernel's EstimateMany streams flat slabs.
   pie::OutcomeBatch batch;
+  batch.Reset(pie::Scheme::kOblivious, /*r=*/2);
   for (int trial = 0; trial < 200000; ++trial) {
-    batch.AddOblivious() =
+    batch.Append(
         pie::SampleOutcome(pie::Scheme::kOblivious, params, truth, rng)
-            .oblivious;
+            .oblivious);
   }
   std::vector<double> estimates;
   pie::RunningStat ht_stat, l_stat;

@@ -1,98 +1,47 @@
 #include "aggregate/distinct_multi.h"
 
-#include <cmath>
-#include <unordered_map>
-
-#include "engine/engine.h"
-#include "util/check.h"
-
 namespace pie {
-namespace {
+namespace distinct_multi_internal {
 
-KernelSpec OrObliviousSpec(Family family) {
-  return {Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, family};
+void AppendRepresentativeRow(int r, double p, int ones, int zeros,
+                             OutcomeBatch* batch) {
+  PIE_CHECK(batch != nullptr);
+  PIE_CHECK(ones + zeros <= r);
+  const int row = batch->AppendRow();
+  double* p_row = batch->param_row(row);
+  uint8_t* sampled = batch->sampled_row(row);
+  double* value = batch->value_row(row);
+  for (int i = 0; i < r; ++i) {
+    p_row[i] = p;
+    sampled[i] = i < ones + zeros ? 1 : 0;
+    value[i] = i < ones ? 1.0 : 0.0;
+  }
 }
 
-// Representative binary outcome with one sampled 1, `zeros` sampled 0s
-// (seed-certified absences), and the rest unsampled. By symmetry the OR^(L)
-// estimate of any outcome with at least one sampled 1 depends only on the
-// number of sampled 0s (the prefix sum A_{r-z}), so one evaluation per z
-// covers every key in that class.
-ObliviousOutcome RepresentativeOutcome(int r, double p, int ones, int zeros) {
-  ObliviousOutcome o;
-  o.p.assign(static_cast<size_t>(r), p);
-  o.sampled.assign(static_cast<size_t>(r), 0);
-  o.value.assign(static_cast<size_t>(r), 0.0);
-  for (int i = 0; i < ones; ++i) {
-    o.sampled[static_cast<size_t>(i)] = 1;
-    o.value[static_cast<size_t>(i)] = 1.0;
-  }
-  for (int i = ones; i < ones + zeros; ++i) {
-    o.sampled[static_cast<size_t>(i)] = 1;
-  }
-  return o;
-}
+}  // namespace distinct_multi_internal
 
-}  // namespace
+DistinctMultiEstimates EstimateDistinctMulti(
+    const std::vector<BinaryInstanceSketch>& sketches) {
+  return EstimateDistinctMulti(sketches,
+                               aggregate_internal::AcceptAllKeys{});
+}
 
 DistinctMultiEstimates EstimateDistinctMulti(
     const std::vector<BinaryInstanceSketch>& sketches,
     const std::function<bool(uint64_t)>& pred) {
-  const int r = static_cast<int>(sketches.size());
-  PIE_CHECK(r >= 2);
-  const double p = sketches[0].p;
-  for (const auto& s : sketches) {
-    PIE_CHECK(std::fabs(s.p - p) < 1e-12 &&
-              "multi-instance distinct count requires uniform p");
+  if (!pred) {
+    return EstimateDistinctMulti(sketches,
+                                 aggregate_internal::AcceptAllKeys{});
   }
-  auto& engine = EstimationEngine::Global();
-  const SamplingParams params(std::vector<double>(static_cast<size_t>(r), p));
-  auto or_l = engine.Kernel(OrObliviousSpec(Family::kL), params);
-  auto or_ht = engine.Kernel(OrObliviousSpec(Family::kHt), params);
-  PIE_CHECK_OK(or_l.status());
-  PIE_CHECK_OK(or_ht.status());
-
-  // Per-class weights, one kernel evaluation per sampled-zero count; the
-  // engine's memoized kernel amortizes the Theorem 4.2 prefix-sum table.
-  std::vector<double> l_weight(static_cast<size_t>(r));
-  for (int z = 0; z < r; ++z) {
-    l_weight[static_cast<size_t>(z)] = (*or_l)->Estimate(
-        Outcome::FromOblivious(RepresentativeOutcome(r, p, 1, z)));
-  }
-  const double ht_weight = (*or_ht)->Estimate(
-      Outcome::FromOblivious(RepresentativeOutcome(r, p, 1, r - 1)));
-
-  // Membership map: key -> bitmask of sketches containing it.
-  std::unordered_map<uint64_t, uint32_t> members;
-  for (int i = 0; i < r; ++i) {
-    for (uint64_t key : sketches[i].keys) {
-      if (pred && !pred(key)) continue;
-      members[key] |= (1u << i);
-    }
-  }
-
-  DistinctMultiEstimates out;
-  for (const auto& [key, mask] : members) {
-    int ones = 0;
-    int zeros = 0;
-    for (int i = 0; i < r; ++i) {
-      if ((mask >> i) & 1u) {
-        ++ones;
-      } else if (sketches[static_cast<size_t>(i)].seed_fn()(key) < p) {
-        ++zeros;  // certified absent from instance i
-      }
-    }
-    out.l += l_weight[static_cast<size_t>(zeros)];
-    if (ones + zeros == r) out.ht += ht_weight;
-  }
-  return out;
+  return EstimateDistinctMulti(
+      sketches, [&pred](uint64_t key) { return pred(key); });
 }
 
 double DistinctMultiLVariance(const std::vector<int64_t>& counts, int r,
                               double p) {
   PIE_CHECK(static_cast<int>(counts.size()) == r);
   auto or_l = EstimationEngine::Global().Kernel(
-      OrObliviousSpec(Family::kL),
+      {Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds, Family::kL},
       SamplingParams(std::vector<double>(static_cast<size_t>(r), p)));
   PIE_CHECK_OK(or_l.status());
   std::vector<double> values(static_cast<size_t>(r), 0.0);

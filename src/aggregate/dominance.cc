@@ -2,89 +2,38 @@
 
 #include <cmath>
 #include <map>
-#include <unordered_set>
 
-#include "engine/engine.h"
 #include "store/query_service.h"
 #include "util/check.h"
 
 namespace pie {
-namespace {
 
-KernelSpec MaxPpsSpec(Family family) {
-  return {Function::kMax, Scheme::kPps, Regime::kKnownSeeds, family};
+using aggregate_internal::AcceptAllKeys;
+
+MaxDominanceEstimates EstimateMaxDominance(const PpsInstanceSketch& s1,
+                                           const PpsInstanceSketch& s2) {
+  return EstimateMaxDominance(s1, s2, AcceptAllKeys{});
 }
-
-// Iterates over the union of sampled keys, calling fn once per key.
-void ForEachSampledKey(const PpsInstanceSketch& s1,
-                       const PpsInstanceSketch& s2,
-                       const std::function<bool(uint64_t)>& pred,
-                       const std::function<void(uint64_t)>& fn) {
-  std::unordered_set<uint64_t> seen;
-  for (const auto& e : s1.entries()) {
-    if (pred && !pred(e.key)) continue;
-    seen.insert(e.key);
-    fn(e.key);
-  }
-  for (const auto& e : s2.entries()) {
-    if (pred && !pred(e.key)) continue;
-    if (!seen.count(e.key)) fn(e.key);
-  }
-}
-
-}  // namespace
 
 MaxDominanceEstimates EstimateMaxDominance(
     const PpsInstanceSketch& s1, const PpsInstanceSketch& s2,
     const std::function<bool(uint64_t)>& pred) {
-  auto& engine = EstimationEngine::Global();
-  const SamplingParams params({s1.tau(), s2.tau()});
-  auto ht = engine.Kernel(MaxPpsSpec(Family::kHt), params);
-  auto l = engine.Kernel(MaxPpsSpec(Family::kL), params);
-  PIE_CHECK_OK(ht.status());
-  PIE_CHECK_OK(l.status());
+  if (!pred) return EstimateMaxDominance(s1, s2, AcceptAllKeys{});
+  return EstimateMaxDominance(
+      s1, s2, [&pred](uint64_t key) { return pred(key); });
+}
 
-  // Stream the union of sampled keys: each outcome is assembled once into a
-  // reused scratch slot and fed to both memoized kernels -- O(1) memory,
-  // no per-key estimator setup.
-  MaxDominanceEstimates out;
-  Outcome scratch;
-  scratch.scheme = Scheme::kPps;
-  ForEachSampledKey(s1, s2, pred, [&](uint64_t key) {
-    MakePairOutcomeInto(s1, s2, key, &scratch.pps);
-    out.ht += (*ht)->Estimate(scratch);
-    out.l += (*l)->Estimate(scratch);
-  });
-  return out;
+double EstimateMinDominanceHt(const PpsInstanceSketch& s1,
+                              const PpsInstanceSketch& s2) {
+  return EstimateMinDominanceHt(s1, s2, AcceptAllKeys{});
 }
 
 double EstimateMinDominanceHt(const PpsInstanceSketch& s1,
                               const PpsInstanceSketch& s2,
                               const std::function<bool(uint64_t)>& pred) {
-  auto& engine = EstimationEngine::Global();
-  auto min_ht = engine.Kernel(
-      {Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt},
-      SamplingParams({s1.tau(), s2.tau()}));
-  PIE_CHECK_OK(min_ht.status());
-
-  // min^(HT) needs only the sampled values; the outcome is filled straight
-  // from the scan (no seed hashing -- the unknown-seeds kernel never reads
-  // seeds, but the outcome still carries a seed slot for interface parity).
-  Outcome scratch;
-  scratch.scheme = Scheme::kPps;
-  PpsOutcome& o = scratch.pps;
-  o.tau.assign({s1.tau(), s2.tau()});
-  o.seed.assign(2, 0.0);
-  o.sampled.assign(2, 1);
-  double total = 0.0;
-  for (const auto& e : s1.entries()) {
-    if (pred && !pred(e.key)) continue;
-    double v2 = 0.0;
-    if (!s2.Lookup(e.key, &v2)) continue;  // min needs both entries
-    o.value.assign({e.weight, v2});
-    total += (*min_ht)->Estimate(scratch);
-  }
-  return total;
+  if (!pred) return EstimateMinDominanceHt(s1, s2, AcceptAllKeys{});
+  return EstimateMinDominanceHt(
+      s1, s2, [&pred](uint64_t key) { return pred(key); });
 }
 
 double EstimateL1Distance(const PpsInstanceSketch& s1,
@@ -127,8 +76,12 @@ MaxDominanceVariance AnalyticMaxDominanceVariance(
   PIE_CHECK(data.num_instances() == 2);
   auto& engine = EstimationEngine::Global();
   const SamplingParams params({tau1, tau2}, quad_tol);
-  auto ht = engine.Kernel(MaxPpsSpec(Family::kHt), params);
-  auto l = engine.Kernel(MaxPpsSpec(Family::kL), params);
+  const KernelSpec ht_spec{Function::kMax, Scheme::kPps,
+                           Regime::kKnownSeeds, Family::kHt};
+  const KernelSpec l_spec{Function::kMax, Scheme::kPps, Regime::kKnownSeeds,
+                          Family::kL};
+  auto ht = engine.Kernel(ht_spec, params);
+  auto l = engine.Kernel(l_spec, params);
   PIE_CHECK_OK(ht.status());
   PIE_CHECK_OK(l.status());
   // Integer-valued workloads (flow counts) repeat value pairs heavily, and

@@ -1,11 +1,6 @@
 #include "aggregate/priority_dominance.h"
 
 #include <cmath>
-#include <unordered_map>
-
-#include "engine/engine.h"
-#include "util/check.h"
-#include "util/hashing.h"
 
 namespace pie {
 namespace {
@@ -47,76 +42,21 @@ PrioritySketch FromStreamingBottomk(const StreamingBottomkSketch& stream) {
   return out;
 }
 
+MaxDominanceEstimates EstimateMaxDominancePriority(const PrioritySketch& s1,
+                                                   const PrioritySketch& s2) {
+  return EstimateMaxDominancePriority(s1, s2,
+                                      aggregate_internal::AcceptAllKeys{});
+}
+
 MaxDominanceEstimates EstimateMaxDominancePriority(
     const PrioritySketch& s1, const PrioritySketch& s2,
     const std::function<bool(uint64_t)>& pred) {
-  const SeedFunction seed1(s1.salt);
-  const SeedFunction seed2(s2.salt);
-
-  std::unordered_map<uint64_t, double> in1, in2;
-  for (const auto& e : s1.sketch.entries) in1.emplace(e.key, e.weight);
-  for (const auto& e : s2.sketch.entries) in2.emplace(e.key, e.weight);
-
-  // Rank conditioning gives each key one of four (tau1, tau2) combinations
-  // (inclusion vs exclusion threshold per sketch). Resolve the four kernel
-  // pairs up front -- one engine lookup each, memoized across calls -- so
-  // the per-key work is pure estimation; the old code rebuilt both weighted
-  // estimators for every key.
-  auto& engine = EstimationEngine::Global();
-  const KernelSpec ht_spec{Function::kMax, Scheme::kPps, Regime::kKnownSeeds,
-                           Family::kHt};
-  const KernelSpec l_spec{Function::kMax, Scheme::kPps, Regime::kKnownSeeds,
-                          Family::kL};
-  const double tau1_of[2] = {s1.ExclusionTau(), s1.InclusionTau()};
-  const double tau2_of[2] = {s2.ExclusionTau(), s2.InclusionTau()};
-  struct KernelPair {
-    KernelHandle ht, l;
-  };
-  KernelPair kernels[2][2];
-  for (int a = 0; a < 2; ++a) {
-    for (int b = 0; b < 2; ++b) {
-      if (a == 0 && b == 0) continue;  // absent-from-both keys never scanned
-      const SamplingParams params({tau1_of[a], tau2_of[b]});
-      auto ht = engine.Kernel(ht_spec, params);
-      auto l = engine.Kernel(l_spec, params);
-      PIE_CHECK_OK(ht.status());
-      PIE_CHECK_OK(l.status());
-      kernels[a][b] = {*ht, *l};
-    }
+  if (!pred) {
+    return EstimateMaxDominancePriority(s1, s2,
+                                        aggregate_internal::AcceptAllKeys{});
   }
-
-  MaxDominanceEstimates out;
-  Outcome scratch;  // reused across keys
-  scratch.scheme = Scheme::kPps;
-  PpsOutcome& o = scratch.pps;
-  auto process = [&](uint64_t key) {
-    if (pred && !pred(key)) return;
-    o.sampled.assign(2, 0);
-    o.value.assign(2, 0.0);
-    o.seed.assign({seed1(key), seed2(key)});
-    auto it1 = in1.find(key);
-    auto it2 = in2.find(key);
-    const int present1 = it1 != in1.end() ? 1 : 0;
-    const int present2 = it2 != in2.end() ? 1 : 0;
-    o.tau.assign({tau1_of[present1], tau2_of[present2]});
-    if (present1) {
-      o.sampled[0] = 1;
-      o.value[0] = it1->second;
-    }
-    if (present2) {
-      o.sampled[1] = 1;
-      o.value[1] = it2->second;
-    }
-    const KernelPair& pair = kernels[present1][present2];
-    out.ht += pair.ht->Estimate(scratch);
-    out.l += pair.l->Estimate(scratch);
-  };
-
-  for (const auto& [key, weight] : in1) process(key);
-  for (const auto& [key, weight] : in2) {
-    if (!in1.count(key)) process(key);
-  }
-  return out;
+  return EstimateMaxDominancePriority(
+      s1, s2, [&pred](uint64_t key) { return pred(key); });
 }
 
 }  // namespace pie

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "engine/engine.h"
 #include "store/sketch_store.h"
 #include "util/check.h"
 
@@ -108,6 +109,32 @@ void MakePairOutcomeInto(const PpsInstanceSketch& s1,
   if (s2.Lookup(key, &v)) {
     out->sampled[1] = 1;
     out->value[1] = v;
+  }
+}
+
+void AppendPairOutcome(const PpsInstanceSketch& s1,
+                       const PpsInstanceSketch& s2, uint64_t key,
+                       OutcomeBatch* batch) {
+  PIE_CHECK(batch != nullptr);
+  const int i = batch->AppendRow();
+  double* tau = batch->param_row(i);
+  double* seed = batch->seed_row(i);
+  uint8_t* sampled = batch->sampled_row(i);
+  double* value = batch->value_row(i);
+  tau[0] = s1.tau();
+  tau[1] = s2.tau();
+  seed[0] = s1.seed_fn()(key);
+  seed[1] = s2.seed_fn()(key);
+  sampled[0] = sampled[1] = 0;
+  value[0] = value[1] = 0.0;
+  double v = 0.0;
+  if (s1.Lookup(key, &v)) {
+    sampled[0] = 1;
+    value[0] = v;
+  }
+  if (s2.Lookup(key, &v)) {
+    sampled[1] = 1;
+    value[1] = v;
   }
 }
 

@@ -21,6 +21,7 @@
 
 namespace pie {
 
+class OutcomeBatch;
 class StoreSnapshot;
 
 /// Poisson PPS sketch of one instance: key h is included iff
@@ -90,11 +91,18 @@ Result<double> FindPpsTauForExpectedSize(const std::vector<WeightedItem>& items,
 PpsOutcome MakePairOutcome(const PpsInstanceSketch& s1,
                            const PpsInstanceSketch& s2, uint64_t key);
 
-/// In-place variant for batched scans: overwrites `out` reusing its inner
-/// vectors' capacity, so assembling outcomes into engine OutcomeBatch slots
-/// allocates nothing in steady state.
+/// In-place variant for scalar call sites: overwrites `out` reusing its
+/// inner vectors' capacity.
 void MakePairOutcomeInto(const PpsInstanceSketch& s1,
                          const PpsInstanceSketch& s2, uint64_t key,
                          PpsOutcome* out);
+
+/// Columnar variant for batched scans: appends one key's two-instance
+/// outcome as a row of `batch` (whose layout must be
+/// Reset(Scheme::kPps, 2)). Steady-state assembly into a Clear()ed batch
+/// allocates nothing.
+void AppendPairOutcome(const PpsInstanceSketch& s1,
+                       const PpsInstanceSketch& s2, uint64_t key,
+                       OutcomeBatch* batch);
 
 }  // namespace pie

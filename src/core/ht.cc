@@ -17,6 +17,20 @@ double ObliviousHtEstimate(const ObliviousOutcome& outcome,
   return f(outcome.value) / prob;
 }
 
+double ObliviousHtEstimateRow(const double* p, const uint8_t* sampled,
+                              const double* value, int r,
+                              const VectorFunction& f,
+                              std::vector<double>* scratch) {
+  for (int i = 0; i < r; ++i) {
+    if (!sampled[i]) return 0.0;
+  }
+  double prob = 1.0;
+  for (int i = 0; i < r; ++i) prob *= p[i];
+  PIE_DCHECK(prob > 0);
+  scratch->assign(value, value + r);
+  return f(*scratch) / prob;
+}
+
 double ObliviousHtVariance(const std::vector<double>& values,
                            const std::vector<double>& p,
                            const VectorFunction& f) {
@@ -33,12 +47,23 @@ MaxHtWeighted::MaxHtWeighted(std::vector<double> tau) : tau_(std::move(tau)) {
 
 double MaxHtWeighted::Estimate(const PpsOutcome& outcome) const {
   PIE_CHECK(outcome.r() == static_cast<int>(tau_.size()));
-  const double max_sampled = outcome.MaxSampledValue();
+  return EstimateRow(outcome.tau.data(), outcome.seed.data(),
+                     outcome.sampled.data(), outcome.value.data());
+}
+
+double MaxHtWeighted::EstimateRow(const double* tau, const double* seed,
+                                  const uint8_t* sampled,
+                                  const double* value) const {
+  const int r = static_cast<int>(tau_.size());
+  double max_sampled = 0.0;
+  for (int i = 0; i < r; ++i) {
+    if (sampled[i]) max_sampled = std::max(max_sampled, value[i]);
+  }
   if (max_sampled <= 0) return 0.0;
   // The outcome identifies max(v) iff every unsampled entry is upper-bounded
-  // by the largest sampled value.
-  for (int i = 0; i < outcome.r(); ++i) {
-    if (!outcome.sampled[i] && outcome.UpperBound(i) > max_sampled) {
+  // by the largest sampled value (seed bound u_i * tau_i).
+  for (int i = 0; i < r; ++i) {
+    if (!sampled[i] && seed[i] * tau[i] > max_sampled) {
       return 0.0;
     }
   }

@@ -24,6 +24,14 @@ using VectorFunction = std::function<double(const std::vector<double>&)>;
 double ObliviousHtEstimate(const ObliviousOutcome& outcome,
                            const VectorFunction& f);
 
+/// Row variant over length-r arrays: f is applied to `scratch`, refilled
+/// from the row (batched loops keep one buffer across keys). Produces the
+/// same arithmetic as the scalar form above.
+double ObliviousHtEstimateRow(const double* p, const uint8_t* sampled,
+                              const double* value, int r,
+                              const VectorFunction& f,
+                              std::vector<double>* scratch);
+
 /// Closed-form variance f(v)^2 (1/prod(p) - 1) of the all-sampled HT
 /// estimator (equation (10) in the paper).
 double ObliviousHtVariance(const std::vector<double>& values,
@@ -42,6 +50,12 @@ class MaxHtWeighted {
 
   /// Estimate from an outcome (requires known seeds).
   double Estimate(const PpsOutcome& outcome) const;
+
+  /// Row variant over length-r arrays (tau is the row's threshold slab;
+  /// the inclusion probability uses the construction-time thresholds, as
+  /// in the scalar path). Shared by the scalar and batched paths.
+  double EstimateRow(const double* tau, const double* seed,
+                     const uint8_t* sampled, const double* value) const;
 
   /// Exact variance on a data vector: max^2 (1/p - 1) with
   /// p = prod_i min(1, max/tau_i); 0 for the all-zero vector.

@@ -39,15 +39,7 @@ MaxLTwo::MaxLTwo(double p1, double p2) : p1_(p1), p2_(p2) {
 
 double MaxLTwo::Estimate(const ObliviousOutcome& outcome) const {
   CheckTwoEntryOutcome(outcome);
-  const bool s1 = outcome.sampled[0];
-  const bool s2 = outcome.sampled[1];
-  if (!s1 && !s2) return 0.0;
-  if (s1 && !s2) return outcome.value[0] / q_;
-  if (!s1 && s2) return outcome.value[1] / q_;
-  const double v1 = outcome.value[0];
-  const double v2 = outcome.value[1];
-  return std::max(v1, v2) / (p1_ * p2_) -
-         ((1.0 / p2_ - 1.0) * v1 + (1.0 / p1_ - 1.0) * v2) / q_;
+  return EstimateRow(outcome.sampled.data(), outcome.value.data());
 }
 
 double MaxLTwo::Variance(double v1, double v2) const {
@@ -117,16 +109,16 @@ double MaxLUniform::EstimateFromSortedDeterminingVector(
   return est;
 }
 
-double MaxLUniform::Estimate(const ObliviousOutcome& outcome) const {
-  PIE_CHECK(outcome.r() == r_);
+double MaxLUniform::EstimateRow(const uint8_t* sampled, const double* value,
+                                std::vector<double>* scratch) const {
   // Algorithm 3 EST: sort sampled values in nonincreasing order; the
   // determining vector replaces every unsampled entry with the largest
   // sampled value, so its sorted form is that value repeated, followed by
   // the remaining sampled values.
-  std::vector<double> z;
-  z.reserve(static_cast<size_t>(r_));
+  std::vector<double>& z = *scratch;
+  z.clear();
   for (int i = 0; i < r_; ++i) {
-    if (outcome.sampled[i]) z.push_back(outcome.value[i]);
+    if (sampled[i]) z.push_back(value[i]);
   }
   if (z.empty()) return 0.0;
   std::sort(z.begin(), z.end(), std::greater<double>());
@@ -140,6 +132,13 @@ double MaxLUniform::Estimate(const ObliviousOutcome& outcome) const {
     est += alpha_[static_cast<size_t>(missing) + j] * z[j];
   }
   return est;
+}
+
+double MaxLUniform::Estimate(const ObliviousOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == r_);
+  std::vector<double> z;
+  z.reserve(static_cast<size_t>(r_));
+  return EstimateRow(outcome.sampled.data(), outcome.value.data(), &z);
 }
 
 double MaxLUniform::Variance(const std::vector<double>& values) const {
@@ -160,16 +159,7 @@ MaxUTwo::MaxUTwo(double p1, double p2) : p1_(p1), p2_(p2) {
 
 double MaxUTwo::Estimate(const ObliviousOutcome& outcome) const {
   CheckTwoEntryOutcome(outcome);
-  const bool s1 = outcome.sampled[0];
-  const bool s2 = outcome.sampled[1];
-  if (!s1 && !s2) return 0.0;
-  if (s1 && !s2) return outcome.value[0] / (p1_ * c_);
-  if (!s1 && s2) return outcome.value[1] / (p2_ * c_);
-  const double v1 = outcome.value[0];
-  const double v2 = outcome.value[1];
-  return (std::max(v1, v2) -
-          (v1 * (1.0 - p2_) + v2 * (1.0 - p1_)) / c_) /
-         (p1_ * p2_);
+  return EstimateRow(outcome.sampled.data(), outcome.value.data());
 }
 
 double MaxUTwo::Variance(double v1, double v2) const {
@@ -189,16 +179,7 @@ MaxUAsymTwo::MaxUAsymTwo(double p1, double p2) : p1_(p1), p2_(p2) {
 
 double MaxUAsymTwo::Estimate(const ObliviousOutcome& outcome) const {
   CheckTwoEntryOutcome(outcome);
-  const bool s1 = outcome.sampled[0];
-  const bool s2 = outcome.sampled[1];
-  if (!s1 && !s2) return 0.0;
-  if (s1 && !s2) return outcome.value[0] / p1_;
-  if (!s1 && s2) return outcome.value[1] / m_;
-  const double v1 = outcome.value[0];
-  const double v2 = outcome.value[1];
-  return (std::max(v1, v2) - p2_ * (1.0 - p1_) / m_ * v2 -
-          (1.0 - p2_) * v1) /
-         (p1_ * p2_);
+  return EstimateRow(outcome.sampled.data(), outcome.value.data());
 }
 
 double MaxUAsymTwo::Variance(double v1, double v2) const {

@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "sampling/poisson.h"
@@ -34,6 +35,21 @@ class MaxLTwo {
 
   /// Estimate from a two-entry weight-oblivious outcome.
   double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Estimate from one columnar row (length-2 sampled/value arrays). The
+  /// scalar Estimate and the engine's batched EstimateMany both route
+  /// through this, so the two paths are bitwise-identical by construction.
+  double EstimateRow(const uint8_t* sampled, const double* value) const {
+    const bool s1 = sampled[0] != 0;
+    const bool s2 = sampled[1] != 0;
+    if (!s1 && !s2) return 0.0;
+    if (s1 && !s2) return value[0] / q_;
+    if (!s1 && s2) return value[1] / q_;
+    const double v1 = value[0];
+    const double v2 = value[1];
+    return std::max(v1, v2) / (p1_ * p2_) -
+           ((1.0 / p2_ - 1.0) * v1 + (1.0 / p1_ - 1.0) * v2) / q_;
+  }
 
   /// Exact variance on data (v1, v2), by outcome enumeration.
   double Variance(double v1, double v2) const;
@@ -63,6 +79,12 @@ class MaxLUniform {
 
   /// Estimate from an r-entry outcome.
   double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Row variant sharing arithmetic with Estimate; `scratch` holds the
+  /// sorted sampled values (batched loops keep one buffer across keys, so
+  /// the scan allocates nothing in steady state).
+  double EstimateRow(const uint8_t* sampled, const double* value,
+                     std::vector<double>* scratch) const;
 
   /// Estimate given the determining vector sorted in nonincreasing order.
   double EstimateFromSortedDeterminingVector(
@@ -99,6 +121,20 @@ class MaxUTwo {
 
   double Estimate(const ObliviousOutcome& outcome) const;
 
+  /// Row variant; shared by the scalar and batched paths (see MaxLTwo).
+  double EstimateRow(const uint8_t* sampled, const double* value) const {
+    const bool s1 = sampled[0] != 0;
+    const bool s2 = sampled[1] != 0;
+    if (!s1 && !s2) return 0.0;
+    if (s1 && !s2) return value[0] / (p1_ * c_);
+    if (!s1 && s2) return value[1] / (p2_ * c_);
+    const double v1 = value[0];
+    const double v2 = value[1];
+    return (std::max(v1, v2) -
+            (v1 * (1.0 - p2_) + v2 * (1.0 - p1_)) / c_) /
+           (p1_ * p2_);
+  }
+
   /// Exact variance on data (v1, v2).
   double Variance(double v1, double v2) const;
 
@@ -115,6 +151,20 @@ class MaxUAsymTwo {
   MaxUAsymTwo(double p1, double p2);
 
   double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Row variant; shared by the scalar and batched paths (see MaxLTwo).
+  double EstimateRow(const uint8_t* sampled, const double* value) const {
+    const bool s1 = sampled[0] != 0;
+    const bool s2 = sampled[1] != 0;
+    if (!s1 && !s2) return 0.0;
+    if (s1 && !s2) return value[0] / p1_;
+    if (!s1 && s2) return value[1] / m_;
+    const double v1 = value[0];
+    const double v2 = value[1];
+    return (std::max(v1, v2) - p2_ * (1.0 - p1_) / m_ * v2 -
+            (1.0 - p2_) * v1) /
+           (p1_ * p2_);
+  }
 
   /// Exact variance on data (v1, v2).
   double Variance(double v1, double v2) const;

@@ -81,8 +81,29 @@ double MaxLWeightedTwo::EstimateFromDeterminingVector(double v1,
 }
 
 double MaxLWeightedTwo::Estimate(const PpsOutcome& outcome) const {
-  const auto phi = DeterminingVector(outcome);
-  return EstimateFromDeterminingVector(phi[0], phi[1]);
+  PIE_CHECK(outcome.r() == 2);
+  return EstimateRow(outcome.tau.data(), outcome.seed.data(),
+                     outcome.sampled.data(), outcome.value.data());
+}
+
+double MaxLWeightedTwo::EstimateRow(const double* tau, const double* seed,
+                                    const uint8_t* sampled,
+                                    const double* value) const {
+  const bool s1 = sampled[0] != 0;
+  const bool s2 = sampled[1] != 0;
+  double d1 = 0.0;
+  double d2 = 0.0;
+  if (s1 && s2) {
+    d1 = value[0];
+    d2 = value[1];
+  } else if (s1) {
+    d1 = value[0];
+    d2 = std::min(seed[1] * tau[1], d1);
+  } else if (s2) {
+    d2 = value[1];
+    d1 = std::min(seed[0] * tau[0], d2);
+  }
+  return EstimateFromDeterminingVector(d1, d2);
 }
 
 double MaxLWeightedTwo::Moment(double v1, double v2, bool squared) const {
@@ -112,10 +133,10 @@ double MaxLWeightedTwo::Moment(double v1, double v2, bool squared) const {
     const double cap = v1 / tau2_;  // beyond this, the bound clips at v1
     double integral = 0.0;
     if (cap > lo && cap < 1.0) {
-      integral = AdaptiveSimpsonT(f, lo, cap, tol) +
-                 AdaptiveSimpsonT(f, cap, 1.0, tol);
+      integral = AdaptiveSimpson(f, lo, cap, tol) +
+                 AdaptiveSimpson(f, cap, 1.0, tol);
     } else {
-      integral = AdaptiveSimpsonT(f, lo, 1.0, tol);
+      integral = AdaptiveSimpson(f, lo, 1.0, tol);
     }
     total += rho1 * integral;
   }
@@ -129,10 +150,10 @@ double MaxLWeightedTwo::Moment(double v1, double v2, bool squared) const {
     const double cap = v2 / tau1_;
     double integral = 0.0;
     if (cap > lo && cap < 1.0) {
-      integral = AdaptiveSimpsonT(f, lo, cap, tol) +
-                 AdaptiveSimpsonT(f, cap, 1.0, tol);
+      integral = AdaptiveSimpson(f, lo, cap, tol) +
+                 AdaptiveSimpson(f, cap, 1.0, tol);
     } else {
-      integral = AdaptiveSimpsonT(f, lo, 1.0, tol);
+      integral = AdaptiveSimpson(f, lo, 1.0, tol);
     }
     total += rho2 * integral;
   }

@@ -43,6 +43,11 @@ class MaxLWeightedTwo {
   /// Estimate from an outcome (requires known seeds).
   double Estimate(const PpsOutcome& outcome) const;
 
+  /// Row variant over length-2 arrays; shared by the scalar and batched
+  /// paths (determining vector from the row, then the Figure 3 formula).
+  double EstimateRow(const double* tau, const double* seed,
+                     const uint8_t* sampled, const double* value) const;
+
   /// E[estimate | data (v1, v2)] by exact case decomposition + adaptive
   /// quadrature over the unsampled entry's seed. Equals max(v1, v2) up to
   /// quadrature error (unbiasedness; verified in tests).

@@ -13,11 +13,17 @@ MinHtWeighted::MinHtWeighted(std::vector<double> tau) : tau_(std::move(tau)) {
 
 double MinHtWeighted::Estimate(const PpsOutcome& outcome) const {
   PIE_CHECK(outcome.r() == static_cast<int>(tau_.size()));
+  return EstimateRow(outcome.sampled.data(), outcome.value.data());
+}
+
+double MinHtWeighted::EstimateRow(const uint8_t* sampled,
+                                  const double* value) const {
+  const int r = static_cast<int>(tau_.size());
   double mn = 0.0;
   double prob = 1.0;
-  for (int i = 0; i < outcome.r(); ++i) {
-    if (!outcome.sampled[i]) return 0.0;
-    const double v = outcome.value[i];
+  for (int i = 0; i < r; ++i) {
+    if (!sampled[i]) return 0.0;
+    const double v = value[i];
     mn = i == 0 ? v : std::fmin(mn, v);
     prob *= std::fmin(1.0, v / tau_[static_cast<size_t>(i)]);
   }

@@ -25,6 +25,10 @@ class MinHtWeighted {
   /// every entry is present; 0 otherwise.
   double Estimate(const PpsOutcome& outcome) const;
 
+  /// Row variant over length-r arrays; shared by the scalar and batched
+  /// paths (never reads seeds, matching the unknown-seeds regime).
+  double EstimateRow(const uint8_t* sampled, const double* value) const;
+
   /// P[all entries sampled | values] = prod_i min(1, v_i/tau_i).
   double PositiveProb(const std::vector<double>& values) const;
 

@@ -8,12 +8,22 @@
 
 namespace pie {
 
-double OrHtEstimate(const ObliviousOutcome& outcome) {
-  if (!outcome.AllSampled()) return 0.0;
-  if (OrOf(outcome.value) == 0.0) return 0.0;
+double OrHtEstimateRow(const double* p, const uint8_t* sampled,
+                       const double* value, int r) {
+  bool any_one = false;
+  for (int i = 0; i < r; ++i) {
+    if (!sampled[i]) return 0.0;
+    any_one = any_one || value[i] != 0.0;
+  }
+  if (!any_one) return 0.0;
   double prob = 1.0;
-  for (double pi : outcome.p) prob *= pi;
+  for (int i = 0; i < r; ++i) prob *= p[i];
   return 1.0 / prob;
+}
+
+double OrHtEstimate(const ObliviousOutcome& outcome) {
+  return OrHtEstimateRow(outcome.p.data(), outcome.sampled.data(),
+                         outcome.value.data(), outcome.r());
 }
 
 double OrHtVariance(const std::vector<double>& p) {
@@ -34,17 +44,7 @@ OrLTwo::OrLTwo(double p1, double p2) : p1_(p1), p2_(p2) {
 
 double OrLTwo::Estimate(const ObliviousOutcome& outcome) const {
   PIE_CHECK(outcome.r() == 2);
-  const bool s1 = outcome.sampled[0];
-  const bool s2 = outcome.sampled[1];
-  const double v1 = s1 ? outcome.value[0] : 0.0;
-  const double v2 = s2 ? outcome.value[1] : 0.0;
-  if (!s1 && !s2) return 0.0;
-  if (s1 && !s2) return v1 / q_;
-  if (!s1 && s2) return v2 / q_;
-  // Both sampled: OR/(p1 p2) - ((1/p2-1)v1 + (1/p1-1)v2)/q.
-  const double or_v = (v1 != 0.0 || v2 != 0.0) ? 1.0 : 0.0;
-  return or_v / (p1_ * p2_) -
-         ((1.0 / p2_ - 1.0) * v1 + (1.0 / p1_ - 1.0) * v2) / q_;
+  return EstimateRow(outcome.sampled.data(), outcome.value.data());
 }
 
 double OrLTwo::Variance(int v1, int v2) const {
@@ -83,20 +83,25 @@ double OrLUniform::EstimateFromCounts(int sampled_ones,
   return max_l_.prefix_sums()[static_cast<size_t>(r() - sampled_zeros - 1)];
 }
 
-double OrLUniform::Estimate(const ObliviousOutcome& outcome) const {
-  PIE_CHECK(outcome.r() == r());
+double OrLUniform::EstimateRow(const uint8_t* sampled,
+                               const double* value) const {
   int ones = 0;
   int zeros = 0;
   for (int i = 0; i < r(); ++i) {
-    if (!outcome.sampled[i]) continue;
-    PIE_CHECK(outcome.value[i] == 0.0 || outcome.value[i] == 1.0);
-    if (outcome.value[i] != 0.0) {
+    if (!sampled[i]) continue;
+    PIE_CHECK(value[i] == 0.0 || value[i] == 1.0);
+    if (value[i] != 0.0) {
       ++ones;
     } else {
       ++zeros;
     }
   }
   return EstimateFromCounts(ones, zeros);
+}
+
+double OrLUniform::Estimate(const ObliviousOutcome& outcome) const {
+  PIE_CHECK(outcome.r() == r());
+  return EstimateRow(outcome.sampled.data(), outcome.value.data());
 }
 
 double OrLUniform::Variance(int ones) const {
@@ -133,12 +138,7 @@ OrUTwo::OrUTwo(double p1, double p2) : max_u_(p1, p2), p1_(p1), p2_(p2) {}
 
 double OrUTwo::Estimate(const ObliviousOutcome& outcome) const {
   PIE_CHECK(outcome.r() == 2);
-  for (int i = 0; i < 2; ++i) {
-    if (outcome.sampled[i]) {
-      PIE_CHECK(outcome.value[i] == 0.0 || outcome.value[i] == 1.0);
-    }
-  }
-  return max_u_.Estimate(outcome);
+  return EstimateRow(outcome.sampled.data(), outcome.value.data());
 }
 
 double OrUTwo::Variance(int v1, int v2) const {

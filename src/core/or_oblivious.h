@@ -11,12 +11,19 @@
 
 #include "core/max_oblivious.h"
 #include "sampling/poisson.h"
+#include "util/check.h"
 
 namespace pie {
 
 /// OR^(HT): 1/prod(p) when all entries are sampled and at least one is 1;
 /// 0 otherwise.
 double OrHtEstimate(const ObliviousOutcome& outcome);
+
+/// Row variant of OrHtEstimate over length-r arrays; the scalar form and
+/// the engine's batched loops both route through it (bitwise-identical
+/// paths by construction).
+double OrHtEstimateRow(const double* p, const uint8_t* sampled,
+                       const double* value, int r);
 
 /// Variance of OR^(HT) on any data vector with OR(v) = 1 (equation (23)).
 double OrHtVariance(const std::vector<double>& p);
@@ -28,6 +35,21 @@ class OrLTwo {
   OrLTwo(double p1, double p2);
 
   double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Row variant; shared by the scalar and batched paths.
+  double EstimateRow(const uint8_t* sampled, const double* value) const {
+    const bool s1 = sampled[0] != 0;
+    const bool s2 = sampled[1] != 0;
+    const double v1 = s1 ? value[0] : 0.0;
+    const double v2 = s2 ? value[1] : 0.0;
+    if (!s1 && !s2) return 0.0;
+    if (s1 && !s2) return v1 / q_;
+    if (!s1 && s2) return v2 / q_;
+    // Both sampled: OR/(p1 p2) - ((1/p2-1)v1 + (1/p1-1)v2)/q.
+    const double or_v = (v1 != 0.0 || v2 != 0.0) ? 1.0 : 0.0;
+    return or_v / (p1_ * p2_) -
+           ((1.0 / p2_ - 1.0) * v1 + (1.0 / p1_ - 1.0) * v2) / q_;
+  }
 
   /// Exact variance on binary data (v1, v2).
   double Variance(int v1, int v2) const;
@@ -51,6 +73,9 @@ class OrLUniform {
 
   double Estimate(const ObliviousOutcome& outcome) const;
 
+  /// Row variant; shared by the scalar and batched paths.
+  double EstimateRow(const uint8_t* sampled, const double* value) const;
+
   /// Estimate from sufficient statistics: number of sampled ones/zeros.
   double EstimateFromCounts(int sampled_ones, int sampled_zeros) const;
 
@@ -72,6 +97,16 @@ class OrUTwo {
   OrUTwo(double p1, double p2);
 
   double Estimate(const ObliviousOutcome& outcome) const;
+
+  /// Row variant; shared by the scalar and batched paths.
+  double EstimateRow(const uint8_t* sampled, const double* value) const {
+    for (int i = 0; i < 2; ++i) {
+      if (sampled[i]) {
+        PIE_CHECK(value[i] == 0.0 || value[i] == 1.0);
+      }
+    }
+    return max_u_.EstimateRow(sampled, value);
+  }
 
   /// Exact variance on binary data (v1, v2).
   double Variance(int v1, int v2) const;

@@ -17,23 +17,13 @@ std::vector<double> BinaryPpsInclusionProbs(const std::vector<double>& tau) {
 
 ObliviousOutcome MapBinaryPpsToOblivious(const PpsOutcome& outcome) {
   ObliviousOutcome out;
-  out.p = BinaryPpsInclusionProbs(outcome.tau);
+  out.p.resize(outcome.tau.size());
   out.sampled.resize(outcome.tau.size());
   out.value.resize(outcome.tau.size());
-  for (int i = 0; i < outcome.r(); ++i) {
-    if (outcome.sampled[i]) {
-      PIE_CHECK(outcome.value[i] == 1.0);  // binary domain, zero never sampled
-      out.sampled[i] = 1;
-      out.value[i] = 1.0;
-    } else if (outcome.seed[i] <= out.p[i]) {
-      // Seed certifies a zero: v_i < u_i * tau_i <= 1.
-      out.sampled[i] = 1;
-      out.value[i] = 0.0;
-    } else {
-      out.sampled[i] = 0;
-      out.value[i] = 0.0;
-    }
-  }
+  MapBinaryPpsRowToOblivious(outcome.tau.data(), outcome.seed.data(),
+                             outcome.sampled.data(), outcome.value.data(),
+                             outcome.r(), out.p.data(), out.sampled.data(),
+                             out.value.data());
   return out;
 }
 

@@ -11,10 +11,12 @@
 
 #pragma once
 
+#include <cmath>
 #include <vector>
 
 #include "core/or_oblivious.h"
 #include "sampling/poisson.h"
+#include "util/check.h"
 
 namespace pie {
 
@@ -25,6 +27,33 @@ std::vector<double> BinaryPpsInclusionProbs(const std::vector<double>& tau);
 /// Maps a weighted PPS outcome over binary data (known seeds) to the
 /// equivalent weight-oblivious outcome. Checks that sampled values are 0/1.
 ObliviousOutcome MapBinaryPpsToOblivious(const PpsOutcome& outcome);
+
+/// Row variant of the outcome mapping over length-r arrays: writes the
+/// mapped inclusion probabilities, sampled flags, and binary values. The
+/// scalar MapBinaryPpsToOblivious and the engine's batched loops both
+/// route through it (bitwise-identical paths by construction).
+inline void MapBinaryPpsRowToOblivious(const double* tau, const double* seed,
+                                       const uint8_t* sampled,
+                                       const double* value, int r,
+                                       double* p_out, uint8_t* sampled_out,
+                                       double* value_out) {
+  for (int i = 0; i < r; ++i) {
+    PIE_CHECK(tau[i] > 0);
+    p_out[i] = std::fmin(1.0, 1.0 / tau[i]);
+    if (sampled[i]) {
+      PIE_CHECK(value[i] == 1.0);  // binary domain, zero never sampled
+      sampled_out[i] = 1;
+      value_out[i] = 1.0;
+    } else if (seed[i] <= p_out[i]) {
+      // Seed certifies a zero: v_i < u_i * tau_i <= 1.
+      sampled_out[i] = 1;
+      value_out[i] = 0.0;
+    } else {
+      sampled_out[i] = 0;
+      value_out[i] = 0.0;
+    }
+  }
+}
 
 /// OR over r instances sampled by weighted PPS with a uniform threshold
 /// tau (so each value-1 entry is sampled with p = min(1, 1/tau)): the
@@ -38,6 +67,26 @@ class OrWeightedUniform {
   double EstimateL(const PpsOutcome& outcome) const;
   /// OR^(HT): positive only when every entry is mapped-sampled.
   double EstimateHt(const PpsOutcome& outcome) const;
+
+  /// Row variants: map into caller scratch (length r each), then estimate.
+  /// Batched loops keep the scratch across keys, so mapping allocates
+  /// nothing.
+  double EstimateLRow(const double* tau, const double* seed,
+                      const uint8_t* sampled, const double* value,
+                      double* p_scratch, uint8_t* sampled_scratch,
+                      double* value_scratch) const {
+    MapBinaryPpsRowToOblivious(tau, seed, sampled, value, r(), p_scratch,
+                               sampled_scratch, value_scratch);
+    return or_l_.EstimateRow(sampled_scratch, value_scratch);
+  }
+  double EstimateHtRow(const double* tau, const double* seed,
+                       const uint8_t* sampled, const double* value,
+                       double* p_scratch, uint8_t* sampled_scratch,
+                       double* value_scratch) const {
+    MapBinaryPpsRowToOblivious(tau, seed, sampled, value, r(), p_scratch,
+                               sampled_scratch, value_scratch);
+    return OrHtEstimateRow(p_scratch, sampled_scratch, value_scratch, r());
+  }
 
   double p() const { return or_l_.p(); }
   int r() const { return or_l_.r(); }
@@ -58,6 +107,33 @@ class OrWeightedTwo {
   double EstimateL(const PpsOutcome& outcome) const;
   /// OR^(U) through the outcome mapping.
   double EstimateU(const PpsOutcome& outcome) const;
+
+  /// Row variants over length-2 arrays (mapping into stack scratch);
+  /// shared arithmetic with the scalar forms above.
+  double EstimateHtRow(const double* tau, const double* seed,
+                       const uint8_t* sampled, const double* value) const {
+    double p[2];
+    uint8_t s[2];
+    double v[2];
+    MapBinaryPpsRowToOblivious(tau, seed, sampled, value, 2, p, s, v);
+    return OrHtEstimateRow(p, s, v, 2);
+  }
+  double EstimateLRow(const double* tau, const double* seed,
+                      const uint8_t* sampled, const double* value) const {
+    double p[2];
+    uint8_t s[2];
+    double v[2];
+    MapBinaryPpsRowToOblivious(tau, seed, sampled, value, 2, p, s, v);
+    return or_l_.EstimateRow(s, v);
+  }
+  double EstimateURow(const double* tau, const double* seed,
+                      const uint8_t* sampled, const double* value) const {
+    double p[2];
+    uint8_t s[2];
+    double v[2];
+    MapBinaryPpsRowToOblivious(tau, seed, sampled, value, 2, p, s, v);
+    return or_u_.EstimateRow(s, v);
+  }
 
   double p1() const { return p1_; }
   double p2() const { return p2_; }

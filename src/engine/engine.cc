@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <tuple>
 #include <utility>
 
@@ -7,29 +8,83 @@
 
 namespace pie {
 
-Outcome& OutcomeBatch::Add(Scheme scheme) {
-  if (size_ == slots_.size()) {
-    slots_.emplace_back();
-  }
-  Outcome& slot = slots_[size_++];
-  slot.scheme = scheme;
-  return slot;
+void OutcomeBatch::Reset(Scheme scheme, int r) {
+  PIE_CHECK(r >= 1);
+  scheme_ = scheme;
+  r_ = r;
+  size_ = 0;
+}
+
+int OutcomeBatch::AppendRow() {
+  PIE_CHECK(r_ >= 1 && "Reset(scheme, r) must fix the layout first");
+  const size_t need =
+      static_cast<size_t>(size_ + 1) * static_cast<size_t>(r_);
+  // vector::resize grows geometrically, so repeated appends amortize like
+  // push_back while Clear()+refill reuses the slabs untouched.
+  if (param_.size() < need) param_.resize(need);
+  if (value_.size() < need) value_.resize(need);
+  if (sampled_.size() < need) sampled_.resize(need);
+  if (scheme_ == Scheme::kPps && seed_.size() < need) seed_.resize(need);
+  return size_++;
+}
+
+int OutcomeBatch::Append(const ObliviousOutcome& outcome) {
+  PIE_CHECK(scheme_ == Scheme::kOblivious);
+  PIE_CHECK(outcome.r() == r_);
+  const int i = AppendRow();
+  std::copy(outcome.p.begin(), outcome.p.end(), param_row(i));
+  std::copy(outcome.sampled.begin(), outcome.sampled.end(), sampled_row(i));
+  std::copy(outcome.value.begin(), outcome.value.end(), value_row(i));
+  return i;
+}
+
+int OutcomeBatch::Append(const PpsOutcome& outcome) {
+  PIE_CHECK(scheme_ == Scheme::kPps);
+  PIE_CHECK(outcome.r() == r_);
+  const int i = AppendRow();
+  std::copy(outcome.tau.begin(), outcome.tau.end(), param_row(i));
+  std::copy(outcome.seed.begin(), outcome.seed.end(), seed_row(i));
+  std::copy(outcome.sampled.begin(), outcome.sampled.end(), sampled_row(i));
+  std::copy(outcome.value.begin(), outcome.value.end(), value_row(i));
+  return i;
+}
+
+BatchView OutcomeBatch::view() const {
+  BatchView v;
+  v.scheme = scheme_;
+  v.r = r_;
+  v.size = size_;
+  v.param = param_.data();
+  v.seed = scheme_ == Scheme::kPps ? seed_.data() : nullptr;
+  v.sampled = sampled_.data();
+  v.value = value_.data();
+  return v;
+}
+
+void OutcomeBatch::ExtractRowInto(int i, Outcome* out) const {
+  ExtractRow(view(), i, out);
 }
 
 void EstimateBatch(const EstimatorKernel& kernel, const OutcomeBatch& batch,
                    std::vector<double>* out) {
   PIE_CHECK(out != nullptr);
   out->clear();
-  out->reserve(static_cast<size_t>(batch.size()));
-  for (int i = 0; i < batch.size(); ++i) {
-    out->push_back(kernel.Estimate(batch[i]));
-  }
+  out->resize(static_cast<size_t>(batch.size()));
+  kernel.EstimateMany(batch.view(), out->data());
 }
 
 double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch) {
+  // Fixed-size chunks keep the sum allocation-free; per-row estimates and
+  // the row-order accumulation are identical to one whole-batch pass.
+  constexpr int kChunk = 256;
+  double buf[kChunk];
+  const BatchView view = batch.view();
   double sum = 0.0;
-  for (int i = 0; i < batch.size(); ++i) {
-    sum += kernel.Estimate(batch[i]);
+  for (int start = 0; start < view.size; start += kChunk) {
+    const BatchView chunk =
+        view.Slice(start, std::min(kChunk, view.size - start));
+    kernel.EstimateMany(chunk, buf);
+    for (int i = 0; i < chunk.size; ++i) sum += buf[i];
   }
   return sum;
 }

@@ -1,23 +1,29 @@
-// Batched estimation engine (the entry point the aggregate layer drives).
+// Batched estimation engine (the entry point the aggregate and store
+// layers drive).
 //
-// Two costs dominated the old free-function call sites:
+// Three costs dominated the old per-key call sites:
 //  * per-key estimator construction -- e.g. the Theorem 4.2 coefficient
 //    recursion is O(r^2) and the bottom-k dominance path rebuilt its
 //    estimators for every key;
-//  * per-key allocation of outcome vectors.
-// The engine removes both: Kernel() memoizes constructed kernels by
-// (spec, params) so coefficient/quadrature tables are computed once, and
-// OutcomeBatch recycles outcome slots (including their inner vectors'
-// capacity) across Clear() calls, so a steady-state scan allocates nothing.
+//  * per-key allocation of outcome vectors;
+//  * per-key virtual dispatch and pointer chasing -- one virtual
+//    Estimate(const Outcome&) call per key over array-of-structs slots.
+// The engine removes all three: Kernel() memoizes constructed kernels by
+// (spec, params) so coefficient/quadrature tables are computed once;
+// OutcomeBatch stores outcomes columnar (one value/threshold/seed/
+// sampled-mask slab each, reused across Clear() calls) so a steady-state
+// scan allocates nothing; and EstimateBatch/EstimateSum drive the kernel's
+// EstimateMany -- one virtual call per batch, with the hot kernels looping
+// branch-light over the slabs (see kernel.h).
 //
 // Typical use:
 //   auto& engine = EstimationEngine::Global();
 //   KernelHandle ht = engine.Kernel(ht_spec, params).value();
 //   KernelHandle l = engine.Kernel(l_spec, params).value();
-//   batch.Clear();
-//   for (key : keys) MakePairOutcomeInto(s1, s2, key, &batch.AddPps());
-//   double ht_sum = EstimateSum(*ht, batch);  // one pass per kernel,
-//   double l_sum = EstimateSum(*l, batch);    // outcomes assembled once
+//   batch.Reset(Scheme::kPps, /*r=*/2);           // fix the row layout
+//   for (key : keys) AppendPairOutcome(s1, s2, key, &batch);
+//   double ht_sum = EstimateSum(*ht, batch);  // one EstimateMany pass per
+//   double l_sum = EstimateSum(*l, batch);    // kernel, slabs assembled once
 
 #pragma once
 
@@ -32,43 +38,113 @@
 
 namespace pie {
 
-/// A reusable vector of outcome slots. Clear() resets the logical size but
-/// keeps every slot (and the capacity of its inner vectors) alive, so
-/// refilling the batch for the next scan reuses the same memory.
+/// Columnar (struct-of-arrays) storage for a batch of same-shaped
+/// outcomes. Reset(scheme, r) fixes the row layout; every appended row is
+/// one key's width-r outcome, stored across four flat slabs (see BatchView
+/// in kernel.h) at a stable per-key index. Clear() resets the logical size
+/// but keeps the slabs' capacity, so refilling the batch for the next scan
+/// reuses the same memory -- a steady-state scan allocates nothing.
 class OutcomeBatch {
  public:
+  OutcomeBatch() = default;
+
+  /// Fixes the row layout: scheme (which slabs exist -- oblivious rows
+  /// have no seed slab) and width r. Drops all rows; slab capacity is
+  /// kept.
+  void Reset(Scheme scheme, int r);
+
+  /// Drops all rows, keeping layout and slab capacity.
   void Clear() { size_ = 0; }
-  int size() const { return static_cast<int>(size_); }
+
+  Scheme scheme() const { return scheme_; }
+  int r() const { return r_; }
+  int size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Returns the next slot, tagged for the given scheme. The caller
-  /// overwrites the payload fields; stale data from a previous use of the
-  /// slot is the caller's to overwrite (assign every field you read).
-  Outcome& Add(Scheme scheme);
+  /// Appends a row and returns its stable index. The row's slab content is
+  /// unspecified (stale data from a previous use of the storage); the
+  /// caller must write every field through the row accessors below.
+  int AppendRow();
 
-  /// Convenience: next slot tagged kPps, returning the payload directly.
-  PpsOutcome& AddPps() { return Add(Scheme::kPps).pps; }
-  /// Convenience: next slot tagged kOblivious, returning the payload.
-  ObliviousOutcome& AddOblivious() {
-    return Add(Scheme::kOblivious).oblivious;
+  /// Appends a row copied from a scalar outcome (the bridge from the
+  /// sampling API into the columnar layout; the outcome must match the
+  /// batch's scheme and width). Returns the row index.
+  int Append(const ObliviousOutcome& outcome);
+  int Append(const PpsOutcome& outcome);
+
+  // Row accessors: r-element row i of each slab, debug bounds-checked.
+  // param is p_i for oblivious layouts and tau_i for PPS layouts;
+  // seed_row is only valid for PPS layouts.
+  double* param_row(int i) { return row(param_, i); }
+  double* seed_row(int i) {
+    PIE_DCHECK(scheme_ == Scheme::kPps);
+    return row(seed_, i);
+  }
+  uint8_t* sampled_row(int i) { return row(sampled_, i); }
+  double* value_row(int i) { return row(value_, i); }
+  const double* param_row(int i) const { return row(param_, i); }
+  const double* seed_row(int i) const {
+    PIE_DCHECK(scheme_ == Scheme::kPps);
+    return row(seed_, i);
+  }
+  const uint8_t* sampled_row(int i) const { return row(sampled_, i); }
+  const double* value_row(int i) const { return row(value_, i); }
+
+  /// Borrowed view of one row (debug bounds-checked): pointers into the
+  /// slabs plus the layout, the per-key unit of the columnar API.
+  struct ConstRow {
+    Scheme scheme;
+    int r;
+    const double* param;
+    const double* seed;  ///< nullptr for oblivious layouts
+    const uint8_t* sampled;
+    const double* value;
+  };
+  ConstRow operator[](int i) const {
+    PIE_DCHECK(i >= 0 && i < size_);
+    return {scheme_,        r_,           param_row(i),
+            scheme_ == Scheme::kPps ? seed_row(i) : nullptr,
+            sampled_row(i), value_row(i)};
   }
 
-  const Outcome& operator[](int i) const {
-    return slots_[static_cast<size_t>(i)];
-  }
+  /// Borrowed columnar view of the whole batch, the input to
+  /// EstimatorKernel::EstimateMany. Invalidated by any append or Reset.
+  BatchView view() const;
+
+  /// Materializes row i as a scalar Outcome, reusing out's inner vectors'
+  /// capacity (the bridge back to the scalar Estimate API).
+  void ExtractRowInto(int i, Outcome* out) const;
 
  private:
-  std::vector<Outcome> slots_;
-  size_t size_ = 0;
+  template <typename T>
+  T* row(std::vector<T>& slab, int i) {
+    PIE_DCHECK(i >= 0 && i < size_);
+    return slab.data() + static_cast<size_t>(i) * static_cast<size_t>(r_);
+  }
+  template <typename T>
+  const T* row(const std::vector<T>& slab, int i) const {
+    PIE_DCHECK(i >= 0 && i < size_);
+    return slab.data() + static_cast<size_t>(i) * static_cast<size_t>(r_);
+  }
+
+  Scheme scheme_ = Scheme::kOblivious;
+  int r_ = 0;
+  int size_ = 0;
+  std::vector<double> param_;
+  std::vector<double> seed_;
+  std::vector<double> value_;
+  std::vector<uint8_t> sampled_;
 };
 
-/// Applies the kernel to every outcome, appending to `out` (cleared first;
-/// capacity is reused across calls).
+/// Applies the kernel to every row via one EstimateMany call, replacing
+/// `out`'s contents (capacity is reused across calls).
 void EstimateBatch(const EstimatorKernel& kernel, const OutcomeBatch& batch,
                    std::vector<double>* out);
 
-/// Sum of per-outcome estimates: the per-key contributions of a sum
-/// aggregate (Section 7's sum-of-f(v) queries).
+/// Sum of per-row estimates in row order: the per-key contributions of a
+/// sum aggregate (Section 7's sum-of-f(v) queries). Drives EstimateMany in
+/// fixed-size chunks, so it allocates nothing and sums in the same order
+/// as the scalar loop it replaced.
 double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch);
 
 /// A shared, immutable kernel handle. Callers hold it for as long as they

@@ -65,6 +65,42 @@ std::string KernelSpec::ToString() const {
   return out;
 }
 
+void ExtractRow(const BatchView& batch, int i, Outcome* out) {
+  PIE_CHECK(out != nullptr);
+  PIE_DCHECK(i >= 0 && i < batch.size);
+  out->scheme = batch.scheme;
+  const double* param = batch.param_row(i);
+  const uint8_t* sampled = batch.sampled_row(i);
+  const double* value = batch.value_row(i);
+  const size_t r = static_cast<size_t>(batch.r);
+  if (batch.scheme == Scheme::kOblivious) {
+    ObliviousOutcome& o = out->oblivious;
+    o.p.assign(param, param + r);
+    o.sampled.assign(sampled, sampled + r);
+    o.value.assign(value, value + r);
+    return;
+  }
+  const double* seed = batch.seed_row(i);
+  PpsOutcome& o = out->pps;
+  o.tau.assign(param, param + r);
+  o.seed.assign(seed, seed + r);
+  o.sampled.assign(sampled, sampled + r);
+  o.value.assign(value, value + r);
+}
+
+void CheckBatchLayout(const BatchView& batch, Scheme scheme, int r) {
+  PIE_CHECK(batch.scheme == scheme);
+  PIE_CHECK(batch.r == r);
+}
+
+void EstimatorKernel::EstimateMany(BatchView batch, double* out) const {
+  Outcome scratch;
+  for (int i = 0; i < batch.size; ++i) {
+    ExtractRow(batch, i, &scratch);
+    out[i] = Estimate(scratch);
+  }
+}
+
 bool SamplingParams::IsUniform() const {
   for (double x : per_entry) {
     if (x != per_entry[0]) return false;

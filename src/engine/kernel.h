@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sampling/poisson.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -122,6 +123,70 @@ struct Outcome {
   }
 };
 
+/// Borrowed columnar (struct-of-arrays) view of a batch of same-shaped
+/// outcomes: `size` keys, each a width-`r` outcome of one scheme. The four
+/// slabs are row-major [size][r] -- row i holds key i's per-entry data at a
+/// stable index, so kernel-level batch loops stream contiguous memory
+/// instead of chasing per-key vectors:
+///   param   : inclusion probabilities p_i (oblivious) or thresholds tau_i
+///   seed    : seeds u_i (PPS layouts only; nullptr for oblivious)
+///   sampled : 1 iff entry is in the sample
+///   value   : v_i, meaningful only where sampled
+/// Produced by OutcomeBatch::view() (engine.h); consumed by EstimateMany.
+struct BatchView {
+  Scheme scheme = Scheme::kOblivious;
+  int r = 0;
+  int size = 0;
+  const double* param = nullptr;
+  const double* seed = nullptr;
+  const uint8_t* sampled = nullptr;
+  const double* value = nullptr;
+
+  const double* param_row(int i) const {
+    PIE_DCHECK(i >= 0 && i < size);
+    return param + static_cast<size_t>(i) * static_cast<size_t>(r);
+  }
+  const double* seed_row(int i) const {
+    PIE_DCHECK(i >= 0 && i < size);
+    PIE_DCHECK(seed != nullptr);
+    return seed + static_cast<size_t>(i) * static_cast<size_t>(r);
+  }
+  const uint8_t* sampled_row(int i) const {
+    PIE_DCHECK(i >= 0 && i < size);
+    return sampled + static_cast<size_t>(i) * static_cast<size_t>(r);
+  }
+  const double* value_row(int i) const {
+    PIE_DCHECK(i >= 0 && i < size);
+    return value + static_cast<size_t>(i) * static_cast<size_t>(r);
+  }
+
+  /// Sub-range view of rows [begin, begin + count): same slabs, offset
+  /// pointers. Lets drivers chunk one batch (e.g. fixed-size accumulation
+  /// buffers) without copying.
+  BatchView Slice(int begin, int count) const {
+    PIE_DCHECK(begin >= 0 && count >= 0 && begin + count <= size);
+    BatchView out = *this;
+    const size_t offset =
+        static_cast<size_t>(begin) * static_cast<size_t>(r);
+    out.size = count;
+    out.param += offset;
+    if (out.seed != nullptr) out.seed += offset;
+    out.sampled += offset;
+    out.value += offset;
+    return out;
+  }
+};
+
+/// Materializes row i of a view as a scalar Outcome (reusing out's inner
+/// vectors' capacity) -- the bridge from columnar rows back to the scalar
+/// Estimate API, used by the default EstimateMany loop.
+void ExtractRow(const BatchView& batch, int i, Outcome* out);
+
+/// Aborts unless the view's layout matches what a kernel was constructed
+/// for; kernel EstimateMany overrides call this once per batch in place of
+/// the per-outcome scheme/width checks of the scalar path.
+void CheckBatchLayout(const BatchView& batch, Scheme scheme, int r);
+
 /// Estimates one key's f(v) contribution from an outcome. Thread-safe after
 /// construction (estimation is const and touches no shared mutable state).
 class EstimatorKernel {
@@ -131,6 +196,19 @@ class EstimatorKernel {
   /// Unbiased estimate of f(v) from one outcome. The outcome's scheme must
   /// match the kernel's spec.
   virtual double Estimate(const Outcome& outcome) const = 0;
+
+  /// Estimates every row of a columnar batch into out[0..batch.size).
+  /// The base implementation materializes each row and loops the scalar
+  /// Estimate; hot kernels override it with tight loops over the slabs.
+  /// Overrides MUST be bitwise-identical to the scalar path (the registry
+  /// sweep in tests/batch_equivalence_test.cc enforces this), so batched
+  /// drivers inherit the determinism guarantees of the per-key API.
+  /// A kernel should override EstimateMany when per-key estimation is cheap
+  /// enough that virtual dispatch, per-outcome layout checks, and per-key
+  /// vector indirection dominate (closed-form r = 2 estimators, HT, the
+  /// Theorem 4.2 recursion); kernels whose per-key cost is inherently large
+  /// (quadrature, enumeration) gain nothing from an override.
+  virtual void EstimateMany(BatchView batch, double* out) const;
 
   /// Exact variance on a data vector, where core provides a closed form /
   /// enumeration; Unimplemented otherwise.

@@ -58,6 +58,18 @@ class ObliviousHtKernel : public EstimatorKernel {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return ObliviousHtEstimate(outcome.oblivious, f_);
   }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious,
+                     static_cast<int>(p_.size()));
+    std::vector<double> scratch;
+    scratch.reserve(p_.size());
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = ObliviousHtEstimateRow(batch.param_row(i),
+                                      batch.sampled_row(i),
+                                      batch.value_row(i), batch.r, f_,
+                                      &scratch);
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     return ObliviousHtVariance(values, p_, f_);
   }
@@ -75,6 +87,12 @@ class MaxLTwoKernel : public EstimatorKernel {
   double Estimate(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return est_.Estimate(outcome.oblivious);
+  }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -110,6 +128,15 @@ class MaxLUniformKernel : public EstimatorKernel {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return est_.Estimate(outcome.oblivious);
   }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, est_.r());
+    std::vector<double> scratch;
+    scratch.reserve(static_cast<size_t>(est_.r()));
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i),
+                                &scratch);
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     if (static_cast<int>(values.size()) != est_.r() || est_.r() > 25) {
       return Status::InvalidArgument(
@@ -132,6 +159,12 @@ class MaxUTwoKernel : public EstimatorKernel {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return est_.Estimate(outcome.oblivious);
   }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     return est_.Variance(values[0], values[1]);
@@ -149,6 +182,12 @@ class MaxUAsymTwoKernel : public EstimatorKernel {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return est_.Estimate(outcome.oblivious);
   }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     return est_.Variance(values[0], values[1]);
@@ -165,6 +204,12 @@ class OrLTwoKernel : public EstimatorKernel {
   double Estimate(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return est_.Estimate(outcome.oblivious);
+  }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -184,6 +229,12 @@ class OrLUniformKernel : public EstimatorKernel {
   double Estimate(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return est_.Estimate(outcome.oblivious);
+  }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, est_.r());
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
@@ -207,6 +258,12 @@ class OrUTwoKernel : public EstimatorKernel {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
     return est_.Estimate(outcome.oblivious);
   }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     PIE_RETURN_IF_ERROR(RequireBinary(values));
@@ -227,6 +284,14 @@ class MaxHtWeightedKernel : public EstimatorKernel {
     PIE_DCHECK(outcome.scheme == Scheme::kPps);
     return est_.Estimate(outcome.pps);
   }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps,
+                     static_cast<int>(est_.tau().size()));
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.param_row(i), batch.seed_row(i),
+                                batch.sampled_row(i), batch.value_row(i));
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     return est_.Variance(values);
   }
@@ -246,6 +311,13 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
   double Estimate(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kPps);
     return est_.Estimate(outcome.pps);
+  }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.param_row(i), batch.seed_row(i),
+                                batch.sampled_row(i), batch.value_row(i));
+    }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -272,6 +344,26 @@ class OrWeightedTwoKernel : public EstimatorKernel {
         return est_.EstimateL(outcome.pps);
       default:
         return est_.EstimateU(outcome.pps);
+    }
+  }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      const double* tau = batch.param_row(i);
+      const double* seed = batch.seed_row(i);
+      const uint8_t* sampled = batch.sampled_row(i);
+      const double* value = batch.value_row(i);
+      switch (family_) {
+        case Family::kHt:
+          out[i] = est_.EstimateHtRow(tau, seed, sampled, value);
+          break;
+        case Family::kL:
+          out[i] = est_.EstimateLRow(tau, seed, sampled, value);
+          break;
+        default:
+          out[i] = est_.EstimateURow(tau, seed, sampled, value);
+          break;
+      }
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
@@ -311,6 +403,25 @@ class OrWeightedUniformKernel : public EstimatorKernel {
     return family_ == Family::kHt ? est_.EstimateHt(outcome.pps)
                                   : est_.EstimateL(outcome.pps);
   }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps, est_.r());
+    std::vector<double> p(static_cast<size_t>(est_.r()));
+    std::vector<uint8_t> s(static_cast<size_t>(est_.r()));
+    std::vector<double> v(static_cast<size_t>(est_.r()));
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = family_ == Family::kHt
+                   ? est_.EstimateHtRow(batch.param_row(i),
+                                        batch.seed_row(i),
+                                        batch.sampled_row(i),
+                                        batch.value_row(i), p.data(),
+                                        s.data(), v.data())
+                   : est_.EstimateLRow(batch.param_row(i),
+                                       batch.seed_row(i),
+                                       batch.sampled_row(i),
+                                       batch.value_row(i), p.data(),
+                                       s.data(), v.data());
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
     PIE_RETURN_IF_ERROR(RequireBinary(values));
@@ -340,6 +451,13 @@ class MinHtWeightedKernel : public EstimatorKernel {
   double Estimate(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kPps);
     return est_.Estimate(outcome.pps);
+  }
+  void EstimateMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps,
+                     static_cast<int>(est_.tau().size()));
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     return est_.Variance(values);

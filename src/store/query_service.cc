@@ -73,20 +73,27 @@ Result<DualEstimate> QueryService::MaxDominance(int i1, int i2) const {
     const StreamingPpsSketch* s1 = shard.Instance(i1);
     const StreamingPpsSketch* s2 = shard.Instance(i2);
     OutcomeBatch batch;
+    batch.Reset(Scheme::kPps, 2);
     auto add_key = [&](uint64_t key) {
-      PpsOutcome& o = batch.AddPps();
-      o.tau.assign({tau1, tau2});
-      o.seed.assign({seed1(key), seed2(key)});
-      o.sampled.assign(2, 0);
-      o.value.assign(2, 0.0);
+      const int i = batch.AppendRow();
+      double* tau = batch.param_row(i);
+      tau[0] = tau1;
+      tau[1] = tau2;
+      double* seed = batch.seed_row(i);
+      seed[0] = seed1(key);
+      seed[1] = seed2(key);
+      uint8_t* sampled = batch.sampled_row(i);
+      double* value = batch.value_row(i);
+      sampled[0] = sampled[1] = 0;
+      value[0] = value[1] = 0.0;
       double v = 0.0;
       if (s1 != nullptr && s1->Lookup(key, &v)) {
-        o.sampled[0] = 1;
-        o.value[0] = v;
+        sampled[0] = 1;
+        value[0] = v;
       }
       if (s2 != nullptr && s2->Lookup(key, &v)) {
-        o.sampled[1] = 1;
-        o.value[1] = v;
+        sampled[1] = 1;
+        value[1] = v;
       }
     };
     if (s1 != nullptr) {
@@ -125,16 +132,23 @@ Result<double> QueryService::MinDominanceHt(int i1, int i2) const {
     const StreamingPpsSketch* s2 = shard.Instance(i2);
     if (s1 == nullptr || s2 == nullptr) return;
     // min^(HT) needs both entries; the unknown-seeds kernel never reads
-    // the seed slot, which stays zeroed for interface parity.
+    // the seed slab, which stays zeroed for interface parity.
     OutcomeBatch batch;
+    batch.Reset(Scheme::kPps, 2);
     for (const auto& e : s1->entries()) {
       double v2 = 0.0;
       if (!s2->Lookup(e.key, &v2)) continue;
-      PpsOutcome& o = batch.AddPps();
-      o.tau.assign({tau1, tau2});
-      o.seed.assign(2, 0.0);
-      o.sampled.assign(2, 1);
-      o.value.assign({e.weight, v2});
+      const int i = batch.AppendRow();
+      double* tau = batch.param_row(i);
+      tau[0] = tau1;
+      tau[1] = tau2;
+      double* seed = batch.seed_row(i);
+      seed[0] = seed[1] = 0.0;
+      uint8_t* sampled = batch.sampled_row(i);
+      sampled[0] = sampled[1] = 1;
+      double* value = batch.value_row(i);
+      value[0] = e.weight;
+      value[1] = v2;
     }
     partial[static_cast<size_t>(s)] = EstimateSum(**min_ht, batch);
   });
@@ -184,6 +198,7 @@ Result<DualEstimate> QueryService::DistinctUnion(
       sketches[static_cast<size_t>(j)] = shard.Instance(instances[j]);
     }
     OutcomeBatch batch;
+    batch.Reset(Scheme::kPps, r);
     // Each instance's entries contribute the keys no earlier instance
     // already covered, so the union is scanned exactly once per key.
     for (int j = 0; j < r; ++j) {
@@ -200,19 +215,18 @@ Result<DualEstimate> QueryService::DistinctUnion(
           covered = prev != nullptr && prev->Lookup(e.key, nullptr);
         }
         if (covered) continue;
-        PpsOutcome& o = batch.AddPps();
-        o.tau.assign(taus.begin(), taus.end());
-        o.sampled.assign(static_cast<size_t>(r), 0);
-        o.value.assign(static_cast<size_t>(r), 0.0);
-        o.seed.resize(static_cast<size_t>(r));
+        const int i = batch.AppendRow();
+        double* tau = batch.param_row(i);
+        double* seed = batch.seed_row(i);
+        uint8_t* sampled = batch.sampled_row(i);
+        double* value = batch.value_row(i);
         for (int j2 = 0; j2 < r; ++j2) {
-          o.seed[static_cast<size_t>(j2)] =
-              seeds[static_cast<size_t>(j2)](e.key);
+          tau[j2] = taus[static_cast<size_t>(j2)];
+          seed[j2] = seeds[static_cast<size_t>(j2)](e.key);
           const StreamingPpsSketch* other = sketches[static_cast<size_t>(j2)];
-          if (other != nullptr && other->Lookup(e.key, nullptr)) {
-            o.sampled[static_cast<size_t>(j2)] = 1;
-            o.value[static_cast<size_t>(j2)] = 1.0;
-          }
+          const bool in = other != nullptr && other->Lookup(e.key, nullptr);
+          sampled[j2] = in ? 1 : 0;
+          value[j2] = in ? 1.0 : 0.0;
         }
       }
     }

@@ -3,13 +3,15 @@
 // A QueryService binds one immutable StoreSnapshot and answers the
 // Section 8 sum aggregates -- max/min dominance, L1 distance, distinct /
 // Boolean-OR counts -- by scanning the union of sampled keys shard by
-// shard: each shard's keys are assembled into a per-shard OutcomeBatch
-// (reused slots, allocation-free in steady state) and streamed through the
-// estimation engine's memoized kernels, with a final deterministic
-// reduction in shard order. Shards are independent, so the scan fans out
-// across worker threads; results are bitwise identical for any thread
-// count because each shard's partial is computed identically and the
-// reduction order is fixed.
+// shard: each shard's keys are assembled into a per-shard columnar
+// OutcomeBatch (flat value/threshold/seed/sampled slabs, allocation-free
+// in steady state) and driven through the estimation engine's memoized
+// kernels with one EstimateMany pass per kernel, with a final
+// deterministic reduction in shard order. Shards are independent, so the
+// scan fans out across worker threads; results are bitwise identical for
+// any thread count because each shard's partial is computed identically
+// (EstimateMany overrides are bitwise-identical to the scalar path) and
+// the reduction order is fixed.
 
 #pragma once
 

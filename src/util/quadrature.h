@@ -5,14 +5,15 @@
 // the integrands are smooth within the case regions of Figure 3, so adaptive
 // Simpson converges quickly when the caller splits at case boundaries.
 //
-// The hot path is templated on the integrand so callers passing lambdas pay
-// no std::function indirection per evaluation; thin std::function overloads
-// are kept for ABI stability (existing callers and the .cc definitions).
+// Both routines are function templates on the integrand: every caller
+// passes its callable (usually a lambda) directly and pays no
+// std::function indirection or allocation per evaluation. The former
+// std::function overloads (and the SimpsonT/AdaptiveSimpsonT aliases that
+// coexisted with them) are gone -- the templates are the only entry point.
 
 #pragma once
 
 #include <cmath>
-#include <functional>
 
 #include "util/check.h"
 
@@ -41,9 +42,9 @@ double AdaptiveSimpsonImpl(F&& f, double a, double b, double fa, double fm,
 
 }  // namespace quadrature_internal
 
-/// Composite Simpson rule with n (even, >= 2) panels. Templated hot path.
+/// Composite Simpson rule with n (even, >= 2) panels.
 template <typename F>
-double SimpsonT(F&& f, double a, double b, int n) {
+double Simpson(F&& f, double a, double b, int n) {
   PIE_CHECK(n >= 2 && n % 2 == 0);
   const double h = (b - a) / n;
   double sum = f(a) + f(b);
@@ -54,11 +55,10 @@ double SimpsonT(F&& f, double a, double b, int n) {
 }
 
 /// Adaptive Simpson integration of f over [a, b] to absolute tolerance tol.
-/// max_depth bounds recursion (each level halves the interval). Templated
-/// hot path.
+/// max_depth bounds recursion (each level halves the interval).
 template <typename F>
-double AdaptiveSimpsonT(F&& f, double a, double b, double tol = 1e-10,
-                        int max_depth = 40) {
+double AdaptiveSimpson(F&& f, double a, double b, double tol = 1e-10,
+                       int max_depth = 40) {
   if (a == b) return 0.0;
   const double fa = f(a);
   const double fb = f(b);
@@ -68,12 +68,5 @@ double AdaptiveSimpsonT(F&& f, double a, double b, double tol = 1e-10,
   return quadrature_internal::AdaptiveSimpsonImpl(f, a, b, fa, fm, fb, whole,
                                                   tol, max_depth);
 }
-
-/// std::function wrappers (stable ABI; prefer the templated forms in hot
-/// loops).
-double Simpson(const std::function<double(double)>& f, double a, double b,
-               int n);
-double AdaptiveSimpson(const std::function<double(double)>& f, double a,
-                       double b, double tol = 1e-10, int max_depth = 40);
 
 }  // namespace pie

@@ -364,6 +364,30 @@ MultiInstanceData SmallTwoInstanceData(Rng& rng, int keys) {
   return data;
 }
 
+TEST(DominanceTest, PredicateOverloadsAgreeOnAllKeys) {
+  // Every "no predicate" call shape must produce the all-keys scan: the
+  // 2-arg overload, a null std::function in every value category (which
+  // must route to the null-checking wrapper, not the Pred template), and
+  // an always-true lambda through the template.
+  Rng rng(29);
+  const auto data = SmallTwoInstanceData(rng, 50);
+  const auto s1 = PpsInstanceSketch::Build(data.InstanceItems(0), 25.0, 7);
+  const auto s2 = PpsInstanceSketch::Build(data.InstanceItems(1), 25.0, 8);
+  const auto all = EstimateMaxDominance(s1, s2);
+  std::function<bool(uint64_t)> null_pred;  // empty: selects all keys
+  const auto via_lvalue = EstimateMaxDominance(s1, s2, null_pred);
+  const auto via_rvalue = EstimateMaxDominance(
+      s1, s2, std::function<bool(uint64_t)>());
+  const auto via_lambda =
+      EstimateMaxDominance(s1, s2, [](uint64_t) { return true; });
+  EXPECT_EQ(all.l, via_lvalue.l);
+  EXPECT_EQ(all.l, via_rvalue.l);
+  EXPECT_EQ(all.l, via_lambda.l);
+  EXPECT_EQ(all.ht, via_lvalue.ht);
+  EXPECT_EQ(EstimateMinDominanceHt(s1, s2),
+            EstimateMinDominanceHt(s1, s2, null_pred));
+}
+
 TEST(DominanceTest, MaxDominanceUnbiasedOverSalts) {
   Rng rng(13);
   const auto data = SmallTwoInstanceData(rng, 60);

@@ -256,13 +256,14 @@ TEST(EstimationEngineTest, BatchMatchesPerCallEstimates) {
 
   Rng rng(7);
   OutcomeBatch batch;
+  batch.Reset(Scheme::kOblivious, 2);
   std::vector<double> expected;
   double expected_sum = 0.0;
   for (int i = 0; i < 200; ++i) {
     const Outcome outcome = SampleOutcome(
         Scheme::kOblivious, params,
         {rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)}, rng);
-    batch.AddOblivious() = outcome.oblivious;
+    batch.Append(outcome.oblivious);
     expected.push_back((*kernel)->Estimate(outcome));
     expected_sum += expected.back();
   }
@@ -277,21 +278,57 @@ TEST(EstimationEngineTest, BatchMatchesPerCallEstimates) {
   EXPECT_DOUBLE_EQ(*sum, expected_sum);
 }
 
-TEST(EstimationEngineTest, OutcomeBatchReusesSlotsAcrossClear) {
+TEST(EstimationEngineTest, OutcomeBatchReusesSlabsAcrossClear) {
   OutcomeBatch batch;
+  batch.Reset(Scheme::kPps, 2);
   for (int i = 0; i < 16; ++i) {
-    PpsOutcome& o = batch.AddPps();
-    o.tau.assign(2, 10.0);
-    o.seed.assign(2, 0.5);
-    o.sampled.assign(2, 1);
-    o.value.assign(2, 3.0);
+    const int row = batch.AppendRow();
+    double* tau = batch.param_row(row);
+    tau[0] = tau[1] = 10.0;
+    double* seed = batch.seed_row(row);
+    seed[0] = seed[1] = 0.5;
+    uint8_t* sampled = batch.sampled_row(row);
+    sampled[0] = sampled[1] = 1;
+    double* value = batch.value_row(row);
+    value[0] = value[1] = 3.0;
   }
   EXPECT_EQ(batch.size(), 16);
-  const Outcome* first_slot = &batch[0];
+  const double* value_slab = batch.view().value;
+  const double* param_slab = batch.view().param;
   batch.Clear();
   EXPECT_EQ(batch.size(), 0);
-  batch.Add(Scheme::kPps);
-  EXPECT_EQ(&batch[0], first_slot) << "Clear() must keep slot storage";
+  EXPECT_TRUE(batch.empty());
+  batch.AppendRow();
+  EXPECT_EQ(batch.view().value, value_slab)
+      << "Clear() must keep slab storage";
+  EXPECT_EQ(batch.view().param, param_slab);
+  // Reset with the same layout also keeps the slabs.
+  batch.Reset(Scheme::kPps, 2);
+  batch.AppendRow();
+  EXPECT_EQ(batch.view().value, value_slab);
+}
+
+TEST(EstimationEngineTest, OutcomeBatchRowViewExposesColumns) {
+  OutcomeBatch batch;
+  batch.Reset(Scheme::kOblivious, 3);
+  const int row = batch.AppendRow();
+  double* p = batch.param_row(row);
+  uint8_t* sampled = batch.sampled_row(row);
+  double* value = batch.value_row(row);
+  for (int i = 0; i < 3; ++i) {
+    p[i] = 0.25 * (i + 1);
+    sampled[i] = i % 2 == 0 ? 1 : 0;
+    value[i] = 2.0 * i;
+  }
+  const OutcomeBatch::ConstRow view = batch[0];
+  EXPECT_EQ(view.scheme, Scheme::kOblivious);
+  EXPECT_EQ(view.r, 3);
+  EXPECT_EQ(view.seed, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(view.param[i], 0.25 * (i + 1));
+    EXPECT_EQ(view.sampled[i], i % 2 == 0 ? 1 : 0);
+    EXPECT_EQ(view.value[i], 2.0 * i);
+  }
 }
 
 TEST(EstimationEngineTest, VarianceHooksMatchKnownClosedForms) {
