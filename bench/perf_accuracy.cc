@@ -1,0 +1,86 @@
+// Accuracy-layer microbenchmarks (google-benchmark): what do error bars
+// cost? BM_AccuracyScanPlain is the pre-PR-4 serving scan (EstimateSum over
+// the hot weighted max^(L) r=2 kernel); BM_AccuracyScanWithVariance is the
+// same columnar scan through an AccuracyAccumulator, which adds one
+// EstimateSecondMomentMany pass per chunk. CI extracts both keys/s rates
+// and their ratio into BENCH_accuracy.json; the plain rate is the
+// regression guardrail (the accuracy layer must not slow down callers who
+// do not ask for variance).
+
+#include <benchmark/benchmark.h>
+
+#include "accuracy/accumulator.h"
+#include "accuracy/selector.h"
+#include "engine/engine.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+constexpr int kKeys = 1 << 16;
+
+/// One shard-sized PPS batch of the serving path's shape: r = 2, thresholds
+/// (10, 8), skewed values, seeds drawn once.
+OutcomeBatch MakeServingBatch() {
+  const SamplingParams params({10.0, 8.0});
+  Rng rng(2011);
+  OutcomeBatch batch;
+  batch.Reset(Scheme::kPps, 2);
+  std::vector<double> values(2);
+  for (int i = 0; i < kKeys; ++i) {
+    values[0] = rng.UniformDouble(0, 12);
+    values[1] = values[0] * rng.UniformDouble(0.2, 1.0);
+    batch.Append(SamplePps(values, params.per_entry, rng));
+  }
+  return batch;
+}
+
+KernelHandle ServingKernel() {
+  return EstimationEngine::Global()
+      .Kernel({Function::kMax, Scheme::kPps, Regime::kKnownSeeds, Family::kL},
+              SamplingParams({10.0, 8.0}))
+      .value();
+}
+
+void BM_AccuracyScanPlain(benchmark::State& state) {
+  const OutcomeBatch batch = MakeServingBatch();
+  const KernelHandle kernel = ServingKernel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateSum(*kernel, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * kKeys);
+}
+BENCHMARK(BM_AccuracyScanPlain);
+
+void BM_AccuracyScanWithVariance(benchmark::State& state) {
+  const OutcomeBatch batch = MakeServingBatch();
+  const KernelHandle kernel = ServingKernel();
+  for (auto _ : state) {
+    AccuracyAccumulator acc;
+    acc.AddBatch(*kernel, batch);
+    benchmark::DoNotOptimize(acc.variance());
+    benchmark::DoNotOptimize(acc.sum());
+  }
+  state.SetItemsProcessed(state.iterations() * kKeys);
+}
+BENCHMARK(BM_AccuracyScanWithVariance);
+
+// Selection cost: one full variance-driven family selection for the
+// serving threshold class (exact variances on the built-in profiles,
+// including the max^(L) quadrature). Amortized once per (query, threshold
+// class), not per key.
+void BM_AccuracySelect(benchmark::State& state) {
+  const EstimatorSelector selector;
+  const SamplingParams params({10.0, 8.0}, /*tol=*/1e-7);
+  for (auto _ : state) {
+    auto report = selector.Select(Function::kMax, Scheme::kPps,
+                                  Regime::kKnownSeeds, params);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_AccuracySelect);
+
+}  // namespace
+}  // namespace pie
+
+BENCHMARK_MAIN();

@@ -89,12 +89,19 @@ int main() {
   const auto l1_est = service.L1Distance(0, 1);
   PIE_CHECK_OK(l1_est.status());
   std::printf("\nchurn (L1 distance) between periods: truth %.0f\n", true_l1);
-  std::printf("  estimate from two ~%d-key store sketches: %.0f (%+.2f%%)\n",
-              k, *l1_est, 100 * (*l1_est - true_l1) / true_l1);
+  std::printf("  estimate from two ~%d-key store sketches: %.0f +- %.0f "
+              "(95%% CI [%.0f, %.0f], %+.2f%%)\n",
+              k, l1_est->estimate, l1_est->hi - l1_est->estimate, l1_est->lo,
+              l1_est->hi, 100 * (l1_est->estimate - true_l1) / true_l1);
 
-  // Alert rule demo: churn above 25% of total volume.
+  // Alert rule demo: churn above 25% of total volume. With error bars the
+  // rule can require the whole interval above threshold before paging.
   const double volume = periods.InstanceTotal(0);
-  std::printf("  churn/volume: %.1f%% -> %s\n", 100 * *l1_est / volume,
-              *l1_est > 0.25 * volume ? "ALERT" : "ok");
+  std::printf("  churn/volume: %.1f%% -> %s\n",
+              100 * l1_est->estimate / volume,
+              l1_est->lo > 0.25 * volume
+                  ? "ALERT"
+                  : (l1_est->estimate > 0.25 * volume ? "warn (CI straddles)"
+                                                      : "ok"));
   return 0;
 }

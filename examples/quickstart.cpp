@@ -18,7 +18,10 @@
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
+#include <utility>
 
+#include "accuracy/accumulator.h"
+#include "accuracy/confidence.h"
 #include "engine/engine.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -48,8 +51,21 @@ int main() {
   std::printf("one outcome: reading 1 %s, reading 2 %s\n",
               outcome.oblivious.sampled[0] ? "arrived" : "missing",
               outcome.oblivious.sampled[1] ? "arrived" : "missing");
-  std::printf("  HT estimate of the peak: %.3f\n", ht->Estimate(outcome));
-  std::printf("  L  estimate of the peak: %.3f\n", max_l->Estimate(outcome));
+  // Each kernel also estimates f(v)^2 unbiasedly from the same outcome
+  // (EstimateSecondMoment), so est^2 - second moment is an unbiased
+  // per-outcome variance estimate -- the accuracy layer turns the pair
+  // into a 95% confidence interval.
+  for (const auto& [label, kernel] :
+       {std::pair<const char*, const pie::KernelHandle&>{"HT", ht},
+        {"L ", max_l}}) {
+    const double est = kernel->Estimate(outcome);
+    const double second = kernel->EstimateSecondMoment(outcome);
+    const pie::IntervalEstimate interval =
+        pie::MakeInterval(est, est * est - second);
+    std::printf("  %s estimate of the peak: %.3f +- %.3f (95%% CI [%.3f, %.3f])\n",
+                label, interval.estimate, interval.hi - interval.estimate,
+                interval.lo, interval.hi);
+  }
 
   // Repeat many times, estimating the whole batch with each kernel: both
   // are unbiased, L has much lower variance. The batch stores outcomes
@@ -61,20 +77,28 @@ int main() {
         pie::SampleOutcome(pie::Scheme::kOblivious, params, truth, rng)
             .oblivious);
   }
-  std::vector<double> estimates;
-  pie::RunningStat ht_stat, l_stat;
-  EstimateBatch(*ht, batch, &estimates);
-  for (double e : estimates) ht_stat.Add(e);
-  EstimateBatch(*max_l, batch, &estimates);
-  for (double e : estimates) l_stat.Add(e);
+  // AccuracyAccumulator scans estimates and second moments in one pass;
+  // its interval divided by the trial count is a 95% CI on the mean, which
+  // should cover the true peak ~95% of the time.
+  pie::AccuracyAccumulator ht_acc, l_acc;
+  ht_acc.AddBatch(*ht, batch);
+  l_acc.AddBatch(*max_l, batch);
+  const auto n = static_cast<double>(ht_acc.keys());
   std::printf("\nover %lld trials (true peak = %.1f):\n",
-              static_cast<long long>(ht_stat.count()),
+              static_cast<long long>(ht_acc.keys()),
               pie::TrueValue(spec, truth));
-  std::printf("  HT: mean %.4f  variance %8.4f\n", ht_stat.mean(),
-              ht_stat.sample_variance());
-  std::printf("  L : mean %.4f  variance %8.4f  (%.2fx lower)\n",
-              l_stat.mean(), l_stat.sample_variance(),
-              ht_stat.sample_variance() / l_stat.sample_variance());
+  for (const auto& [label, acc] :
+       {std::pair<const char*, const pie::AccuracyAccumulator&>{"HT", ht_acc},
+        {"L ", l_acc}}) {
+    const pie::IntervalEstimate sum = acc.Interval();
+    std::printf(
+        "  %s: mean %.4f +- %.4f (95%% CI [%.4f, %.4f])  variance %8.4f\n",
+        label, sum.estimate / n, (sum.hi - sum.estimate) / n, sum.lo / n,
+        sum.hi / n, acc.per_key().sample_variance());
+  }
+  std::printf("  empirical variance ratio: %.2fx lower for L\n",
+              ht_acc.per_key().sample_variance() /
+                  l_acc.per_key().sample_variance());
 
   // The exact variances, no simulation needed.
   std::printf("\nanalytic: HT %.4f, L %.4f\n",

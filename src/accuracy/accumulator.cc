@@ -1,0 +1,40 @@
+#include "accuracy/accumulator.h"
+
+#include <algorithm>
+
+namespace pie {
+
+void AccuracyAccumulator::AddBatchImpl(const EstimatorKernel& kernel,
+                                       const OutcomeBatch& batch,
+                                       bool with_variance) {
+  // Mirrors EstimateSum (engine.cc): the same fixed chunk size and the
+  // same row-order `sum_ += est` additions, so the point estimate is
+  // bitwise identical to the plain scan -- with or without the variance
+  // pass. The second-moment pass shares the chunk's slab views, so a
+  // steady-state scan still allocates nothing.
+  constexpr int kChunk = 256;
+  double est[kChunk];
+  double second[kChunk];
+  const BatchView view = batch.view();
+  for (int start = 0; start < view.size; start += kChunk) {
+    const BatchView chunk =
+        view.Slice(start, std::min(kChunk, view.size - start));
+    kernel.EstimateMany(chunk, est);
+    if (with_variance) kernel.EstimateSecondMomentMany(chunk, second);
+    for (int i = 0; i < chunk.size; ++i) {
+      sum_ += est[i];
+      if (with_variance) variance_ += est[i] * est[i] - second[i];
+      per_key_.Add(est[i]);
+    }
+  }
+}
+
+IntervalEstimate EstimateSumWithCi(const EstimatorKernel& kernel,
+                                   const OutcomeBatch& batch,
+                                   const CiPolicy& policy) {
+  AccuracyAccumulator acc;
+  acc.AddBatch(kernel, batch);
+  return acc.Interval(policy);
+}
+
+}  // namespace pie

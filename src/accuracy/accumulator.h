@@ -1,0 +1,90 @@
+// Mergeable accumulation of a sum aggregate together with its unbiased
+// variance estimate, in one columnar scan.
+//
+// For independent per-key outcomes (independent seeds, the store's model),
+// the variance of a sum aggregate is the sum of per-key estimator
+// variances, and each key's variance has the unbiased estimate
+//   Var-hat(key) = Estimate(o)^2 - EstimateSecondMoment(o)
+// (E[est^2] - f^2 = Var[est]; see kernel.h). An AccuracyAccumulator drives
+// EstimateMany and EstimateSecondMomentMany over a batch's slabs in fixed
+// chunks and keeps three reductions: the running sum (bitwise identical to
+// EstimateSum -- same chunking, same row-order additions), the running
+// variance estimate, and the mergeable per-key moments (MomentAccumulator)
+// for diagnostics. Per-shard accumulators Merge() in shard order, so the
+// store's deterministic-reduction guarantee extends to the error bars.
+
+#pragma once
+
+#include <cstdint>
+
+#include "accuracy/confidence.h"
+#include "engine/engine.h"
+#include "util/stats.h"
+
+namespace pie {
+
+class AccuracyAccumulator {
+ public:
+  /// Accumulates one key's (estimate, second-moment estimate) pair.
+  void Add(double estimate, double second_moment) {
+    sum_ += estimate;
+    variance_ += estimate * estimate - second_moment;
+    per_key_.Add(estimate);
+  }
+
+  /// Scans a whole batch with the kernel: one EstimateMany and one
+  /// EstimateSecondMomentMany pass per fixed-size chunk, rows accumulated
+  /// in order. The resulting sum() is bitwise identical to
+  /// EstimateSum(kernel, batch) (same chunk size, same addition order),
+  /// which tests/accuracy_test.cc enforces registry-wide.
+  void AddBatch(const EstimatorKernel& kernel, const OutcomeBatch& batch) {
+    AddBatchImpl(kernel, batch, /*with_variance=*/true);
+  }
+
+  /// Estimate-only scan: the same chunked sum (still bitwise identical to
+  /// EstimateSum) and per-key moments, skipping the second-moment pass
+  /// entirely -- variance() stays 0, so Interval() degenerates to a
+  /// zero-width interval. For point-only callers that must not pay for
+  /// error bars (QueryServiceOptions::with_variance = false).
+  void AddBatchEstimateOnly(const EstimatorKernel& kernel,
+                            const OutcomeBatch& batch) {
+    AddBatchImpl(kernel, batch, /*with_variance=*/false);
+  }
+
+  /// Exact merge: component-wise for sum/variance, Chan et al. for the
+  /// per-key moments. Merging per-shard partials in shard order reproduces
+  /// the single-scan accumulator's sum bitwise.
+  void Merge(const AccuracyAccumulator& o) {
+    sum_ += o.sum_;
+    variance_ += o.variance_;
+    per_key_.Merge(o.per_key_);
+  }
+
+  int64_t keys() const { return per_key_.count(); }
+  double sum() const { return sum_; }
+  /// Unbiased estimate of Var[sum()]; may be slightly negative on unlucky
+  /// samples (difference of unbiased terms), clamped by Interval().
+  double variance() const { return variance_; }
+  /// Per-key estimate moments (spread diagnostics), mergeable.
+  const MomentAccumulator& per_key() const { return per_key_; }
+
+  /// The sum with its error bars under `policy`.
+  IntervalEstimate Interval(const CiPolicy& policy = {}) const {
+    return MakeInterval(sum_, variance_, policy);
+  }
+
+ private:
+  void AddBatchImpl(const EstimatorKernel& kernel, const OutcomeBatch& batch,
+                    bool with_variance);
+
+  double sum_ = 0.0;
+  double variance_ = 0.0;
+  MomentAccumulator per_key_;
+};
+
+/// One-shot convenience: scan the batch and return the interval.
+IntervalEstimate EstimateSumWithCi(const EstimatorKernel& kernel,
+                                   const OutcomeBatch& batch,
+                                   const CiPolicy& policy = {});
+
+}  // namespace pie

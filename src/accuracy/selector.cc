@@ -1,0 +1,143 @@
+#include "accuracy/selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pie {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+EstimatorSelector::EstimatorSelector(const KernelRegistry* registry)
+    : registry_(registry != nullptr ? registry : &KernelRegistry::Global()) {}
+
+std::vector<std::vector<double>> EstimatorSelector::DefaultProfiles(
+    Function function, Scheme scheme, const SamplingParams& params) {
+  const int r = params.r();
+  PIE_CHECK(r >= 1);
+  std::vector<std::vector<double>> profiles;
+  if (function == Function::kOr) {
+    // Binary domain: the dense ("no change") and sparse ("change") extremes
+    // of Figure 2, which is exactly where the L and U families trade off.
+    profiles.emplace_back(static_cast<size_t>(r), 1.0);
+    std::vector<double> one_hot(static_cast<size_t>(r), 0.0);
+    one_hot[0] = 1.0;
+    profiles.push_back(std::move(one_hot));
+    return profiles;
+  }
+  // Real-valued domain: dense, geometrically skewed, and one-hot vectors.
+  // Oblivious estimators are scale-free, so the unit scale is fine there;
+  // PPS profiles sit below the smallest threshold (rho < 1), the regime
+  // where the families actually differ (above every threshold the key is
+  // sampled with certainty).
+  double scale = 1.0;
+  if (scheme == Scheme::kPps) {
+    scale = *std::min_element(params.per_entry.begin(),
+                              params.per_entry.end());
+    PIE_CHECK(scale > 0);
+    scale *= 0.8;
+  }
+  profiles.emplace_back(static_cast<size_t>(r), scale);
+  std::vector<double> skewed(static_cast<size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    skewed[static_cast<size_t>(i)] = scale * std::ldexp(1.0, -i);
+  }
+  profiles.push_back(std::move(skewed));
+  std::vector<double> one_hot(static_cast<size_t>(r), 0.0);
+  one_hot[0] = scale;
+  profiles.push_back(std::move(one_hot));
+  return profiles;
+}
+
+Result<SelectionReport> EstimatorSelector::Select(
+    Function function, Scheme scheme, Regime regime,
+    const SamplingParams& params, const Options& options) const {
+  const std::vector<std::vector<double>>& profiles =
+      options.profiles.empty() ? DefaultProfiles(function, scheme, params)
+                               : options.profiles;
+
+  SelectionReport report;
+  for (const KernelEntry& entry : registry_->Entries()) {
+    if (entry.spec.function != function || entry.spec.scheme != scheme) {
+      continue;
+    }
+    // A family is a candidate when the requested regime resolves to this
+    // registration (oblivious regime aliases; a PPS known-seeds request is
+    // servable by an unknown-seeds estimator, not vice versa).
+    KernelSpec lookup = entry.spec;
+    lookup.regime = regime;
+    if (!(registry_->CanonicalSpec(lookup) == entry.spec)) continue;
+
+    FamilyScore score;
+    score.spec = entry.spec;
+    score.variance_score = kInf;
+    auto kernel = entry.factory(entry.spec, params);
+    if (!kernel.ok()) {
+      score.kernel_name = kernel.status().ToString();
+      report.ranking.push_back(std::move(score));
+      continue;
+    }
+    score.kernel_name = (*kernel)->name();
+    double total = 0.0;
+    bool scored = true;
+    for (const auto& profile : profiles) {
+      auto variance = (*kernel)->Variance(profile);
+      if (!variance.ok()) {
+        score.kernel_name = variance.status().ToString();
+        scored = false;
+        break;
+      }
+      total += *variance;
+    }
+    if (scored) {
+      score.admissible = true;
+      score.variance_score = total;
+    }
+    report.ranking.push_back(std::move(score));
+  }
+
+  if (report.ranking.empty()) {
+    return Status::NotFound("no kernel family registered for " +
+                            std::string(FunctionToString(function)) + "/" +
+                            SchemeToString(scheme) + "/" +
+                            RegimeToString(regime));
+  }
+  // Admissible families by ascending variance, inadmissible last; ties
+  // break on the family enum for determinism.
+  std::stable_sort(report.ranking.begin(), report.ranking.end(),
+                   [](const FamilyScore& a, const FamilyScore& b) {
+                     if (a.admissible != b.admissible) return a.admissible;
+                     if (a.variance_score != b.variance_score) {
+                       return a.variance_score < b.variance_score;
+                     }
+                     return static_cast<int>(a.spec.family) <
+                            static_cast<int>(b.spec.family);
+                   });
+  if (!report.ranking.front().admissible) {
+    return Status::NotFound(
+        "no admissible kernel family for this configuration (first "
+        "failure: " +
+        report.ranking.front().kernel_name + ")");
+  }
+  report.chosen = report.ranking.front().spec;
+  return report;
+}
+
+std::vector<Result<SelectionReport>> EstimatorSelector::SelectPerClass(
+    Function function, Scheme scheme, Regime regime,
+    const std::vector<SamplingParams>& classes,
+    const Options& options) const {
+  std::vector<Result<SelectionReport>> out;
+  out.reserve(classes.size());
+  for (const SamplingParams& params : classes) {
+    out.push_back(Select(function, scheme, regime, params, options));
+  }
+  return out;
+}
+
+}  // namespace pie

@@ -1,0 +1,77 @@
+// Variance-driven estimator selection.
+//
+// The paper's headline ordering -- the order-optimal families dominate
+// Horvitz-Thompson pointwise (max^(U), max^(L) <= HT; Sections 4-5,
+// Figures 2/4) -- is made operational here: given a target function, a
+// sampling scheme/regime, and a concrete sampler configuration (one
+// "threshold class"), the selector scores every registered family's exact
+// variance on a set of reference data profiles and picks the
+// minimum-variance admissible family. Serving paths (QueryService's *Auto
+// queries) call this instead of hard-coding a family, so a configuration
+// where a family is inadmissible (no closed form for that r / thresholds)
+// or dominated falls back automatically.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/registry.h"
+#include "util/status.h"
+
+namespace pie {
+
+/// One candidate family's outcome in a selection.
+struct FamilyScore {
+  KernelSpec spec;          ///< canonical spec the family resolves to
+  std::string kernel_name;  ///< instantiated kernel name (or failure reason)
+  bool admissible = false;  ///< factory + exact variance both available
+  /// Sum of exact kernel variances over the reference profiles; the
+  /// selection objective (lower is better). Infinity when inadmissible.
+  double variance_score = 0.0;
+};
+
+/// Result of one selection: the chosen spec plus the full ranking
+/// (admissible families by ascending score, then inadmissible ones).
+struct SelectionReport {
+  KernelSpec chosen;
+  std::vector<FamilyScore> ranking;
+};
+
+class EstimatorSelector {
+ public:
+  struct Options {
+    /// Reference data profiles the exact variances are evaluated on. Empty
+    /// selects built-in profiles derived from the sampling params (binary
+    /// patterns for OR; dense/skewed/one-hot vectors scaled to the
+    /// thresholds for max/min).
+    std::vector<std::vector<double>> profiles;
+  };
+
+  /// Selects over `registry` (default: the process-wide registry).
+  explicit EstimatorSelector(const KernelRegistry* registry = nullptr);
+
+  /// Minimum-variance admissible family for (function, scheme, regime)
+  /// under `params`. NotFound when no registered family is admissible for
+  /// the configuration.
+  Result<SelectionReport> Select(Function function, Scheme scheme,
+                                 Regime regime, const SamplingParams& params,
+                                 const Options& options = {}) const;
+
+  /// Select() per threshold class: one independent selection for each
+  /// sampler configuration (serving stores bucket instances by threshold,
+  /// and the best family can differ across buckets).
+  std::vector<Result<SelectionReport>> SelectPerClass(
+      Function function, Scheme scheme, Regime regime,
+      const std::vector<SamplingParams>& classes,
+      const Options& options = {}) const;
+
+  /// The built-in reference profiles Select() uses when none are given.
+  static std::vector<std::vector<double>> DefaultProfiles(
+      Function function, Scheme scheme, const SamplingParams& params);
+
+ private:
+  const KernelRegistry* registry_;
+};
+
+}  // namespace pie

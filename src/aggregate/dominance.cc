@@ -44,28 +44,50 @@ double EstimateL1Distance(const PpsInstanceSketch& s1,
 
 namespace {
 
-// A synchronous thin bridge: the snapshot is borrowed (no-op deleter) and
-// scanned inline -- per-call worker-thread spawn/join would dominate the
-// repeat-call pattern these wrappers serve. Callers wanting the parallel
-// per-shard scan use QueryService directly.
-QueryService BorrowedQueryService(const StoreSnapshot& snapshot) {
-  return QueryService(
-      std::shared_ptr<const StoreSnapshot>(&snapshot,
-                                           [](const StoreSnapshot*) {}),
-      {/*num_threads=*/1});
+// Point-only bridge options: the borrowed synchronous scan additionally
+// skips the second-moment pass (these wrappers discard the error bars).
+QueryServiceOptions PointOnlyOptions() {
+  QueryServiceOptions options;
+  options.with_variance = false;
+  return options;
+}
+
+QueryServiceOptions CiOptions(const CiPolicy& policy) {
+  QueryServiceOptions options;
+  options.ci = policy;
+  return options;
 }
 
 }  // namespace
 
 MaxDominanceEstimates EstimateMaxDominance(const StoreSnapshot& snapshot,
                                            int i1, int i2) {
-  const auto est = BorrowedQueryService(snapshot).MaxDominance(i1, i2);
+  const auto est =
+      QueryService::Borrowed(snapshot, PointOnlyOptions()).MaxDominance(i1, i2);
   PIE_CHECK_OK(est.status());
-  return {est->ht, est->l};
+  return {est->ht.estimate, est->l.estimate};
+}
+
+DualInterval EstimateMaxDominanceWithCi(const StoreSnapshot& snapshot, int i1,
+                                        int i2, const CiPolicy& policy) {
+  const auto est =
+      QueryService::Borrowed(snapshot, CiOptions(policy)).MaxDominance(i1, i2);
+  PIE_CHECK_OK(est.status());
+  return *est;
 }
 
 double EstimateL1Distance(const StoreSnapshot& snapshot, int i1, int i2) {
-  const auto est = BorrowedQueryService(snapshot).L1Distance(i1, i2);
+  const auto est =
+      QueryService::Borrowed(snapshot, PointOnlyOptions()).L1Distance(i1, i2);
+  PIE_CHECK_OK(est.status());
+  return est->estimate;
+}
+
+IntervalEstimate EstimateL1DistanceWithCi(const StoreSnapshot& snapshot,
+                                          int i1, int i2,
+                                          const CiPolicy& policy) {
+  const auto est =
+      QueryService::Borrowed(snapshot, CiOptions(policy)).L1Distance(i1, i2);
   PIE_CHECK_OK(est.status());
   return *est;
 }

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "accuracy/confidence.h"
 #include "aggregate/dataset.h"
 #include "aggregate/sketch.h"
 #include "engine/engine.h"
@@ -163,6 +164,16 @@ double EstimateL1Distance(const PpsInstanceSketch& s1,
 MaxDominanceEstimates EstimateMaxDominance(const StoreSnapshot& snapshot,
                                            int i1, int i2);
 double EstimateL1Distance(const StoreSnapshot& snapshot, int i1, int i2);
+
+/// The same snapshot aggregates with error bars from the accuracy layer:
+/// per-key unbiased variance estimates accumulated in the same columnar
+/// scan (see src/accuracy/). The point estimates are bitwise identical to
+/// the plain variants above.
+DualInterval EstimateMaxDominanceWithCi(const StoreSnapshot& snapshot, int i1,
+                                        int i2, const CiPolicy& policy = {});
+IntervalEstimate EstimateL1DistanceWithCi(const StoreSnapshot& snapshot,
+                                          int i1, int i2,
+                                          const CiPolicy& policy = {});
 
 /// Exact (analytic) variances of the max-dominance estimators on a two-
 /// instance data set: per-key variance formulas summed over keys

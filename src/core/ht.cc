@@ -7,6 +7,28 @@
 #include "util/check.h"
 
 namespace pie {
+namespace {
+
+// Shared core of the all-sampled HT row forms: true iff every entry is
+// sampled, filling f(v) (via scratch) and the all-sampled probability.
+bool ObliviousHtAllSampled(const double* p, const uint8_t* sampled,
+                           const double* value, int r,
+                           const VectorFunction& f,
+                           std::vector<double>* scratch, double* fv_out,
+                           double* prob_out) {
+  for (int i = 0; i < r; ++i) {
+    if (!sampled[i]) return false;
+  }
+  double prob = 1.0;
+  for (int i = 0; i < r; ++i) prob *= p[i];
+  PIE_DCHECK(prob > 0);
+  scratch->assign(value, value + r);
+  *fv_out = f(*scratch);
+  *prob_out = prob;
+  return true;
+}
+
+}  // namespace
 
 double ObliviousHtEstimate(const ObliviousOutcome& outcome,
                            const VectorFunction& f) {
@@ -21,14 +43,22 @@ double ObliviousHtEstimateRow(const double* p, const uint8_t* sampled,
                               const double* value, int r,
                               const VectorFunction& f,
                               std::vector<double>* scratch) {
-  for (int i = 0; i < r; ++i) {
-    if (!sampled[i]) return 0.0;
+  double fv, prob;
+  if (!ObliviousHtAllSampled(p, sampled, value, r, f, scratch, &fv, &prob)) {
+    return 0.0;
   }
-  double prob = 1.0;
-  for (int i = 0; i < r; ++i) prob *= p[i];
-  PIE_DCHECK(prob > 0);
-  scratch->assign(value, value + r);
-  return f(*scratch) / prob;
+  return fv / prob;
+}
+
+double ObliviousHtSecondMomentRow(const double* p, const uint8_t* sampled,
+                                  const double* value, int r,
+                                  const VectorFunction& f,
+                                  std::vector<double>* scratch) {
+  double fv, prob;
+  if (!ObliviousHtAllSampled(p, sampled, value, r, f, scratch, &fv, &prob)) {
+    return 0.0;
+  }
+  return fv * fv / prob;
 }
 
 double ObliviousHtVariance(const std::vector<double>& values,
@@ -51,25 +81,43 @@ double MaxHtWeighted::Estimate(const PpsOutcome& outcome) const {
                      outcome.sampled.data(), outcome.value.data());
 }
 
-double MaxHtWeighted::EstimateRow(const double* tau, const double* seed,
-                                  const uint8_t* sampled,
-                                  const double* value) const {
+bool MaxHtWeighted::IdentifiedMax(const double* tau, const double* seed,
+                                  const uint8_t* sampled, const double* value,
+                                  double* max_out, double* prob_out) const {
   const int r = static_cast<int>(tau_.size());
   double max_sampled = 0.0;
   for (int i = 0; i < r; ++i) {
     if (sampled[i]) max_sampled = std::max(max_sampled, value[i]);
   }
-  if (max_sampled <= 0) return 0.0;
+  if (max_sampled <= 0) return false;
   // The outcome identifies max(v) iff every unsampled entry is upper-bounded
   // by the largest sampled value (seed bound u_i * tau_i).
   for (int i = 0; i < r; ++i) {
     if (!sampled[i] && seed[i] * tau[i] > max_sampled) {
-      return 0.0;
+      return false;
     }
   }
   double prob = 1.0;
   for (double t : tau_) prob *= std::fmin(1.0, max_sampled / t);
-  return max_sampled / prob;
+  *max_out = max_sampled;
+  *prob_out = prob;
+  return true;
+}
+
+double MaxHtWeighted::EstimateRow(const double* tau, const double* seed,
+                                  const uint8_t* sampled,
+                                  const double* value) const {
+  double mx, prob;
+  if (!IdentifiedMax(tau, seed, sampled, value, &mx, &prob)) return 0.0;
+  return mx / prob;
+}
+
+double MaxHtWeighted::SecondMomentRow(const double* tau, const double* seed,
+                                      const uint8_t* sampled,
+                                      const double* value) const {
+  double mx, prob;
+  if (!IdentifiedMax(tau, seed, sampled, value, &mx, &prob)) return 0.0;
+  return mx * mx / prob;
 }
 
 double MaxHtWeighted::PositiveProb(const std::vector<double>& values) const {

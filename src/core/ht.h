@@ -38,6 +38,17 @@ double ObliviousHtVariance(const std::vector<double>& values,
                            const std::vector<double>& p,
                            const VectorFunction& f);
 
+/// Unbiased estimate of f(v)^2 from a weight-oblivious outcome:
+/// f(values)^2 / prod(p) when every entry is sampled, 0 otherwise. On the
+/// all-sampled event (probability prod(p)) f(v) is known exactly, so the
+/// inverse-probability estimate of its square is unbiased for ANY f --
+/// this is the second-moment kernel behind the accuracy layer's per-key
+/// variance estimates (src/accuracy/).
+double ObliviousHtSecondMomentRow(const double* p, const uint8_t* sampled,
+                                  const double* value, int r,
+                                  const VectorFunction& f,
+                                  std::vector<double>* scratch);
+
 /// The optimal inverse-probability estimator for max under weighted PPS
 /// sampling with known seeds (Section 5.2, from Cohen-Kaplan-Sen):
 /// positive on outcomes where the maximum is identifiable, i.e. every
@@ -57,6 +68,17 @@ class MaxHtWeighted {
   double EstimateRow(const double* tau, const double* seed,
                      const uint8_t* sampled, const double* value) const;
 
+  /// Unbiased estimate of max(v)^2: max_sampled^2 / p on the identifiable
+  /// event (every unsampled entry's seed bound below the largest sampled
+  /// value, where max_sampled = max(v) and p = prod_i min(1, max/tau_i) is
+  /// computable), 0 otherwise. Because the identifiable event does not
+  /// depend on which estimator is being error-barred, this is the shared
+  /// second-moment form for EVERY known-seeds weighted max kernel (HT and
+  /// the order-optimal families alike): the accuracy layer only needs
+  /// E[returned] = max(v)^2.
+  double SecondMomentRow(const double* tau, const double* seed,
+                         const uint8_t* sampled, const double* value) const;
+
   /// Exact variance on a data vector: max^2 (1/p - 1) with
   /// p = prod_i min(1, max/tau_i); 0 for the all-zero vector.
   double Variance(const std::vector<double>& values) const;
@@ -67,6 +89,14 @@ class MaxHtWeighted {
   const std::vector<double>& tau() const { return tau_; }
 
  private:
+  /// Shared core of Estimate/SecondMomentRow: true iff the outcome
+  /// identifies max(v), returning the identified max and the event
+  /// probability prod_i min(1, max/tau_i). One copy of the
+  /// identifiability logic keeps the estimate/second-moment pair in sync.
+  bool IdentifiedMax(const double* tau, const double* seed,
+                     const uint8_t* sampled, const double* value,
+                     double* max_out, double* prob_out) const;
+
   std::vector<double> tau_;
 };
 

@@ -16,18 +16,34 @@ double MinHtWeighted::Estimate(const PpsOutcome& outcome) const {
   return EstimateRow(outcome.sampled.data(), outcome.value.data());
 }
 
-double MinHtWeighted::EstimateRow(const uint8_t* sampled,
-                                  const double* value) const {
+bool MinHtWeighted::AllSampledMin(const uint8_t* sampled, const double* value,
+                                  double* min_out, double* prob_out) const {
   const int r = static_cast<int>(tau_.size());
   double mn = 0.0;
   double prob = 1.0;
   for (int i = 0; i < r; ++i) {
-    if (!sampled[i]) return 0.0;
+    if (!sampled[i]) return false;
     const double v = value[i];
     mn = i == 0 ? v : std::fmin(mn, v);
     prob *= std::fmin(1.0, v / tau_[static_cast<size_t>(i)]);
   }
+  *min_out = mn;
+  *prob_out = prob;
+  return true;
+}
+
+double MinHtWeighted::EstimateRow(const uint8_t* sampled,
+                                  const double* value) const {
+  double mn, prob;
+  if (!AllSampledMin(sampled, value, &mn, &prob)) return 0.0;
   return mn / prob;
+}
+
+double MinHtWeighted::SecondMomentRow(const uint8_t* sampled,
+                                      const double* value) const {
+  double mn, prob;
+  if (!AllSampledMin(sampled, value, &mn, &prob)) return 0.0;
+  return mn * mn / prob;
 }
 
 double MinHtWeighted::PositiveProb(const std::vector<double>& values) const {

@@ -29,6 +29,12 @@ class MinHtWeighted {
   /// paths (never reads seeds, matching the unknown-seeds regime).
   double EstimateRow(const uint8_t* sampled, const double* value) const;
 
+  /// Unbiased estimate of min(v)^2: min^2 / p on the all-sampled event
+  /// (where min(v) is known and p = prod_i min(1, v_i/tau_i) is computable
+  /// from the sampled values alone), 0 otherwise. Feeds the accuracy
+  /// layer's per-key variance estimates (src/accuracy/).
+  double SecondMomentRow(const uint8_t* sampled, const double* value) const;
+
   /// P[all entries sampled | values] = prod_i min(1, v_i/tau_i).
   double PositiveProb(const std::vector<double>& values) const;
 
@@ -39,6 +45,12 @@ class MinHtWeighted {
   const std::vector<double>& tau() const { return tau_; }
 
  private:
+  /// Shared core of Estimate/SecondMomentRow: true iff every entry is
+  /// sampled, returning min(v) and the all-sampled probability. One copy
+  /// keeps the estimate/second-moment pair in sync.
+  bool AllSampledMin(const uint8_t* sampled, const double* value,
+                     double* min_out, double* prob_out) const;
+
   std::vector<double> tau_;
 };
 

@@ -101,6 +101,33 @@ void EstimatorKernel::EstimateMany(BatchView batch, double* out) const {
   }
 }
 
+double EstimatorKernel::EstimateSecondMoment(const Outcome& outcome) const {
+  // Weight-oblivious sampling is value-independent, so the outcome of the
+  // squared data vector is this outcome with sampled values squared; the
+  // kernel's unbiasedness on arbitrary nonnegative data then gives an
+  // unbiased estimate of f(v.^2) = f(v)^2 (all primitive targets commute
+  // with squaring on nonnegative entries).
+  PIE_CHECK(outcome.scheme == Scheme::kOblivious &&
+            "PPS kernels must override EstimateSecondMoment (squaring "
+            "sampled values breaks the weighted outcome correspondence)");
+  Outcome squared = outcome;
+  for (size_t i = 0; i < squared.oblivious.value.size(); ++i) {
+    if (squared.oblivious.sampled[i]) {
+      squared.oblivious.value[i] *= squared.oblivious.value[i];
+    }
+  }
+  return Estimate(squared);
+}
+
+void EstimatorKernel::EstimateSecondMomentMany(BatchView batch,
+                                               double* out) const {
+  Outcome scratch;
+  for (int i = 0; i < batch.size; ++i) {
+    ExtractRow(batch, i, &scratch);
+    out[i] = EstimateSecondMoment(scratch);
+  }
+}
+
 bool SamplingParams::IsUniform() const {
   for (double x : per_entry) {
     if (x != per_entry[0]) return false;

@@ -210,6 +210,32 @@ class EstimatorKernel {
   /// (quadrature, enumeration) gain nothing from an override.
   virtual void EstimateMany(BatchView batch, double* out) const;
 
+  /// Unbiased estimate of f(v)^2 from one outcome: E over outcomes of the
+  /// returned value equals f(v)^2 for every data vector. Together with the
+  /// point estimate this yields the unbiased per-key variance estimate
+  ///   Var-hat = Estimate(o)^2 - EstimateSecondMoment(o),
+  /// since E[Estimate^2] - f^2 = Var[Estimate] -- the accuracy layer sums
+  /// Var-hat over keys to attach honest error bars to sum aggregates
+  /// (src/accuracy/).
+  ///
+  /// The base implementation covers every weight-oblivious kernel exactly:
+  /// the sampled set is value-independent, and all primitive targets
+  /// commute with squaring on nonnegative data (max(v.^2) = max(v)^2,
+  /// likewise min / l-th largest / binary OR), so estimating the squared
+  /// data vector through the same outcome is unbiased for f(v)^2. PPS
+  /// kernels (sampling depends on the values, so squaring breaks the
+  /// outcome correspondence) MUST override; the built-ins use
+  /// identifiable-event inverse-probability forms (core/ht.h,
+  /// core/min_weighted.h) and the OR binary identity f^2 = f.
+  virtual double EstimateSecondMoment(const Outcome& outcome) const;
+
+  /// Batched second moments into out[0..batch.size), mirroring
+  /// EstimateMany. The base implementation materializes rows onto the
+  /// scalar EstimateSecondMoment; hot kernels override with slab loops.
+  /// Overrides MUST be bitwise-identical to the scalar path (enforced by
+  /// the registry sweep in tests/accuracy_test.cc).
+  virtual void EstimateSecondMomentMany(BatchView batch, double* out) const;
+
   /// Exact variance on a data vector, where core provides a closed form /
   /// enumeration; Unimplemented otherwise.
   virtual Result<double> Variance(

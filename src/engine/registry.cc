@@ -70,6 +70,26 @@ class ObliviousHtKernel : public EstimatorKernel {
                                       &scratch);
     }
   }
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
+    const ObliviousOutcome& o = outcome.oblivious;
+    std::vector<double> scratch;
+    scratch.reserve(p_.size());
+    return ObliviousHtSecondMomentRow(o.p.data(), o.sampled.data(),
+                                      o.value.data(), o.r(), f_, &scratch);
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious,
+                     static_cast<int>(p_.size()));
+    std::vector<double> scratch;
+    scratch.reserve(p_.size());
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = ObliviousHtSecondMomentRow(batch.param_row(i),
+                                          batch.sampled_row(i),
+                                          batch.value_row(i), batch.r, f_,
+                                          &scratch);
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     return ObliviousHtVariance(values, p_, f_);
   }
@@ -80,6 +100,18 @@ class ObliviousHtKernel : public EstimatorKernel {
   VectorFunction f_;
   std::vector<double> p_;
 };
+
+/// Squares the sampled entries of a length-r row into `out` (unsampled
+/// slots are copied through untouched; the estimators never read them, but
+/// copying keeps the row well-formed). The slab-loop twin of the base
+/// EstimateSecondMoment's squared-outcome bridge: x * x on the same lanes,
+/// so the batched and scalar second-moment paths stay bitwise identical.
+inline void SquareSampledRow(const uint8_t* sampled, const double* value,
+                             int r, double* out) {
+  for (int i = 0; i < r; ++i) {
+    out[i] = sampled[i] ? value[i] * value[i] : value[i];
+  }
+}
 
 class MaxLTwoKernel : public EstimatorKernel {
  public:
@@ -92,6 +124,15 @@ class MaxLTwoKernel : public EstimatorKernel {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    double sq[2];
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      SquareSampledRow(sampled, batch.value_row(i), 2, sq);
+      out[i] = est_.EstimateRow(sampled, sq);
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
@@ -137,6 +178,17 @@ class MaxLUniformKernel : public EstimatorKernel {
                                 &scratch);
     }
   }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, est_.r());
+    std::vector<double> scratch;
+    scratch.reserve(static_cast<size_t>(est_.r()));
+    std::vector<double> sq(static_cast<size_t>(est_.r()));
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      SquareSampledRow(sampled, batch.value_row(i), est_.r(), sq.data());
+      out[i] = est_.EstimateRow(sampled, sq.data(), &scratch);
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     if (static_cast<int>(values.size()) != est_.r() || est_.r() > 25) {
       return Status::InvalidArgument(
@@ -165,6 +217,15 @@ class MaxUTwoKernel : public EstimatorKernel {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
   }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    double sq[2];
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      SquareSampledRow(sampled, batch.value_row(i), 2, sq);
+      out[i] = est_.EstimateRow(sampled, sq);
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     return est_.Variance(values[0], values[1]);
@@ -186,6 +247,15 @@ class MaxUAsymTwoKernel : public EstimatorKernel {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    double sq[2];
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      SquareSampledRow(sampled, batch.value_row(i), 2, sq);
+      out[i] = est_.EstimateRow(sampled, sq);
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
@@ -211,6 +281,15 @@ class OrLTwoKernel : public EstimatorKernel {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
   }
+  // Binary domain: OR(v)^2 = OR(v), so the point estimate IS the unbiased
+  // second-moment estimate (and 0/1 are fixed points of squaring, so this
+  // is bitwise the base squared-outcome bridge).
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    return Estimate(outcome);
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    EstimateMany(batch, out);
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     PIE_RETURN_IF_ERROR(RequireBinary(values));
@@ -235,6 +314,13 @@ class OrLUniformKernel : public EstimatorKernel {
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+  }
+  // Binary domain: OR(v)^2 = OR(v) (see OrLTwoKernel).
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    return Estimate(outcome);
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    EstimateMany(batch, out);
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
@@ -264,6 +350,13 @@ class OrUTwoKernel : public EstimatorKernel {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
   }
+  // Binary domain: OR(v)^2 = OR(v) (see OrLTwoKernel).
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    return Estimate(outcome);
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    EstimateMany(batch, out);
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     PIE_RETURN_IF_ERROR(RequireBinary(values));
@@ -292,6 +385,21 @@ class MaxHtWeightedKernel : public EstimatorKernel {
                                 batch.sampled_row(i), batch.value_row(i));
     }
   }
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    const PpsOutcome& o = outcome.pps;
+    return est_.SecondMomentRow(o.tau.data(), o.seed.data(),
+                                o.sampled.data(), o.value.data());
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps,
+                     static_cast<int>(est_.tau().size()));
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.SecondMomentRow(batch.param_row(i), batch.seed_row(i),
+                                    batch.sampled_row(i),
+                                    batch.value_row(i));
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     return est_.Variance(values);
   }
@@ -307,7 +415,7 @@ class MaxHtWeightedKernel : public EstimatorKernel {
 class MaxLWeightedTwoKernel : public EstimatorKernel {
  public:
   MaxLWeightedTwoKernel(double tau1, double tau2, double quad_tol)
-      : est_(tau1, tau2, quad_tol) {}
+      : est_(tau1, tau2, quad_tol), second_({tau1, tau2}) {}
   double Estimate(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kPps);
     return est_.Estimate(outcome.pps);
@@ -319,6 +427,25 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
                                 batch.sampled_row(i), batch.value_row(i));
     }
   }
+  // The second moment uses the identifiable-event inverse-probability form
+  // (max_sampled^2 / p on outcomes that pin down max(v)); any unbiased
+  // estimator of max^2 serves, and this one is closed-form, nonnegative,
+  // and shares the slab layout -- see MaxHtWeighted::SecondMomentRow.
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    const PpsOutcome& o = outcome.pps;
+    return second_.SecondMomentRow(o.tau.data(), o.seed.data(),
+                                   o.sampled.data(), o.value.data());
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps, 2);
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = second_.SecondMomentRow(batch.param_row(i),
+                                       batch.seed_row(i),
+                                       batch.sampled_row(i),
+                                       batch.value_row(i));
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     return est_.Variance(values[0], values[1]);
@@ -327,6 +454,7 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
 
  private:
   MaxLWeightedTwo est_;
+  MaxHtWeighted second_;
 };
 
 /// OR over weighted PPS samples with known seeds, r = 2; the family selects
@@ -365,6 +493,14 @@ class OrWeightedTwoKernel : public EstimatorKernel {
           break;
       }
     }
+  }
+  // Binary domain: OR(v)^2 = OR(v), so the point estimate is itself the
+  // unbiased second-moment estimate.
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    return Estimate(outcome);
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    EstimateMany(batch, out);
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -422,6 +558,13 @@ class OrWeightedUniformKernel : public EstimatorKernel {
                                        s.data(), v.data());
     }
   }
+  // Binary domain: OR(v)^2 = OR(v) (see OrWeightedTwoKernel).
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    return Estimate(outcome);
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    EstimateMany(batch, out);
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
     PIE_RETURN_IF_ERROR(RequireBinary(values));
@@ -457,6 +600,19 @@ class MinHtWeightedKernel : public EstimatorKernel {
                      static_cast<int>(est_.tau().size()));
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+    }
+  }
+  double EstimateSecondMoment(const Outcome& outcome) const override {
+    PIE_DCHECK(outcome.scheme == Scheme::kPps);
+    return est_.SecondMomentRow(outcome.pps.sampled.data(),
+                                outcome.pps.value.data());
+  }
+  void EstimateSecondMomentMany(BatchView batch, double* out) const override {
+    CheckBatchLayout(batch, Scheme::kPps,
+                     static_cast<int>(est_.tau().size()));
+    for (int i = 0; i < batch.size; ++i) {
+      out[i] = est_.SecondMomentRow(batch.sampled_row(i),
+                                    batch.value_row(i));
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {

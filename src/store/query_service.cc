@@ -26,6 +26,15 @@ QueryService::QueryService(std::shared_ptr<const StoreSnapshot> snapshot,
   PIE_CHECK(options_.num_threads >= 0);
 }
 
+QueryService QueryService::Borrowed(const StoreSnapshot& snapshot,
+                                    QueryServiceOptions options) {
+  options.num_threads = 1;
+  return QueryService(
+      std::shared_ptr<const StoreSnapshot>(&snapshot,
+                                           [](const StoreSnapshot*) {}),
+      options);
+}
+
 void QueryService::ForEachShard(const std::function<void(int)>& fn) const {
   const int num_shards = snapshot_->num_shards();
   int threads = options_.num_threads;
@@ -53,21 +62,18 @@ void QueryService::ForEachShard(const std::function<void(int)>& fn) const {
   for (auto& worker : workers) worker.join();
 }
 
-Result<DualEstimate> QueryService::MaxDominance(int i1, int i2) const {
+void QueryService::ScanMaxPair(
+    int i1, int i2, const std::vector<const EstimatorKernel*>& kernels,
+    std::vector<AccuracyAccumulator>* totals) const {
   const double tau1 = snapshot_->TauFor(i1);
   const double tau2 = snapshot_->TauFor(i2);
-  const SamplingParams params({tau1, tau2}, options_.quad_tol);
-  auto& engine = EstimationEngine::Global();
-  auto ht = engine.Kernel(MaxPpsSpec(Family::kHt), params);
-  auto l = engine.Kernel(MaxPpsSpec(Family::kL), params);
-  PIE_RETURN_IF_ERROR(ht.status());
-  PIE_RETURN_IF_ERROR(l.status());
-
   const SeedFunction seed1(snapshot_->InstanceSalt(i1));
   const SeedFunction seed2(snapshot_->InstanceSalt(i2));
   const int num_shards = snapshot_->num_shards();
-  std::vector<double> ht_partial(static_cast<size_t>(num_shards), 0.0);
-  std::vector<double> l_partial(static_cast<size_t>(num_shards), 0.0);
+  const size_t num_kernels = kernels.size();
+  std::vector<std::vector<AccuracyAccumulator>> partial(
+      static_cast<size_t>(num_shards),
+      std::vector<AccuracyAccumulator>(num_kernels));
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
     const StreamingPpsSketch* s1 = shard.Instance(i1);
@@ -104,19 +110,58 @@ Result<DualEstimate> QueryService::MaxDominance(int i1, int i2) const {
         if (s1 == nullptr || !s1->Lookup(e.key, nullptr)) add_key(e.key);
       }
     }
-    ht_partial[static_cast<size_t>(s)] = EstimateSum(**ht, batch);
-    l_partial[static_cast<size_t>(s)] = EstimateSum(**l, batch);
+    for (size_t k = 0; k < num_kernels; ++k) {
+      AccuracyAccumulator& acc = partial[static_cast<size_t>(s)][k];
+      if (options_.with_variance) {
+        acc.AddBatch(*kernels[k], batch);
+      } else {
+        acc.AddBatchEstimateOnly(*kernels[k], batch);
+      }
+    }
   });
-
-  DualEstimate out;
+  totals->assign(num_kernels, AccuracyAccumulator());
   for (int s = 0; s < num_shards; ++s) {
-    out.ht += ht_partial[static_cast<size_t>(s)];
-    out.l += l_partial[static_cast<size_t>(s)];
+    for (size_t k = 0; k < num_kernels; ++k) {
+      (*totals)[k].Merge(partial[static_cast<size_t>(s)][k]);
+    }
   }
+}
+
+Result<DualInterval> QueryService::MaxDominance(int i1, int i2) const {
+  const SamplingParams params({snapshot_->TauFor(i1), snapshot_->TauFor(i2)},
+                              options_.quad_tol);
+  auto& engine = EstimationEngine::Global();
+  auto ht = engine.Kernel(MaxPpsSpec(Family::kHt), params);
+  auto l = engine.Kernel(MaxPpsSpec(Family::kL), params);
+  PIE_RETURN_IF_ERROR(ht.status());
+  PIE_RETURN_IF_ERROR(l.status());
+
+  std::vector<AccuracyAccumulator> totals;
+  ScanMaxPair(i1, i2, {ht->get(), l->get()}, &totals);
+  DualInterval out;
+  out.ht = totals[0].Interval(options_.ci);
+  out.l = totals[1].Interval(options_.ci);
   return out;
 }
 
-Result<double> QueryService::MinDominanceHt(int i1, int i2) const {
+Result<SelectedEstimate> QueryService::MaxDominanceAuto(int i1, int i2) const {
+  const SamplingParams params({snapshot_->TauFor(i1), snapshot_->TauFor(i2)},
+                              options_.quad_tol);
+  auto report = EstimatorSelector().Select(Function::kMax, Scheme::kPps,
+                                           Regime::kKnownSeeds, params);
+  PIE_RETURN_IF_ERROR(report.status());
+  auto kernel = EstimationEngine::Global().Kernel(report->chosen, params);
+  PIE_RETURN_IF_ERROR(kernel.status());
+
+  std::vector<AccuracyAccumulator> totals;
+  ScanMaxPair(i1, i2, {kernel->get()}, &totals);
+  SelectedEstimate out;
+  out.spec = report->chosen;
+  out.interval = totals[0].Interval(options_.ci);
+  return out;
+}
+
+Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
   const double tau1 = snapshot_->TauFor(i1);
   const double tau2 = snapshot_->TauFor(i2);
   auto min_ht = EstimationEngine::Global().Kernel(
@@ -125,7 +170,7 @@ Result<double> QueryService::MinDominanceHt(int i1, int i2) const {
   PIE_RETURN_IF_ERROR(min_ht.status());
 
   const int num_shards = snapshot_->num_shards();
-  std::vector<double> partial(static_cast<size_t>(num_shards), 0.0);
+  std::vector<AccuracyAccumulator> partial(static_cast<size_t>(num_shards));
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
     const StreamingPpsSketch* s1 = shard.Instance(i1);
@@ -150,23 +195,33 @@ Result<double> QueryService::MinDominanceHt(int i1, int i2) const {
       value[0] = e.weight;
       value[1] = v2;
     }
-    partial[static_cast<size_t>(s)] = EstimateSum(**min_ht, batch);
+    AccuracyAccumulator& acc = partial[static_cast<size_t>(s)];
+    if (options_.with_variance) {
+      acc.AddBatch(**min_ht, batch);
+    } else {
+      acc.AddBatchEstimateOnly(**min_ht, batch);
+    }
   });
 
-  double total = 0.0;
-  for (double p : partial) total += p;
-  return total;
+  AccuracyAccumulator total;
+  for (const auto& p : partial) total.Merge(p);
+  return total.Interval(options_.ci);
 }
 
-Result<double> QueryService::L1Distance(int i1, int i2) const {
+Result<IntervalEstimate> QueryService::L1Distance(int i1, int i2) const {
   auto max_est = MaxDominance(i1, i2);
   PIE_RETURN_IF_ERROR(max_est.status());
   auto min_est = MinDominanceHt(i1, i2);
   PIE_RETURN_IF_ERROR(min_est.status());
-  return max_est->l - *min_est;
+  // The difference's variance needs the covariance of the two scans (they
+  // share the sample); sd(X - Y) <= sd(X) + sd(Y) gives a conservative
+  // but always-valid width.
+  const double std_err_bound = max_est->l.std_err + min_est->std_err;
+  return MakeInterval(max_est->l.estimate - min_est->estimate,
+                      std_err_bound * std_err_bound, options_.ci);
 }
 
-Result<DualEstimate> QueryService::DistinctUnion(
+Result<DualInterval> QueryService::DistinctUnion(
     const std::vector<int>& instances) const {
   const int r = static_cast<int>(instances.size());
   if (r < 2) {
@@ -188,8 +243,9 @@ Result<DualEstimate> QueryService::DistinctUnion(
     seeds.emplace_back(snapshot_->InstanceSalt(instance));
   }
   const int num_shards = snapshot_->num_shards();
-  std::vector<double> ht_partial(static_cast<size_t>(num_shards), 0.0);
-  std::vector<double> l_partial(static_cast<size_t>(num_shards), 0.0);
+  std::vector<AccuracyAccumulator> ht_partial(
+      static_cast<size_t>(num_shards));
+  std::vector<AccuracyAccumulator> l_partial(static_cast<size_t>(num_shards));
   std::atomic<bool> non_unit_weight{false};
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
@@ -230,19 +286,27 @@ Result<DualEstimate> QueryService::DistinctUnion(
         }
       }
     }
-    ht_partial[static_cast<size_t>(s)] = EstimateSum(**ht, batch);
-    l_partial[static_cast<size_t>(s)] = EstimateSum(**l, batch);
+    if (options_.with_variance) {
+      ht_partial[static_cast<size_t>(s)].AddBatch(**ht, batch);
+      l_partial[static_cast<size_t>(s)].AddBatch(**l, batch);
+    } else {
+      ht_partial[static_cast<size_t>(s)].AddBatchEstimateOnly(**ht, batch);
+      l_partial[static_cast<size_t>(s)].AddBatchEstimateOnly(**l, batch);
+    }
   });
   if (non_unit_weight.load()) {
     return Status::InvalidArgument(
         "distinct union requires unit-weight ingestion (set semantics)");
   }
 
-  DualEstimate out;
+  AccuracyAccumulator ht_total, l_total;
   for (int s = 0; s < num_shards; ++s) {
-    out.ht += ht_partial[static_cast<size_t>(s)];
-    out.l += l_partial[static_cast<size_t>(s)];
+    ht_total.Merge(ht_partial[static_cast<size_t>(s)]);
+    l_total.Merge(l_partial[static_cast<size_t>(s)]);
   }
+  DualInterval out;
+  out.ht = ht_total.Interval(options_.ci);
+  out.l = l_total.Interval(options_.ci);
   return out;
 }
 

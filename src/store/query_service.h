@@ -1,4 +1,4 @@
-// Engine-batched estimation queries over store snapshots.
+// Engine-batched estimation queries over store snapshots, with error bars.
 //
 // A QueryService binds one immutable StoreSnapshot and answers the
 // Section 8 sum aggregates -- max/min dominance, L1 distance, distinct /
@@ -12,6 +12,14 @@
 // any thread count because each shard's partial is computed identically
 // (EstimateMany overrides are bitwise-identical to the scalar path) and
 // the reduction order is fixed.
+//
+// Since PR 4 every aggregate returns an IntervalEstimate {estimate,
+// std_err, lo, hi} rather than a bare double: each shard scan also drives
+// the kernel's EstimateSecondMomentMany over the same slabs, accumulating
+// the unbiased per-key variance estimates into mergeable
+// AccuracyAccumulators (src/accuracy/). Point estimates are unchanged --
+// the accumulator's sum is bitwise identical to the previous EstimateSum
+// reduction.
 
 #pragma once
 
@@ -19,6 +27,9 @@
 #include <memory>
 #include <vector>
 
+#include "accuracy/accumulator.h"
+#include "accuracy/confidence.h"
+#include "accuracy/selector.h"
 #include "engine/engine.h"
 #include "store/sketch_store.h"
 #include "util/status.h"
@@ -31,13 +42,20 @@ struct QueryServiceOptions {
   int num_threads = 0;
   /// Quadrature tolerance forwarded to kernels that integrate seed bounds.
   double quad_tol = 1e-10;
+  /// Interval policy applied to every aggregate's error bars.
+  CiPolicy ci = {};
+  /// When false, the per-shard scans skip the second-moment pass: point
+  /// estimates are unchanged (still bitwise identical), but every returned
+  /// interval is zero-width (variance/std_err/lo-hi spread all 0). For
+  /// point-only callers that must not pay for error bars -- roughly half
+  /// the scan cost (see bench/perf_accuracy.cc).
+  bool with_variance = true;
 };
 
-/// The classical baseline and the paper's partial-information estimate of
-/// the same aggregate, side by side.
-struct DualEstimate {
-  double ht = 0.0;
-  double l = 0.0;
+/// A selector-chosen aggregate: which family answered, and its interval.
+struct SelectedEstimate {
+  KernelSpec spec;
+  IntervalEstimate interval;
 };
 
 class QueryService {
@@ -45,23 +63,38 @@ class QueryService {
   explicit QueryService(std::shared_ptr<const StoreSnapshot> snapshot,
                         QueryServiceOptions options = {});
 
+  /// A synchronous service borrowing `snapshot` (no-op deleter, inline
+  /// single-threaded scan regardless of options.num_threads): the
+  /// aggregate layer's repeat-call bridges, where per-call worker-thread
+  /// spawn/join would dominate. The caller must keep the snapshot alive.
+  static QueryService Borrowed(const StoreSnapshot& snapshot,
+                               QueryServiceOptions options = {});
+
   /// Max-dominance norm sum_h max(v_i1(h), v_i2(h)) (Section 8.2), via the
   /// per-key weighted max^(HT) / max^(L) kernels over the union of sampled
-  /// keys.
-  Result<DualEstimate> MaxDominance(int i1, int i2) const;
+  /// keys, each with error bars.
+  Result<DualInterval> MaxDominance(int i1, int i2) const;
+
+  /// Max-dominance through the variance-driven EstimatorSelector: the
+  /// minimum-variance admissible weighted max family for this snapshot's
+  /// threshold class answers (the paper's Pareto ordering, operational).
+  Result<SelectedEstimate> MaxDominanceAuto(int i1, int i2) const;
 
   /// Min-dominance norm sum_h min(v_i1(h), v_i2(h)) via min^(HT)
   /// (Section 6; keys sampled in both instances contribute).
-  Result<double> MinDominanceHt(int i1, int i2) const;
+  Result<IntervalEstimate> MinDominanceHt(int i1, int i2) const;
 
   /// Unbiased L1 distance sum_h |v_i1(h) - v_i2(h)| as max^(L) - min^(HT).
-  Result<double> L1Distance(int i1, int i2) const;
+  /// The two terms share the sample, so their covariance is unknown; the
+  /// reported error bars use the conservative bound
+  /// sd(X - Y) <= sd(X) + sd(Y).
+  Result<IntervalEstimate> L1Distance(int i1, int i2) const;
 
   /// Distinct count |union of instances| (Section 8.1) as the sum
   /// aggregate of per-key Boolean OR. Requires unit-weight ingestion (set
   /// semantics: every record weight 1, so tau = 1/p); more than two
   /// instances additionally require a uniform tau.
-  Result<DualEstimate> DistinctUnion(const std::vector<int>& instances) const;
+  Result<DualInterval> DistinctUnion(const std::vector<int>& instances) const;
 
   /// Horvitz-Thompson subset-sum estimate of one instance's total over
   /// keys selected by `pred` (templated: no allocation on the scan).
@@ -81,6 +114,14 @@ class QueryService {
   /// Runs fn(shard) for every shard, fanning out across options_.num_threads
   /// workers. fn must only touch its own shard's slots.
   void ForEachShard(const std::function<void(int)>& fn) const;
+
+  /// Scans the union of keys sampled in instance i1 or i2, assembling the
+  /// per-shard r=2 PPS batches once and accumulating every kernel's
+  /// estimate + variance; totals are reduced in shard order (one
+  /// AccuracyAccumulator per kernel).
+  void ScanMaxPair(int i1, int i2,
+                   const std::vector<const EstimatorKernel*>& kernels,
+                   std::vector<AccuracyAccumulator>* totals) const;
 
   std::shared_ptr<const StoreSnapshot> snapshot_;
   QueryServiceOptions options_;

@@ -2,23 +2,6 @@
 
 namespace pie {
 
-void RunningStat::Merge(const RunningStat& o) {
-  if (o.count_ == 0) return;
-  if (count_ == 0) {
-    *this = o;
-    return;
-  }
-  const double n1 = static_cast<double>(count_);
-  const double n2 = static_cast<double>(o.count_);
-  const double delta = o.mean_ - mean_;
-  const double n = n1 + n2;
-  mean_ += delta * n2 / n;
-  m2_ += o.m2_ + delta * delta * n1 * n2 / n;
-  count_ += o.count_;
-  min_ = std::min(min_, o.min_);
-  max_ = std::max(max_, o.max_);
-}
-
 double RelativeError(double a, double b, double floor) {
   return std::fabs(a - b) / std::max(std::fabs(b), floor);
 }

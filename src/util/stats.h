@@ -1,5 +1,5 @@
 // Streaming summary statistics (Welford's algorithm) and helpers used by the
-// Monte Carlo cross-checks and the benchmark harness.
+// Monte Carlo cross-checks, the accuracy layer, and the benchmark harness.
 
 #pragma once
 
@@ -12,23 +12,44 @@
 
 namespace pie {
 
-/// Numerically stable streaming mean/variance/extremes accumulator.
-class RunningStat {
+/// Mergeable streaming moment accumulator: count / mean / M2 maintained by
+/// Welford's update, with the exact pairwise Merge() of Chan et al. so
+/// per-shard (or per-thread) partials reduce to the same moments as a
+/// single stream, up to floating-point rounding. This is the building block
+/// of RunningStat, of the accuracy layer's per-query variance accumulation,
+/// and of the Monte Carlo cross-checks in bench/fig2 and bench/fig4.
+class MomentAccumulator {
  public:
   void Add(double x) {
     ++count_;
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(count_);
     m2_ += delta * (x - mean_);
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
   }
 
-  /// Merges another accumulator (parallel Welford / Chan et al.).
-  void Merge(const RunningStat& o);
+  /// Exact pairwise combination (Chan et al., parallel Welford): the merged
+  /// accumulator has the moments of the concatenated streams. Merging is
+  /// commutative/associative up to rounding; merge-order invariance is
+  /// covered in tests/util_test.cc.
+  void Merge(const MomentAccumulator& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(o.count_);
+    const double delta = o.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += o.m2_ + delta * delta * n1 * n2 / n;
+    count_ += o.count_;
+  }
 
   int64_t count() const { return count_; }
   double mean() const { return mean_; }
+  /// Sum of squared deviations from the mean (the raw M2 moment).
+  double m2() const { return m2_; }
 
   /// Population variance (divide by n). Zero for fewer than 2 samples.
   double variance() const {
@@ -39,15 +60,6 @@ class RunningStat {
     return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
   }
   double stddev() const { return std::sqrt(variance()); }
-
-  double min() const { return min_; }
-  double max() const { return max_; }
-
-  /// Coefficient of variation: stddev / |mean|. Requires nonzero mean.
-  double cv() const {
-    PIE_DCHECK(mean_ != 0.0);
-    return stddev() / std::fabs(mean_);
-  }
 
   /// Standard error of the mean (sample stddev / sqrt(n)).
   double standard_error() const {
@@ -60,6 +72,50 @@ class RunningStat {
   int64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+};
+
+/// Numerically stable streaming mean/variance/extremes accumulator: the
+/// mergeable moments plus min/max tracking.
+class RunningStat {
+ public:
+  void Add(double x) {
+    moments_.Add(x);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void Merge(const RunningStat& o) {
+    moments_.Merge(o.moments_);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  int64_t count() const { return moments_.count(); }
+  double mean() const { return moments_.mean(); }
+
+  /// Population variance (divide by n). Zero for fewer than 2 samples.
+  double variance() const { return moments_.variance(); }
+  /// Sample variance (divide by n-1). Zero for fewer than 2 samples.
+  double sample_variance() const { return moments_.sample_variance(); }
+  double stddev() const { return moments_.stddev(); }
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Coefficient of variation: stddev / |mean|. Requires nonzero mean.
+  double cv() const {
+    PIE_DCHECK(mean() != 0.0);
+    return stddev() / std::fabs(mean());
+  }
+
+  /// Standard error of the mean (sample stddev / sqrt(n)).
+  double standard_error() const { return moments_.standard_error(); }
+
+  const MomentAccumulator& moments() const { return moments_; }
+
+ private:
+  MomentAccumulator moments_;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

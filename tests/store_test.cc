@@ -316,13 +316,13 @@ TEST(QueryServiceTest, MaxDominanceMatchesAggregatePath) {
   const auto s1 = MaterializeInstance(*snapshot, 0);
   const auto s2 = MaterializeInstance(*snapshot, 1);
   const auto direct = EstimateMaxDominance(s1, s2);
-  EXPECT_NEAR(store_est->ht, direct.ht, 1e-9 * std::fabs(direct.ht));
-  EXPECT_NEAR(store_est->l, direct.l, 1e-9 * std::fabs(direct.l));
+  EXPECT_NEAR(store_est->ht.estimate, direct.ht, 1e-9 * std::fabs(direct.ht));
+  EXPECT_NEAR(store_est->l.estimate, direct.l, 1e-9 * std::fabs(direct.l));
 
   // The aggregate layer's snapshot overload is the same computation.
   const auto bridged = EstimateMaxDominance(*snapshot, 0, 1);
-  EXPECT_EQ(bridged.ht, store_est->ht);
-  EXPECT_EQ(bridged.l, store_est->l);
+  EXPECT_EQ(bridged.ht, store_est->ht.estimate);
+  EXPECT_EQ(bridged.l, store_est->l.estimate);
 }
 
 TEST(QueryServiceTest, MinAndL1MatchAggregatePath) {
@@ -335,14 +335,14 @@ TEST(QueryServiceTest, MinAndL1MatchAggregatePath) {
   const auto min_est = service.MinDominanceHt(0, 1);
   ASSERT_TRUE(min_est.ok());
   const double direct_min = EstimateMinDominanceHt(s1, s2);
-  EXPECT_NEAR(*min_est, direct_min, 1e-9 * std::fabs(direct_min));
+  EXPECT_NEAR(min_est->estimate, direct_min, 1e-9 * std::fabs(direct_min));
 
   const auto l1_est = service.L1Distance(0, 1);
   ASSERT_TRUE(l1_est.ok());
   const double direct_l1 = EstimateL1Distance(s1, s2);
-  EXPECT_NEAR(*l1_est, direct_l1, 1e-9 * std::fabs(direct_l1));
-  EXPECT_NEAR(EstimateL1Distance(*snapshot, 0, 1), *l1_est,
-              1e-12 * std::fabs(*l1_est));
+  EXPECT_NEAR(l1_est->estimate, direct_l1, 1e-9 * std::fabs(direct_l1));
+  EXPECT_NEAR(EstimateL1Distance(*snapshot, 0, 1), l1_est->estimate,
+              1e-12 * std::fabs(l1_est->estimate));
 }
 
 TEST(QueryServiceTest, ParallelScanIsBitwiseDeterministic) {
@@ -354,8 +354,10 @@ TEST(QueryServiceTest, ParallelScanIsBitwiseDeterministic) {
       QueryService(snapshot, {/*num_threads=*/4}).MaxDominance(0, 1);
   ASSERT_TRUE(sequential.ok());
   ASSERT_TRUE(parallel.ok());
-  EXPECT_EQ(sequential->ht, parallel->ht);  // bitwise: fixed reduction order
-  EXPECT_EQ(sequential->l, parallel->l);
+  EXPECT_EQ(sequential->ht.estimate, parallel->ht.estimate);  // bitwise: fixed reduction order
+  EXPECT_EQ(sequential->l.estimate, parallel->l.estimate);
+  EXPECT_EQ(sequential->ht.variance, parallel->ht.variance);
+  EXPECT_EQ(sequential->l.variance, parallel->l.variance);
 }
 
 TEST(QueryServiceTest, DistinctUnionMatchesClassificationPath) {
@@ -378,8 +380,8 @@ TEST(QueryServiceTest, DistinctUnionMatchesClassificationPath) {
   const auto c = ClassifyDistinct(b1, b2);
   const double ht = DistinctHtEstimate(c, b1.p, b2.p);
   const double l = DistinctLEstimate(c, b1.p, b2.p);
-  EXPECT_NEAR(est->ht, ht, 1e-9 * std::fabs(ht) + 1e-9);
-  EXPECT_NEAR(est->l, l, 1e-9 * std::fabs(l) + 1e-9);
+  EXPECT_NEAR(est->ht.estimate, ht, 1e-9 * std::fabs(ht) + 1e-9);
+  EXPECT_NEAR(est->l.estimate, l, 1e-9 * std::fabs(l) + 1e-9);
 }
 
 TEST(QueryServiceTest, DistinctUnionMultiInstanceMatchesMultiPath) {
@@ -415,8 +417,8 @@ TEST(QueryServiceTest, DistinctUnionMultiInstanceMatchesMultiPath) {
     sketches.push_back(BinaryInstanceFromStore(*snapshot, i));
   }
   const auto multi = EstimateDistinctMulti(sketches);
-  EXPECT_NEAR(est->ht, multi.ht, 1e-9 * std::fabs(multi.ht) + 1e-9);
-  EXPECT_NEAR(est->l, multi.l, 1e-9 * std::fabs(multi.l) + 1e-9);
+  EXPECT_NEAR(est->ht.estimate, multi.ht, 1e-9 * std::fabs(multi.ht) + 1e-9);
+  EXPECT_NEAR(est->l.estimate, multi.l, 1e-9 * std::fabs(multi.l) + 1e-9);
 }
 
 TEST(QueryServiceTest, DistinctUnionRejectsWeightedIngestion) {

@@ -243,6 +243,83 @@ TEST(RationalTest, CompoundAssignment) {
 }
 
 // ---------------------------------------------------------------------------
+// MomentAccumulator
+// ---------------------------------------------------------------------------
+
+TEST(MomentAccumulatorTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, -1.5, 8.25, 0.5, 3.0};
+  MomentAccumulator acc;
+  double sum = 0.0;
+  for (double x : xs) {
+    acc.Add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_EQ(acc.count(), static_cast<int64_t>(xs.size()));
+  EXPECT_NEAR(acc.mean(), mean, 1e-12);
+  EXPECT_NEAR(acc.m2(), ss, 1e-12);
+  EXPECT_NEAR(acc.variance(), ss / xs.size(), 1e-12);
+  EXPECT_NEAR(acc.sample_variance(), ss / (xs.size() - 1), 1e-12);
+  EXPECT_NEAR(acc.standard_error(),
+              std::sqrt(ss / (xs.size() - 1) / xs.size()), 1e-12);
+}
+
+TEST(MomentAccumulatorTest, MergeEqualsSingleStream) {
+  Rng rng(47);
+  MomentAccumulator all, a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.UniformDouble(-20, 20);
+    all.Add(x);
+    (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).Add(x);
+  }
+  MomentAccumulator merged = a;
+  merged.Merge(b);
+  merged.Merge(c);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-12 * std::fabs(all.mean()) + 1e-12);
+  EXPECT_NEAR(merged.m2(), all.m2(), 1e-10 * all.m2());
+}
+
+TEST(MomentAccumulatorTest, MergeOrderInvariance) {
+  // Chan's pairwise combination is associative/commutative up to rounding:
+  // merging the same three chunks in any order agrees to tight tolerance.
+  Rng rng(53);
+  std::vector<MomentAccumulator> chunks(3);
+  for (int i = 0; i < 2000; ++i) {
+    chunks[static_cast<size_t>(i) % 3].Add(rng.UniformDouble(0, 100));
+  }
+  const std::vector<std::vector<int>> orders = {
+      {0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}};
+  std::vector<MomentAccumulator> merged;
+  for (const auto& order : orders) {
+    MomentAccumulator acc;
+    for (int i : order) acc.Merge(chunks[static_cast<size_t>(i)]);
+    merged.push_back(acc);
+  }
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].count(), merged[0].count());
+    EXPECT_NEAR(merged[i].mean(), merged[0].mean(),
+                1e-12 * std::fabs(merged[0].mean()));
+    EXPECT_NEAR(merged[i].m2(), merged[0].m2(), 1e-11 * merged[0].m2());
+  }
+}
+
+TEST(MomentAccumulatorTest, MergeWithEmptyAndSelfAssignLikeCopy) {
+  MomentAccumulator a, empty;
+  a.Add(4.0);
+  a.Add(6.0);
+  const double mean = a.mean();
+  a.Merge(empty);
+  EXPECT_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);  // copy-into-empty branch
+  EXPECT_EQ(empty.mean(), mean);
+  EXPECT_EQ(empty.count(), 2);
+}
+
+// ---------------------------------------------------------------------------
 // RunningStat
 // ---------------------------------------------------------------------------
 
