@@ -1,33 +1,49 @@
 // Accuracy-layer microbenchmarks (google-benchmark): what do error bars
-// cost? BM_AccuracyScanPlain is the pre-PR-4 serving scan (EstimateSum over
-// the hot weighted max^(L) r=2 kernel); BM_AccuracyScanWithVariance is the
-// same columnar scan through an AccuracyAccumulator, which adds one
-// EstimateSecondMomentMany pass per chunk. CI extracts both keys/s rates
-// and their ratio into BENCH_accuracy.json; the plain rate is the
-// regression guardrail (the accuracy layer must not slow down callers who
-// do not ask for variance).
+// cost, and how does the scan scale?
+//
+//  * BM_AccuracyScanPlain      -- point-only serving scan (EstimateSum over
+//    the hot weighted max^(L) r=2 kernel);
+//  * BM_AccuracyScanTwoPass    -- the pre-fusion with-variance layout: one
+//    EstimateMany plus one EstimateSecondMomentMany slab pass per chunk
+//    (kept as the fused path's regression baseline);
+//  * BM_AccuracyScanFused      -- the served with-variance scan: one fused
+//    EstimateWithVarianceMany pass per chunk (AccuracyAccumulator);
+//  * BM_AccuracyParallelScan/N -- the deterministic multi-threaded driver
+//    over a multi-megabyte batch at N worker threads (bitwise-identical
+//    results across N; see engine/parallel_scan.h);
+//  * BM_AccuracySelect[Cached] -- one full variance-driven family
+//    selection vs the SelectorCache hit serving paths actually pay.
+//
+// Every timing loop is preceded by an explicit warmup pass (kernel memo,
+// page-in, branch predictors), and benchmarks run kRepetitions times with
+// CI extracting the best repetition -- BENCH_accuracy.json trajectories
+// compare best-of-N, not first-run noise. CI fails the bench-smoke job if
+// the fused rate drops below the two-pass rate it replaced.
 
 #include <benchmark/benchmark.h>
 
 #include "accuracy/accumulator.h"
 #include "accuracy/selector.h"
 #include "engine/engine.h"
+#include "engine/parallel_scan.h"
 #include "util/random.h"
 
 namespace pie {
 namespace {
 
 constexpr int kKeys = 1 << 16;
+constexpr int kParallelKeys = 1 << 20;  // large enough to feed 4+ workers
+constexpr int kRepetitions = 3;         // CI reports best-of-N
 
-/// One shard-sized PPS batch of the serving path's shape: r = 2, thresholds
+/// A shard-sized PPS batch of the serving path's shape: r = 2, thresholds
 /// (10, 8), skewed values, seeds drawn once.
-OutcomeBatch MakeServingBatch() {
+OutcomeBatch MakeServingBatch(int keys) {
   const SamplingParams params({10.0, 8.0});
   Rng rng(2011);
   OutcomeBatch batch;
   batch.Reset(Scheme::kPps, 2);
   std::vector<double> values(2);
-  for (int i = 0; i < kKeys; ++i) {
+  for (int i = 0; i < keys; ++i) {
     values[0] = rng.UniformDouble(0, 12);
     values[1] = values[0] * rng.UniformDouble(0.2, 1.0);
     batch.Append(SamplePps(values, params.per_entry, rng));
@@ -43,18 +59,64 @@ KernelHandle ServingKernel() {
 }
 
 void BM_AccuracyScanPlain(benchmark::State& state) {
-  const OutcomeBatch batch = MakeServingBatch();
+  const OutcomeBatch batch = MakeServingBatch(kKeys);
   const KernelHandle kernel = ServingKernel();
+  benchmark::DoNotOptimize(EstimateSum(*kernel, batch));  // warmup
   for (auto _ : state) {
     benchmark::DoNotOptimize(EstimateSum(*kernel, batch));
   }
   state.SetItemsProcessed(state.iterations() * kKeys);
 }
-BENCHMARK(BM_AccuracyScanPlain);
+BENCHMARK(BM_AccuracyScanPlain)->Repetitions(kRepetitions);
 
-void BM_AccuracyScanWithVariance(benchmark::State& state) {
-  const OutcomeBatch batch = MakeServingBatch();
+/// The pre-fusion with-variance scan, reproduced operation for operation:
+/// two virtual slab passes per chunk, then a per-key combine loop feeding
+/// the running sum, the variance estimate, and the Welford per-key
+/// moments -- exactly the AccuracyAccumulator::AddBatch layout before
+/// EstimateWithVarianceMany existed. The fused path must never be slower
+/// than this (CI-enforced).
+double TwoPassScan(const EstimatorKernel& kernel, const OutcomeBatch& batch) {
+  double est[kScanChunkRows];
+  double second[kScanChunkRows];
+  const BatchView view = batch.view();
+  double sum = 0.0, variance = 0.0;
+  MomentAccumulator per_key;
+  for (int start = 0; start < view.size; start += kScanChunkRows) {
+    const BatchView chunk = view.Slice(
+        start, view.size - start < kScanChunkRows ? view.size - start
+                                                  : kScanChunkRows);
+    kernel.EstimateMany(chunk, est);
+    kernel.EstimateSecondMomentMany(chunk, second);
+    for (int i = 0; i < chunk.size; ++i) {
+      sum += est[i];
+      variance += est[i] * est[i] - second[i];
+      per_key.Add(est[i]);
+    }
+  }
+  benchmark::DoNotOptimize(variance);
+  benchmark::DoNotOptimize(per_key);
+  return sum;
+}
+
+void BM_AccuracyScanTwoPass(benchmark::State& state) {
+  const OutcomeBatch batch = MakeServingBatch(kKeys);
   const KernelHandle kernel = ServingKernel();
+  benchmark::DoNotOptimize(TwoPassScan(*kernel, batch));  // warmup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoPassScan(*kernel, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * kKeys);
+}
+BENCHMARK(BM_AccuracyScanTwoPass)->Repetitions(kRepetitions);
+
+void BM_AccuracyScanFused(benchmark::State& state) {
+  const OutcomeBatch batch = MakeServingBatch(kKeys);
+  const KernelHandle kernel = ServingKernel();
+  {
+    AccuracyAccumulator warmup;
+    warmup.AddBatch(*kernel, batch);
+    benchmark::DoNotOptimize(warmup.sum());
+  }
   for (auto _ : state) {
     AccuracyAccumulator acc;
     acc.AddBatch(*kernel, batch);
@@ -63,12 +125,36 @@ void BM_AccuracyScanWithVariance(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kKeys);
 }
-BENCHMARK(BM_AccuracyScanWithVariance);
+BENCHMARK(BM_AccuracyScanFused)->Repetitions(kRepetitions);
+
+/// The deterministic parallel driver over a large aggregate-scan batch;
+/// the argument is the worker-thread count. Results are bitwise identical
+/// across thread counts, so the speedup is free of determinism caveats.
+void BM_AccuracyParallelScan(benchmark::State& state) {
+  static const OutcomeBatch* batch =
+      new OutcomeBatch(MakeServingBatch(kParallelKeys));
+  const KernelHandle kernel = ServingKernel();
+  ScanOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  benchmark::DoNotOptimize(
+      ScanBatch(*kernel, batch->view(), options).sum);  // warmup
+  for (auto _ : state) {
+    const ScanPartial partial = ScanBatch(*kernel, batch->view(), options);
+    benchmark::DoNotOptimize(partial.sum);
+    benchmark::DoNotOptimize(partial.variance);
+  }
+  state.SetItemsProcessed(state.iterations() * kParallelKeys);
+}
+BENCHMARK(BM_AccuracyParallelScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Repetitions(kRepetitions)
+    ->UseRealTime();
 
 // Selection cost: one full variance-driven family selection for the
 // serving threshold class (exact variances on the built-in profiles,
-// including the max^(L) quadrature). Amortized once per (query, threshold
-// class), not per key.
+// including the max^(L) quadrature)...
 void BM_AccuracySelect(benchmark::State& state) {
   const EstimatorSelector selector;
   const SamplingParams params({10.0, 8.0}, /*tol=*/1e-7);
@@ -79,6 +165,21 @@ void BM_AccuracySelect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AccuracySelect);
+
+// ...vs the SelectorCache hit every repeat query actually pays.
+void BM_AccuracySelectCached(benchmark::State& state) {
+  const SamplingParams params({10.0, 8.0}, /*tol=*/1e-7);
+  benchmark::DoNotOptimize(SelectorCache::Global()
+                               .Choose(Function::kMax, Scheme::kPps,
+                                       Regime::kKnownSeeds, params)
+                               .ok());  // warmup: populate the class
+  for (auto _ : state) {
+    auto chosen = SelectorCache::Global().Choose(
+        Function::kMax, Scheme::kPps, Regime::kKnownSeeds, params);
+    benchmark::DoNotOptimize(chosen.ok());
+  }
+}
+BENCHMARK(BM_AccuracySelectCached);
 
 }  // namespace
 }  // namespace pie

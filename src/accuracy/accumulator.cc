@@ -1,32 +1,25 @@
 #include "accuracy/accumulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace pie {
 
 void AccuracyAccumulator::AddBatchImpl(const EstimatorKernel& kernel,
                                        const OutcomeBatch& batch,
-                                       bool with_variance) {
-  // Mirrors EstimateSum (engine.cc): the same fixed chunk size and the
-  // same row-order `sum_ += est` additions, so the point estimate is
-  // bitwise identical to the plain scan -- with or without the variance
-  // pass. The second-moment pass shares the chunk's slab views, so a
-  // steady-state scan still allocates nothing.
-  constexpr int kChunk = 256;
-  double est[kChunk];
-  double second[kChunk];
-  const BatchView view = batch.view();
-  for (int start = 0; start < view.size; start += kChunk) {
-    const BatchView chunk =
-        view.Slice(start, std::min(kChunk, view.size - start));
-    kernel.EstimateMany(chunk, est);
-    if (with_variance) kernel.EstimateSecondMomentMany(chunk, second);
-    for (int i = 0; i < chunk.size; ++i) {
-      sum_ += est[i];
-      if (with_variance) variance_ += est[i] * est[i] - second[i];
-      per_key_.Add(est[i]);
-    }
-  }
+                                       bool with_variance, int num_threads) {
+  // One fused pass per fixed-size chunk through the deterministic driver:
+  // the point estimate and the per-key variance estimate come out of the
+  // same slab loop (EstimateWithVarianceMany), and the chunk partials
+  // tree-reduce in a fixed shape -- so sum() is bitwise identical to
+  // EstimateSum(kernel, batch) and independent of num_threads.
+  ScanOptions options;
+  options.num_threads = num_threads;
+  options.with_variance = with_variance;
+  const ScanPartial partial = ScanBatch(kernel, batch.view(), options);
+  sum_ += partial.sum;
+  variance_ += partial.variance;
+  per_key_.Merge(partial.per_key);
 }
 
 IntervalEstimate EstimateSumWithCi(const EstimatorKernel& kernel,
@@ -35,6 +28,27 @@ IntervalEstimate EstimateSumWithCi(const EstimatorKernel& kernel,
   AccuracyAccumulator acc;
   acc.AddBatch(kernel, batch);
   return acc.Interval(policy);
+}
+
+double DifferenceAccumulator::conservative_variance() const {
+  const double sd_x = std::sqrt(std::fmax(0.0, var_x_));
+  const double sd_y = std::sqrt(std::fmax(0.0, var_y_));
+  const double bound = sd_x + sd_y;
+  return bound * bound;
+}
+
+IntervalEstimate DifferenceAccumulator::Interval(
+    const CiPolicy& policy) const {
+  // The joint estimate is sharper whenever the cross term is real (shared
+  // samples make Cov[X, Y] > 0 for max/min pairs); the conservative bound
+  // remains the ceiling, so the covariance-aware interval can only shrink
+  // the error bars, never widen them. The floor handles unlucky samples
+  // where the joint estimate (a difference of unbiased terms) goes
+  // negative: the interval collapses to zero width, matching the header
+  // contract that variance lands in [0, conservative_variance()].
+  const double joint = std::fmax(
+      0.0, std::fmin(joint_variance(), conservative_variance()));
+  return MakeInterval(estimate(), joint, policy);
 }
 
 }  // namespace pie

@@ -140,4 +140,59 @@ std::vector<Result<SelectionReport>> EstimatorSelector::SelectPerClass(
   return out;
 }
 
+bool SelectorCache::Key::operator<(const Key& o) const {
+  if (function != o.function) return function < o.function;
+  if (scheme != o.scheme) return scheme < o.scheme;
+  if (regime != o.regime) return regime < o.regime;
+  if (per_entry != o.per_entry) return per_entry < o.per_entry;
+  return quad_tol < o.quad_tol;
+}
+
+SelectorCache& SelectorCache::Global() {
+  static SelectorCache* cache = new SelectorCache();
+  return *cache;
+}
+
+Result<KernelSpec> SelectorCache::Choose(Function function, Scheme scheme,
+                                         Regime regime,
+                                         const SamplingParams& params) {
+  Key key{static_cast<int>(function), static_cast<int>(scheme),
+          static_cast<int>(regime), params.per_entry, params.quad_tol};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      if (!it->second.status.ok()) return it->second.status;
+      return it->second.spec;
+    }
+  }
+  // Rank outside the lock: exact-variance scoring can run quadrature.
+  auto report = EstimatorSelector().Select(function, scheme, regime, params);
+  CachedChoice choice;
+  if (report.ok()) {
+    choice.spec = report->chosen;
+  } else {
+    choice.status = report.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(cache_.size()) >= kMaxCachedSelections) {
+    cache_.clear();
+  }
+  auto [it, inserted] = cache_.emplace(std::move(key), std::move(choice));
+  (void)inserted;  // a racing chooser computed the same ranking; share it
+  if (!it->second.status.ok()) return it->second.status;
+  return it->second.spec;
+}
+
+int SelectorCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(cache_.size());
+}
+
+int64_t SelectorCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
 }  // namespace pie

@@ -13,6 +13,9 @@
 
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +75,58 @@ class EstimatorSelector {
 
  private:
   const KernelRegistry* registry_;
+};
+
+/// Process-wide memo of selector decisions, keyed by threshold class
+/// (function, scheme, regime, sampler configuration). A selection scores
+/// EXACT variances -- for the weighted max families that means adaptive
+/// quadrature per reference profile -- so re-ranking on every query is
+/// orders of magnitude more expensive than the per-key scan it gates.
+/// Serving paths (QueryService::MaxDominanceAuto / DistinctUnionAuto, the
+/// aggregate layer's selected offline scans) run each threshold class
+/// through Select() exactly once and serve the cached spec afterwards.
+/// Thread-safe; failures (no admissible family) are cached too, so a
+/// misconfigured class does not re-rank on every request either.
+class SelectorCache {
+ public:
+  /// Cache capacity; crossing it clears and refills (mirrors the
+  /// EstimationEngine kernel cache's wholesale-reset policy).
+  static constexpr int kMaxCachedSelections = 1024;
+
+  SelectorCache() = default;
+  SelectorCache(const SelectorCache&) = delete;
+  SelectorCache& operator=(const SelectorCache&) = delete;
+
+  /// The shared cache the serving paths consult.
+  static SelectorCache& Global();
+
+  /// The cached minimum-variance admissible family for the threshold
+  /// class, running EstimatorSelector::Select on first use.
+  Result<KernelSpec> Choose(Function function, Scheme scheme, Regime regime,
+                            const SamplingParams& params);
+
+  /// Telemetry / tests: distinct classes cached, and how many Choose()
+  /// calls were served from the cache without re-ranking.
+  int size() const;
+  int64_t hits() const;
+
+ private:
+  struct Key {
+    int function;
+    int scheme;
+    int regime;
+    std::vector<double> per_entry;
+    double quad_tol;
+    bool operator<(const Key& o) const;
+  };
+  struct CachedChoice {
+    Status status = Status::OK();
+    KernelSpec spec;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, CachedChoice> cache_;
+  int64_t hits_ = 0;
 };
 
 }  // namespace pie

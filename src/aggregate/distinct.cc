@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "accuracy/selector.h"
 #include "engine/engine.h"
 #include "store/query_service.h"
 #include "store/sketch_store.h"
@@ -197,6 +198,23 @@ double DistinctLEstimate(const DistinctClassification& c, double p1,
 double DistinctIntersectionEstimate(const DistinctClassification& c,
                                     double p1, double p2) {
   return static_cast<double>(c.f11) / (p1 * p2);
+}
+
+Result<DistinctSelectedEstimate> DistinctAutoEstimate(
+    const DistinctClassification& c, double p1, double p2) {
+  auto chosen = SelectorCache::Global().Choose(
+      Function::kOr, Scheme::kOblivious, Regime::kKnownSeeds,
+      SamplingParams({p1, p2}));
+  PIE_RETURN_IF_ERROR(chosen.status());
+  const CategoryWeights w = DistinctWeights(chosen->family, p1, p2);
+  DistinctSelectedEstimate out;
+  out.family = chosen->family;
+  out.estimate = static_cast<double>(c.f11) * w.f11 +
+                 static_cast<double>(c.f10) * w.f10 +
+                 static_cast<double>(c.f01) * w.f01 +
+                 static_cast<double>(c.f1q) * w.f1q +
+                 static_cast<double>(c.fq1) * w.fq1;
+  return out;
 }
 
 DistinctEstimateWithCi DistinctLEstimateWithCi(const DistinctClassification& c,

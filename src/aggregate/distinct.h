@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "accuracy/confidence.h"
+#include "engine/kernel.h"
 #include "util/hashing.h"
 #include "util/status.h"
 
@@ -77,6 +78,23 @@ double DistinctHtEstimate(const DistinctClassification& c, double p1,
 /// L estimate of |(N1 u N2) ^ A| (Section 8.1).
 double DistinctLEstimate(const DistinctClassification& c, double p1,
                          double p2);
+
+/// The family the variance-driven selector picks for this (p1, p2) class,
+/// and its estimate.
+struct DistinctSelectedEstimate {
+  Family family = Family::kL;
+  double estimate = 0.0;
+};
+
+/// Distinct estimate through the cached variance-driven selector instead
+/// of a hard-coded family: ranks the registered oblivious OR families
+/// (HT / L / U) by exact variance on the binary reference profiles, once
+/// per (p1, p2) class (SelectorCache), and evaluates the winner's category
+/// weights. With the built-in families this selects L or U (both dominate
+/// HT, Section 4.3); the hard-coded DistinctHtEstimate/DistinctLEstimate
+/// pair remains for the paper's dual readout.
+Result<DistinctSelectedEstimate> DistinctAutoEstimate(
+    const DistinctClassification& c, double p1, double p2);
 
 /// Analytic variances for a union of size `distinct` with Jaccard
 /// coefficient `jaccard` (Section 8.1).

@@ -42,6 +42,26 @@ double EstimateL1Distance(const PpsInstanceSketch& s1,
   return max_est.l - EstimateMinDominanceHt(s1, s2);
 }
 
+Result<SelectedMaxDominance> EstimateMaxDominanceAuto(
+    const PpsInstanceSketch& s1, const PpsInstanceSketch& s2) {
+  const SamplingParams params({s1.tau(), s2.tau()});
+  auto chosen = SelectorCache::Global().Choose(
+      Function::kMax, Scheme::kPps, Regime::kKnownSeeds, params);
+  PIE_RETURN_IF_ERROR(chosen.status());
+  auto kernel = EstimationEngine::Global().Kernel(*chosen, params);
+  PIE_RETURN_IF_ERROR(kernel.status());
+
+  OutcomeBatch batch;
+  batch.Reset(Scheme::kPps, 2);
+  aggregate_internal::ForEachSampledKey(
+      s1, s2, aggregate_internal::AcceptAllKeys{},
+      [&](uint64_t key) { AppendPairOutcome(s1, s2, key, &batch); });
+  SelectedMaxDominance out;
+  out.spec = *chosen;
+  out.estimate = EstimateSum(**kernel, batch);
+  return out;
+}
+
 namespace {
 
 // Point-only bridge options: the borrowed synchronous scan additionally

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "accuracy/confidence.h"
+#include "accuracy/selector.h"
 #include "aggregate/dataset.h"
 #include "aggregate/sketch.h"
 #include "engine/engine.h"
@@ -31,6 +32,13 @@ class StoreSnapshot;
 struct MaxDominanceEstimates {
   double ht = 0.0;
   double l = 0.0;
+};
+
+/// A selector-chosen offline aggregate: the family that answered and its
+/// point estimate.
+struct SelectedMaxDominance {
+  KernelSpec spec;
+  double estimate = 0.0;
 };
 
 namespace aggregate_internal {
@@ -108,6 +116,15 @@ MaxDominanceEstimates EstimateMaxDominance(const PpsInstanceSketch& s1,
 MaxDominanceEstimates EstimateMaxDominance(
     const PpsInstanceSketch& s1, const PpsInstanceSketch& s2,
     const std::function<bool(uint64_t)>& pred);
+
+/// Max dominance through the variance-driven selector instead of the
+/// hard-coded HT+L dual readout: the minimum-variance admissible weighted
+/// max family for this (tau1, tau2) threshold class answers, with the
+/// ranking memoized in SelectorCache so repeat scans over the same class
+/// never re-rank. The scan itself is the same columnar union scan as
+/// EstimateMaxDominance, restricted to the chosen kernel.
+Result<SelectedMaxDominance> EstimateMaxDominanceAuto(
+    const PpsInstanceSketch& s1, const PpsInstanceSketch& s2);
 
 /// HT estimate of the min-dominance norm sum_h min(v1(h), v2(h)): a key
 /// contributes min(v1,v2) / (rho1 rho2) when sampled in both sketches

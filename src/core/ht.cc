@@ -61,6 +61,23 @@ double ObliviousHtSecondMomentRow(const double* p, const uint8_t* sampled,
   return fv * fv / prob;
 }
 
+void ObliviousHtEstimateWithSecondMomentRow(const double* p,
+                                            const uint8_t* sampled,
+                                            const double* value, int r,
+                                            const VectorFunction& f,
+                                            std::vector<double>* scratch,
+                                            double* est_out,
+                                            double* second_out) {
+  double fv, prob;
+  if (!ObliviousHtAllSampled(p, sampled, value, r, f, scratch, &fv, &prob)) {
+    *est_out = 0.0;
+    *second_out = 0.0;
+    return;
+  }
+  *est_out = fv / prob;
+  *second_out = fv * fv / prob;
+}
+
 double ObliviousHtVariance(const std::vector<double>& values,
                            const std::vector<double>& p,
                            const VectorFunction& f) {
@@ -118,6 +135,22 @@ double MaxHtWeighted::SecondMomentRow(const double* tau, const double* seed,
   double mx, prob;
   if (!IdentifiedMax(tau, seed, sampled, value, &mx, &prob)) return 0.0;
   return mx * mx / prob;
+}
+
+void MaxHtWeighted::EstimateWithSecondMomentRow(const double* tau,
+                                                const double* seed,
+                                                const uint8_t* sampled,
+                                                const double* value,
+                                                double* est_out,
+                                                double* second_out) const {
+  double mx, prob;
+  if (!IdentifiedMax(tau, seed, sampled, value, &mx, &prob)) {
+    *est_out = 0.0;
+    *second_out = 0.0;
+    return;
+  }
+  *est_out = mx / prob;
+  *second_out = mx * mx / prob;
 }
 
 double MaxHtWeighted::PositiveProb(const std::vector<double>& values) const {

@@ -49,6 +49,19 @@ double ObliviousHtSecondMomentRow(const double* p, const uint8_t* sampled,
                                   const VectorFunction& f,
                                   std::vector<double>* scratch);
 
+/// Fused form of the two rows above: one all-sampled check and one f(v)
+/// evaluation produce both the estimate (fv/prob) and the second moment
+/// (fv^2/prob). Bitwise identical to calling the two row forms separately
+/// -- the same shared core fills fv and prob -- at half the work, for the
+/// accuracy layer's single-pass estimate+variance scans.
+void ObliviousHtEstimateWithSecondMomentRow(const double* p,
+                                            const uint8_t* sampled,
+                                            const double* value, int r,
+                                            const VectorFunction& f,
+                                            std::vector<double>* scratch,
+                                            double* est_out,
+                                            double* second_out);
+
 /// The optimal inverse-probability estimator for max under weighted PPS
 /// sampling with known seeds (Section 5.2, from Cohen-Kaplan-Sen):
 /// positive on outcomes where the maximum is identifiable, i.e. every
@@ -78,6 +91,15 @@ class MaxHtWeighted {
   /// E[returned] = max(v)^2.
   double SecondMomentRow(const double* tau, const double* seed,
                          const uint8_t* sampled, const double* value) const;
+
+  /// Fused EstimateRow + SecondMomentRow: one identifiability check fills
+  /// both mx/p and mx^2/p. Bitwise identical to the two separate calls
+  /// (the shared IdentifiedMax core produces the same mx and p) at half
+  /// the work -- the single-pass estimate+variance slab loops drive this.
+  void EstimateWithSecondMomentRow(const double* tau, const double* seed,
+                                   const uint8_t* sampled,
+                                   const double* value, double* est_out,
+                                   double* second_out) const;
 
   /// Exact variance on a data vector: max^2 (1/p - 1) with
   /// p = prod_i min(1, max/tau_i); 0 for the all-zero vector.

@@ -46,6 +46,30 @@ double MinHtWeighted::SecondMomentRow(const uint8_t* sampled,
   return mn * mn / prob;
 }
 
+void MinHtWeighted::EstimateWithSecondMomentRow(const uint8_t* sampled,
+                                                const double* value,
+                                                double* est_out,
+                                                double* second_out) const {
+  double mn, prob;
+  if (!AllSampledMin(sampled, value, &mn, &prob)) {
+    *est_out = 0.0;
+    *second_out = 0.0;
+    return;
+  }
+  *est_out = mn / prob;
+  *second_out = mn * mn / prob;
+}
+
+double MinHtWeighted::MaxMinProductRow(const uint8_t* sampled,
+                                       const double* value) const {
+  double mn, prob;
+  if (!AllSampledMin(sampled, value, &mn, &prob)) return 0.0;
+  const int r = static_cast<int>(tau_.size());
+  double mx = value[0];
+  for (int i = 1; i < r; ++i) mx = std::fmax(mx, value[i]);
+  return mx * mn / prob;
+}
+
 double MinHtWeighted::PositiveProb(const std::vector<double>& values) const {
   PIE_CHECK(values.size() == tau_.size());
   double prob = 1.0;

@@ -35,6 +35,25 @@ class MinHtWeighted {
   /// layer's per-key variance estimates (src/accuracy/).
   double SecondMomentRow(const uint8_t* sampled, const double* value) const;
 
+  /// Fused EstimateRow + SecondMomentRow: one all-sampled pass fills both
+  /// min/p and min^2/p. Bitwise identical to the two separate calls (the
+  /// shared AllSampledMin core produces the same min and p) at half the
+  /// work -- the single-pass estimate+variance slab loops drive this.
+  void EstimateWithSecondMomentRow(const uint8_t* sampled,
+                                   const double* value, double* est_out,
+                                   double* second_out) const;
+
+  /// Unbiased estimate of max(v) * min(v): on the all-sampled event the
+  /// whole vector is known, so max * min / p (with p the all-sampled
+  /// probability, computable from the sampled values alone) is unbiased;
+  /// 0 otherwise. This is the cross moment behind covariance-aware error
+  /// bars for differences of max- and min-based aggregates that share one
+  /// sample (QueryService::L1Distance): with X the max estimator and Y
+  /// this kernel's min estimator over the same outcome,
+  ///   Cov-hat = X(o) Y(o) - MaxMinProductRow(o)
+  /// is an unbiased per-key estimate of Cov[X, Y].
+  double MaxMinProductRow(const uint8_t* sampled, const double* value) const;
+
   /// P[all entries sampled | values] = prod_i min(1, v_i/tau_i).
   double PositiveProb(const std::vector<double>& values) const;
 

@@ -4,6 +4,7 @@
 #include <tuple>
 #include <utility>
 
+#include "engine/parallel_scan.h"
 #include "util/check.h"
 
 namespace pie {
@@ -73,20 +74,12 @@ void EstimateBatch(const EstimatorKernel& kernel, const OutcomeBatch& batch,
   kernel.EstimateMany(batch.view(), out->data());
 }
 
-double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch) {
-  // Fixed-size chunks keep the sum allocation-free; per-row estimates and
-  // the row-order accumulation are identical to one whole-batch pass.
-  constexpr int kChunk = 256;
-  double buf[kChunk];
-  const BatchView view = batch.view();
-  double sum = 0.0;
-  for (int start = 0; start < view.size; start += kChunk) {
-    const BatchView chunk =
-        view.Slice(start, std::min(kChunk, view.size - start));
-    kernel.EstimateMany(chunk, buf);
-    for (int i = 0; i < chunk.size; ++i) sum += buf[i];
-  }
-  return sum;
+double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch,
+                   int num_threads) {
+  // The deterministic scan driver: fixed kScanChunkRows chunks, row-order
+  // accumulation within a chunk, fixed-shape tree reduction across chunks.
+  // The result bits depend on the chunk size only, never on num_threads.
+  return ScanSum(kernel, batch.view(), num_threads);
 }
 
 EstimationEngine& EstimationEngine::Global() {

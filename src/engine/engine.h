@@ -141,11 +141,15 @@ class OutcomeBatch {
 void EstimateBatch(const EstimatorKernel& kernel, const OutcomeBatch& batch,
                    std::vector<double>* out);
 
-/// Sum of per-row estimates in row order: the per-key contributions of a
-/// sum aggregate (Section 7's sum-of-f(v) queries). Drives EstimateMany in
-/// fixed-size chunks, so it allocates nothing and sums in the same order
-/// as the scalar loop it replaced.
-double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch);
+/// Sum of per-row estimates: the per-key contributions of a sum aggregate
+/// (Section 7's sum-of-f(v) queries). Routed through the deterministic
+/// scan driver (engine/parallel_scan.h): fixed-size chunks accumulated in
+/// row order, combined by a fixed-shape pairwise tree -- so the sum's bits
+/// never depend on num_threads, and multi-threaded callers scale the scan
+/// across cores without perturbing results. Batches of at most one chunk
+/// (256 rows) reduce to the plain row-order sum.
+double EstimateSum(const EstimatorKernel& kernel, const OutcomeBatch& batch,
+                   int num_threads = 1);
 
 /// A shared, immutable kernel handle. Callers hold it for as long as they
 /// estimate with the kernel; the engine's cache holds another reference, so

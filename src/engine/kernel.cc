@@ -128,6 +128,18 @@ void EstimatorKernel::EstimateSecondMomentMany(BatchView batch,
   }
 }
 
+void EstimatorKernel::EstimateWithVarianceMany(BatchView batch, double* est,
+                                               double* var) const {
+  // Bridge: the two batched passes, combined in place. Fused overrides
+  // must reproduce exactly this arithmetic (est from the EstimateMany
+  // core, var = est * est - second moment, in that operation order).
+  EstimateMany(batch, est);
+  EstimateSecondMomentMany(batch, var);
+  for (int i = 0; i < batch.size; ++i) {
+    var[i] = est[i] * est[i] - var[i];
+  }
+}
+
 bool SamplingParams::IsUniform() const {
   for (double x : per_entry) {
     if (x != per_entry[0]) return false;

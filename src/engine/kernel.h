@@ -236,6 +236,23 @@ class EstimatorKernel {
   /// the registry sweep in tests/accuracy_test.cc).
   virtual void EstimateSecondMomentMany(BatchView batch, double* out) const;
 
+  /// Fused single-pass batch scan: est[i] receives the point estimate and
+  /// var[i] the unbiased per-key variance estimate
+  ///   var[i] = est[i]^2 - second_moment[i]
+  /// for every row. This is the accuracy layer's hot call: a with-variance
+  /// scan pays for the row data once instead of driving EstimateMany and
+  /// EstimateSecondMomentMany as two separate slab passes.
+  ///
+  /// The base implementation bridges the two batched calls (second moments
+  /// are computed into var, then combined in place), so every kernel
+  /// serves the fused API. Hot kernels override it with single-load slab
+  /// loops that share the inline EstimateRow cores; overrides MUST stay
+  /// bitwise-identical to the two-pass bridge (same estimates, same
+  /// e*e - second combination), which the registry sweep in
+  /// tests/parallel_scan_test.cc enforces.
+  virtual void EstimateWithVarianceMany(BatchView batch, double* est,
+                                        double* var) const;
+
   /// Exact variance on a data vector, where core provides a closed form /
   /// enumeration; Unimplemented otherwise.
   virtual Result<double> Variance(

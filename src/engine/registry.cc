@@ -90,6 +90,20 @@ class ObliviousHtKernel : public EstimatorKernel {
                                           &scratch);
     }
   }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious,
+                     static_cast<int>(p_.size()));
+    std::vector<double> scratch;
+    scratch.reserve(p_.size());
+    for (int i = 0; i < batch.size; ++i) {
+      double second;
+      ObliviousHtEstimateWithSecondMomentRow(
+          batch.param_row(i), batch.sampled_row(i), batch.value_row(i),
+          batch.r, f_, &scratch, &est[i], &second);
+      var[i] = est[i] * est[i] - second;
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     return ObliviousHtVariance(values, p_, f_);
   }
@@ -113,6 +127,17 @@ inline void SquareSampledRow(const uint8_t* sampled, const double* value,
   }
 }
 
+/// Fused variance combine for the binary (OR) kernels, whose second moment
+/// IS the point estimate (OR^2 = OR): var = e*e - e, the same arithmetic
+/// the two-pass bridge performs after its redundant second estimate pass.
+/// One estimate loop therefore serves the whole fused scan.
+inline void BinaryVarianceFromEstimates(const double* est, int n,
+                                        double* var) {
+  for (int i = 0; i < n; ++i) {
+    var[i] = est[i] * est[i] - est[i];
+  }
+}
+
 class MaxLTwoKernel : public EstimatorKernel {
  public:
   MaxLTwoKernel(double p1, double p2) : est_(p1, p2) {}
@@ -133,6 +158,19 @@ class MaxLTwoKernel : public EstimatorKernel {
       const uint8_t* sampled = batch.sampled_row(i);
       SquareSampledRow(sampled, batch.value_row(i), 2, sq);
       out[i] = est_.EstimateRow(sampled, sq);
+    }
+  }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    double sq[2];
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      const double* value = batch.value_row(i);
+      const double e = est_.EstimateRow(sampled, value);
+      SquareSampledRow(sampled, value, 2, sq);
+      est[i] = e;
+      var[i] = e * e - est_.EstimateRow(sampled, sq);
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
@@ -189,6 +227,21 @@ class MaxLUniformKernel : public EstimatorKernel {
       out[i] = est_.EstimateRow(sampled, sq.data(), &scratch);
     }
   }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, est_.r());
+    std::vector<double> scratch;
+    scratch.reserve(static_cast<size_t>(est_.r()));
+    std::vector<double> sq(static_cast<size_t>(est_.r()));
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      const double* value = batch.value_row(i);
+      const double e = est_.EstimateRow(sampled, value, &scratch);
+      SquareSampledRow(sampled, value, est_.r(), sq.data());
+      est[i] = e;
+      var[i] = e * e - est_.EstimateRow(sampled, sq.data(), &scratch);
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     if (static_cast<int>(values.size()) != est_.r() || est_.r() > 25) {
       return Status::InvalidArgument(
@@ -226,6 +279,19 @@ class MaxUTwoKernel : public EstimatorKernel {
       out[i] = est_.EstimateRow(sampled, sq);
     }
   }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    double sq[2];
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      const double* value = batch.value_row(i);
+      const double e = est_.EstimateRow(sampled, value);
+      SquareSampledRow(sampled, value, 2, sq);
+      est[i] = e;
+      var[i] = e * e - est_.EstimateRow(sampled, sq);
+    }
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     return est_.Variance(values[0], values[1]);
@@ -256,6 +322,19 @@ class MaxUAsymTwoKernel : public EstimatorKernel {
       const uint8_t* sampled = batch.sampled_row(i);
       SquareSampledRow(sampled, batch.value_row(i), 2, sq);
       out[i] = est_.EstimateRow(sampled, sq);
+    }
+  }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kOblivious, 2);
+    double sq[2];
+    for (int i = 0; i < batch.size; ++i) {
+      const uint8_t* sampled = batch.sampled_row(i);
+      const double* value = batch.value_row(i);
+      const double e = est_.EstimateRow(sampled, value);
+      SquareSampledRow(sampled, value, 2, sq);
+      est[i] = e;
+      var[i] = e * e - est_.EstimateRow(sampled, sq);
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
@@ -290,6 +369,11 @@ class OrLTwoKernel : public EstimatorKernel {
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     EstimateMany(batch, out);
   }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    EstimateMany(batch, est);
+    BinaryVarianceFromEstimates(est, batch.size, var);
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
     PIE_RETURN_IF_ERROR(RequireBinary(values));
@@ -321,6 +405,11 @@ class OrLUniformKernel : public EstimatorKernel {
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     EstimateMany(batch, out);
+  }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    EstimateMany(batch, est);
+    BinaryVarianceFromEstimates(est, batch.size, var);
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
@@ -356,6 +445,11 @@ class OrUTwoKernel : public EstimatorKernel {
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     EstimateMany(batch, out);
+  }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    EstimateMany(batch, est);
+    BinaryVarianceFromEstimates(est, batch.size, var);
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -398,6 +492,20 @@ class MaxHtWeightedKernel : public EstimatorKernel {
       out[i] = est_.SecondMomentRow(batch.param_row(i), batch.seed_row(i),
                                     batch.sampled_row(i),
                                     batch.value_row(i));
+    }
+  }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kPps,
+                     static_cast<int>(est_.tau().size()));
+    for (int i = 0; i < batch.size; ++i) {
+      double second;
+      est_.EstimateWithSecondMomentRow(batch.param_row(i),
+                                       batch.seed_row(i),
+                                       batch.sampled_row(i),
+                                       batch.value_row(i), &est[i],
+                                       &second);
+      var[i] = est[i] * est[i] - second;
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
@@ -444,6 +552,61 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
                                        batch.seed_row(i),
                                        batch.sampled_row(i),
                                        batch.value_row(i));
+    }
+  }
+  // Single-load fused row: one case split on the sampled pattern feeds
+  // BOTH the max^(L) determining vector and the identifiable-event second
+  // moment (they share the largest sampled value and the seed upper
+  // bounds), so the with-variance scan pays one branchy pass per row
+  // instead of two. Every expression matches MaxLWeightedTwo::EstimateRow
+  // / MaxHtWeighted::SecondMomentRow operation for operation -- the fused
+  // sweep in tests/parallel_scan_test.cc enforces bitwise identity with
+  // the two-pass bridge.
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kPps, 2);
+    const double tau1 = est_.tau1();
+    const double tau2 = est_.tau2();
+    for (int i = 0; i < batch.size; ++i) {
+      const double* tau = batch.param_row(i);
+      const double* seed = batch.seed_row(i);
+      const uint8_t* sampled = batch.sampled_row(i);
+      const double* value = batch.value_row(i);
+      const bool s1 = sampled[0] != 0;
+      const bool s2 = sampled[1] != 0;
+      double e = 0.0;
+      double second = 0.0;
+      if (s1 || s2) {
+        double d1, d2;            // determining vector (max^(L))
+        double mx;                // largest sampled value (second moment)
+        bool identifiable;        // every unsampled seed bound <= mx
+        if (s1 && s2) {
+          d1 = value[0];
+          d2 = value[1];
+          mx = std::max(std::max(0.0, value[0]), value[1]);
+          identifiable = true;
+        } else if (s1) {
+          d1 = value[0];
+          const double bound2 = seed[1] * tau[1];
+          d2 = std::min(bound2, d1);
+          mx = std::max(0.0, value[0]);
+          identifiable = !(bound2 > mx);
+        } else {
+          d2 = value[1];
+          const double bound1 = seed[0] * tau[0];
+          d1 = std::min(bound1, d2);
+          mx = std::max(0.0, value[1]);
+          identifiable = !(bound1 > mx);
+        }
+        e = est_.EstimateFromDeterminingVector(d1, d2);
+        if (mx > 0 && identifiable) {
+          const double prob =
+              std::fmin(1.0, mx / tau1) * std::fmin(1.0, mx / tau2);
+          second = mx * mx / prob;
+        }
+      }
+      est[i] = e;
+      var[i] = e * e - second;
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {
@@ -501,6 +664,11 @@ class OrWeightedTwoKernel : public EstimatorKernel {
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     EstimateMany(batch, out);
+  }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    EstimateMany(batch, est);
+    BinaryVarianceFromEstimates(est, batch.size, var);
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -565,6 +733,11 @@ class OrWeightedUniformKernel : public EstimatorKernel {
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     EstimateMany(batch, out);
   }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    EstimateMany(batch, est);
+    BinaryVarianceFromEstimates(est, batch.size, var);
+  }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), est_.r()));
     PIE_RETURN_IF_ERROR(RequireBinary(values));
@@ -613,6 +786,18 @@ class MinHtWeightedKernel : public EstimatorKernel {
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.SecondMomentRow(batch.sampled_row(i),
                                     batch.value_row(i));
+    }
+  }
+  void EstimateWithVarianceMany(BatchView batch, double* est,
+                                double* var) const override {
+    CheckBatchLayout(batch, Scheme::kPps,
+                     static_cast<int>(est_.tau().size()));
+    for (int i = 0; i < batch.size; ++i) {
+      double second;
+      est_.EstimateWithSecondMomentRow(batch.sampled_row(i),
+                                       batch.value_row(i), &est[i],
+                                       &second);
+      var[i] = est[i] * est[i] - second;
     }
   }
   Result<double> Variance(const std::vector<double>& values) const override {

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/min_weighted.h"
 #include "util/check.h"
 
 namespace pie {
@@ -62,6 +63,50 @@ void QueryService::ForEachShard(const std::function<void(int)>& fn) const {
   for (auto& worker : workers) worker.join();
 }
 
+namespace {
+
+/// Fills one shard's r=2 PPS union batch: one row per key sampled in
+/// either instance, slabs written in a deterministic order (s1's arrival
+/// order, then s2's keys not already covered). Shared by the max-pair and
+/// joint L1 scans so both see identical rows.
+void FillPairBatch(const StreamingPpsSketch* s1, const StreamingPpsSketch* s2,
+                   double tau1, double tau2, const SeedFunction& seed1,
+                   const SeedFunction& seed2, OutcomeBatch* batch) {
+  batch->Reset(Scheme::kPps, 2);
+  auto add_key = [&](uint64_t key) {
+    const int i = batch->AppendRow();
+    double* tau = batch->param_row(i);
+    tau[0] = tau1;
+    tau[1] = tau2;
+    double* seed = batch->seed_row(i);
+    seed[0] = seed1(key);
+    seed[1] = seed2(key);
+    uint8_t* sampled = batch->sampled_row(i);
+    double* value = batch->value_row(i);
+    sampled[0] = sampled[1] = 0;
+    value[0] = value[1] = 0.0;
+    double v = 0.0;
+    if (s1 != nullptr && s1->Lookup(key, &v)) {
+      sampled[0] = 1;
+      value[0] = v;
+    }
+    if (s2 != nullptr && s2->Lookup(key, &v)) {
+      sampled[1] = 1;
+      value[1] = v;
+    }
+  };
+  if (s1 != nullptr) {
+    for (const auto& e : s1->entries()) add_key(e.key);
+  }
+  if (s2 != nullptr) {
+    for (const auto& e : s2->entries()) {
+      if (s1 == nullptr || !s1->Lookup(e.key, nullptr)) add_key(e.key);
+    }
+  }
+}
+
+}  // namespace
+
 void QueryService::ScanMaxPair(
     int i1, int i2, const std::vector<const EstimatorKernel*>& kernels,
     std::vector<AccuracyAccumulator>* totals) const {
@@ -76,40 +121,9 @@ void QueryService::ScanMaxPair(
       std::vector<AccuracyAccumulator>(num_kernels));
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
-    const StreamingPpsSketch* s1 = shard.Instance(i1);
-    const StreamingPpsSketch* s2 = shard.Instance(i2);
     OutcomeBatch batch;
-    batch.Reset(Scheme::kPps, 2);
-    auto add_key = [&](uint64_t key) {
-      const int i = batch.AppendRow();
-      double* tau = batch.param_row(i);
-      tau[0] = tau1;
-      tau[1] = tau2;
-      double* seed = batch.seed_row(i);
-      seed[0] = seed1(key);
-      seed[1] = seed2(key);
-      uint8_t* sampled = batch.sampled_row(i);
-      double* value = batch.value_row(i);
-      sampled[0] = sampled[1] = 0;
-      value[0] = value[1] = 0.0;
-      double v = 0.0;
-      if (s1 != nullptr && s1->Lookup(key, &v)) {
-        sampled[0] = 1;
-        value[0] = v;
-      }
-      if (s2 != nullptr && s2->Lookup(key, &v)) {
-        sampled[1] = 1;
-        value[1] = v;
-      }
-    };
-    if (s1 != nullptr) {
-      for (const auto& e : s1->entries()) add_key(e.key);
-    }
-    if (s2 != nullptr) {
-      for (const auto& e : s2->entries()) {
-        if (s1 == nullptr || !s1->Lookup(e.key, nullptr)) add_key(e.key);
-      }
-    }
+    FillPairBatch(shard.Instance(i1), shard.Instance(i2), tau1, tau2, seed1,
+                  seed2, &batch);
     for (size_t k = 0; k < num_kernels; ++k) {
       AccuracyAccumulator& acc = partial[static_cast<size_t>(s)][k];
       if (options_.with_variance) {
@@ -147,16 +161,18 @@ Result<DualInterval> QueryService::MaxDominance(int i1, int i2) const {
 Result<SelectedEstimate> QueryService::MaxDominanceAuto(int i1, int i2) const {
   const SamplingParams params({snapshot_->TauFor(i1), snapshot_->TauFor(i2)},
                               options_.quad_tol);
-  auto report = EstimatorSelector().Select(Function::kMax, Scheme::kPps,
-                                           Regime::kKnownSeeds, params);
-  PIE_RETURN_IF_ERROR(report.status());
-  auto kernel = EstimationEngine::Global().Kernel(report->chosen, params);
+  // One exact-variance ranking per threshold class, ever: repeat queries
+  // against the same (tau1, tau2, quad_tol) class serve the cached spec.
+  auto chosen = SelectorCache::Global().Choose(
+      Function::kMax, Scheme::kPps, Regime::kKnownSeeds, params);
+  PIE_RETURN_IF_ERROR(chosen.status());
+  auto kernel = EstimationEngine::Global().Kernel(*chosen, params);
   PIE_RETURN_IF_ERROR(kernel.status());
 
   std::vector<AccuracyAccumulator> totals;
   ScanMaxPair(i1, i2, {kernel->get()}, &totals);
   SelectedEstimate out;
-  out.spec = report->chosen;
+  out.spec = *chosen;
   out.interval = totals[0].Interval(options_.ci);
   return out;
 }
@@ -209,33 +225,56 @@ Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
 }
 
 Result<IntervalEstimate> QueryService::L1Distance(int i1, int i2) const {
-  auto max_est = MaxDominance(i1, i2);
-  PIE_RETURN_IF_ERROR(max_est.status());
-  auto min_est = MinDominanceHt(i1, i2);
-  PIE_RETURN_IF_ERROR(min_est.status());
-  // The difference's variance needs the covariance of the two scans (they
-  // share the sample); sd(X - Y) <= sd(X) + sd(Y) gives a conservative
-  // but always-valid width.
-  const double std_err_bound = max_est->l.std_err + min_est->std_err;
-  return MakeInterval(max_est->l.estimate - min_est->estimate,
-                      std_err_bound * std_err_bound, options_.ci);
+  const double tau1 = snapshot_->TauFor(i1);
+  const double tau2 = snapshot_->TauFor(i2);
+  const SamplingParams params({tau1, tau2}, options_.quad_tol);
+  auto& engine = EstimationEngine::Global();
+  auto max_l = engine.Kernel(MaxPpsSpec(Family::kL), params);
+  PIE_RETURN_IF_ERROR(max_l.status());
+  auto min_ht = engine.Kernel(
+      {Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt},
+      params);
+  PIE_RETURN_IF_ERROR(min_ht.status());
+
+  // Joint scan: both estimators read each key's ONE shared outcome from
+  // the same union batch, so the per-key covariance is estimable exactly:
+  //   Cov-hat = X(o) Y(o) - max*min/p_all on the all-sampled event
+  // (MaxMinProductRow; X Y is unbiased for E[XY] trivially, the product
+  // term for max(v) min(v)). Keys missing an entry contribute Y = 0 and
+  // product-hat = 0, so the cross term costs nothing on sparse rows.
+  const MinHtWeighted min_core({tau1, tau2});
+  const auto cross = [&min_core](const BatchView& chunk, int i, double x,
+                                 double y) {
+    return x * y -
+           min_core.MaxMinProductRow(chunk.sampled_row(i),
+                                     chunk.value_row(i));
+  };
+  const SeedFunction seed1(snapshot_->InstanceSalt(i1));
+  const SeedFunction seed2(snapshot_->InstanceSalt(i2));
+  const int num_shards = snapshot_->num_shards();
+  std::vector<DifferenceAccumulator> partial(
+      static_cast<size_t>(num_shards));
+  ForEachShard([&](int s) {
+    const ShardSnapshot& shard = snapshot_->Shard(s);
+    OutcomeBatch batch;
+    FillPairBatch(shard.Instance(i1), shard.Instance(i2), tau1, tau2, seed1,
+                  seed2, &batch);
+    partial[static_cast<size_t>(s)].AddBatch(**max_l, **min_ht, batch, cross,
+                                             options_.with_variance);
+  });
+  DifferenceAccumulator total;
+  for (const auto& p : partial) total.Merge(p);
+  return total.Interval(options_.ci);
 }
 
-Result<DualInterval> QueryService::DistinctUnion(
-    const std::vector<int>& instances) const {
+Status QueryService::ScanOrUnion(
+    const std::vector<int>& instances,
+    const std::vector<const EstimatorKernel*>& kernels,
+    std::vector<AccuracyAccumulator>* totals) const {
   const int r = static_cast<int>(instances.size());
-  if (r < 2) {
-    return Status::InvalidArgument("distinct union needs >= 2 instances");
-  }
   std::vector<double> taus;
   taus.reserve(instances.size());
   for (int instance : instances) taus.push_back(snapshot_->TauFor(instance));
-  const SamplingParams params(taus, options_.quad_tol);
-  auto& engine = EstimationEngine::Global();
-  auto ht = engine.Kernel(OrPpsSpec(Family::kHt), params);
-  auto l = engine.Kernel(OrPpsSpec(Family::kL), params);
-  PIE_RETURN_IF_ERROR(ht.status());
-  PIE_RETURN_IF_ERROR(l.status());
 
   std::vector<SeedFunction> seeds;
   seeds.reserve(instances.size());
@@ -243,9 +282,10 @@ Result<DualInterval> QueryService::DistinctUnion(
     seeds.emplace_back(snapshot_->InstanceSalt(instance));
   }
   const int num_shards = snapshot_->num_shards();
-  std::vector<AccuracyAccumulator> ht_partial(
-      static_cast<size_t>(num_shards));
-  std::vector<AccuracyAccumulator> l_partial(static_cast<size_t>(num_shards));
+  const size_t num_kernels = kernels.size();
+  std::vector<std::vector<AccuracyAccumulator>> partial(
+      static_cast<size_t>(num_shards),
+      std::vector<AccuracyAccumulator>(num_kernels));
   std::atomic<bool> non_unit_weight{false};
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
@@ -286,12 +326,13 @@ Result<DualInterval> QueryService::DistinctUnion(
         }
       }
     }
-    if (options_.with_variance) {
-      ht_partial[static_cast<size_t>(s)].AddBatch(**ht, batch);
-      l_partial[static_cast<size_t>(s)].AddBatch(**l, batch);
-    } else {
-      ht_partial[static_cast<size_t>(s)].AddBatchEstimateOnly(**ht, batch);
-      l_partial[static_cast<size_t>(s)].AddBatchEstimateOnly(**l, batch);
+    for (size_t k = 0; k < num_kernels; ++k) {
+      AccuracyAccumulator& acc = partial[static_cast<size_t>(s)][k];
+      if (options_.with_variance) {
+        acc.AddBatch(*kernels[k], batch);
+      } else {
+        acc.AddBatchEstimateOnly(*kernels[k], batch);
+      }
     }
   });
   if (non_unit_weight.load()) {
@@ -299,14 +340,61 @@ Result<DualInterval> QueryService::DistinctUnion(
         "distinct union requires unit-weight ingestion (set semantics)");
   }
 
-  AccuracyAccumulator ht_total, l_total;
+  totals->assign(num_kernels, AccuracyAccumulator());
   for (int s = 0; s < num_shards; ++s) {
-    ht_total.Merge(ht_partial[static_cast<size_t>(s)]);
-    l_total.Merge(l_partial[static_cast<size_t>(s)]);
+    for (size_t k = 0; k < num_kernels; ++k) {
+      (*totals)[k].Merge(partial[static_cast<size_t>(s)][k]);
+    }
   }
+  return Status::OK();
+}
+
+Result<DualInterval> QueryService::DistinctUnion(
+    const std::vector<int>& instances) const {
+  if (instances.size() < 2) {
+    return Status::InvalidArgument("distinct union needs >= 2 instances");
+  }
+  std::vector<double> taus;
+  taus.reserve(instances.size());
+  for (int instance : instances) taus.push_back(snapshot_->TauFor(instance));
+  const SamplingParams params(taus, options_.quad_tol);
+  auto& engine = EstimationEngine::Global();
+  auto ht = engine.Kernel(OrPpsSpec(Family::kHt), params);
+  auto l = engine.Kernel(OrPpsSpec(Family::kL), params);
+  PIE_RETURN_IF_ERROR(ht.status());
+  PIE_RETURN_IF_ERROR(l.status());
+
+  std::vector<AccuracyAccumulator> totals;
+  PIE_RETURN_IF_ERROR(ScanOrUnion(instances, {ht->get(), l->get()}, &totals));
   DualInterval out;
-  out.ht = ht_total.Interval(options_.ci);
-  out.l = l_total.Interval(options_.ci);
+  out.ht = totals[0].Interval(options_.ci);
+  out.l = totals[1].Interval(options_.ci);
+  return out;
+}
+
+Result<SelectedEstimate> QueryService::DistinctUnionAuto(
+    const std::vector<int>& instances) const {
+  if (instances.size() < 2) {
+    return Status::InvalidArgument("distinct union needs >= 2 instances");
+  }
+  std::vector<double> taus;
+  taus.reserve(instances.size());
+  for (int instance : instances) taus.push_back(snapshot_->TauFor(instance));
+  const SamplingParams params(taus, options_.quad_tol);
+  // The cached selector naturally restricts to admissible families: e.g.
+  // OR^(U) competes at r = 2 but is excluded for wider unions where only
+  // HT and the Theorem 4.2 L recursion have constructions.
+  auto chosen = SelectorCache::Global().Choose(
+      Function::kOr, Scheme::kPps, Regime::kKnownSeeds, params);
+  PIE_RETURN_IF_ERROR(chosen.status());
+  auto kernel = EstimationEngine::Global().Kernel(*chosen, params);
+  PIE_RETURN_IF_ERROR(kernel.status());
+
+  std::vector<AccuracyAccumulator> totals;
+  PIE_RETURN_IF_ERROR(ScanOrUnion(instances, {kernel->get()}, &totals));
+  SelectedEstimate out;
+  out.spec = *chosen;
+  out.interval = totals[0].Interval(options_.ci);
   return out;
 }
 

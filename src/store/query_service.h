@@ -14,12 +14,16 @@
 // the reduction order is fixed.
 //
 // Since PR 4 every aggregate returns an IntervalEstimate {estimate,
-// std_err, lo, hi} rather than a bare double: each shard scan also drives
-// the kernel's EstimateSecondMomentMany over the same slabs, accumulating
-// the unbiased per-key variance estimates into mergeable
-// AccuracyAccumulators (src/accuracy/). Point estimates are unchanged --
-// the accumulator's sum is bitwise identical to the previous EstimateSum
-// reduction.
+// std_err, lo, hi} rather than a bare double: each shard scan accumulates
+// unbiased per-key variance estimates into mergeable AccuracyAccumulators
+// (src/accuracy/). The with-variance scan is FUSED -- one
+// EstimateWithVarianceMany slab pass per chunk produces the estimate and
+// its variance together, through the deterministic chunked driver of
+// engine/parallel_scan.h -- so error bars cost a fraction of a second
+// pass, and point estimates stay bitwise identical to EstimateSum.
+// L1Distance additionally scans its max^(L) and min^(HT) terms jointly
+// over the shared sample, estimating their covariance exactly instead of
+// assuming the worst (see L1Distance below).
 
 #pragma once
 
@@ -78,17 +82,30 @@ class QueryService {
   /// Max-dominance through the variance-driven EstimatorSelector: the
   /// minimum-variance admissible weighted max family for this snapshot's
   /// threshold class answers (the paper's Pareto ordering, operational).
+  /// Selections are memoized per threshold class (SelectorCache), so only
+  /// the first query against a class pays for the exact-variance ranking.
   Result<SelectedEstimate> MaxDominanceAuto(int i1, int i2) const;
 
   /// Min-dominance norm sum_h min(v_i1(h), v_i2(h)) via min^(HT)
   /// (Section 6; keys sampled in both instances contribute).
   Result<IntervalEstimate> MinDominanceHt(int i1, int i2) const;
 
-  /// Unbiased L1 distance sum_h |v_i1(h) - v_i2(h)| as max^(L) - min^(HT).
-  /// The two terms share the sample, so their covariance is unknown; the
-  /// reported error bars use the conservative bound
-  /// sd(X - Y) <= sd(X) + sd(Y).
+  /// Unbiased L1 distance sum_h |v_i1(h) - v_i2(h)| as max^(L) - min^(HT),
+  /// both terms scanned jointly over the shared sample. Because the scan
+  /// is joint, the per-key covariance of the two estimators is itself
+  /// estimated without bias (X(o) Y(o) minus the identifiable-event
+  /// estimate of max * min; see MinHtWeighted::MaxMinProductRow), so the
+  /// error bars use the exact Var[X] + Var[Y] - 2 Cov[X, Y] width. The
+  /// pre-covariance conservative bound sd(X) + sd(Y) is kept as the
+  /// ceiling: the reported interval is never wider than it.
   Result<IntervalEstimate> L1Distance(int i1, int i2) const;
+
+  /// Distinct union through the cached variance-driven selector: the
+  /// minimum-variance admissible weighted OR family for this snapshot's
+  /// threshold class answers. Same ingestion requirements as
+  /// DistinctUnion.
+  Result<SelectedEstimate> DistinctUnionAuto(
+      const std::vector<int>& instances) const;
 
   /// Distinct count |union of instances| (Section 8.1) as the sum
   /// aggregate of per-key Boolean OR. Requires unit-weight ingestion (set
@@ -122,6 +139,13 @@ class QueryService {
   void ScanMaxPair(int i1, int i2,
                    const std::vector<const EstimatorKernel*>& kernels,
                    std::vector<AccuracyAccumulator>* totals) const;
+
+  /// Scans the union of keys sampled in any of `instances` (unit-weight
+  /// set semantics), accumulating every kernel's estimate + variance;
+  /// totals reduced in shard order. InvalidArgument on non-unit weights.
+  Status ScanOrUnion(const std::vector<int>& instances,
+                     const std::vector<const EstimatorKernel*>& kernels,
+                     std::vector<AccuracyAccumulator>* totals) const;
 
   std::shared_ptr<const StoreSnapshot> snapshot_;
   QueryServiceOptions options_;

@@ -46,6 +46,21 @@ class MomentAccumulator {
     count_ += o.count_;
   }
 
+  /// Builds an accumulator directly from its moments: `count` samples with
+  /// mean `mean` and squared-deviation sum `m2`. The bridge for drivers
+  /// that compute a block's moments in closed form (e.g. the parallel scan
+  /// driver's per-chunk two-pass mean/M2, which avoids Welford's per-key
+  /// division) and then Merge() blocks exactly as usual.
+  static MomentAccumulator FromMoments(int64_t count, double mean,
+                                       double m2) {
+    PIE_DCHECK(count >= 0);
+    MomentAccumulator out;
+    out.count_ = count;
+    out.mean_ = mean;
+    out.m2_ = m2;
+    return out;
+  }
+
   int64_t count() const { return count_; }
   double mean() const { return mean_; }
   /// Sum of squared deviations from the mean (the raw M2 moment).

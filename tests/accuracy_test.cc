@@ -24,9 +24,12 @@
 #include "accuracy/accumulator.h"
 #include "accuracy/confidence.h"
 #include "accuracy/selector.h"
+#include "aggregate/distinct.h"
+#include "aggregate/dominance.h"
 #include "core/ht.h"
 #include "core/max_oblivious.h"
 #include "core/max_weighted.h"
+#include "core/min_weighted.h"
 #include "core/or_oblivious.h"
 #include "engine/engine.h"
 #include "engine/registry.h"
@@ -573,6 +576,209 @@ TEST(QueryServiceAccuracyTest, MaxDominanceAutoServesSelectorChoice) {
   ASSERT_TRUE(dual.ok());
   EXPECT_TRUE(BitwiseEqual(auto_est->interval.estimate, dual->l.estimate));
   EXPECT_TRUE(BitwiseEqual(auto_est->interval.variance, dual->l.variance));
+}
+
+// ---------------------------------------------------------------------------
+// SelectorCache: one exact-variance ranking per threshold class
+// ---------------------------------------------------------------------------
+
+TEST(SelectorCacheTest, RepeatChoicesAreServedFromCache) {
+  auto& cache = SelectorCache::Global();
+  // A quad_tol no other test uses makes this threshold class fresh.
+  const SamplingParams params({10.0, 8.0}, /*tol=*/3e-7);
+  const auto first = cache.Choose(Function::kMax, Scheme::kPps,
+                                  Regime::kKnownSeeds, params);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const auto uncached = EstimatorSelector().Select(
+      Function::kMax, Scheme::kPps, Regime::kKnownSeeds, params);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_TRUE(*first == uncached->chosen);
+
+  const int size_after_first = cache.size();
+  const int64_t hits_before = cache.hits();
+  const auto second = cache.Choose(Function::kMax, Scheme::kPps,
+                                   Regime::kKnownSeeds, params);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(*second == *first);
+  EXPECT_EQ(cache.size(), size_after_first);    // no new class
+  EXPECT_EQ(cache.hits(), hits_before + 1);     // served without re-ranking
+}
+
+TEST(SelectorCacheTest, FailuresAreCachedToo) {
+  auto& cache = SelectorCache::Global();
+  // No registered family serves lth-largest over PPS.
+  const SamplingParams params({10.0, 8.0, 6.0}, /*tol=*/5e-7);
+  const auto first = cache.Choose(Function::kLthLargest, Scheme::kPps,
+                                  Regime::kKnownSeeds, params);
+  EXPECT_FALSE(first.ok());
+  const int64_t hits_before = cache.hits();
+  const auto second = cache.Choose(Function::kLthLargest, Scheme::kPps,
+                                   Regime::kKnownSeeds, params);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+}
+
+TEST(SelectorCacheTest, RepeatAutoQueriesDoNotReRank) {
+  const auto snapshot = MakeWeightedStore()->Snapshot();
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.quad_tol = 1e-7;
+  QueryService service(snapshot, options);
+  ASSERT_TRUE(service.MaxDominanceAuto(0, 1).ok());  // class now cached
+  auto& cache = SelectorCache::Global();
+  const int size_before = cache.size();
+  const int64_t hits_before = cache.hits();
+  ASSERT_TRUE(service.MaxDominanceAuto(0, 1).ok());
+  ASSERT_TRUE(service.MaxDominanceAuto(0, 1).ok());
+  EXPECT_EQ(cache.size(), size_before);
+  EXPECT_EQ(cache.hits(), hits_before + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Selector-routed offline scans
+// ---------------------------------------------------------------------------
+
+TEST(SelectedScanTest, DistinctUnionAutoMatchesChosenFamilyOfDual) {
+  Rng rng(23);
+  SketchStoreOptions options;
+  options.num_shards = 8;
+  options.default_tau = 1.0 / 0.2;
+  options.salt = 77;
+  SketchStore store(options);
+  for (uint64_t key = 1; key <= 2500; ++key) {
+    store.Update(0, key, 1.0);
+    if (rng.Bernoulli(0.6)) store.Update(1, key, 1.0);
+    if (rng.Bernoulli(0.1)) store.Update(1, key + 2500, 1.0);
+  }
+  QueryService service(store.Snapshot(), {/*num_threads=*/1});
+  const auto auto_est = service.DistinctUnionAuto({0, 1});
+  ASSERT_TRUE(auto_est.ok()) << auto_est.status().ToString();
+  // The optimal families dominate HT (Section 4.3); the selector must not
+  // pick the baseline.
+  EXPECT_NE(auto_est->spec.family, Family::kHt);
+  const auto dual = service.DistinctUnion({0, 1});
+  ASSERT_TRUE(dual.ok());
+  if (auto_est->spec.family == Family::kL) {
+    EXPECT_TRUE(BitwiseEqual(auto_est->interval.estimate, dual->l.estimate));
+    EXPECT_TRUE(BitwiseEqual(auto_est->interval.variance, dual->l.variance));
+  }
+  EXPECT_GT(auto_est->interval.std_err, 0.0);
+  EXPECT_LE(auto_est->interval.std_err, dual->ht.std_err * (1.0 + 1e-12));
+}
+
+TEST(SelectedScanTest, DistinctAutoEstimateBeatsHtVariance) {
+  const auto chosen = DistinctAutoEstimate(
+      DistinctClassification{/*f11=*/40, /*f10=*/10, /*f01=*/12, /*f1q=*/8,
+                             /*fq1=*/6},
+      0.3, 0.25);
+  ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+  EXPECT_NE(chosen->family, Family::kHt);
+  // The chosen family's estimate for the L family must agree with the
+  // hard-coded path on the same classification.
+  if (chosen->family == Family::kL) {
+    EXPECT_TRUE(BitwiseEqual(
+        chosen->estimate,
+        DistinctLEstimate(
+            DistinctClassification{40, 10, 12, 8, 6}, 0.3, 0.25)));
+  }
+}
+
+TEST(SelectedScanTest, OfflineMaxDominanceAutoMatchesDualL) {
+  Rng rng(41);
+  std::vector<WeightedItem> items1, items2;
+  for (uint64_t key = 1; key <= 1500; ++key) {
+    const double w = std::ceil(30.0 / (1 + rng.UniformInt(10)));
+    items1.push_back({key, w});
+    if (key % 3 != 0) {
+      items2.push_back({key, std::ceil(30.0 / (1 + rng.UniformInt(10)))});
+    }
+  }
+  const auto s1 = PpsInstanceSketch::Build(items1, 25.0, 1001);
+  const auto s2 = PpsInstanceSketch::Build(items2, 25.0, 2002);
+  const auto auto_est = EstimateMaxDominanceAuto(s1, s2);
+  ASSERT_TRUE(auto_est.ok()) << auto_est.status().ToString();
+  EXPECT_EQ(auto_est->spec.family, Family::kL);  // L dominates HT (Sec 5.2)
+  const auto dual = EstimateMaxDominance(s1, s2);
+  EXPECT_TRUE(BitwiseEqual(auto_est->estimate, dual.l));
+}
+
+// ---------------------------------------------------------------------------
+// Covariance-aware L1 error bars
+// ---------------------------------------------------------------------------
+
+TEST(JointL1Test, JointIntervalNeverWiderThanConservativeBound) {
+  const auto snapshot = MakeWeightedStore()->Snapshot();
+  QueryService service(snapshot, {/*num_threads=*/1});
+  const auto joint = service.L1Distance(0, 1);
+  ASSERT_TRUE(joint.ok());
+  const auto max_est = service.MaxDominance(0, 1);
+  const auto min_est = service.MinDominanceHt(0, 1);
+  ASSERT_TRUE(max_est.ok());
+  ASSERT_TRUE(min_est.ok());
+  // Same point estimate as the separate scans (tolerance: different
+  // accumulation orders), strictly tighter error bars than the
+  // conservative sd(X) + sd(Y) width the joint scan replaces.
+  const double direct = max_est->l.estimate - min_est->estimate;
+  EXPECT_NEAR(joint->estimate, direct, 1e-9 * std::fabs(direct));
+  const double conservative = max_est->l.std_err + min_est->std_err;
+  EXPECT_LE(joint->std_err, conservative * (1.0 + 1e-12));
+  EXPECT_GT(joint->std_err, 0.0);
+  // The max/min pair shares the sample, so their covariance is positive
+  // on this workload and the joint bars are strictly sharper.
+  EXPECT_LT(joint->std_err, conservative * 0.999);
+}
+
+TEST(JointL1Test, JointVarianceIsUnbiasedForTheDifferenceVariance) {
+  // Monte Carlo at the kernel level: a fixed population, repeated
+  // sampling; the joint per-trial variance estimate must average to the
+  // empirical variance of the difference estimate, and every trial's
+  // joint interval must respect the conservative ceiling.
+  const SamplingParams params({10.0, 8.0});
+  auto& engine = EstimationEngine::Global();
+  auto max_l = engine.Kernel(
+      {Function::kMax, Scheme::kPps, Regime::kKnownSeeds, Family::kL},
+      params);
+  auto min_ht = engine.Kernel(
+      {Function::kMin, Scheme::kPps, Regime::kUnknownSeeds, Family::kHt},
+      params);
+  ASSERT_TRUE(max_l.ok());
+  ASSERT_TRUE(min_ht.ok());
+  const MinHtWeighted min_core({10.0, 8.0});
+  const auto cross = [&min_core](const BatchView& chunk, int i, double x,
+                                 double y) {
+    return x * y - min_core.MaxMinProductRow(chunk.sampled_row(i),
+                                             chunk.value_row(i));
+  };
+
+  std::vector<std::vector<double>> population;
+  double truth = 0.0;
+  for (int k = 0; k < 250; ++k) {
+    const double a = 0.5 + 8.0 * std::fmod(0.618033988749895 * k, 1.0);
+    const double b = a * (0.2 + 0.8 * std::fmod(0.732050807568877 * k, 1.0));
+    population.push_back({a, b});
+    truth += std::fabs(a - b);
+  }
+  Rng rng(2024);
+  MomentAccumulator estimates, joint_vars;
+  OutcomeBatch batch;
+  for (int t = 0; t < 3000; ++t) {
+    batch.Reset(Scheme::kPps, 2);
+    for (const auto& values : population) {
+      batch.Append(SamplePps(values, params.per_entry, rng));
+    }
+    DifferenceAccumulator acc;
+    acc.AddBatch(**max_l, **min_ht, batch, cross);
+    estimates.Add(acc.estimate());
+    joint_vars.Add(acc.joint_variance());
+    // The reported interval is never wider than the conservative bound.
+    const IntervalEstimate interval = acc.Interval();
+    EXPECT_LE(interval.variance,
+              acc.conservative_variance() * (1.0 + 1e-12));
+  }
+  // Unbiasedness of the difference and of its joint variance estimate.
+  EXPECT_NEAR(estimates.mean(), truth, 5.0 * estimates.standard_error());
+  EXPECT_NEAR(joint_vars.mean(), estimates.sample_variance(),
+              0.05 * estimates.sample_variance());
 }
 
 }  // namespace

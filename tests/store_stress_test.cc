@@ -13,10 +13,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "engine/parallel_scan.h"
 #include "gtest/gtest.h"
 #include "store/query_service.h"
 #include "store/sketch_store.h"
@@ -195,6 +197,84 @@ TEST(StoreStressTest, ConcurrentIngestAndSnapshotQueries) {
       EXPECT_EQ(merged_sorted[i].weight, replay_sorted[i].weight);
     }
   }
+}
+
+// The deterministic scan driver under TSan: concurrent multi-threaded
+// scans of one shared batch (each ScanBatch call spawns its own worker
+// pool over the same read-only slabs) must be race-free and return the
+// same bytes for every thread count -- the guarantee the multi-threaded
+// QueryService scans ride on.
+TEST(StoreStressTest, ParallelScanIsRaceFreeAndThreadCountInvariant) {
+  SketchStore store(StressOptions());
+  const auto updates = InstanceUpdates(0);
+  for (const auto& update : updates) {
+    store.Update(0, update.key, update.weight);
+    store.Update(1, update.key, update.weight * 0.5);
+  }
+  const auto snapshot = store.Snapshot();
+
+  // One big r=2 batch over the union of sampled keys (all shards).
+  const double tau1 = snapshot->TauFor(0);
+  const double tau2 = snapshot->TauFor(1);
+  const SeedFunction seed1(snapshot->InstanceSalt(0));
+  const SeedFunction seed2(snapshot->InstanceSalt(1));
+  OutcomeBatch batch;
+  batch.Reset(Scheme::kPps, 2);
+  for (int s = 0; s < snapshot->num_shards(); ++s) {
+    const StreamingPpsSketch* s1 = snapshot->Shard(s).Instance(0);
+    const StreamingPpsSketch* s2 = snapshot->Shard(s).Instance(1);
+    if (s1 == nullptr) continue;
+    for (const auto& e : s1->entries()) {
+      const int i = batch.AppendRow();
+      double* tau = batch.param_row(i);
+      tau[0] = tau1;
+      tau[1] = tau2;
+      double* seed = batch.seed_row(i);
+      seed[0] = seed1(e.key);
+      seed[1] = seed2(e.key);
+      uint8_t* sampled = batch.sampled_row(i);
+      double* value = batch.value_row(i);
+      sampled[0] = 1;
+      value[0] = e.weight;
+      double v = 0.0;
+      const bool in2 = s2 != nullptr && s2->Lookup(e.key, &v);
+      sampled[1] = in2 ? 1 : 0;
+      value[1] = in2 ? v : 0.0;
+    }
+  }
+  ASSERT_GT(batch.size(), 1000);
+
+  auto kernel = EstimationEngine::Global().Kernel(
+      {Function::kMax, Scheme::kPps, Regime::kKnownSeeds, Family::kL},
+      SamplingParams({tau1, tau2}));
+  ASSERT_TRUE(kernel.ok());
+
+  ScanOptions options;
+  options.num_threads = 1;
+  const ScanPartial reference = ScanBatch(**kernel, batch.view(), options);
+
+  // Several scanning threads, each driving its own multi-threaded scan of
+  // the shared batch concurrently.
+  std::vector<std::thread> scanners;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 3; ++t) {
+    scanners.emplace_back([&, t] {
+      for (const int threads : {2, 8}) {
+        ScanOptions opts;
+        opts.num_threads = threads;
+        const ScanPartial got = ScanBatch(**kernel, batch.view(), opts);
+        if (std::memcmp(&got.sum, &reference.sum, sizeof(double)) != 0 ||
+            std::memcmp(&got.variance, &reference.variance,
+                        sizeof(double)) != 0 ||
+            got.per_key.count() != reference.per_key.count()) {
+          mismatches.fetch_add(1);
+        }
+      }
+      (void)t;
+    });
+  }
+  for (auto& scanner : scanners) scanner.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace
