@@ -271,6 +271,76 @@ void BM_CoreScanR2Batched(benchmark::State& state) {
 }
 BENCHMARK(BM_CoreScanR2Batched);
 
+// ---------------------------------------------------------------------------
+// Pattern-partitioned SIMD slab scan: one EstimateMany pass over the
+// weighted r = 2 max^(L) kernel -- the serving path's hot kernel, whose
+// batched override partitions each 256-row block by sampling pattern and
+// evaluates each bucket branch-free (auto-vectorized under PIE_SIMD; the
+// same call runs the portable scalar fallback when PIE_SIMD is OFF, so
+// the benchmark name reports whichever path the build selected). CI's
+// bench-smoke job extracts simd_keys_per_s and simd_speedup (vs
+// BM_CoreScanR2Scalar) into BENCH_core.json, and fails if this direct
+// slab rate ever drops below the fused with-variance rate from
+// perf_accuracy -- the estimate-only pass must stay strictly cheaper.
+// ---------------------------------------------------------------------------
+
+struct SimdScanFixture {
+  KernelHandle kernel;
+  std::vector<Outcome> outcomes;
+  OutcomeBatch batch;
+};
+
+const SimdScanFixture& GetSimdScanFixture() {
+  static const SimdScanFixture* fixture = [] {
+    auto* f = new SimdScanFixture();
+    const SamplingParams params({10.0, 8.0});
+    f->kernel = EstimationEngine::Global()
+                    .Kernel({Function::kMax, Scheme::kPps,
+                             Regime::kKnownSeeds, Family::kL},
+                            params)
+                    .value();
+    Rng rng(19);
+    f->batch.Reset(Scheme::kPps, 2);
+    std::vector<double> values(2);
+    for (int i = 0; i < kScanSize; ++i) {
+      values[0] = rng.UniformDouble(0, 12);
+      values[1] = values[0] * rng.UniformDouble(0.2, 1.0);
+      f->outcomes.push_back(
+          Outcome::FromPps(SamplePps(values, params.per_entry, rng)));
+      f->batch.Append(f->outcomes.back().pps);
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Per-call baseline over the same outcomes: one virtual Estimate per key
+/// (the scalar row form). simd_speedup in BENCH_core.json is
+/// BM_CoreScanR2Simd / this rate -- same kernel, same data, so the ratio
+/// isolates the partitioned slab path.
+void BM_CoreScanR2PerKey(benchmark::State& state) {
+  const SimdScanFixture& f = GetSimdScanFixture();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const Outcome& outcome : f.outcomes) {
+      sum += f.kernel->Estimate(outcome);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kScanSize);
+}
+BENCHMARK(BM_CoreScanR2PerKey);
+
+void BM_CoreScanR2Simd(benchmark::State& state) {
+  const SimdScanFixture& f = GetSimdScanFixture();
+  benchmark::DoNotOptimize(EstimateSum(*f.kernel, f.batch));  // warmup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateSum(*f.kernel, f.batch));
+  }
+  state.SetItemsProcessed(state.iterations() * kScanSize);
+}
+BENCHMARK(BM_CoreScanR2Simd);
+
 void BM_DeriverCompileBinaryR3(benchmark::State& state) {
   for (auto _ : state) {
     auto compiled = CompileModel(MakeObliviousModel<double>(

@@ -62,6 +62,7 @@ class MaxLTwo {
 
   double p1() const { return p1_; }
   double p2() const { return p2_; }
+  double q() const { return q_; }
 
  private:
   double p1_, p2_;
@@ -138,6 +139,10 @@ class MaxUTwo {
   /// Exact variance on data (v1, v2).
   double Variance(double v1, double v2) const;
 
+  double p1() const { return p1_; }
+  double p2() const { return p2_; }
+  double c() const { return c_; }
+
  private:
   double p1_, p2_;
   double c_;  // 1 + max(0, 1 - p1 - p2)
@@ -168,6 +173,10 @@ class MaxUAsymTwo {
 
   /// Exact variance on data (v1, v2).
   double Variance(double v1, double v2) const;
+
+  double p1() const { return p1_; }
+  double p2() const { return p2_; }
+  double m() const { return m_; }
 
  private:
   double p1_, p2_;

@@ -59,6 +59,10 @@ class OrLTwo {
   /// Closed-form variance on (1,0) (Section 4.3).
   double VarianceOneZero() const;
 
+  double p1() const { return p1_; }
+  double p2() const { return p2_; }
+  double q() const { return q_; }
+
  private:
   double p1_, p2_;
   double q_;  // p1 + p2 - p1*p2
@@ -110,6 +114,8 @@ class OrUTwo {
 
   /// Exact variance on binary data (v1, v2).
   double Variance(int v1, int v2) const;
+
+  const MaxUTwo& max_u() const { return max_u_; }
 
  private:
   MaxUTwo max_u_;

@@ -91,6 +91,8 @@ class OrWeightedUniform {
   double p() const { return or_l_.p(); }
   int r() const { return or_l_.r(); }
 
+  const OrLUniform& or_l() const { return or_l_; }
+
  private:
   OrLUniform or_l_;
 };
@@ -137,6 +139,9 @@ class OrWeightedTwo {
 
   double p1() const { return p1_; }
   double p2() const { return p2_; }
+
+  const OrLTwo& or_l() const { return or_l_; }
+  const OrUTwo& or_u() const { return or_u_; }
 
  private:
   double p1_, p2_;

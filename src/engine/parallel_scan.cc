@@ -1,30 +1,26 @@
 #include "engine/parallel_scan.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 #include <vector>
 
+#include "engine/worker_pool.h"
 #include "util/check.h"
 
 namespace pie {
 namespace {
 
 int ResolveThreads(int requested, int num_chunks) {
-  int threads = requested;
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads < 1) threads = 1;
-  }
+  const int threads = ResolveParallelism(requested);
   PIE_CHECK(threads >= 1);
   return std::min(threads, num_chunks);
 }
 
-/// Runs chunk_fn(c) for every chunk index in [0, num_chunks), fanning out
-/// across `threads` workers pulling indices from a shared counter. Which
-/// worker computes which chunk is racy; what each chunk computes is not --
-/// partials are indexed by chunk, so the post-join reduction sees the same
-/// inputs regardless of scheduling. The joins give the caller a
+/// Runs chunk_fn(c) for every chunk index in [0, num_chunks) on the
+/// process-wide persistent worker pool (engine/worker_pool.h), the caller
+/// included, up to `threads` wide. Which worker computes which chunk is
+/// racy; what each chunk computes is not -- partials are indexed by chunk,
+/// so the post-wait reduction sees the same inputs regardless of
+/// scheduling. ParallelFor's completion wait gives the caller a
 /// happens-before edge over every partial.
 template <typename ChunkFn>
 void ForEachChunk(int num_chunks, int threads, const ChunkFn& chunk_fn) {
@@ -32,19 +28,7 @@ void ForEachChunk(int num_chunks, int threads, const ChunkFn& chunk_fn) {
     for (int c = 0; c < num_chunks; ++c) chunk_fn(c);
     return;
   }
-  std::atomic<int> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      for (int c = next.fetch_add(1, std::memory_order_relaxed);
-           c < num_chunks;
-           c = next.fetch_add(1, std::memory_order_relaxed)) {
-        chunk_fn(c);
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  WorkerPool::Global().ParallelFor(num_chunks, threads, chunk_fn);
 }
 
 /// One chunk's [begin, begin + count) rows as a sub-view.

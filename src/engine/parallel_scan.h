@@ -52,8 +52,11 @@ struct ScanPartial {
 };
 
 struct ScanOptions {
-  /// Worker threads; 1 scans inline on the calling thread, 0 picks
-  /// hardware_concurrency. The result bits never depend on this value.
+  /// Parallelism cap for this scan; 1 scans inline on the calling thread,
+  /// 0 picks the PIE_THREADS environment variable when set, else clamped
+  /// hardware_concurrency (engine/worker_pool.h). Parallel scans run on
+  /// the process-wide persistent WorkerPool, whose size is the global
+  /// ceiling. The result bits never depend on this value.
   int num_threads = 1;
   /// When false the scan skips the variance pass entirely (plain
   /// EstimateMany per chunk); ScanPartial::variance stays 0.

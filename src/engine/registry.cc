@@ -1,7 +1,9 @@
 #include "engine/registry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 #include "core/functions.h"
 #include "core/ht.h"
@@ -11,6 +13,7 @@
 #include "core/min_weighted.h"
 #include "core/or_oblivious.h"
 #include "core/or_weighted.h"
+#include "engine/pattern_partition.h"
 #include "util/check.h"
 
 namespace pie {
@@ -47,6 +50,434 @@ Status RequireBinary(const std::vector<double>& values) {
   return Status::OK();
 }
 
+#ifdef PIE_SIMD
+// ---------------------------------------------------------------------------
+// Pattern-partitioned branch-free block loops (the PIE_SIMD fast paths).
+//
+// Batches are processed in blocks of kPartitionBlockRows rows: each block
+// is partitioned into stable index buckets by sampling pattern
+// (engine/pattern_partition.h), every bucket's rows are gathered into
+// dense columns and evaluated by ONE closed form with no data-dependent
+// branches -- so the compiler can auto-vectorize the lane loops (the AVX2
+// and if-conversion flags ride on pie_build_flags; see the PIE_SIMD block
+// in CMakeLists.txt) -- then scattered back to row-indexed outputs. Each
+// form hoists only row-invariant coefficients and otherwise replicates
+// the scalar estimator's floating-point expression tree operation for
+// operation; the bitwise contract (batched == scalar, SIMD == fallback,
+// any thread count) is enforced registry-wide by
+// tests/simd_partition_test.cc and tests/parallel_scan_test.cc.
+// ---------------------------------------------------------------------------
+
+/// Vectorizable std::fmin(1.0, x). GCC will not auto-vectorize fmin on
+/// x86 (no vector optab for IEEE min), but with the first operand fixed at
+/// 1.0 the blend below returns bit-identical values for EVERY input: for
+/// non-NaN x it is the ordinary minimum, and for NaN the comparison is
+/// false so both forms yield 1.0.
+inline double Min1(double x) { return x < 1.0 ? x : 1.0; }
+
+/// Hoisted per-pattern forms of MaxLTwo::EstimateRow (equation (12)).
+struct MaxLTwoForms {
+  double q, p12, a1, a2;
+  explicit MaxLTwoForms(const MaxLTwo& est)
+      : q(est.q()),
+        p12(est.p1() * est.p2()),
+        a1(1.0 / est.p2() - 1.0),
+        a2(1.0 / est.p1() - 1.0) {}
+  double Only0(double v) const { return v / q; }
+  double Only1(double v) const { return v / q; }
+  double Both(double v0, double v1) const {
+    return std::max(v0, v1) / p12 - (a1 * v0 + a2 * v1) / q;
+  }
+};
+
+/// Hoisted per-pattern forms of MaxUTwo::EstimateRow (Section 4.2).
+struct MaxUTwoForms {
+  double pc1, pc2, b1, b2, c, p12;
+  explicit MaxUTwoForms(const MaxUTwo& est)
+      : pc1(est.p1() * est.c()),
+        pc2(est.p2() * est.c()),
+        b1(1.0 - est.p2()),
+        b2(1.0 - est.p1()),
+        c(est.c()),
+        p12(est.p1() * est.p2()) {}
+  double Only0(double v) const { return v / pc1; }
+  double Only1(double v) const { return v / pc2; }
+  double Both(double v0, double v1) const {
+    return (std::max(v0, v1) - (v0 * b1 + v1 * b2) / c) / p12;
+  }
+};
+
+/// Hoisted per-pattern forms of MaxUAsymTwo::EstimateRow (Section 4.2).
+struct MaxUAsymTwoForms {
+  double p1, m, k2, k1, p12;
+  explicit MaxUAsymTwoForms(const MaxUAsymTwo& est)
+      : p1(est.p1()),
+        m(est.m()),
+        k2(est.p2() * (1.0 - est.p1()) / est.m()),
+        k1(1.0 - est.p2()),
+        p12(est.p1() * est.p2()) {}
+  double Only0(double v) const { return v / p1; }
+  double Only1(double v) const { return v / m; }
+  double Both(double v0, double v1) const {
+    return (std::max(v0, v1) - k2 * v1 - k1 * v0) / p12;
+  }
+};
+
+/// Hoisted per-pattern forms of OrLTwo::EstimateRow (Section 4.3).
+struct OrLTwoForms {
+  double q, p12, a1, a2;
+  explicit OrLTwoForms(const OrLTwo& est)
+      : q(est.q()),
+        p12(est.p1() * est.p2()),
+        a1(1.0 / est.p2() - 1.0),
+        a2(1.0 / est.p1() - 1.0) {}
+  double Only0(double v) const { return v / q; }
+  double Only1(double v) const { return v / q; }
+  double Both(double v0, double v1) const {
+    const double or_v = (v0 != 0.0 || v1 != 0.0) ? 1.0 : 0.0;
+    return or_v / p12 - (a1 * v0 + a2 * v1) / q;
+  }
+};
+
+/// Applies an r=2 form set bucket by bucket over one partitioned block:
+/// rows with neither entry sampled estimate 0.
+template <typename Forms>
+void ApplyR2Forms(const double* value, const R2Partition& part,
+                  const Forms& f, double* out) {
+  double v0[kPartitionBlockRows];
+  double v1[kPartitionBlockRows];
+  double e[kPartitionBlockRows];
+  ScatterConstant(0.0, part.idx[0], part.count[0], out);
+  GatherColumn(value, 2, 0, part.idx[1], part.count[1], v0);
+  for (int k = 0; k < part.count[1]; ++k) e[k] = f.Only0(v0[k]);
+  Scatter(e, part.idx[1], part.count[1], out);
+  GatherColumn(value, 2, 1, part.idx[2], part.count[2], v1);
+  for (int k = 0; k < part.count[2]; ++k) e[k] = f.Only1(v1[k]);
+  Scatter(e, part.idx[2], part.count[2], out);
+  GatherColumn(value, 2, 0, part.idx[3], part.count[3], v0);
+  GatherColumn(value, 2, 1, part.idx[3], part.count[3], v1);
+  for (int k = 0; k < part.count[3]; ++k) e[k] = f.Both(v0[k], v1[k]);
+  Scatter(e, part.idx[3], part.count[3], out);
+}
+
+/// Estimate-only blocks for an r=2 oblivious kernel.
+template <typename Forms>
+void R2EstimateBlocks(BatchView batch, const Forms& f, double* out) {
+  for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    const int n = std::min(kPartitionBlockRows, batch.size - base);
+    R2Partition part;
+    PartitionR2(batch.sampled_row(base), n, &part);
+    ApplyR2Forms(batch.value_row(base), part, f, out + base);
+  }
+}
+
+/// Second-moment blocks: the same forms on squared sampled lanes (the
+/// bucket twin of SquareSampledRow + EstimateRow).
+template <typename Forms>
+void R2SecondMomentBlocks(BatchView batch, const Forms& f, double* out) {
+  for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    const int n = std::min(kPartitionBlockRows, batch.size - base);
+    R2Partition part;
+    PartitionR2(batch.sampled_row(base), n, &part);
+    const double* value = batch.value_row(base);
+    double* out_block = out + base;
+    double v0[kPartitionBlockRows];
+    double v1[kPartitionBlockRows];
+    double e[kPartitionBlockRows];
+    ScatterConstant(0.0, part.idx[0], part.count[0], out_block);
+    GatherColumn(value, 2, 0, part.idx[1], part.count[1], v0);
+    for (int k = 0; k < part.count[1]; ++k) e[k] = f.Only0(v0[k] * v0[k]);
+    Scatter(e, part.idx[1], part.count[1], out_block);
+    GatherColumn(value, 2, 1, part.idx[2], part.count[2], v1);
+    for (int k = 0; k < part.count[2]; ++k) e[k] = f.Only1(v1[k] * v1[k]);
+    Scatter(e, part.idx[2], part.count[2], out_block);
+    GatherColumn(value, 2, 0, part.idx[3], part.count[3], v0);
+    GatherColumn(value, 2, 1, part.idx[3], part.count[3], v1);
+    for (int k = 0; k < part.count[3]; ++k) {
+      e[k] = f.Both(v0[k] * v0[k], v1[k] * v1[k]);
+    }
+    Scatter(e, part.idx[3], part.count[3], out_block);
+  }
+}
+
+/// Fused estimate + variance blocks: var = e*e - form(squared lanes),
+/// matching the fused scalar combine bit for bit.
+template <typename Forms>
+void R2FusedBlocks(BatchView batch, const Forms& f, double* est,
+                   double* var) {
+  for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    const int n = std::min(kPartitionBlockRows, batch.size - base);
+    R2Partition part;
+    PartitionR2(batch.sampled_row(base), n, &part);
+    const double* value = batch.value_row(base);
+    double* est_block = est + base;
+    double* var_block = var + base;
+    double v0[kPartitionBlockRows];
+    double v1[kPartitionBlockRows];
+    double e[kPartitionBlockRows];
+    double w[kPartitionBlockRows];
+    ScatterConstant(0.0, part.idx[0], part.count[0], est_block);
+    ScatterConstant(0.0, part.idx[0], part.count[0], var_block);
+    GatherColumn(value, 2, 0, part.idx[1], part.count[1], v0);
+    for (int k = 0; k < part.count[1]; ++k) {
+      const double ei = f.Only0(v0[k]);
+      const double si = f.Only0(v0[k] * v0[k]);
+      e[k] = ei;
+      w[k] = ei * ei - si;
+    }
+    Scatter(e, part.idx[1], part.count[1], est_block);
+    Scatter(w, part.idx[1], part.count[1], var_block);
+    GatherColumn(value, 2, 1, part.idx[2], part.count[2], v1);
+    for (int k = 0; k < part.count[2]; ++k) {
+      const double ei = f.Only1(v1[k]);
+      const double si = f.Only1(v1[k] * v1[k]);
+      e[k] = ei;
+      w[k] = ei * ei - si;
+    }
+    Scatter(e, part.idx[2], part.count[2], est_block);
+    Scatter(w, part.idx[2], part.count[2], var_block);
+    GatherColumn(value, 2, 0, part.idx[3], part.count[3], v0);
+    GatherColumn(value, 2, 1, part.idx[3], part.count[3], v1);
+    for (int k = 0; k < part.count[3]; ++k) {
+      const double ei = f.Both(v0[k], v1[k]);
+      const double si = f.Both(v0[k] * v0[k], v1[k] * v1[k]);
+      e[k] = ei;
+      w[k] = ei * ei - si;
+    }
+    Scatter(e, part.idx[3], part.count[3], est_block);
+    Scatter(w, part.idx[3], part.count[3], var_block);
+  }
+}
+
+/// OrUTwo's scalar row form checks that sampled values are binary before
+/// delegating to max^(U); keep the checks (they guard caller bugs) in one
+/// pass ahead of the branch-free bucket loops.
+void CheckR2BinarySampled(BatchView batch) {
+  for (int i = 0; i < batch.size; ++i) {
+    const uint8_t* sampled = batch.sampled_row(i);
+    const double* value = batch.value_row(i);
+    for (int j = 0; j < 2; ++j) {
+      if (sampled[j]) {
+        PIE_CHECK(value[j] == 0.0 || value[j] == 1.0);
+      }
+    }
+  }
+}
+
+/// Branch-free MaxLWeightedTwo::EvalSorted over dense determining-vector
+/// lanes. Pass 1 orders each pair by blends and resolves the log-free
+/// regimes (hi <= 0; equation (26); the constant regime hi >= tau_hi); the
+/// two log regimes (equations (29)/(30)) evaluate in a second pass so
+/// std::log -- kept as the scalar libm call for bitwise stability -- runs
+/// only on lanes that need it. Regime tests replicate EvalSorted's check
+/// order exactly.
+inline void EvalSortedDense(const double* d1, const double* d2, int n,
+                            double tau1, double tau2, double* out) {
+  double hi_a[kPartitionBlockRows];
+  double lo_a[kPartitionBlockRows];
+  double th_a[kPartitionBlockRows];
+  double tl_a[kPartitionBlockRows];
+  // Pure double lanes (a uint8 regime flag here would block the
+  // vectorizer: no 4x8-bit vector type pairs with the 4x64-bit lanes);
+  // the compaction loop below re-derives the regime from the stored pairs.
+  for (int k = 0; k < n; ++k) {
+    const bool first = d1[k] >= d2[k];
+    const double hi = first ? d1[k] : d2[k];
+    const double lo = first ? d2[k] : d1[k];
+    const double th = first ? tau1 : tau2;
+    const double tl = first ? tau2 : tau1;
+    hi_a[k] = hi;
+    lo_a[k] = lo;
+    th_a[k] = th;
+    tl_a[k] = tl;
+    const double e26 = lo + (hi - lo) / Min1(hi / th);
+    const bool zero = hi <= 0;
+    const bool low_certain = lo >= tl;
+    const bool high_certain = hi >= th;
+    out[k] = zero ? 0.0 : (low_certain ? e26 : (high_certain ? hi : 0.0));
+  }
+  // Pass 2: compact the log lanes by regime so only the std::log call
+  // itself runs scalar; the divide-heavy arithmetic before and after it is
+  // dense and branch-free. Every expression keeps EvalSorted's exact parse
+  // tree (additions stay left-associated), so splitting the evaluation
+  // around the log does not move a single rounding.
+  // Branch-free compaction (unconditional stores + predicated increments):
+  // the regime split is ~50/50 on mixed batches, so a branchy loop would
+  // mispredict on nearly every lane.
+  uint16_t idx29[kPartitionBlockRows];
+  uint16_t idx30[kPartitionBlockRows];
+  int n29 = 0, n30 = 0;
+  for (int k = 0; k < n; ++k) {
+    const bool needs_log =
+        !(hi_a[k] <= 0) && !(lo_a[k] >= tl_a[k]) && !(hi_a[k] >= th_a[k]);
+    const bool is29 = hi_a[k] <= tl_a[k];
+    idx29[n29] = static_cast<uint16_t>(k);
+    idx30[n30] = static_cast<uint16_t>(k);
+    n29 += needs_log && is29 ? 1 : 0;
+    n30 += needs_log && !is29 ? 1 : 0;
+  }
+  double hi_d[kPartitionBlockRows], lo_d[kPartitionBlockRows];
+  double th_d[kPartitionBlockRows], tl_d[kPartitionBlockRows];
+  double lg[kPartitionBlockRows], res[kPartitionBlockRows];
+  if (n29 > 0) {  // equation (29): hi <= tau_lo
+    GatherColumn(hi_a, 1, 0, idx29, n29, hi_d);
+    GatherColumn(lo_a, 1, 0, idx29, n29, lo_d);
+    GatherColumn(th_a, 1, 0, idx29, n29, th_d);
+    GatherColumn(tl_a, 1, 0, idx29, n29, tl_d);
+    for (int k = 0; k < n29; ++k) {
+      const double b = th_d[k] + tl_d[k];
+      lg[k] = (b - lo_d[k]) * hi_d[k] / (lo_d[k] * (b - hi_d[k]));
+    }
+    for (int k = 0; k < n29; ++k) lg[k] = std::log(lg[k]);
+    for (int k = 0; k < n29; ++k) {
+      const double hi = hi_d[k], lo = lo_d[k];
+      const double tau_hi = th_d[k], tau_lo = tl_d[k];
+      const double b = tau_hi + tau_lo;
+      res[k] = tau_hi * tau_lo / (b - hi) +
+               tau_hi * tau_lo * (tau_hi - hi) / (hi * b) * lg[k] +
+               (hi - lo) * tau_hi * tau_lo * (tau_hi - hi) /
+                   (hi * (b - lo) * (b - hi));
+    }
+    Scatter(res, idx29, n29, out);
+  }
+  if (n30 > 0) {  // equation (30): tau_lo < hi < tau_hi
+    GatherColumn(hi_a, 1, 0, idx30, n30, hi_d);
+    GatherColumn(lo_a, 1, 0, idx30, n30, lo_d);
+    GatherColumn(th_a, 1, 0, idx30, n30, th_d);
+    GatherColumn(tl_a, 1, 0, idx30, n30, tl_d);
+    for (int k = 0; k < n30; ++k) {
+      const double b = th_d[k] + tl_d[k];
+      lg[k] = (b - lo_d[k]) * tl_d[k] / (lo_d[k] * th_d[k]);
+    }
+    for (int k = 0; k < n30; ++k) lg[k] = std::log(lg[k]);
+    for (int k = 0; k < n30; ++k) {
+      const double hi = hi_d[k], lo = lo_d[k];
+      const double tau_hi = th_d[k], tau_lo = tl_d[k];
+      const double b = tau_hi + tau_lo;
+      res[k] = tau_hi + tau_lo - tau_hi * tau_lo / hi +
+               tau_hi * tau_lo * (tau_hi - hi) / (hi * b) * lg[k] +
+               tau_lo * (tau_hi - hi) * (tau_lo - lo) / ((b - lo) * hi);
+    }
+    Scatter(res, idx30, n30, out);
+  }
+}
+
+/// Dense r=2 blocks of MaxHtWeighted (shared by the weighted max kernels'
+/// second moments): per bucket, the identified max, its identifiability
+/// flag, and prob = min(1, mx/tau1) min(1, mx/tau2) are branch-free;
+/// non-identified lanes blend to 0. Null output pointers skip a result.
+inline void MaxHtR2Blocks(BatchView batch, double tau1, double tau2,
+                          double* est, double* second) {
+  for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    const int n = std::min(kPartitionBlockRows, batch.size - base);
+    R2Partition part;
+    PartitionR2(batch.sampled_row(base), n, &part);
+    const double* value = batch.value_row(base);
+    const double* seed = batch.seed_row(base);
+    const double* tau_row = batch.param_row(base);
+    double v[kPartitionBlockRows];
+    double sd[kPartitionBlockRows];
+    double bt[kPartitionBlockRows];
+    double e[kPartitionBlockRows];
+    double s[kPartitionBlockRows];
+    for (int bucket = 0; bucket < 4; ++bucket) {
+      const uint16_t* idx = part.idx[bucket];
+      const int cnt = part.count[bucket];
+      if (bucket == 0) {
+        if (est != nullptr) ScatterConstant(0.0, idx, cnt, est + base);
+        if (second != nullptr) {
+          ScatterConstant(0.0, idx, cnt, second + base);
+        }
+        continue;
+      }
+      if (bucket == 3) {
+        GatherColumn(value, 2, 0, idx, cnt, v);
+        GatherColumn(value, 2, 1, idx, cnt, sd);  // reuse as v1 lanes
+        for (int k = 0; k < cnt; ++k) {
+          const double mx = std::max(std::max(0.0, v[k]), sd[k]);
+          const bool ok = mx > 0;
+          const double prob =
+              Min1(mx / tau1) * Min1(mx / tau2);
+          e[k] = ok ? mx / prob : 0.0;
+          s[k] = ok ? mx * mx / prob : 0.0;
+        }
+      } else {
+        // Exactly one entry sampled: the other entry's seed bound decides
+        // identifiability (MaxHtWeighted::IdentifiedMax).
+        const int have = bucket == 1 ? 0 : 1;
+        const int miss = 1 - have;
+        GatherColumn(value, 2, have, idx, cnt, v);
+        GatherColumn(seed, 2, miss, idx, cnt, sd);
+        GatherColumn(tau_row, 2, miss, idx, cnt, bt);
+        // ok = mx > 0 && !(bound > mx) split into two single-comparison
+        // blends (v[k] > 0 iff mx > 0 since mx = max(0, v[k])): GCC's
+        // if-converter refuses the fused && form, and each chain picks the
+        // same value the scalar path does.
+        for (int k = 0; k < cnt; ++k) {
+          const double mx = std::max(0.0, v[k]);
+          const double bound = sd[k] * bt[k];
+          const double prob =
+              Min1(mx / tau1) * Min1(mx / tau2);
+          const double e_ok = bound > mx ? 0.0 : mx / prob;
+          const double s_ok = bound > mx ? 0.0 : mx * mx / prob;
+          e[k] = v[k] > 0 ? e_ok : 0.0;
+          s[k] = v[k] > 0 ? s_ok : 0.0;
+        }
+      }
+      if (est != nullptr) Scatter(e, idx, cnt, est + base);
+      if (second != nullptr) Scatter(s, idx, cnt, second + base);
+    }
+  }
+}
+
+/// Dense all-sampled blocks of MinHtWeighted: survivors accumulate the
+/// columnwise min and all-sampled probability in entry order (mirroring
+/// AllSampledMin); everything else estimates 0. Null pointers skip a
+/// result.
+inline void MinHtBlocks(BatchView batch, const std::vector<double>& tau,
+                        double* est, double* second) {
+  const int r = static_cast<int>(tau.size());
+  for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    const int n = std::min(kPartitionBlockRows, batch.size - base);
+    AllSampledPartition part;
+    PartitionAllSampled(batch.sampled_row(base), r, n, &part);
+    if (est != nullptr) {
+      ScatterConstant(0.0, part.rest, part.rest_count, est + base);
+    }
+    if (second != nullptr) {
+      ScatterConstant(0.0, part.rest, part.rest_count, second + base);
+    }
+    const double* value = batch.value_row(base);
+    double col[kPartitionBlockRows];
+    double mn[kPartitionBlockRows];
+    double prob[kPartitionBlockRows];
+    for (int j = 0; j < r; ++j) {
+      GatherColumn(value, r, j, part.idx, part.count, col);
+      const double tau_j = tau[static_cast<size_t>(j)];
+      if (j == 0) {
+        for (int k = 0; k < part.count; ++k) {
+          mn[k] = col[k];
+          prob[k] = Min1(col[k] / tau_j);
+        }
+      } else {
+        for (int k = 0; k < part.count; ++k) {
+          mn[k] = std::fmin(mn[k], col[k]);
+          prob[k] *= Min1(col[k] / tau_j);
+        }
+      }
+    }
+    double e[kPartitionBlockRows];
+    double s[kPartitionBlockRows];
+    for (int k = 0; k < part.count; ++k) {
+      e[k] = mn[k] / prob[k];
+      s[k] = mn[k] * mn[k] / prob[k];
+    }
+    if (est != nullptr) Scatter(e, part.idx, part.count, est + base);
+    if (second != nullptr) Scatter(s, part.idx, part.count, second + base);
+  }
+}
+#endif  // PIE_SIMD
+
 /// Horvitz-Thompson over weight-oblivious outcomes for any primitive f.
 class ObliviousHtKernel : public EstimatorKernel {
  public:
@@ -61,6 +492,9 @@ class ObliviousHtKernel : public EstimatorKernel {
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious,
                      static_cast<int>(p_.size()));
+#ifdef PIE_SIMD
+    PartitionedMany(batch, out, nullptr);
+#else
     std::vector<double> scratch;
     scratch.reserve(p_.size());
     for (int i = 0; i < batch.size; ++i) {
@@ -69,6 +503,7 @@ class ObliviousHtKernel : public EstimatorKernel {
                                       batch.value_row(i), batch.r, f_,
                                       &scratch);
     }
+#endif
   }
   double EstimateSecondMoment(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kOblivious);
@@ -81,6 +516,9 @@ class ObliviousHtKernel : public EstimatorKernel {
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious,
                      static_cast<int>(p_.size()));
+#ifdef PIE_SIMD
+    PartitionedMany(batch, nullptr, out);
+#else
     std::vector<double> scratch;
     scratch.reserve(p_.size());
     for (int i = 0; i < batch.size; ++i) {
@@ -89,11 +527,18 @@ class ObliviousHtKernel : public EstimatorKernel {
                                           batch.value_row(i), batch.r, f_,
                                           &scratch);
     }
+#endif
   }
   void EstimateWithVarianceMany(BatchView batch, double* est,
                                 double* var) const override {
     CheckBatchLayout(batch, Scheme::kOblivious,
                      static_cast<int>(p_.size()));
+#ifdef PIE_SIMD
+    PartitionedMany(batch, est, var);
+    for (int i = 0; i < batch.size; ++i) {
+      var[i] = est[i] * est[i] - var[i];
+    }
+#else
     std::vector<double> scratch;
     scratch.reserve(p_.size());
     for (int i = 0; i < batch.size; ++i) {
@@ -103,6 +548,7 @@ class ObliviousHtKernel : public EstimatorKernel {
           batch.r, f_, &scratch, &est[i], &second);
       var[i] = est[i] * est[i] - second;
     }
+#endif
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     return ObliviousHtVariance(values, p_, f_);
@@ -110,6 +556,39 @@ class ObliviousHtKernel : public EstimatorKernel {
   std::string name() const override { return name_; }
 
  private:
+#ifdef PIE_SIMD
+  /// All-sampled partition: non-survivors estimate 0 without touching f_
+  /// (a std::function, so its lane math cannot fuse into a branch-free
+  /// loop -- the win is routing rows that cannot contribute around the
+  /// all-sampled scan and call machinery). Survivors run the fused scalar
+  /// row core, whose estimate/second pair shares one f(v) evaluation.
+  void PartitionedMany(BatchView batch, double* est, double* second) const {
+    const int r = static_cast<int>(p_.size());
+    std::vector<double> scratch;
+    scratch.reserve(p_.size());
+    AllSampledPartition part;
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      PartitionAllSampled(batch.sampled_row(base), r, n, &part);
+      if (est != nullptr) {
+        ScatterConstant(0.0, part.rest, part.rest_count, est + base);
+      }
+      if (second != nullptr) {
+        ScatterConstant(0.0, part.rest, part.rest_count, second + base);
+      }
+      for (int k = 0; k < part.count; ++k) {
+        const int i = base + part.idx[k];
+        double e, s;
+        ObliviousHtEstimateWithSecondMomentRow(
+            batch.param_row(i), batch.sampled_row(i), batch.value_row(i),
+            batch.r, f_, &scratch, &e, &s);
+        if (est != nullptr) est[i] = e;
+        if (second != nullptr) second[i] = s;
+      }
+    }
+  }
+#endif
+
   std::string name_;
   VectorFunction f_;
   std::vector<double> p_;
@@ -147,22 +626,33 @@ class MaxLTwoKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2EstimateBlocks(batch, MaxLTwoForms(est_), out);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2SecondMomentBlocks(batch, MaxLTwoForms(est_), out);
+#else
     double sq[2];
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
       SquareSampledRow(sampled, batch.value_row(i), 2, sq);
       out[i] = est_.EstimateRow(sampled, sq);
     }
+#endif
   }
   void EstimateWithVarianceMany(BatchView batch, double* est,
                                 double* var) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2FusedBlocks(batch, MaxLTwoForms(est_), est, var);
+#else
     double sq[2];
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
@@ -172,6 +662,7 @@ class MaxLTwoKernel : public EstimatorKernel {
       est[i] = e;
       var[i] = e * e - est_.EstimateRow(sampled, sq);
     }
+#endif
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -209,23 +700,57 @@ class MaxLUniformKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, est_.r());
+#ifdef PIE_SIMD
+    // The Theorem 4.2 estimate is a sorted dot product, so survivor rows
+    // stay scalar; partitioning pays by routing empty outcomes (estimate
+    // exactly 0) around the sort entirely.
+    std::vector<double> scratch;
+    scratch.reserve(static_cast<size_t>(est_.r()));
+    AllSampledPartition part;
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      PartitionAnySampled(batch.sampled_row(base), est_.r(), n, &part);
+      ScatterConstant(0.0, part.rest, part.rest_count, out + base);
+      for (int k = 0; k < part.count; ++k) {
+        const int i = base + part.idx[k];
+        out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i),
+                                  &scratch);
+      }
+    }
+#else
     std::vector<double> scratch;
     scratch.reserve(static_cast<size_t>(est_.r()));
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i),
                                 &scratch);
     }
+#endif
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, est_.r());
     std::vector<double> scratch;
     scratch.reserve(static_cast<size_t>(est_.r()));
     std::vector<double> sq(static_cast<size_t>(est_.r()));
+#ifdef PIE_SIMD
+    AllSampledPartition part;
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      PartitionAnySampled(batch.sampled_row(base), est_.r(), n, &part);
+      ScatterConstant(0.0, part.rest, part.rest_count, out + base);
+      for (int k = 0; k < part.count; ++k) {
+        const int i = base + part.idx[k];
+        const uint8_t* sampled = batch.sampled_row(i);
+        SquareSampledRow(sampled, batch.value_row(i), est_.r(), sq.data());
+        out[i] = est_.EstimateRow(sampled, sq.data(), &scratch);
+      }
+    }
+#else
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
       SquareSampledRow(sampled, batch.value_row(i), est_.r(), sq.data());
       out[i] = est_.EstimateRow(sampled, sq.data(), &scratch);
     }
+#endif
   }
   void EstimateWithVarianceMany(BatchView batch, double* est,
                                 double* var) const override {
@@ -233,6 +758,24 @@ class MaxLUniformKernel : public EstimatorKernel {
     std::vector<double> scratch;
     scratch.reserve(static_cast<size_t>(est_.r()));
     std::vector<double> sq(static_cast<size_t>(est_.r()));
+#ifdef PIE_SIMD
+    AllSampledPartition part;
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      PartitionAnySampled(batch.sampled_row(base), est_.r(), n, &part);
+      ScatterConstant(0.0, part.rest, part.rest_count, est + base);
+      ScatterConstant(0.0, part.rest, part.rest_count, var + base);
+      for (int k = 0; k < part.count; ++k) {
+        const int i = base + part.idx[k];
+        const uint8_t* sampled = batch.sampled_row(i);
+        const double* value = batch.value_row(i);
+        const double e = est_.EstimateRow(sampled, value, &scratch);
+        SquareSampledRow(sampled, value, est_.r(), sq.data());
+        est[i] = e;
+        var[i] = e * e - est_.EstimateRow(sampled, sq.data(), &scratch);
+      }
+    }
+#else
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
       const double* value = batch.value_row(i);
@@ -241,6 +784,7 @@ class MaxLUniformKernel : public EstimatorKernel {
       est[i] = e;
       var[i] = e * e - est_.EstimateRow(sampled, sq.data(), &scratch);
     }
+#endif
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     if (static_cast<int>(values.size()) != est_.r() || est_.r() > 25) {
@@ -266,22 +810,33 @@ class MaxUTwoKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2EstimateBlocks(batch, MaxUTwoForms(est_), out);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2SecondMomentBlocks(batch, MaxUTwoForms(est_), out);
+#else
     double sq[2];
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
       SquareSampledRow(sampled, batch.value_row(i), 2, sq);
       out[i] = est_.EstimateRow(sampled, sq);
     }
+#endif
   }
   void EstimateWithVarianceMany(BatchView batch, double* est,
                                 double* var) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2FusedBlocks(batch, MaxUTwoForms(est_), est, var);
+#else
     double sq[2];
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
@@ -291,6 +846,7 @@ class MaxUTwoKernel : public EstimatorKernel {
       est[i] = e;
       var[i] = e * e - est_.EstimateRow(sampled, sq);
     }
+#endif
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -311,22 +867,33 @@ class MaxUAsymTwoKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2EstimateBlocks(batch, MaxUAsymTwoForms(est_), out);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2SecondMomentBlocks(batch, MaxUAsymTwoForms(est_), out);
+#else
     double sq[2];
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
       SquareSampledRow(sampled, batch.value_row(i), 2, sq);
       out[i] = est_.EstimateRow(sampled, sq);
     }
+#endif
   }
   void EstimateWithVarianceMany(BatchView batch, double* est,
                                 double* var) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2FusedBlocks(batch, MaxUAsymTwoForms(est_), est, var);
+#else
     double sq[2];
     for (int i = 0; i < batch.size; ++i) {
       const uint8_t* sampled = batch.sampled_row(i);
@@ -336,6 +903,7 @@ class MaxUAsymTwoKernel : public EstimatorKernel {
       est[i] = e;
       var[i] = e * e - est_.EstimateRow(sampled, sq);
     }
+#endif
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -356,9 +924,13 @@ class OrLTwoKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    R2EstimateBlocks(batch, OrLTwoForms(est_), out);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   // Binary domain: OR(v)^2 = OR(v), so the point estimate IS the unbiased
   // second-moment estimate (and 0/1 are fixed points of squaring, so this
@@ -395,9 +967,24 @@ class OrLUniformKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, est_.r());
+#ifdef PIE_SIMD
+    // Rows without a sampled entry estimate 0 dense; survivors run the
+    // checked counting row (the estimate itself is a prefix-sum lookup).
+    AllSampledPartition part;
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      PartitionAnySampled(batch.sampled_row(base), est_.r(), n, &part);
+      ScatterConstant(0.0, part.rest, part.rest_count, out + base);
+      for (int k = 0; k < part.count; ++k) {
+        const int i = base + part.idx[k];
+        out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
+      }
+    }
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   // Binary domain: OR(v)^2 = OR(v) (see OrLTwoKernel).
   double EstimateSecondMoment(const Outcome& outcome) const override {
@@ -435,9 +1022,14 @@ class OrUTwoKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kOblivious, 2);
+#ifdef PIE_SIMD
+    CheckR2BinarySampled(batch);
+    R2EstimateBlocks(batch, MaxUTwoForms(est_.max_u()), out);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   // Binary domain: OR(v)^2 = OR(v) (see OrLTwoKernel).
   double EstimateSecondMoment(const Outcome& outcome) const override {
@@ -474,6 +1066,12 @@ class MaxHtWeightedKernel : public EstimatorKernel {
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps,
                      static_cast<int>(est_.tau().size()));
+#ifdef PIE_SIMD
+    if (est_.tau().size() == 2) {
+      MaxHtR2Blocks(batch, est_.tau()[0], est_.tau()[1], out, nullptr);
+      return;
+    }
+#endif
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.param_row(i), batch.seed_row(i),
                                 batch.sampled_row(i), batch.value_row(i));
@@ -488,6 +1086,12 @@ class MaxHtWeightedKernel : public EstimatorKernel {
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps,
                      static_cast<int>(est_.tau().size()));
+#ifdef PIE_SIMD
+    if (est_.tau().size() == 2) {
+      MaxHtR2Blocks(batch, est_.tau()[0], est_.tau()[1], nullptr, out);
+      return;
+    }
+#endif
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.SecondMomentRow(batch.param_row(i), batch.seed_row(i),
                                     batch.sampled_row(i),
@@ -498,6 +1102,15 @@ class MaxHtWeightedKernel : public EstimatorKernel {
                                 double* var) const override {
     CheckBatchLayout(batch, Scheme::kPps,
                      static_cast<int>(est_.tau().size()));
+#ifdef PIE_SIMD
+    if (est_.tau().size() == 2) {
+      MaxHtR2Blocks(batch, est_.tau()[0], est_.tau()[1], est, var);
+      for (int i = 0; i < batch.size; ++i) {
+        var[i] = est[i] * est[i] - var[i];
+      }
+      return;
+    }
+#endif
     for (int i = 0; i < batch.size; ++i) {
       double second;
       est_.EstimateWithSecondMomentRow(batch.param_row(i),
@@ -530,10 +1143,67 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps, 2);
+#ifdef PIE_SIMD
+    // Pattern-partitioned: each bucket builds its determining vector
+    // (d1, d2) branch-free, then EvalSortedDense evaluates the non-log
+    // regimes vectorized and resolves the log regimes in a scalar tail.
+    const double tau1 = est_.tau1();
+    const double tau2 = est_.tau2();
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      R2Partition part;
+      PartitionR2(batch.sampled_row(base), n, &part);
+      const double* value = batch.value_row(base);
+      const double* seed = batch.seed_row(base);
+      const double* tau = batch.param_row(base);
+      double d1[kPartitionBlockRows], d2[kPartitionBlockRows];
+      double sd[kPartitionBlockRows], bt[kPartitionBlockRows];
+      double e[kPartitionBlockRows];
+      ScatterConstant(0.0, part.idx[0], part.count[0], out + base);
+      // The three sampled buckets build their (d1, d2) pairs into disjoint
+      // SEGMENTS of one dense lane array, so EvalSortedDense runs once per
+      // block (one pass-1 sweep, one log compaction, one vector tail)
+      // instead of once per bucket. The evaluation is per-lane independent,
+      // so concatenation changes no bits.
+      int seg[4] = {0, 0, 0, 0};
+      int off = 0;
+      for (int bucket = 1; bucket <= 2; ++bucket) {
+        const uint16_t* idx = part.idx[bucket];
+        const int cnt = part.count[bucket];
+        seg[bucket] = off;
+        if (cnt == 0) continue;
+        const int have = bucket == 1 ? 0 : 1;
+        const int miss = 1 - have;
+        double* dh = (bucket == 1 ? d1 : d2) + off;
+        double* dm = (bucket == 1 ? d2 : d1) + off;
+        GatherColumn(value, 2, have, idx, cnt, dh);
+        GatherColumn(seed, 2, miss, idx, cnt, sd);
+        GatherColumn(tau, 2, miss, idx, cnt, bt);
+        for (int k = 0; k < cnt; ++k) {
+          dm[k] = std::min(sd[k] * bt[k], dh[k]);
+        }
+        off += cnt;
+      }
+      seg[3] = off;
+      if (part.count[3] > 0) {
+        GatherColumn(value, 2, 0, part.idx[3], part.count[3], d1 + off);
+        GatherColumn(value, 2, 1, part.idx[3], part.count[3], d2 + off);
+        off += part.count[3];
+      }
+      if (off > 0) {
+        EvalSortedDense(d1, d2, off, tau1, tau2, e);
+        for (int bucket = 1; bucket <= 3; ++bucket) {
+          Scatter(e + seg[bucket], part.idx[bucket], part.count[bucket],
+                  out + base);
+        }
+      }
+    }
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.param_row(i), batch.seed_row(i),
                                 batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   // The second moment uses the identifiable-event inverse-probability form
   // (max_sampled^2 / p on outcomes that pin down max(v)); any unbiased
@@ -547,12 +1217,17 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
   }
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps, 2);
+#ifdef PIE_SIMD
+    // Same identifiable-event arithmetic as MaxHtWeighted r=2.
+    MaxHtR2Blocks(batch, est_.tau1(), est_.tau2(), nullptr, out);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = second_.SecondMomentRow(batch.param_row(i),
                                        batch.seed_row(i),
                                        batch.sampled_row(i),
                                        batch.value_row(i));
     }
+#endif
   }
   // Single-load fused row: one case split on the sampled pattern feeds
   // BOTH the max^(L) determining vector and the identifiable-event second
@@ -567,6 +1242,82 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
     CheckBatchLayout(batch, Scheme::kPps, 2);
     const double tau1 = est_.tau1();
     const double tau2 = est_.tau2();
+#ifdef PIE_SIMD
+    // Per bucket the fused pass builds (d1, d2) for max^(L) and the
+    // (mx, identifiable) pair for the second moment from the SAME gathered
+    // columns, evaluates the estimate dense, and combines var = e^2 - s.
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      R2Partition part;
+      PartitionR2(batch.sampled_row(base), n, &part);
+      const double* value = batch.value_row(base);
+      const double* seed = batch.seed_row(base);
+      const double* tau = batch.param_row(base);
+      double d1[kPartitionBlockRows], d2[kPartitionBlockRows];
+      double sd[kPartitionBlockRows], bt[kPartitionBlockRows];
+      double e[kPartitionBlockRows], s[kPartitionBlockRows];
+      double w[kPartitionBlockRows];
+      ScatterConstant(0.0, part.idx[0], part.count[0], est + base);
+      ScatterConstant(0.0, part.idx[0], part.count[0], var + base);
+      // As in EstimateMany, the sampled buckets fill disjoint segments of
+      // one dense lane array (here (d1, d2) AND the second-moment lane s)
+      // so EvalSortedDense and the var combine run once per block.
+      int seg[4] = {0, 0, 0, 0};
+      int off = 0;
+      for (int bucket = 1; bucket <= 2; ++bucket) {
+        const uint16_t* idx = part.idx[bucket];
+        const int cnt = part.count[bucket];
+        seg[bucket] = off;
+        if (cnt == 0) continue;
+        const int have = bucket == 1 ? 0 : 1;
+        const int miss = 1 - have;
+        double* dh = (bucket == 1 ? d1 : d2) + off;
+        double* dm = (bucket == 1 ? d2 : d1) + off;
+        double* sb = s + off;
+        GatherColumn(value, 2, have, idx, cnt, dh);
+        GatherColumn(seed, 2, miss, idx, cnt, sd);
+        GatherColumn(tau, 2, miss, idx, cnt, bt);
+        // ok split into single-comparison blends as in MaxHtR2Blocks.
+        for (int k = 0; k < cnt; ++k) {
+          const double bound = sd[k] * bt[k];
+          dm[k] = std::min(bound, dh[k]);
+          const double mx = std::max(0.0, dh[k]);
+          const double prob =
+              Min1(mx / tau1) * Min1(mx / tau2);
+          const double s_ok = bound > mx ? 0.0 : mx * mx / prob;
+          sb[k] = dh[k] > 0 ? s_ok : 0.0;
+        }
+        off += cnt;
+      }
+      seg[3] = off;
+      if (part.count[3] > 0) {
+        const uint16_t* idx = part.idx[3];
+        const int cnt = part.count[3];
+        double* da = d1 + off;
+        double* db = d2 + off;
+        double* sb = s + off;
+        GatherColumn(value, 2, 0, idx, cnt, da);
+        GatherColumn(value, 2, 1, idx, cnt, db);
+        for (int k = 0; k < cnt; ++k) {
+          const double mx = std::max(std::max(0.0, da[k]), db[k]);
+          const double prob =
+              Min1(mx / tau1) * Min1(mx / tau2);
+          sb[k] = mx > 0 ? mx * mx / prob : 0.0;
+        }
+        off += cnt;
+      }
+      if (off > 0) {
+        EvalSortedDense(d1, d2, off, tau1, tau2, e);
+        for (int k = 0; k < off; ++k) w[k] = e[k] * e[k] - s[k];
+        for (int bucket = 1; bucket <= 3; ++bucket) {
+          Scatter(e + seg[bucket], part.idx[bucket], part.count[bucket],
+                  est + base);
+          Scatter(w + seg[bucket], part.idx[bucket], part.count[bucket],
+                  var + base);
+        }
+      }
+    }
+#else
     for (int i = 0; i < batch.size; ++i) {
       const double* tau = batch.param_row(i);
       const double* seed = batch.seed_row(i);
@@ -608,6 +1359,7 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
       est[i] = e;
       var[i] = e * e - second;
     }
+#endif
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     PIE_RETURN_IF_ERROR(RequireR(static_cast<int>(values.size()), 2));
@@ -639,6 +1391,60 @@ class OrWeightedTwoKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps, 2);
+#ifdef PIE_SIMD
+    // Section 5.1 mapping first (per row, keeps its checks), then the rows
+    // are partitioned on the MAPPED sampled flags -- a seed below p_i turns
+    // a missing entry into a certified zero, so the mapped pattern, not the
+    // raw one, selects the estimator's closed form.
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      double p_blk[2 * kPartitionBlockRows];
+      uint8_t s_blk[2 * kPartitionBlockRows];
+      double v_blk[2 * kPartitionBlockRows];
+      for (int i = 0; i < n; ++i) {
+        const int row = base + i;
+        MapBinaryPpsRowToOblivious(batch.param_row(row), batch.seed_row(row),
+                                   batch.sampled_row(row),
+                                   batch.value_row(row), 2, p_blk + 2 * i,
+                                   s_blk + 2 * i, v_blk + 2 * i);
+      }
+      R2Partition part;
+      PartitionR2(s_blk, n, &part);
+      switch (family_) {
+        case Family::kL:
+          ApplyR2Forms(v_blk, part, OrLTwoForms(est_.or_l()), out + base);
+          break;
+        case Family::kHt: {  // positive only when both mapped-sampled.
+          ScatterConstant(0.0, part.idx[0], part.count[0], out + base);
+          ScatterConstant(0.0, part.idx[1], part.count[1], out + base);
+          ScatterConstant(0.0, part.idx[2], part.count[2], out + base);
+          const uint16_t* idx = part.idx[3];
+          const int cnt = part.count[3];
+          if (cnt > 0) {
+            double v0[kPartitionBlockRows], v1[kPartitionBlockRows];
+            double p0[kPartitionBlockRows], p1[kPartitionBlockRows];
+            double e[kPartitionBlockRows];
+            GatherColumn(v_blk, 2, 0, idx, cnt, v0);
+            GatherColumn(v_blk, 2, 1, idx, cnt, v1);
+            GatherColumn(p_blk, 2, 0, idx, cnt, p0);
+            GatherColumn(p_blk, 2, 1, idx, cnt, p1);
+            for (int k = 0; k < cnt; ++k) {
+              const bool any = v0[k] != 0.0 || v1[k] != 0.0;
+              e[k] = any ? 1.0 / (p0[k] * p1[k]) : 0.0;
+            }
+            Scatter(e, idx, cnt, out + base);
+          }
+          break;
+        }
+        default:
+          // Mapped values are 0/1 by construction (the mapping already
+          // checked them), so OrUTwo reduces to its max^(U) arithmetic.
+          ApplyR2Forms(v_blk, part, MaxUTwoForms(est_.or_u().max_u()),
+                       out + base);
+          break;
+      }
+    }
+#else
     for (int i = 0; i < batch.size; ++i) {
       const double* tau = batch.param_row(i);
       const double* seed = batch.seed_row(i);
@@ -656,6 +1462,7 @@ class OrWeightedTwoKernel : public EstimatorKernel {
           break;
       }
     }
+#endif
   }
   // Binary domain: OR(v)^2 = OR(v), so the point estimate is itself the
   // unbiased second-moment estimate.
@@ -709,6 +1516,45 @@ class OrWeightedUniformKernel : public EstimatorKernel {
   }
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps, est_.r());
+#ifdef PIE_SIMD
+    // Map every row (keeping the mapping's checks), partition the block on
+    // the MAPPED flags, and run the family's row form only on rows that
+    // can estimate nonzero; the rest are exactly 0.
+    const int r = est_.r();
+    const size_t slab = static_cast<size_t>(r) * kPartitionBlockRows;
+    std::vector<double> p_blk(slab);
+    std::vector<uint8_t> s_blk(slab);
+    std::vector<double> v_blk(slab);
+    for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      const int n = std::min(kPartitionBlockRows, batch.size - base);
+      for (int i = 0; i < n; ++i) {
+        const int row = base + i;
+        MapBinaryPpsRowToOblivious(
+            batch.param_row(row), batch.seed_row(row), batch.sampled_row(row),
+            batch.value_row(row), r, p_blk.data() + i * r,
+            s_blk.data() + i * r, v_blk.data() + i * r);
+      }
+      AllSampledPartition part;
+      if (family_ == Family::kHt) {
+        PartitionAllSampled(s_blk.data(), r, n, &part);
+        ScatterConstant(0.0, part.rest, part.rest_count, out + base);
+        for (int k = 0; k < part.count; ++k) {
+          const int i = part.idx[k];
+          out[base + i] = OrHtEstimateRow(p_blk.data() + i * r,
+                                          s_blk.data() + i * r,
+                                          v_blk.data() + i * r, r);
+        }
+      } else {
+        PartitionAnySampled(s_blk.data(), r, n, &part);
+        ScatterConstant(0.0, part.rest, part.rest_count, out + base);
+        for (int k = 0; k < part.count; ++k) {
+          const int i = part.idx[k];
+          out[base + i] = est_.or_l().EstimateRow(s_blk.data() + i * r,
+                                                  v_blk.data() + i * r);
+        }
+      }
+    }
+#else
     std::vector<double> p(static_cast<size_t>(est_.r()));
     std::vector<uint8_t> s(static_cast<size_t>(est_.r()));
     std::vector<double> v(static_cast<size_t>(est_.r()));
@@ -725,6 +1571,7 @@ class OrWeightedUniformKernel : public EstimatorKernel {
                                        batch.value_row(i), p.data(),
                                        s.data(), v.data());
     }
+#endif
   }
   // Binary domain: OR(v)^2 = OR(v) (see OrWeightedTwoKernel).
   double EstimateSecondMoment(const Outcome& outcome) const override {
@@ -771,9 +1618,13 @@ class MinHtWeightedKernel : public EstimatorKernel {
   void EstimateMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps,
                      static_cast<int>(est_.tau().size()));
+#ifdef PIE_SIMD
+    MinHtBlocks(batch, est_.tau(), out, nullptr);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.EstimateRow(batch.sampled_row(i), batch.value_row(i));
     }
+#endif
   }
   double EstimateSecondMoment(const Outcome& outcome) const override {
     PIE_DCHECK(outcome.scheme == Scheme::kPps);
@@ -783,15 +1634,25 @@ class MinHtWeightedKernel : public EstimatorKernel {
   void EstimateSecondMomentMany(BatchView batch, double* out) const override {
     CheckBatchLayout(batch, Scheme::kPps,
                      static_cast<int>(est_.tau().size()));
+#ifdef PIE_SIMD
+    MinHtBlocks(batch, est_.tau(), nullptr, out);
+#else
     for (int i = 0; i < batch.size; ++i) {
       out[i] = est_.SecondMomentRow(batch.sampled_row(i),
                                     batch.value_row(i));
     }
+#endif
   }
   void EstimateWithVarianceMany(BatchView batch, double* est,
                                 double* var) const override {
     CheckBatchLayout(batch, Scheme::kPps,
                      static_cast<int>(est_.tau().size()));
+#ifdef PIE_SIMD
+    MinHtBlocks(batch, est_.tau(), est, var);
+    for (int i = 0; i < batch.size; ++i) {
+      var[i] = est[i] * est[i] - var[i];
+    }
+#else
     for (int i = 0; i < batch.size; ++i) {
       double second;
       est_.EstimateWithSecondMomentRow(batch.sampled_row(i),
@@ -799,6 +1660,7 @@ class MinHtWeightedKernel : public EstimatorKernel {
                                        &second);
       var[i] = est[i] * est[i] - second;
     }
+#endif
   }
   Result<double> Variance(const std::vector<double>& values) const override {
     return est_.Variance(values);

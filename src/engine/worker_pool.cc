@@ -1,0 +1,138 @@
+#include "engine/worker_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace pie {
+
+int HardwareThreads() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<int>(reported);
+}
+
+int ResolveParallelism(int requested) {
+  if (requested >= 1) return requested;
+  static const int auto_width = [] {
+    if (const char* env = std::getenv("PIE_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) return parsed;
+    }
+    return HardwareThreads();
+  }();
+  return auto_width;
+}
+
+/// One published parallel region: an atomic index counter helpers drain
+/// alongside the caller. `next` is the only field touched outside the pool
+/// mutex; everything else (helper budget, active helper count, queue
+/// membership) is mutex-guarded, which also provides the release/acquire
+/// edge making helpers' writes visible to the caller on return.
+struct WorkerPool::Job {
+  const std::function<void(int)>* fn = nullptr;
+  int count = 0;
+  std::atomic<int> next{0};
+  /// Helpers still allowed to join (job leaves the queue at 0).
+  int helper_budget = 0;
+  /// Helpers currently draining; the caller returns once this hits 0
+  /// after it finished its own drain and dequeued the job.
+  int active = 0;
+  bool queued = false;
+};
+
+class WorkerPool::Impl {
+ public:
+  explicit Impl(int num_workers) {
+    for (int i = 0; i < num_workers; ++i) {
+      std::thread([this] { WorkerLoop(); }).detach();
+    }
+  }
+
+  void Run(Job* job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(job);
+      job->queued = true;
+    }
+    if (job->helper_budget == 1) {
+      work_cv_.notify_one();
+    } else {
+      work_cv_.notify_all();
+    }
+    Drain(job);  // the caller always participates
+    std::unique_lock<std::mutex> lock(mu_);
+    if (job->queued) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == job) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      job->queued = false;
+    }
+    done_cv_.wait(lock, [job] { return job->active == 0; });
+  }
+
+ private:
+  static void Drain(Job* job) {
+    for (;;) {
+      const int i = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job->count) return;
+      (*job->fn)(i);
+    }
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [this] { return !queue_.empty(); });
+      Job* job = queue_.front();
+      ++job->active;
+      if (--job->helper_budget == 0) {
+        queue_.pop_front();
+        job->queued = false;
+      }
+      lock.unlock();
+      Drain(job);
+      lock.lock();
+      if (--job->active == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Job*> queue_;  // jobs still accepting helpers
+};
+
+WorkerPool::WorkerPool()
+    // The Impl is leaked alongside the pool itself: workers park on its
+    // queue forever, so it must outlive every static destructor.
+    : impl_(new Impl(ResolveParallelism(0) - 1)),
+      num_workers_(ResolveParallelism(0) - 1) {}
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool* pool = new WorkerPool();  // leaked; LSan-reachable
+  return *pool;
+}
+
+void WorkerPool::ParallelFor(int count, int max_parallelism,
+                             const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  int width = max_parallelism < count ? max_parallelism : count;
+  if (width > num_workers_ + 1) width = num_workers_ + 1;
+  if (width <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  job.helper_budget = width - 1;
+  impl_->Run(&job);
+}
+
+}  // namespace pie

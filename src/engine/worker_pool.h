@@ -1,0 +1,83 @@
+// Process-wide persistent worker pool: the execution runtime under every
+// parallel scan in the codebase.
+//
+// Before this layer existed, each ScanBatch / per-shard query fan-out
+// spawned and joined fresh std::threads, so repeat-call paths (the
+// aggregate layer's bridges) had to force single-threaded scans to avoid
+// paying thread creation per call. The pool starts its workers lazily on
+// first use and keeps them parked on a condition variable, so handing a
+// parallel region to the pool costs a mutex push + wakeup instead of a
+// spawn/join round trip.
+//
+// Scheduling model: ParallelFor(count, max_parallelism, fn) publishes a
+// job (an atomic index counter over [0, count)) that up to
+// max_parallelism - 1 idle workers join; the CALLER always participates
+// and drains the counter itself, then waits only for joined helpers to
+// finish their last index. Because the caller never blocks on a worker
+// becoming available, nested ParallelFor calls (a per-shard fan-out whose
+// shard scans split into chunks) cannot deadlock: with no idle workers the
+// inner call simply degenerates to the caller's own loop. Work stealing
+// falls out of the same structure -- workers idled by small shards pick up
+// the index counter of whichever job is still queued, so one hot shard of
+// a skewed store no longer serializes a query.
+//
+// Determinism: the pool only distributes loop INDICES; which thread runs
+// which index is unspecified and irrelevant, because every caller in this
+// codebase writes results into per-index slots and reduces them in a fixed
+// shape afterwards (see engine/parallel_scan.h). Results are therefore
+// bitwise identical for any thread count, pool size, or scheduling order,
+// which tests/parallel_scan_test.cc and tests/worker_pool_test.cc enforce.
+//
+// Sizing: the pool holds ResolveParallelism(0) - 1 workers -- the
+// PIE_THREADS environment variable when set to a positive integer, else
+// clamped hardware_concurrency() -- and that is also the cap on any single
+// job's width, so one knob governs total parallelism across the scan
+// driver and the store's shard fan-out.
+
+#pragma once
+
+#include <functional>
+
+namespace pie {
+
+/// std::thread::hardware_concurrency() clamped to >= 1 (the standard
+/// allows it to return 0 when the count is not computable).
+int HardwareThreads();
+
+/// Resolves a requested thread count to an effective parallelism:
+/// requested >= 1 is taken as-is; requested <= 0 ("auto") picks the
+/// PIE_THREADS environment variable (positive integer, read once) when
+/// set, else HardwareThreads().
+int ResolveParallelism(int requested);
+
+class WorkerPool {
+ public:
+  /// The process-wide pool, created (and its workers started) on first
+  /// use. Never destroyed: workers park forever on the queue, which is
+  /// safe at process exit precisely because the pool outlives them.
+  static WorkerPool& Global();
+
+  /// Runs fn(i) for every i in [0, count), using the calling thread plus
+  /// up to max_parallelism - 1 pool workers (further capped by the pool
+  /// size), and returns once every index has completed. fn must be safe
+  /// to call concurrently for distinct indices and must only write state
+  /// owned by its index. count <= 1, max_parallelism <= 1, or an empty
+  /// pool all degenerate to an inline loop on the caller.
+  void ParallelFor(int count, int max_parallelism,
+                   const std::function<void(int)>& fn);
+
+  /// Pool workers + the caller: the width cap for any single job.
+  int max_parallelism() const { return num_workers_ + 1; }
+
+ private:
+  struct Job;
+  class Impl;
+
+  WorkerPool();
+  ~WorkerPool() = delete;  // leaked singleton; workers park forever
+
+  Impl* impl_;
+  int num_workers_;
+};
+
+}  // namespace pie

@@ -1,10 +1,10 @@
 #include "store/query_service.h"
 
 #include <atomic>
-#include <thread>
 #include <utility>
 
 #include "core/min_weighted.h"
+#include "engine/worker_pool.h"
 #include "util/check.h"
 
 namespace pie {
@@ -29,38 +29,23 @@ QueryService::QueryService(std::shared_ptr<const StoreSnapshot> snapshot,
 
 QueryService QueryService::Borrowed(const StoreSnapshot& snapshot,
                                     QueryServiceOptions options) {
-  options.num_threads = 1;
   return QueryService(
       std::shared_ptr<const StoreSnapshot>(&snapshot,
                                            [](const StoreSnapshot*) {}),
       options);
 }
 
+int QueryService::ScanThreads() const {
+  return ResolveParallelism(options_.num_threads);
+}
+
 void QueryService::ForEachShard(const std::function<void(int)>& fn) const {
-  const int num_shards = snapshot_->num_shards();
-  int threads = options_.num_threads;
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads < 1) threads = 1;
-  }
-  if (threads > num_shards) threads = num_shards;
-  if (threads <= 1) {
-    for (int s = 0; s < num_shards; ++s) fn(s);
-    return;
-  }
-  std::atomic<int> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      for (int s = next.fetch_add(1, std::memory_order_relaxed);
-           s < num_shards;
-           s = next.fetch_add(1, std::memory_order_relaxed)) {
-        fn(s);
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  // The shard fan-out and the within-shard chunk splits share the one
+  // persistent pool, so a skewed store cannot oversubscribe: workers that
+  // finish small shards early pick up chunk indices of the hot shard's
+  // nested scan instead of idling.
+  WorkerPool::Global().ParallelFor(snapshot_->num_shards(), ScanThreads(),
+                                   fn);
 }
 
 namespace {
@@ -119,6 +104,10 @@ void QueryService::ScanMaxPair(
   std::vector<std::vector<AccuracyAccumulator>> partial(
       static_cast<size_t>(num_shards),
       std::vector<AccuracyAccumulator>(num_kernels));
+  // Idle pool workers split each shard's chunked scan (a hot shard of a
+  // skewed store no longer serializes the query); results are unchanged
+  // for any value (the chunked driver is thread-count invariant).
+  const int scan_threads = ScanThreads();
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
     OutcomeBatch batch;
@@ -127,9 +116,9 @@ void QueryService::ScanMaxPair(
     for (size_t k = 0; k < num_kernels; ++k) {
       AccuracyAccumulator& acc = partial[static_cast<size_t>(s)][k];
       if (options_.with_variance) {
-        acc.AddBatch(*kernels[k], batch);
+        acc.AddBatch(*kernels[k], batch, scan_threads);
       } else {
-        acc.AddBatchEstimateOnly(*kernels[k], batch);
+        acc.AddBatchEstimateOnly(*kernels[k], batch, scan_threads);
       }
     }
   });
@@ -187,6 +176,7 @@ Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
 
   const int num_shards = snapshot_->num_shards();
   std::vector<AccuracyAccumulator> partial(static_cast<size_t>(num_shards));
+  const int scan_threads = ScanThreads();
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
     const StreamingPpsSketch* s1 = shard.Instance(i1);
@@ -213,9 +203,9 @@ Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
     }
     AccuracyAccumulator& acc = partial[static_cast<size_t>(s)];
     if (options_.with_variance) {
-      acc.AddBatch(**min_ht, batch);
+      acc.AddBatch(**min_ht, batch, scan_threads);
     } else {
-      acc.AddBatchEstimateOnly(**min_ht, batch);
+      acc.AddBatchEstimateOnly(**min_ht, batch, scan_threads);
     }
   });
 
@@ -287,6 +277,7 @@ Status QueryService::ScanOrUnion(
       static_cast<size_t>(num_shards),
       std::vector<AccuracyAccumulator>(num_kernels));
   std::atomic<bool> non_unit_weight{false};
+  const int scan_threads = ScanThreads();
   ForEachShard([&](int s) {
     const ShardSnapshot& shard = snapshot_->Shard(s);
     std::vector<const StreamingPpsSketch*> sketches(static_cast<size_t>(r));
@@ -329,9 +320,9 @@ Status QueryService::ScanOrUnion(
     for (size_t k = 0; k < num_kernels; ++k) {
       AccuracyAccumulator& acc = partial[static_cast<size_t>(s)][k];
       if (options_.with_variance) {
-        acc.AddBatch(*kernels[k], batch);
+        acc.AddBatch(*kernels[k], batch, scan_threads);
       } else {
-        acc.AddBatchEstimateOnly(*kernels[k], batch);
+        acc.AddBatchEstimateOnly(*kernels[k], batch, scan_threads);
       }
     }
   });

@@ -41,8 +41,11 @@
 namespace pie {
 
 struct QueryServiceOptions {
-  /// Worker threads for the per-shard scan; 0 picks
-  /// min(hardware_concurrency, num_shards). 1 scans inline.
+  /// Parallelism cap for the per-shard scan AND the within-shard chunk
+  /// splits, which share the process-wide persistent WorkerPool
+  /// (engine/worker_pool.h): 0 picks the PIE_THREADS environment variable
+  /// when set, else clamped hardware_concurrency. 1 scans inline. Result
+  /// bits never depend on this value.
   int num_threads = 0;
   /// Quadrature tolerance forwarded to kernels that integrate seed bounds.
   double quad_tol = 1e-10;
@@ -67,10 +70,11 @@ class QueryService {
   explicit QueryService(std::shared_ptr<const StoreSnapshot> snapshot,
                         QueryServiceOptions options = {});
 
-  /// A synchronous service borrowing `snapshot` (no-op deleter, inline
-  /// single-threaded scan regardless of options.num_threads): the
-  /// aggregate layer's repeat-call bridges, where per-call worker-thread
-  /// spawn/join would dominate. The caller must keep the snapshot alive.
+  /// A synchronous service borrowing `snapshot` (no-op deleter): the
+  /// aggregate layer's repeat-call bridges. options.num_threads is
+  /// honored -- parallel scans run on the persistent WorkerPool, so a
+  /// repeat-call path no longer pays a per-call thread spawn/join. The
+  /// caller must keep the snapshot alive.
   static QueryService Borrowed(const StoreSnapshot& snapshot,
                                QueryServiceOptions options = {});
 
@@ -128,9 +132,13 @@ class QueryService {
   const StoreSnapshot& snapshot() const { return *snapshot_; }
 
  private:
-  /// Runs fn(shard) for every shard, fanning out across options_.num_threads
-  /// workers. fn must only touch its own shard's slots.
+  /// Runs fn(shard) for every shard on the persistent WorkerPool, up to
+  /// ScanThreads() wide. fn must only touch its own shard's slots.
   void ForEachShard(const std::function<void(int)>& fn) const;
+
+  /// options_.num_threads resolved to an effective parallelism
+  /// (engine/worker_pool.h ResolveParallelism).
+  int ScanThreads() const;
 
   /// Scans the union of keys sampled in instance i1 or i2, assembling the
   /// per-shard r=2 PPS batches once and accumulating every kernel's

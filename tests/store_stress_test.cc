@@ -200,10 +200,11 @@ TEST(StoreStressTest, ConcurrentIngestAndSnapshotQueries) {
 }
 
 // The deterministic scan driver under TSan: concurrent multi-threaded
-// scans of one shared batch (each ScanBatch call spawns its own worker
-// pool over the same read-only slabs) must be race-free and return the
-// same bytes for every thread count -- the guarantee the multi-threaded
-// QueryService scans ride on.
+// scans of one shared batch (every ScanBatch call shares the persistent
+// process-wide worker pool, submitting chunk tasks over the same
+// read-only slabs) must be race-free and return the same bytes for every
+// thread count -- the guarantee the multi-threaded QueryService scans
+// ride on.
 TEST(StoreStressTest, ParallelScanIsRaceFreeAndThreadCountInvariant) {
   SketchStore store(StressOptions());
   const auto updates = InstanceUpdates(0);
