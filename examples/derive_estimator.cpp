@@ -20,6 +20,7 @@
 #include "deriver/algorithm2.h"
 #include "deriver/model.h"
 #include "deriver/properties.h"
+#include "obs/report.h"
 
 using pie::Rational;
 
@@ -107,5 +108,7 @@ int main() {
               witness.ok() ? "estimator exists (unexpected!)"
                            : "no unbiased nonnegative estimator exists "
                              "(exact LP certificate)");
+
+  pie::obs::MaybeDumpMetricsReport();
   return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "aggregate/distinct.h"
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "util/stats.h"
 #include "workload/sets.h"
 
@@ -86,5 +87,7 @@ int main() {
   std::printf("\nselected sub-population (even keys): truth %lld, L estimate %.0f\n",
               static_cast<long long>(sub_truth),
               pie::DistinctLEstimate(sub, p, p));
+
+  pie::obs::MaybeDumpMetricsReport();
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "aggregate/dominance.h"
 #include "aggregate/sketch.h"
 #include "core/functions.h"
+#include "obs/report.h"
 #include "workload/traffic.h"
 
 int main() {
@@ -69,5 +70,7 @@ int main() {
       "\nanalytic max-dominance std-dev: HT %.0f, L %.0f "
       "(variance ratio %.2f)\n",
       std::sqrt(var.ht), std::sqrt(var.l), var.ht / var.l);
+
+  pie::obs::MaybeDumpMetricsReport();
   return 0;
 }

@@ -23,6 +23,7 @@
 #include "accuracy/accumulator.h"
 #include "accuracy/confidence.h"
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -103,5 +104,7 @@ int main() {
   // The exact variances, no simulation needed.
   std::printf("\nanalytic: HT %.4f, L %.4f\n",
               ht->Variance(truth).value(), max_l->Variance(truth).value());
+
+  pie::obs::MaybeDumpMetricsReport();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace pie {
@@ -156,6 +157,13 @@ SelectorCache& SelectorCache::Global() {
 Result<KernelSpec> SelectorCache::Choose(Function function, Scheme scheme,
                                          Regime regime,
                                          const SamplingParams& params) {
+  static obs::Counter& cache_hits = obs::MetricsRegistry::Global().GetCounter(
+      "pie_selector_requests_total",
+      "SelectorCache::Choose lookups by result", {{"result", "hit"}});
+  static obs::Counter& cache_misses =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pie_selector_requests_total",
+          "SelectorCache::Choose lookups by result", {{"result", "miss"}});
   Key key{static_cast<int>(function), static_cast<int>(scheme),
           static_cast<int>(regime), params.per_entry, params.quad_tol};
   {
@@ -163,10 +171,12 @@ Result<KernelSpec> SelectorCache::Choose(Function function, Scheme scheme,
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
+      cache_hits.Increment();
       if (!it->second.status.ok()) return it->second.status;
       return it->second.spec;
     }
   }
+  cache_misses.Increment();
   // Rank outside the lock: exact-variance scoring can run quadrature.
   auto report = EstimatorSelector().Select(function, scheme, regime, params);
   CachedChoice choice;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/parallel_scan.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace pie {
@@ -131,11 +132,22 @@ Result<KernelHandle> EstimationEngine::Kernel(const KernelSpec& spec,
   // one cached kernel.
   const KernelSpec canonical = KernelRegistry::Global().CanonicalSpec(spec);
   const CacheQuery query{&canonical, &params};
+  static obs::Counter& cache_hits = obs::MetricsRegistry::Global().GetCounter(
+      "pie_engine_kernel_cache_total", "Engine kernel-memo lookups by result",
+      {{"result", "hit"}});
+  static obs::Counter& cache_misses =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pie_engine_kernel_cache_total",
+          "Engine kernel-memo lookups by result", {{"result", "miss"}});
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(query);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      cache_hits.Increment();
+      return it->second;
+    }
   }
+  cache_misses.Increment();
   // Construct outside the lock: coefficient recursions can be O(r^2).
   auto created = KernelRegistry::Global().Create(canonical, params);
   if (!created.ok()) return created.status();

@@ -28,6 +28,10 @@
 
 namespace pie {
 
+namespace obs {
+class Counter;  // obs/metrics.h
+}
+
 /// Target function f(v_1, ..., v_r) estimated by a kernel.
 enum class Function {
   kMax,
@@ -262,6 +266,15 @@ class EstimatorKernel {
 
   /// Human-readable kernel name ("max^(L) oblivious r=2", ...).
   virtual std::string name() const = 0;
+
+  /// Per-spec scan counters (pie_kernel_scans_total / pie_kernel_rows_total
+  /// labeled by the canonical function/scheme/regime/family), attached by
+  /// KernelRegistry::Create after construction; nullptr on directly
+  /// constructed kernels. Scan drivers bump them once per batch pass --
+  /// never per key -- and estimator math never reads them, so the counters
+  /// cannot change any output bit.
+  obs::Counter* obs_scans = nullptr;
+  obs::Counter* obs_rows = nullptr;
 };
 
 /// Ground truth f(v) for a kernel spec (dispatches to core/functions).

@@ -4,10 +4,49 @@
 #include <vector>
 
 #include "engine/worker_pool.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace pie {
 namespace {
+
+/// Scan-driver instrumentation, bumped once per scan (not per chunk or
+/// key): batch/chunk/key totals plus a per-scan wall-time histogram.
+struct ScanMetrics {
+  obs::Counter& batches;
+  obs::Counter& chunks;
+  obs::Counter& keys;
+  obs::Histogram& seconds;
+
+  static ScanMetrics& Get() {
+    static ScanMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new ScanMetrics{
+          reg.GetCounter("pie_scan_batches_total",
+                         "Batch scans executed by the chunked driver"),
+          reg.GetCounter("pie_scan_chunks_total",
+                         "Fixed-size row chunks processed across scans"),
+          reg.GetCounter("pie_scan_keys_total",
+                         "Keys (rows) scanned across all batch scans"),
+          reg.GetHistogram("pie_scan_seconds",
+                           "Wall time of one chunked batch scan",
+                           obs::LatencyBuckets()),
+      };
+    }();
+    return *m;
+  }
+};
+
+void CountScan(const EstimatorKernel& kernel, const BatchView& view,
+               int num_chunks, ScanMetrics& metrics) {
+  metrics.batches.Increment();
+  metrics.chunks.Add(static_cast<uint64_t>(num_chunks));
+  metrics.keys.Add(static_cast<uint64_t>(view.size));
+  if (kernel.obs_scans != nullptr) {
+    kernel.obs_scans->Increment();
+    kernel.obs_rows->Add(static_cast<uint64_t>(view.size));
+  }
+}
 
 int ResolveThreads(int requested, int num_chunks) {
   const int threads = ResolveParallelism(requested);
@@ -75,6 +114,9 @@ ScanPartial ScanBatch(const EstimatorKernel& kernel, BatchView view,
   const int num_chunks = (view.size + kScanChunkRows - 1) / kScanChunkRows;
   const int threads = ResolveThreads(options.num_threads, num_chunks);
   const bool with_variance = options.with_variance;
+  ScanMetrics& metrics = ScanMetrics::Get();
+  CountScan(kernel, view, num_chunks, metrics);
+  obs::ScopedTimer timer(metrics.seconds);
   return ReduceChunks<ScanPartial>(num_chunks, threads, [&](int c,
                                                             ScanPartial*
                                                                 out) {
@@ -114,6 +156,9 @@ double ScanSum(const EstimatorKernel& kernel, BatchView view,
   if (view.size == 0) return 0.0;
   const int num_chunks = (view.size + kScanChunkRows - 1) / kScanChunkRows;
   const int threads = ResolveThreads(num_threads, num_chunks);
+  ScanMetrics& metrics = ScanMetrics::Get();
+  CountScan(kernel, view, num_chunks, metrics);
+  obs::ScopedTimer timer(metrics.seconds);
   return ReduceChunks<SumPartial>(num_chunks, threads,
                                   [&](int c, SumPartial* out) {
                                     const BatchView chunk = Chunk(view, c);

@@ -29,6 +29,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace pie {
 
 /// Rows per partition block. Equal to the scan driver's kScanChunkRows so
@@ -44,6 +46,17 @@ struct R2Partition {
   int count[4];
 };
 
+/// Bucket-occupancy counters (pie_simd_bucket_rows_total): one Add per
+/// NON-EMPTY bucket per block, so the hot partition paths pay at most a
+/// handful of relaxed fetch_adds per 256 rows. Inline no-op when metrics
+/// are compiled out.
+inline void CountBucketRows(obs::Counter* const counters[], const int* counts,
+                            int num_buckets) {
+  for (int b = 0; b < num_buckets; ++b) {
+    if (counts[b] > 0) counters[b]->Add(static_cast<uint64_t>(counts[b]));
+  }
+}
+
 /// Partitions `n` rows (n <= kPartitionBlockRows) of the r=2 sampled slab
 /// `sampled` (row-major, 2 flags per row).
 inline void PartitionR2(const uint8_t* sampled, int n, R2Partition* part) {
@@ -53,6 +66,24 @@ inline void PartitionR2(const uint8_t* sampled, int n, R2Partition* part) {
         (sampled[2 * i] != 0 ? 1 : 0) + (sampled[2 * i + 1] != 0 ? 2 : 0);
     part->idx[code][part->count[code]++] = static_cast<uint16_t>(i);
   }
+  static obs::Counter* const counters[4] = {
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "r2"}, {"bucket", "none"}}),
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "r2"}, {"bucket", "first"}}),
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "r2"}, {"bucket", "second"}}),
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "r2"}, {"bucket", "both"}})};
+  CountBucketRows(counters, part->count, 4);
 }
 
 /// Stable partition of a block by the all-or-nothing criterion of the
@@ -78,6 +109,17 @@ inline void PartitionAllSampled(const uint8_t* sampled, int r, int n,
       part->rest[part->rest_count++] = static_cast<uint16_t>(i);
     }
   }
+  static obs::Counter* const counters[2] = {
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "all_sampled"}, {"bucket", "hit"}}),
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "all_sampled"}, {"bucket", "rest"}})};
+  const int counts[2] = {part->count, part->rest_count};
+  CountBucketRows(counters, counts, 2);
 }
 
 /// Stable partition by "has at least one sampled entry": `idx` holds rows
@@ -96,6 +138,17 @@ inline void PartitionAnySampled(const uint8_t* sampled, int r, int n,
       part->rest[part->rest_count++] = static_cast<uint16_t>(i);
     }
   }
+  static obs::Counter* const counters[2] = {
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "any_sampled"}, {"bucket", "hit"}}),
+      &obs::MetricsRegistry::Global().GetCounter(
+          "pie_simd_bucket_rows_total",
+          "Rows per sampling-pattern bucket across partitioned blocks",
+          {{"partition", "any_sampled"}, {"bucket", "rest"}})};
+  const int counts[2] = {part->count, part->rest_count};
+  CountBucketRows(counters, counts, 2);
 }
 
 /// Gathers column `col` of the row-major slab (r doubles per row) for the

@@ -14,6 +14,7 @@
 #include "core/or_oblivious.h"
 #include "core/or_weighted.h"
 #include "engine/pattern_partition.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace pie {
@@ -315,6 +316,33 @@ inline void EvalSortedDense(const double* d1, const double* d2, int n,
     idx30[n30] = static_cast<uint16_t>(k);
     n29 += needs_log && is29 ? 1 : 0;
     n30 += needs_log && !is29 ? 1 : 0;
+  }
+  {
+    // Live counters for ROADMAP open item 1a: the share of serving
+    // max^(L) rows that lands in the scalar std::log regimes is now a
+    // metric instead of a perf-profile claim. Counters only -- the lane
+    // math above and below is untouched.
+    struct LogLaneCounters {
+      obs::Counter& rows;
+      obs::Counter& eq29;
+      obs::Counter& eq30;
+    };
+    static LogLaneCounters* const counters = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new LogLaneCounters{
+          reg.GetCounter("pie_simd_maxl_rows_total",
+                         "Rows through the dense weighted max^(L) r=2 "
+                         "evaluator"),
+          reg.GetCounter("pie_simd_log_lanes_total",
+                         "Rows requiring a scalar std::log, by closed-form "
+                         "equation", {{"eq", "29"}}),
+          reg.GetCounter("pie_simd_log_lanes_total",
+                         "Rows requiring a scalar std::log, by closed-form "
+                         "equation", {{"eq", "30"}})};
+    }();
+    counters->rows.Add(static_cast<uint64_t>(n));
+    if (n29 > 0) counters->eq29.Add(static_cast<uint64_t>(n29));
+    if (n30 > 0) counters->eq30.Add(static_cast<uint64_t>(n30));
   }
   double hi_d[kPartitionBlockRows], lo_d[kPartitionBlockRows];
   double th_d[kPartitionBlockRows], tl_d[kPartitionBlockRows];
@@ -1904,12 +1932,39 @@ KernelSpec KernelRegistry::CanonicalSpec(const KernelSpec& spec) const {
   return lookup;
 }
 
+namespace {
+
+/// Labels registry-created kernels with per-spec scan counters (the labels
+/// name the CANONICAL spec actually served, so e.g. an oblivious
+/// unknown-seeds request counts under known-seeds). Registration is
+/// memoized by the metrics registry; the engine additionally memoizes
+/// whole kernels, so this runs once per distinct (spec, params).
+void AttachKernelCounters(const KernelSpec& spec, EstimatorKernel* kernel) {
+  const obs::Labels labels = {{"function", FunctionToString(spec.function)},
+                              {"scheme", SchemeToString(spec.scheme)},
+                              {"regime", RegimeToString(spec.regime)},
+                              {"family", FamilyToString(spec.family)}};
+  auto& reg = obs::MetricsRegistry::Global();
+  kernel->obs_scans =
+      &reg.GetCounter("pie_kernel_scans_total",
+                      "Batch scans served, by kernel spec", labels);
+  kernel->obs_rows =
+      &reg.GetCounter("pie_kernel_rows_total",
+                      "Rows estimated, by kernel spec", labels);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<EstimatorKernel>> KernelRegistry::Create(
     const KernelSpec& spec, const SamplingParams& params) const {
   const KernelSpec lookup = CanonicalSpec(spec);
   for (const auto& entry : entries_) {
     if (SpecMatches(entry.spec, lookup)) {
-      return entry.factory(lookup, params);
+      auto created = entry.factory(lookup, params);
+      if (created.ok()) {
+        AttachKernelCounters(lookup, created->get());
+      }
+      return created;
     }
   }
   return Status::NotFound("no kernel registered for " + spec.ToString());

@@ -36,6 +36,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 namespace pie {
@@ -44,11 +45,31 @@ namespace pie {
 /// allows it to return 0 when the count is not computable).
 int HardwareThreads();
 
+/// Strict positive-integer parse for the PIE_THREADS environment variable:
+/// optional surrounding whitespace and a leading '+', then digits only.
+/// Empty strings, trailing garbage ("8abc"), zero, negatives, and values
+/// that overflow or exceed kMaxPieThreads set *invalid and return 0.
+/// Exposed for unit tests; production callers go through
+/// ResolveParallelism, which warns once and counts the error in the
+/// pie_config_errors_total metric before falling back to hardware width.
+inline constexpr int kMaxPieThreads = 1 << 20;
+int ParsePieThreads(const char* text, bool* invalid);
+
 /// Resolves a requested thread count to an effective parallelism:
 /// requested >= 1 is taken as-is; requested <= 0 ("auto") picks the
-/// PIE_THREADS environment variable (positive integer, read once) when
-/// set, else HardwareThreads().
+/// PIE_THREADS environment variable (strictly validated positive integer,
+/// read once) when set, else HardwareThreads(). An invalid PIE_THREADS is
+/// rejected with a one-time stderr warning (never silently truncated the
+/// way atoi would) and counted via pie_config_errors_total.
 int ResolveParallelism(int requested);
+
+/// Point-in-time pool accounting; see WorkerPool::Stats(). Always
+/// satisfies executed <= generation and queued <= generation - executed.
+struct PoolStats {
+  int queued = 0;           // jobs currently accepting helpers
+  uint64_t executed = 0;    // jobs fully drained and returned
+  uint64_t generation = 0;  // jobs ever published to the queue
+};
 
 class WorkerPool {
  public:
@@ -68,6 +89,11 @@ class WorkerPool {
 
   /// Pool workers + the caller: the width cap for any single job.
   int max_parallelism() const { return num_workers_ + 1; }
+
+  /// A consistent point-in-time view of the job queue, read under the same
+  /// lock that guards the deque (so a snapshot taken mid-drain can never
+  /// show e.g. more queued jobs than published-minus-executed).
+  PoolStats Stats() const;
 
  private:
   struct Job;

@@ -1,0 +1,472 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pie::obs {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MetricValue::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const uint64_t prev = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= target && buckets[b] > 0) {
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      // The overflow bucket has no finite upper bound: clamp to the last
+      // finite bound (quantiles there are a lower bound on the truth).
+      const double upper = b < bounds.size() ? bounds[b] : bounds.back();
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(buckets[b]);
+      return lower + std::min(1.0, std::max(0.0, frac)) * (upper - lower);
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name,
+                                         const Labels& labels) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name != name) continue;
+    if (!labels.empty() && m.labels != labels) continue;
+    return &m;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::SumValues(std::string_view name) const {
+  double total = 0.0;
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) total += m.value;
+  }
+  return total;
+}
+
+MetricValue MetricsSnapshot::AggregateHistogram(std::string_view name) const {
+  MetricValue out;
+  out.type = MetricType::kHistogram;
+  for (const MetricValue& m : metrics) {
+    if (m.name != name || m.type != MetricType::kHistogram) continue;
+    if (out.name.empty()) {
+      out.name = m.name;
+      out.help = m.help;
+      out.bounds = m.bounds;
+      out.buckets.assign(m.buckets.size(), 0);
+    }
+    if (m.buckets.size() != out.buckets.size()) continue;
+    for (size_t b = 0; b < m.buckets.size(); ++b) out.buckets[b] += m.buckets[b];
+    out.sum += m.sum;
+    out.count += m.count;
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> GeometricBuckets(double lo, double hi, double factor) {
+  std::vector<double> bounds;
+  for (double b = lo; b <= hi * (1.0 + 1e-12); b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+std::vector<double> LatencyBuckets() {
+  // 1us .. ~16s, x4: 12 buckets + overflow.
+  return GeometricBuckets(1e-6, 16.0, 4.0);
+}
+
+std::vector<double> SizeBuckets() {
+  // 1 .. 16M, x4: 13 buckets + overflow.
+  return GeometricBuckets(1.0, 1 << 24, 4.0);
+}
+
+std::vector<double> RelativeWidthBuckets() {
+  // 1e-4 .. 10, roughly half-decade steps.
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
+}
+
+#ifdef PIE_METRICS
+
+namespace {
+
+void EscapeLabelValue(const std::string& value, std::ostream& os) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        os << "\\\\";
+        break;
+      case '"':
+        os << "\\\"";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+void WriteLabels(const Labels& labels, std::ostream& os) {
+  if (labels.empty()) return;
+  os << '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) os << ',';
+    os << labels[i].first << "=\"";
+    EscapeLabelValue(labels[i].second, os);
+    os << '"';
+  }
+  os << '}';
+}
+
+// Same, but with room for an extra `le` label (histogram buckets).
+void WriteBucketLabels(const Labels& labels, const std::string& le,
+                       std::ostream& os) {
+  os << '{';
+  for (const auto& [k, v] : labels) {
+    os << k << "=\"";
+    EscapeLabelValue(v, os);
+    os << "\",";
+  }
+  os << "le=\"" << le << "\"}";
+}
+
+void EscapeJson(const std::string& s, std::ostream& os) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        os << "\\\\";
+        break;
+      case '"':
+        os << "\\\"";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+// Prometheus floats: plain shortest-round-trip-ish formatting; counters
+// stay integral when they are integral.
+void WriteNumber(double v, std::ostream& os) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    os << static_cast<int64_t>(v);
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+namespace internal {
+
+uint32_t NextThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) %
+         static_cast<uint32_t>(kMetricShards);
+}
+
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PIE_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    PIE_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  const size_t raw = bounds_.size() + 1;  // + overflow bucket
+  stride_ = (raw + 7) & ~size_t{7};       // pad to a 64-byte line of u64s
+  cells_ = std::vector<std::atomic<uint64_t>>(
+      static_cast<size_t>(kMetricShards) * stride_);
+}
+
+uint64_t Histogram::BucketCount(int bucket) const {
+  uint64_t total = 0;
+  for (int s = 0; s < kMetricShards; ++s) {
+    total += cells_[static_cast<size_t>(s) * stride_ + bucket].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::CountValue() const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    total += BucketCount(static_cast<int>(b));
+  }
+  return total;
+}
+
+double Histogram::SumValue() const {
+  double total = 0.0;
+  for (const SumCell& cell : sums_) {
+    total += cell.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  std::string help;
+  MetricType type;
+  Labels labels;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  std::function<double()> callback;  // optional, gauges only
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     const std::string& help,
+                                                     MetricType type,
+                                                     const Labels& labels) {
+  // Caller holds mu_.
+  for (const auto& entry : entries_) {
+    if (entry->name == name) {
+      PIE_CHECK(entry->type == type);  // one type per family name
+      if (entry->labels == labels) return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->type = type;
+  entry->labels = labels;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = GetOrCreate(name, help, MetricType::kCounter, labels);
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = GetOrCreate(name, help, MetricType::kGauge, labels);
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::vector<double>& bounds,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = GetOrCreate(name, help, MetricType::kHistogram, labels);
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(bounds);
+  }
+  PIE_CHECK(entry.histogram->bounds().size() == bounds.size());
+  return *entry.histogram;
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help,
+                                            std::function<double()> fn,
+                                            const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = GetOrCreate(name, help, MetricType::kGauge, labels);
+  entry.callback = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricValue value;
+    value.name = entry->name;
+    value.help = entry->help;
+    value.type = entry->type;
+    value.labels = entry->labels;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        value.value = static_cast<double>(entry->counter->Value());
+        break;
+      case MetricType::kGauge:
+        value.value =
+            entry->callback ? entry->callback() : entry->gauge->Value();
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        value.bounds = h.bounds();
+        value.buckets.resize(h.bounds().size() + 1);
+        for (size_t b = 0; b < value.buckets.size(); ++b) {
+          value.buckets[b] = h.BucketCount(static_cast<int>(b));
+        }
+        value.sum = h.SumValue();
+        value.count = 0;
+        for (const uint64_t c : value.buckets) value.count += c;
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::DumpPrometheusText(std::ostream& os) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  // Families are emitted grouped by name in first-registration order, with
+  // one HELP/TYPE header per family (Prometheus exposition requirement).
+  std::vector<std::string> emitted;
+  for (size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const MetricValue& head = snapshot.metrics[i];
+    if (std::find(emitted.begin(), emitted.end(), head.name) !=
+        emitted.end()) {
+      continue;
+    }
+    emitted.push_back(head.name);
+    os << "# HELP " << head.name << ' ' << head.help << '\n';
+    os << "# TYPE " << head.name << ' ' << TypeName(head.type) << '\n';
+    for (size_t j = i; j < snapshot.metrics.size(); ++j) {
+      const MetricValue& m = snapshot.metrics[j];
+      if (m.name != head.name) continue;
+      if (m.type != MetricType::kHistogram) {
+        os << m.name;
+        WriteLabels(m.labels, os);
+        os << ' ';
+        WriteNumber(m.value, os);
+        os << '\n';
+        continue;
+      }
+      uint64_t cum = 0;
+      for (size_t b = 0; b < m.buckets.size(); ++b) {
+        cum += m.buckets[b];
+        std::string le;
+        if (b < m.bounds.size()) {
+          std::ostringstream bound;
+          WriteNumber(m.bounds[b], bound);
+          le = bound.str();
+        } else {
+          le = "+Inf";
+        }
+        os << m.name << "_bucket";
+        WriteBucketLabels(m.labels, le, os);
+        os << ' ' << cum << '\n';
+      }
+      os << m.name << "_sum";
+      WriteLabels(m.labels, os);
+      os << ' ';
+      WriteNumber(m.sum, os);
+      os << '\n';
+      os << m.name << "_count";
+      WriteLabels(m.labels, os);
+      os << ' ' << m.count << '\n';
+    }
+  }
+}
+
+void MetricsRegistry::DumpJson(std::ostream& os) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  os << "{\"metrics\":[";
+  for (size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const MetricValue& m = snapshot.metrics[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"";
+    EscapeJson(m.name, os);
+    os << "\",\"type\":\"" << TypeName(m.type) << "\",\"labels\":{";
+    for (size_t l = 0; l < m.labels.size(); ++l) {
+      if (l > 0) os << ',';
+      os << '"';
+      EscapeJson(m.labels[l].first, os);
+      os << "\":\"";
+      EscapeJson(m.labels[l].second, os);
+      os << '"';
+    }
+    os << '}';
+    if (m.type == MetricType::kHistogram) {
+      os << ",\"bounds\":[";
+      for (size_t b = 0; b < m.bounds.size(); ++b) {
+        if (b > 0) os << ',';
+        WriteNumber(m.bounds[b], os);
+      }
+      os << "],\"buckets\":[";
+      for (size_t b = 0; b < m.buckets.size(); ++b) {
+        if (b > 0) os << ',';
+        os << m.buckets[b];
+      }
+      os << "],\"sum\":";
+      WriteNumber(m.sum, os);
+      os << ",\"count\":" << m.count;
+    } else {
+      os << ",\"value\":";
+      WriteNumber(m.value, os);
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+#else  // !PIE_METRICS
+
+void MetricsRegistry::DumpPrometheusText(std::ostream& os) const {
+  os << "# pie metrics disabled (built with -DPIE_METRICS=OFF)\n";
+}
+
+void MetricsRegistry::DumpJson(std::ostream& os) const {
+  os << "{\"metrics\":[],\"disabled\":true}\n";
+}
+
+#endif  // PIE_METRICS
+
+void DumpPrometheusText(std::ostream& os) {
+  MetricsRegistry::Global().DumpPrometheusText(os);
+}
+
+void DumpJson(std::ostream& os) { MetricsRegistry::Global().DumpJson(os); }
+
+}  // namespace pie::obs

@@ -1,0 +1,314 @@
+// Process-wide runtime metrics: counters, gauges, and fixed-bucket
+// histograms behind a single MetricsRegistry, exported as Prometheus text
+// exposition format or JSON.
+//
+// Hot-path contract (the reason this layer may sit under the scan driver):
+//
+//  * Counter::Add / Gauge::Set / Histogram::Observe touch only per-thread
+//    -sharded relaxed atomics -- no locks, no allocation, no syscalls. A
+//    thread picks its shard once (thread_local) and keeps hitting the same
+//    cache lines, so an uncontended update is one relaxed fetch_add.
+//  * Registration (GetCounter/GetGauge/GetHistogram) and Snapshot()/dumps
+//    take the registry mutex and may allocate. Call sites on hot paths
+//    cache the returned reference in a function-local static.
+//  * Instrumentation never reads or writes estimator state: disabling it
+//    (-DPIE_METRICS=OFF) or racing it cannot change any output bit. The
+//    registry-wide sweep in tests/obs_test.cc enforces this.
+//
+// Under -DPIE_METRICS=OFF every type collapses to an inline no-op with the
+// identical API, so instrumented call sites compile away entirely.
+//
+// Metric identity is (name, labels); re-requesting the same identity
+// returns the same object (stable address for the process lifetime).
+// Requesting an existing name with a different metric type aborts
+// (programmer error).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pie::obs {
+
+/// Label set attached to one metric child, e.g. {{"shard", "3"}}. Order is
+/// part of the identity; call sites use one consistent order per name.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Monotonic wall-independent clock in nanoseconds (steady_clock). Defined
+/// unconditionally so examples can time ingest even in OFF builds.
+int64_t MonotonicNowNs();
+
+/// One metric child captured by MetricsRegistry::Snapshot().
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  double value = 0.0;            // counter (as double) or gauge
+  std::vector<double> bounds;    // histogram upper bounds, excluding +Inf
+  std::vector<uint64_t> buckets; // per-bucket (non-cumulative), bounds+1
+  double sum = 0.0;              // histogram sum of observations
+  uint64_t count = 0;            // histogram observation count
+
+  /// Histogram quantile by linear interpolation within the owning bucket
+  /// (q in [0,1]); returns 0 when empty. Observations above the last
+  /// finite bound clamp to that bound.
+  double Quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// First child matching name (and labels when given), or nullptr.
+  const MetricValue* Find(std::string_view name,
+                          const Labels& labels = {}) const;
+  /// Sum of `value` across every child of a counter/gauge family.
+  double SumValues(std::string_view name) const;
+  /// Merge all children of a histogram family into one MetricValue
+  /// (identical bounds assumed). Returns an empty histogram when absent.
+  MetricValue AggregateHistogram(std::string_view name) const;
+};
+
+// --- Bucket presets (defined in metrics.cc, available in both modes) ----
+
+/// Latency seconds: 1us .. 10s, roughly x4 per bucket.
+std::vector<double> LatencyBuckets();
+/// Sizes/counts: 1 .. 16M, x4 per bucket.
+std::vector<double> SizeBuckets();
+/// CI relative width: 1e-4 .. 10, log-spaced.
+std::vector<double> RelativeWidthBuckets();
+
+#ifdef PIE_METRICS
+
+inline constexpr int kMetricShards = 16;
+
+namespace internal {
+uint32_t NextThreadShard();
+inline uint32_t ThreadShardIndex() {
+  thread_local const uint32_t shard = NextThreadShard();
+  return shard;
+}
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
+/// Monotonically increasing event count, sharded across threads.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    cells_[internal::ThreadShardIndex()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (plus relaxed Add for +/- deltas,
+/// e.g. active-worker counts).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { internal::AtomicAddDouble(&value_, delta); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bounds are inclusive upper bounds (Prometheus
+/// `le` semantics) fixed at registration; Observe() is a linear bucket
+/// scan plus one sharded relaxed fetch_add and one sharded CAS double-add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v) {
+    int b = 0;
+    const int n = static_cast<int>(bounds_.size());
+    while (b < n && v > bounds_[b]) ++b;
+    const uint32_t shard = internal::ThreadShardIndex();
+    cells_[static_cast<size_t>(shard) * stride_ + b].fetch_add(
+        1, std::memory_order_relaxed);
+    internal::AtomicAddDouble(&sums_[shard].sum, v);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is overflow.
+  uint64_t BucketCount(int bucket) const;
+  uint64_t CountValue() const;
+  double SumValue() const;
+
+ private:
+  std::vector<double> bounds_;
+  size_t stride_ = 0;  // buckets per shard, padded to a cache line
+  std::vector<std::atomic<uint64_t>> cells_;  // kMetricShards * stride_
+  struct alignas(64) SumCell {
+    std::atomic<double> sum{0.0};
+  };
+  SumCell sums_[kMetricShards];
+};
+
+/// Observes elapsed seconds into a histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(h), start_ns_(MonotonicNowNs()) {}
+  ~ScopedTimer() {
+    h_.Observe(static_cast<double>(MonotonicNowNs() - start_ns_) * 1e-9);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  int64_t start_ns_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Get-or-create. The returned reference is stable for the process
+  /// lifetime; hot call sites cache it in a function-local static.
+  Counter& GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& bounds,
+                          const Labels& labels = {});
+
+  /// Gauge whose value is computed at snapshot/dump time (e.g. snapshot
+  /// age). `fn` runs under the registry mutex: it must not call back into
+  /// the registry. Re-registering the same (name, labels) replaces `fn`.
+  void RegisterCallbackGauge(const std::string& name, const std::string& help,
+                             std::function<double()> fn,
+                             const Labels& labels = {});
+
+  /// Consistent point-in-time read of every registered metric (relaxed
+  /// per-cell reads; totals are exact once writers are quiescent).
+  MetricsSnapshot Snapshot() const;
+
+  void DumpPrometheusText(std::ostream& os) const;
+  void DumpJson(std::ostream& os) const;
+
+ private:
+  MetricsRegistry() = default;
+  struct Entry;
+  Entry& GetOrCreate(const std::string& name, const std::string& help,
+                     MetricType type, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+#else  // !PIE_METRICS ----------------------------------------------------
+
+// Inline no-op twins: identical API, zero cost, shared dummy instances.
+
+class Counter {
+ public:
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  void Add(double) {}
+  double Value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(const std::vector<double>&) {}
+  void Observe(double) {}
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  uint64_t BucketCount(int) const { return 0; }
+  uint64_t CountValue() const { return 0; }
+  double SumValue() const { return 0.0; }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter& GetCounter(const std::string&, const std::string&,
+                      const Labels& = {}) {
+    static Counter counter;
+    return counter;
+  }
+  Gauge& GetGauge(const std::string&, const std::string&,
+                  const Labels& = {}) {
+    static Gauge gauge;
+    return gauge;
+  }
+  Histogram& GetHistogram(const std::string&, const std::string&,
+                          const std::vector<double>&, const Labels& = {}) {
+    static Histogram histogram;
+    return histogram;
+  }
+  void RegisterCallbackGauge(const std::string&, const std::string&,
+                             std::function<double()>, const Labels& = {}) {}
+  MetricsSnapshot Snapshot() const { return {}; }
+  // Defined in metrics.cc: emit a "# pie metrics disabled" comment so
+  // consumers can tell an OFF build from an idle one.
+  void DumpPrometheusText(std::ostream& os) const;
+  void DumpJson(std::ostream& os) const;
+};
+
+#endif  // PIE_METRICS
+
+/// Convenience forwarders for the exit report and examples.
+void DumpPrometheusText(std::ostream& os);
+void DumpJson(std::ostream& os);
+
+}  // namespace pie::obs

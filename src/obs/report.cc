@@ -1,0 +1,123 @@
+#include "obs/report.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pie::obs {
+
+void MaybeDumpMetricsReport() {
+  const char* env = std::getenv("PIE_DUMP_METRICS");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) return;
+  const std::string mode(env);
+  if (mode.find("json") != std::string::npos) {
+    DumpJson(std::cerr);
+  } else {
+    DumpPrometheusText(std::cerr);
+  }
+  if (mode.find("trace") != std::string::npos) {
+    DumpTraces(std::cerr);
+  }
+}
+
+namespace {
+
+/// "1.23us" / "4.56ms" / "7.8s" for a duration in seconds.
+std::string FormatSeconds(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", s);
+  }
+  return buf;
+}
+
+std::string FormatRate(double per_second) {
+  char buf[32];
+  if (per_second >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM/s", per_second * 1e-6);
+  } else if (per_second >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk/s", per_second * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f/s", per_second);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void PrintCompactStats(std::FILE* out, double ingest_seconds) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  std::fprintf(out, "-- pie runtime stats %s\n",
+               "------------------------------------------");
+  if (snapshot.metrics.empty()) {
+    std::fprintf(out, "   metrics disabled (built with -DPIE_METRICS=OFF)\n");
+    return;
+  }
+
+  const double updates = snapshot.SumValues("pie_store_updates_total");
+  if (updates > 0) {
+    if (ingest_seconds > 0) {
+      std::fprintf(out, "   ingest:   %.0f updates (%s)\n", updates,
+                   FormatRate(updates / ingest_seconds).c_str());
+    } else {
+      std::fprintf(out, "   ingest:   %.0f updates\n", updates);
+    }
+  }
+
+  const MetricValue queries =
+      snapshot.AggregateHistogram("pie_query_seconds");
+  if (queries.count > 0) {
+    std::fprintf(out,
+                 "   queries:  %llu served, latency p50=%s p99=%s\n",
+                 static_cast<unsigned long long>(queries.count),
+                 FormatSeconds(queries.Quantile(0.5)).c_str(),
+                 FormatSeconds(queries.Quantile(0.99)).c_str());
+  }
+
+  const MetricValue* hits =
+      snapshot.Find("pie_selector_requests_total", {{"result", "hit"}});
+  const MetricValue* misses =
+      snapshot.Find("pie_selector_requests_total", {{"result", "miss"}});
+  const double selector_total =
+      (hits != nullptr ? hits->value : 0.0) +
+      (misses != nullptr ? misses->value : 0.0);
+  if (selector_total > 0) {
+    const double hit_count = hits != nullptr ? hits->value : 0.0;
+    std::fprintf(out, "   selector: %.0f/%.0f cache hits (%.1f%%)\n",
+                 hit_count, selector_total,
+                 100.0 * hit_count / selector_total);
+  }
+
+  const MetricValue ci = snapshot.AggregateHistogram("pie_ci_relative_width");
+  if (ci.count > 0) {
+    std::fprintf(out,
+                 "   ci width: mean relative width %.3g (n=%llu)\n",
+                 ci.sum / static_cast<double>(ci.count),
+                 static_cast<unsigned long long>(ci.count));
+  }
+
+  const double log_lanes = snapshot.SumValues("pie_simd_log_lanes_total");
+  const double maxl_rows = snapshot.SumValues("pie_simd_maxl_rows_total");
+  if (maxl_rows > 0) {
+    std::fprintf(out,
+                 "   simd:     log-regime lanes %.1f%% of max^L rows\n",
+                 100.0 * log_lanes / maxl_rows);
+  }
+
+  const double regions = snapshot.SumValues("pie_pool_parallel_for_total");
+  const double tasks = snapshot.SumValues("pie_pool_tasks_total");
+  if (regions > 0) {
+    std::fprintf(out, "   pool:     %.0f parallel regions, %.0f tasks\n",
+                 regions, tasks);
+  }
+}
+
+}  // namespace pie::obs

@@ -1,0 +1,25 @@
+// End-of-run reporting helpers shared by the examples.
+//
+//  * MaybeDumpMetricsReport(): opt-in exit dump controlled by the
+//    PIE_DUMP_METRICS env var -- unset/"0" does nothing, "json" dumps the
+//    registry as JSON, any other value dumps Prometheus text; a value
+//    containing "trace" additionally dumps the recent span trees. Output
+//    goes to stderr so it never mixes with example stdout.
+//  * PrintCompactStats(): a short human-readable operational summary
+//    (ingest rate, query latency p50/p99, selector hit rate, mean served
+//    CI relative width, SIMD log-lane share) computed from the registry
+//    snapshot. In -DPIE_METRICS=OFF builds it prints a one-line notice.
+
+#pragma once
+
+#include <cstdio>
+
+namespace pie::obs {
+
+void MaybeDumpMetricsReport();
+
+/// `ingest_seconds` > 0 turns the update total into an updates/s rate
+/// (callers time their own ingest window with MonotonicNowNs()).
+void PrintCompactStats(std::FILE* out, double ingest_seconds = 0.0);
+
+}  // namespace pie::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <ostream>
+
+namespace pie::obs {
+
+#ifdef PIE_METRICS
+
+namespace {
+
+thread_local ScopedSpan* t_current_span = nullptr;
+
+std::mutex g_ring_mu;
+std::deque<TraceSpan>& Ring() {
+  static std::deque<TraceSpan>* ring = new std::deque<TraceSpan>();
+  return *ring;
+}
+
+std::atomic<uint64_t> g_roots_completed{0};
+
+int64_t InitialThresholdNs() {
+  // PIE_TRACE_SLOW_US: record only roots at least this many microseconds
+  // long. Parsed leniently here (it only gates diagnostics); invalid
+  // values fall back to 0 = record everything.
+  if (const char* env = std::getenv("PIE_TRACE_SLOW_US")) {
+    char* end = nullptr;
+    const long long us = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && us > 0) return us * 1000;
+  }
+  return 0;
+}
+
+std::atomic<int64_t> g_slow_threshold_ns{InitialThresholdNs()};
+
+void RecordRoot(TraceSpan&& span) {
+  g_roots_completed.fetch_add(1, std::memory_order_relaxed);
+  if (span.duration_ns <
+      g_slow_threshold_ns.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_ring_mu);
+  std::deque<TraceSpan>& ring = Ring();
+  if (static_cast<int>(ring.size()) >= kTraceRingCapacity) ring.pop_front();
+  ring.push_back(std::move(span));
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) {
+  span_.name = name;
+  span_.start_ns = MonotonicNowNs();
+  parent_ = t_current_span;
+  t_current_span = this;
+}
+
+ScopedSpan::~ScopedSpan() {
+  span_.duration_ns = MonotonicNowNs() - span_.start_ns;
+  t_current_span = parent_;
+  if (parent_ != nullptr) {
+    parent_->span_.children.push_back(std::move(span_));
+  } else {
+    RecordRoot(std::move(span_));
+  }
+}
+
+void SetSlowTraceThresholdNs(int64_t ns) {
+  g_slow_threshold_ns.store(ns, std::memory_order_relaxed);
+}
+
+int64_t SlowTraceThresholdNs() {
+  return g_slow_threshold_ns.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceSpan> RecentTraces() {
+  std::lock_guard<std::mutex> lock(g_ring_mu);
+  const std::deque<TraceSpan>& ring = Ring();
+  return std::vector<TraceSpan>(ring.begin(), ring.end());
+}
+
+uint64_t TraceRootsCompleted() {
+  return g_roots_completed.load(std::memory_order_relaxed);
+}
+
+void ClearRecentTraces() {
+  std::lock_guard<std::mutex> lock(g_ring_mu);
+  Ring().clear();
+}
+
+namespace {
+
+void DumpSpan(const TraceSpan& span, int depth, std::ostream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << span.name << ' '
+     << static_cast<double>(span.duration_ns) * 1e-3 << "us\n";
+  for (const TraceSpan& child : span.children) {
+    DumpSpan(child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+void DumpTraces(std::ostream& os) {
+  const std::vector<TraceSpan> traces = RecentTraces();
+  os << "# " << traces.size() << " recent trace roots ("
+     << TraceRootsCompleted() << " total)\n";
+  for (const TraceSpan& root : traces) {
+    DumpSpan(root, 0, os);
+  }
+}
+
+#else  // !PIE_METRICS
+
+void SetSlowTraceThresholdNs(int64_t) {}
+int64_t SlowTraceThresholdNs() { return 0; }
+std::vector<TraceSpan> RecentTraces() { return {}; }
+uint64_t TraceRootsCompleted() { return 0; }
+void ClearRecentTraces() {}
+void DumpTraces(std::ostream& os) {
+  os << "# pie traces disabled (built with -DPIE_METRICS=OFF)\n";
+}
+
+#endif  // PIE_METRICS
+
+}  // namespace pie::obs

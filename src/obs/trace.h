@@ -1,0 +1,80 @@
+// Lightweight trace spans: RAII-scoped monotonic timings that nest into
+// per-query span trees on the current thread, with a bounded ring buffer
+// of recent slow root spans for postmortem inspection.
+//
+//   IntervalEstimate QueryService::MaxDominance(...) {
+//     obs::ScopedSpan span("query/max_dominance");
+//     ...
+//     { obs::ScopedSpan scan("scan/max_pair"); ... }   // child of the root
+//   }
+//
+// A root span (no enclosing span on this thread) is recorded into the ring
+// when its duration reaches the slow threshold (default 0 = record every
+// root; override via SetSlowTraceThresholdNs or the PIE_TRACE_SLOW_US env
+// var). Nesting is per-thread via a thread_local frame pointer: spans on
+// pool worker threads form their own roots rather than racing the caller.
+//
+// Like the metrics registry, spans never touch estimator state, and under
+// -DPIE_METRICS=OFF ScopedSpan is an empty inline class.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pie::obs {
+
+/// One completed span; children are in start order.
+struct TraceSpan {
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  std::vector<TraceSpan> children;
+};
+
+/// Capacity of the recent-slow-roots ring buffer.
+inline constexpr int kTraceRingCapacity = 64;
+
+#ifdef PIE_METRICS
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSpan span_;
+  ScopedSpan* parent_;
+};
+
+#else  // !PIE_METRICS
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+};
+
+#endif  // PIE_METRICS
+
+/// Roots whose duration is below the threshold are not recorded (their
+/// children are still attached while in flight, then dropped with them).
+void SetSlowTraceThresholdNs(int64_t ns);
+int64_t SlowTraceThresholdNs();
+
+/// Completed root spans currently in the ring, oldest first. No-op builds
+/// return an empty vector.
+std::vector<TraceSpan> RecentTraces();
+/// Total root spans completed (recorded or not) since process start.
+uint64_t TraceRootsCompleted();
+void ClearRecentTraces();
+
+/// Human-readable indented dump of RecentTraces().
+void DumpTraces(std::ostream& os);
+
+}  // namespace pie::obs

@@ -1,10 +1,13 @@
 #include "store/query_service.h"
 
 #include <atomic>
+#include <cmath>
 #include <utility>
 
 #include "core/min_weighted.h"
 #include "engine/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pie {
@@ -16,6 +19,28 @@ KernelSpec MaxPpsSpec(Family family) {
 
 KernelSpec OrPpsSpec(Family family) {
   return {Function::kOr, Scheme::kPps, Regime::kKnownSeeds, family};
+}
+
+/// One pie_query_seconds{query=...} series per public aggregate. Callers
+/// hold the reference in a function-local static so repeat queries never
+/// touch the registry.
+obs::Histogram& QueryHistogram(const char* query) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "pie_query_seconds", "Wall time per aggregate query, by query type",
+      obs::LatencyBuckets(), {{"query", query}});
+}
+
+/// Records the relative width (hi - lo) / |estimate| of every served
+/// interval; zero estimates are skipped (the ratio is undefined there).
+void ObserveCiWidth(const IntervalEstimate& interval) {
+  static obs::Histogram& widths = obs::MetricsRegistry::Global().GetHistogram(
+      "pie_ci_relative_width",
+      "Relative width (hi - lo) / |estimate| of served confidence intervals",
+      obs::RelativeWidthBuckets());
+  if (interval.estimate != 0.0) {
+    widths.Observe((interval.hi - interval.lo) /
+                   std::abs(interval.estimate));
+  }
 }
 
 }  // namespace
@@ -95,6 +120,7 @@ void FillPairBatch(const StreamingPpsSketch* s1, const StreamingPpsSketch* s2,
 void QueryService::ScanMaxPair(
     int i1, int i2, const std::vector<const EstimatorKernel*>& kernels,
     std::vector<AccuracyAccumulator>* totals) const {
+  obs::ScopedSpan span("scan/max_pair");
   const double tau1 = snapshot_->TauFor(i1);
   const double tau2 = snapshot_->TauFor(i2);
   const SeedFunction seed1(snapshot_->InstanceSalt(i1));
@@ -131,6 +157,9 @@ void QueryService::ScanMaxPair(
 }
 
 Result<DualInterval> QueryService::MaxDominance(int i1, int i2) const {
+  static obs::Histogram& latency = QueryHistogram("max_dominance");
+  obs::ScopedTimer timer(latency);
+  obs::ScopedSpan span("query/max_dominance");
   const SamplingParams params({snapshot_->TauFor(i1), snapshot_->TauFor(i2)},
                               options_.quad_tol);
   auto& engine = EstimationEngine::Global();
@@ -144,10 +173,15 @@ Result<DualInterval> QueryService::MaxDominance(int i1, int i2) const {
   DualInterval out;
   out.ht = totals[0].Interval(options_.ci);
   out.l = totals[1].Interval(options_.ci);
+  ObserveCiWidth(out.ht);
+  ObserveCiWidth(out.l);
   return out;
 }
 
 Result<SelectedEstimate> QueryService::MaxDominanceAuto(int i1, int i2) const {
+  static obs::Histogram& latency = QueryHistogram("max_dominance_auto");
+  obs::ScopedTimer timer(latency);
+  obs::ScopedSpan span("query/max_dominance_auto");
   const SamplingParams params({snapshot_->TauFor(i1), snapshot_->TauFor(i2)},
                               options_.quad_tol);
   // One exact-variance ranking per threshold class, ever: repeat queries
@@ -163,10 +197,14 @@ Result<SelectedEstimate> QueryService::MaxDominanceAuto(int i1, int i2) const {
   SelectedEstimate out;
   out.spec = *chosen;
   out.interval = totals[0].Interval(options_.ci);
+  ObserveCiWidth(out.interval);
   return out;
 }
 
 Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
+  static obs::Histogram& latency = QueryHistogram("min_dominance_ht");
+  obs::ScopedTimer timer(latency);
+  obs::ScopedSpan span("query/min_dominance_ht");
   const double tau1 = snapshot_->TauFor(i1);
   const double tau2 = snapshot_->TauFor(i2);
   auto min_ht = EstimationEngine::Global().Kernel(
@@ -174,6 +212,7 @@ Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
       SamplingParams({tau1, tau2}, options_.quad_tol));
   PIE_RETURN_IF_ERROR(min_ht.status());
 
+  obs::ScopedSpan scan_span("scan/min_ht");
   const int num_shards = snapshot_->num_shards();
   std::vector<AccuracyAccumulator> partial(static_cast<size_t>(num_shards));
   const int scan_threads = ScanThreads();
@@ -211,10 +250,15 @@ Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
 
   AccuracyAccumulator total;
   for (const auto& p : partial) total.Merge(p);
-  return total.Interval(options_.ci);
+  const IntervalEstimate interval = total.Interval(options_.ci);
+  ObserveCiWidth(interval);
+  return interval;
 }
 
 Result<IntervalEstimate> QueryService::L1Distance(int i1, int i2) const {
+  static obs::Histogram& latency = QueryHistogram("l1_distance");
+  obs::ScopedTimer timer(latency);
+  obs::ScopedSpan span("query/l1_distance");
   const double tau1 = snapshot_->TauFor(i1);
   const double tau2 = snapshot_->TauFor(i2);
   const SamplingParams params({tau1, tau2}, options_.quad_tol);
@@ -241,6 +285,7 @@ Result<IntervalEstimate> QueryService::L1Distance(int i1, int i2) const {
   };
   const SeedFunction seed1(snapshot_->InstanceSalt(i1));
   const SeedFunction seed2(snapshot_->InstanceSalt(i2));
+  obs::ScopedSpan scan_span("scan/l1_joint");
   const int num_shards = snapshot_->num_shards();
   std::vector<DifferenceAccumulator> partial(
       static_cast<size_t>(num_shards));
@@ -254,13 +299,16 @@ Result<IntervalEstimate> QueryService::L1Distance(int i1, int i2) const {
   });
   DifferenceAccumulator total;
   for (const auto& p : partial) total.Merge(p);
-  return total.Interval(options_.ci);
+  const IntervalEstimate interval = total.Interval(options_.ci);
+  ObserveCiWidth(interval);
+  return interval;
 }
 
 Status QueryService::ScanOrUnion(
     const std::vector<int>& instances,
     const std::vector<const EstimatorKernel*>& kernels,
     std::vector<AccuracyAccumulator>* totals) const {
+  obs::ScopedSpan span("scan/or_union");
   const int r = static_cast<int>(instances.size());
   std::vector<double> taus;
   taus.reserve(instances.size());
@@ -345,6 +393,9 @@ Result<DualInterval> QueryService::DistinctUnion(
   if (instances.size() < 2) {
     return Status::InvalidArgument("distinct union needs >= 2 instances");
   }
+  static obs::Histogram& latency = QueryHistogram("distinct_union");
+  obs::ScopedTimer timer(latency);
+  obs::ScopedSpan span("query/distinct_union");
   std::vector<double> taus;
   taus.reserve(instances.size());
   for (int instance : instances) taus.push_back(snapshot_->TauFor(instance));
@@ -360,6 +411,8 @@ Result<DualInterval> QueryService::DistinctUnion(
   DualInterval out;
   out.ht = totals[0].Interval(options_.ci);
   out.l = totals[1].Interval(options_.ci);
+  ObserveCiWidth(out.ht);
+  ObserveCiWidth(out.l);
   return out;
 }
 
@@ -368,6 +421,9 @@ Result<SelectedEstimate> QueryService::DistinctUnionAuto(
   if (instances.size() < 2) {
     return Status::InvalidArgument("distinct union needs >= 2 instances");
   }
+  static obs::Histogram& latency = QueryHistogram("distinct_union_auto");
+  obs::ScopedTimer timer(latency);
+  obs::ScopedSpan span("query/distinct_union_auto");
   std::vector<double> taus;
   taus.reserve(instances.size());
   for (int instance : instances) taus.push_back(snapshot_->TauFor(instance));
@@ -386,6 +442,7 @@ Result<SelectedEstimate> QueryService::DistinctUnionAuto(
   SelectedEstimate out;
   out.spec = *chosen;
   out.interval = totals[0].Interval(options_.ci);
+  ObserveCiWidth(out.interval);
   return out;
 }
 

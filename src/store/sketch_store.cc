@@ -2,12 +2,53 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pie {
 namespace {
+
+/// Store-wide snapshot instrumentation. The age gauge reports seconds
+/// since ANY store last (re)published a snapshot -- a process-level
+/// staleness signal evaluated lazily at dump time.
+struct StoreMetrics {
+  obs::Histogram& snapshot_seconds;
+  obs::Counter& shards_reused;
+  obs::Counter& shards_copied;
+  std::atomic<int64_t> last_snapshot_ns{0};
+
+  static StoreMetrics& Get() {
+    static StoreMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new StoreMetrics{
+          reg.GetHistogram("pie_store_snapshot_publish_seconds",
+                           "Wall time of one store-wide Snapshot() capture",
+                           obs::LatencyBuckets()),
+          reg.GetCounter("pie_store_snapshot_shards_total",
+                         "Per-shard snapshot captures by outcome",
+                         {{"result", "reused"}}),
+          reg.GetCounter("pie_store_snapshot_shards_total",
+                         "Per-shard snapshot captures by outcome",
+                         {{"result", "copied"}}),
+          {}};
+      reg.RegisterCallbackGauge(
+          "pie_store_snapshot_age_seconds",
+          "Seconds since the last store snapshot publish (-1 = never)",
+          [metrics] {
+            const int64_t last =
+                metrics->last_snapshot_ns.load(std::memory_order_relaxed);
+            if (last == 0) return -1.0;
+            return static_cast<double>(obs::MonotonicNowNs() - last) * 1e-9;
+          });
+      return metrics;
+    }();
+    return *m;
+  }
+};
 
 double TauFromOptions(const SketchStoreOptions& options, int instance) {
   auto it = options.instance_tau.find(instance);
@@ -78,6 +119,13 @@ SketchStore::SketchStore(SketchStoreOptions options)
   for (const auto& [instance, tau] : options_.instance_tau) {
     PIE_CHECK(tau > 0 && std::isfinite(tau));
   }
+  StoreMetrics::Get();  // eager family registration
+  shard_update_counts_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_update_counts_.push_back(&obs::MetricsRegistry::Global().GetCounter(
+        "pie_store_updates_total", "Records absorbed, by shard",
+        {{"shard", std::to_string(s)}}));
+  }
 }
 
 double SketchStore::TauFor(int instance) const {
@@ -100,7 +148,9 @@ StreamingPpsSketch& SketchStore::LiveSketch(Shard& shard, int instance) {
 }
 
 void SketchStore::Update(int instance, uint64_t key, double weight) {
-  Shard& shard = shards_[ShardOf(key)];
+  const int s = ShardOf(key);
+  Shard& shard = shards_[s];
+  shard_update_counts_[s]->Increment();
   std::lock_guard<std::mutex> lock(shard.mu);
   LiveSketch(shard, instance).Update(key, weight);
   shard.version.fetch_add(1, std::memory_order_release);
@@ -118,6 +168,7 @@ void SketchStore::UpdateBatch(int instance,
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = shards_[s];
+    shard_update_counts_[s]->Add(by_shard[s].size());
     std::lock_guard<std::mutex> lock(shard.mu);
     StreamingPpsSketch& sketch = LiveSketch(shard, instance);
     for (const auto& item : by_shard[s]) sketch.Update(item.key, item.weight);
@@ -126,6 +177,9 @@ void SketchStore::UpdateBatch(int instance,
 }
 
 std::shared_ptr<const StoreSnapshot> SketchStore::Snapshot() const {
+  StoreMetrics& metrics = StoreMetrics::Get();
+  obs::ScopedSpan span("store/snapshot");
+  obs::ScopedTimer timer(metrics.snapshot_seconds);
   auto snapshot = std::make_shared<StoreSnapshot>();
   snapshot->options_ = options_;
   snapshot->shards_.reserve(shards_.size());
@@ -135,14 +189,19 @@ std::shared_ptr<const StoreSnapshot> SketchStore::Snapshot() const {
         std::atomic_load_explicit(&shard.published,
                                   std::memory_order_acquire);
     if (published == nullptr || published->version() != version) {
+      metrics.shards_copied.Increment();
       std::lock_guard<std::mutex> lock(shard.mu);
       published = std::make_shared<const ShardSnapshot>(
           shard.version.load(std::memory_order_relaxed), shard.live);
       std::atomic_store_explicit(&shard.published, published,
                                  std::memory_order_release);
+    } else {
+      metrics.shards_reused.Increment();
     }
     snapshot->shards_.push_back(std::move(published));
   }
+  metrics.last_snapshot_ns.store(obs::MonotonicNowNs(),
+                                 std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -39,6 +39,10 @@
 
 namespace pie {
 
+namespace obs {
+class Counter;  // obs/metrics.h
+}
+
 struct SketchStoreOptions {
   int num_shards = 16;
   /// PPS threshold used by every instance sketch unless overridden below.
@@ -141,6 +145,10 @@ class SketchStore {
 
   SketchStoreOptions options_;
   mutable std::vector<Shard> shards_;
+  /// pie_store_updates_total{shard=...}, resolved once at construction so
+  /// the ingest path pays one relaxed fetch_add per record (or per batch
+  /// bucket), never a registry lookup.
+  std::vector<obs::Counter*> shard_update_counts_;
 };
 
 }  // namespace pie

@@ -41,6 +41,57 @@ TEST(WorkerPoolTest, ResolveParallelismHonorsExplicitRequests) {
   EXPECT_GE(ResolveParallelism(0), 1);
 }
 
+TEST(WorkerPoolTest, ParsePieThreadsAcceptsStrictPositiveIntegers) {
+  struct Case {
+    const char* text;
+    int want;
+  };
+  for (const Case& c : {Case{"1", 1}, Case{"8", 8}, Case{"  8  ", 8},
+                        Case{"+16", 16}, Case{"\t4\n", 4},
+                        Case{"1048576", kMaxPieThreads}}) {
+    bool invalid = true;
+    EXPECT_EQ(ParsePieThreads(c.text, &invalid), c.want) << c.text;
+    EXPECT_FALSE(invalid) << c.text;
+  }
+}
+
+TEST(WorkerPoolTest, ParsePieThreadsRejectsEverythingElse) {
+  // The strictness PIE_THREADS gets that atoi never gave it: empty,
+  // garbage, trailing junk, zero, negatives, hex, floats, and overflow all
+  // refuse instead of silently truncating.
+  for (const char* text :
+       {"", "   ", "0", "-4", "+-2", "+ 8", "8abc", "abc", "3.5", "0x8",
+        "1e3", "1048577", "2147483648", "99999999999999999999"}) {
+    bool invalid = false;
+    EXPECT_EQ(ParsePieThreads(text, &invalid), 0) << text;
+    EXPECT_TRUE(invalid) << text;
+  }
+}
+
+TEST(WorkerPoolTest, StatsInvariantsHoldBeforeAndAfterWork) {
+  WorkerPool& pool = WorkerPool::Global();
+  const PoolStats before = pool.Stats();
+  EXPECT_GE(before.generation, before.executed);
+  EXPECT_LE(static_cast<uint64_t>(before.queued),
+            before.generation - before.executed);
+
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(512, 8, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), int64_t{512} * 511 / 2);
+
+  // Quiescent again (ParallelFor returns only after the full drain): every
+  // published job has executed and nothing is left queued.
+  const PoolStats after = pool.Stats();
+  EXPECT_EQ(after.queued, 0);
+  EXPECT_EQ(after.executed, after.generation);
+  EXPECT_GE(after.generation, before.generation);
+  // With idle workers the region above was published to the queue; on a
+  // 1-hardware-thread host it legally degenerates to the inline loop.
+  if (pool.max_parallelism() > 1) {
+    EXPECT_GT(after.generation, before.generation);
+  }
+}
+
 TEST(WorkerPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   constexpr int kCount = 1000;
   std::vector<std::atomic<int>> hits(kCount);
