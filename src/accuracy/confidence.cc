@@ -42,7 +42,7 @@ double NormalQuantile(double p) {
          (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
 }
 
-double CriticalValue(const CiPolicy& policy) {
+double CriticalValueUncached(const CiPolicy& policy) {
   PIE_CHECK(policy.level > 0.0 && policy.level < 1.0);
   switch (policy.method) {
     case CiMethod::kNormal:
@@ -52,6 +52,31 @@ double CriticalValue(const CiPolicy& policy) {
   }
   PIE_CHECK(false && "unreachable");
   return 0.0;
+}
+
+double CriticalValue(const CiPolicy& policy) {
+  // Interval assembly runs once per aggregate result, but a multi-level
+  // readout (QueryService dual intervals, accuracy sweeps) re-derives the
+  // same handful of (method, level) pairs over and over; the Acklam tails
+  // cost a log+sqrt each. Small thread-local memo, round-robin eviction;
+  // keys compare exactly, so a hit returns the identical bits the direct
+  // computation would (tests/accuracy_test.cc pins this).
+  struct Entry {
+    int method = 0;  // static_cast<int>(method) + 1; 0 = empty slot
+    double level = 0.0;
+    double value = 0.0;
+  };
+  constexpr int kSlots = 8;
+  thread_local Entry memo[kSlots];
+  thread_local int next_victim = 0;
+  const int method_key = static_cast<int>(policy.method) + 1;
+  for (const Entry& e : memo) {
+    if (e.method == method_key && e.level == policy.level) return e.value;
+  }
+  const double value = CriticalValueUncached(policy);
+  memo[next_victim] = {method_key, policy.level, value};
+  next_victim = (next_victim + 1) % kSlots;
+  return value;
 }
 
 IntervalEstimate MakeInterval(double estimate, double variance,

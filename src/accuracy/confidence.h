@@ -54,8 +54,14 @@ double NormalQuantile(double p);
 
 /// Multiplier applied to the standard error under `policy`:
 /// NormalQuantile((1 + level) / 2) for kNormal, 1/sqrt(1 - level) for
-/// kChebyshev (both checked for level in (0, 1)).
+/// kChebyshev (both checked for level in (0, 1)). Memoized per thread on
+/// the recently-used (method, level) pairs; bitwise identical to
+/// CriticalValueUncached on every input.
 double CriticalValue(const CiPolicy& policy);
+
+/// The direct computation behind CriticalValue, bypassing its memo (the
+/// regression test compares the two bitwise).
+double CriticalValueUncached(const CiPolicy& policy);
 
 /// Assembles the interval for an (estimate, variance-estimate) pair.
 IntervalEstimate MakeInterval(double estimate, double variance,

@@ -1,0 +1,105 @@
+// PIE_FAST_LOG: a vectorizable, libm-free natural log for the log-regime
+// lanes of the weighted max^(L) closed forms.
+//
+// The serving max^(L) path spends ~40% of its cycles in scalar std::log
+// (the eq (29)/(30) lanes of MaxLWeightedTwo::EvalSorted; live share via
+// pie_simd_log_lanes_total / pie_simd_maxl_rows_total). libm's log cannot
+// auto-vectorize -- it is an opaque call with errno/precision contracts --
+// so those lanes serialize an otherwise branch-free dense loop.
+//
+// FastLog below is the classical FDLIBM e_log reduction made branch-free:
+// bit-trick range reduction to z in [sqrt(2)/2, sqrt(2)) with an integer
+// exponent k, then the FDLIBM minimax polynomial in s = f/(2+f), f = z-1,
+// recombined as k*ln2_hi + (...) + k*ln2_lo. Every step is add/sub/mul/div,
+// integer bit ops, and bit casts on 64-bit lanes -- no calls, no branches,
+// no lookup table -- so GCC auto-vectorizes the compacted log loops in
+// engine/registry.cc under the PIE_SIMD flags.
+//
+// Accuracy and versioning contract:
+//  * Valid for positive, finite, NORMAL doubles. The regime log arguments
+//    are always >= 1 (both eq (29) and eq (30) arguments are products of
+//    ratios >= 1; see tests/fast_log_test.cc), comfortably inside the
+//    domain. No Inf/NaN/subnormal handling -- callers own the domain.
+//  * Max error vs std::log is bounded by kFastLogMaxUlp ulps, asserted
+//    over the regime input ranges by tests/fast_log_test.cc.
+//  * The bits legitimately differ from libm, so PIE_FAST_LOG is an
+//    explicit estimator-versioning tier (CMake option, default OFF):
+//    within the tier results are bitwise deterministic at any thread
+//    count, batch shape, and SIMD setting -- the same registry sweeps that
+//    pin the default tier run under it, plus a committed golden digest
+//    (portable BECAUSE the tier is libm-free: IEEE arithmetic only).
+//
+// PieLog(x) is the estimator-facing entry point: FastLog under the tier,
+// std::log otherwise. Both the scalar EvalSorted path (core/max_weighted.cc)
+// and the dense EvalSortedDense path (engine/registry.cc) call it, so
+// batched == scalar stays bitwise exact within either tier.
+
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace pie {
+
+/// Documented max-ULP bound of FastLog vs std::log over the regime input
+/// ranges (asserted by tests/fast_log_test.cc; measured max is lower).
+inline constexpr int kFastLogMaxUlp = 4;
+
+/// Branch-free FDLIBM-style natural log. Domain: positive finite normal
+/// doubles (the weighted max^(L) regime arguments, which are >= 1).
+inline double FastLog(double x) {
+  // FDLIBM e_log.c coefficients (Sun Microsystems, freely distributable):
+  // ln2 split plus the minimax polynomial for log(1+f) on
+  // |f| <= sqrt(2) - 1 in s = f/(2+f).
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;  // 0x3FE62E42FEE00000
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;  // 0x3DEA39EF35793C76
+  constexpr double kLg1 = 6.666666666666735130e-01;
+  constexpr double kLg2 = 3.999999999940941908e-01;
+  constexpr double kLg3 = 2.857142874366239149e-01;
+  constexpr double kLg4 = 2.222219843214978396e-01;
+  constexpr double kLg5 = 1.818357216161805012e-01;
+  constexpr double kLg6 = 1.531383769920937332e-01;
+  constexpr double kLg7 = 1.479819860511658591e-01;
+
+  // Range reduction: x = z * 2^k with z in [sqrt(2)/2, sqrt(2)). Subtract
+  // the bit pattern of sqrt(2)/2 so the exponent field of `adj` is exactly
+  // the biased k; peeling it off `bits` rescales x to z in one integer
+  // subtract (the borrow into the mantissa never happens because both
+  // share mantissa bits above the cut).
+  const uint64_t bits = std::bit_cast<uint64_t>(x);
+  const uint64_t adj = bits - 0x3fe6a09e00000000ULL;
+  const uint64_t k_mod = adj >> 52;  // k mod 4096 (two's complement field)
+  const double z =
+      std::bit_cast<double>(bits - (adj & 0xfff0000000000000ULL));
+  // Exponent to double without an int64->double convert (no such AVX2
+  // instruction, which would block vectorization): re-bias the 12-bit
+  // field into the low mantissa of 2^52 and subtract the offset.
+  const double k =
+      std::bit_cast<double>((k_mod ^ 0x800ULL) | 0x4330000000000000ULL) -
+      (0x1p52 + 2048.0);
+
+  const double f = z - 1.0;
+  const double s = f / (2.0 + f);
+  const double z2 = s * s;
+  const double w = z2 * z2;
+  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  const double t2 = z2 * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = 0.5 * f * f;
+  return k * kLn2Hi - ((hfsq - (s * (hfsq + r) + k * kLn2Lo)) - f);
+}
+
+/// The estimator-facing log: the PIE_FAST_LOG tier's FastLog, or scalar
+/// libm std::log in the default tier. Used by BOTH the scalar
+/// MaxLWeightedTwo::EvalSorted and the dense EvalSortedDense lanes so the
+/// batched/scalar bitwise contract holds within each tier.
+inline double PieLog(double x) {
+#ifdef PIE_FAST_LOG
+  return FastLog(x);
+#else
+  return std::log(x);
+#endif
+}
+
+}  // namespace pie

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/fast_log.h"
 #include "core/functions.h"
 #include "core/ht.h"
 #include "core/max_l_three.h"
@@ -75,6 +76,28 @@ Status RequireBinary(const std::vector<double>& values) {
 /// non-NaN x it is the ordinary minimum, and for NaN the comparison is
 /// false so both forms yield 1.0.
 inline double Min1(double x) { return x < 1.0 ? x : 1.0; }
+
+/// Software-prefetches the slab rows a block loop will gather
+/// PrefetchDistanceRows() rows ahead of `base` (PIE_PREFETCH_DIST; 0
+/// disables). Scans past ~4 threads are memory-bound -- every key touches
+/// up to 4 slabs -- and the partition indirection defeats some hardware
+/// prefetch, so the block loops hint the next block's value/sampled (and
+/// for PPS kernels seed/param) lines ahead of use. Pure hints: no effect
+/// on results.
+inline void PrefetchSlabsAhead(const BatchView& batch, int base, bool seeds,
+                               bool params) {
+  const int dist = PrefetchDistanceRows();
+  if (dist <= 0) return;
+  const int ahead = base + dist;
+  if (ahead >= batch.size) return;
+  const int n = std::min(kPartitionBlockRows, batch.size - ahead);
+  const size_t lanes =
+      static_cast<size_t>(n) * static_cast<size_t>(batch.r);
+  PrefetchBytes(batch.value_row(ahead), lanes * sizeof(double));
+  PrefetchBytes(batch.sampled_row(ahead), lanes);
+  if (seeds) PrefetchBytes(batch.seed_row(ahead), lanes * sizeof(double));
+  if (params) PrefetchBytes(batch.param_row(ahead), lanes * sizeof(double));
+}
 
 /// Hoisted per-pattern forms of MaxLTwo::EstimateRow (equation (12)).
 struct MaxLTwoForms {
@@ -165,6 +188,7 @@ void ApplyR2Forms(const double* value, const R2Partition& part,
 template <typename Forms>
 void R2EstimateBlocks(BatchView batch, const Forms& f, double* out) {
   for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    PrefetchSlabsAhead(batch, base, /*seeds=*/false, /*params=*/false);
     const int n = std::min(kPartitionBlockRows, batch.size - base);
     R2Partition part;
     PartitionR2(batch.sampled_row(base), n, &part);
@@ -177,6 +201,7 @@ void R2EstimateBlocks(BatchView batch, const Forms& f, double* out) {
 template <typename Forms>
 void R2SecondMomentBlocks(BatchView batch, const Forms& f, double* out) {
   for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    PrefetchSlabsAhead(batch, base, /*seeds=*/false, /*params=*/false);
     const int n = std::min(kPartitionBlockRows, batch.size - base);
     R2Partition part;
     PartitionR2(batch.sampled_row(base), n, &part);
@@ -207,6 +232,7 @@ template <typename Forms>
 void R2FusedBlocks(BatchView batch, const Forms& f, double* est,
                    double* var) {
   for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    PrefetchSlabsAhead(batch, base, /*seeds=*/false, /*params=*/false);
     const int n = std::min(kPartitionBlockRows, batch.size - base);
     R2Partition part;
     PartitionR2(batch.sampled_row(base), n, &part);
@@ -268,8 +294,9 @@ void CheckR2BinarySampled(BatchView batch) {
 /// Branch-free MaxLWeightedTwo::EvalSorted over dense determining-vector
 /// lanes. Pass 1 orders each pair by blends and resolves the log-free
 /// regimes (hi <= 0; equation (26); the constant regime hi >= tau_hi); the
-/// two log regimes (equations (29)/(30)) evaluate in a second pass so
-/// std::log -- kept as the scalar libm call for bitwise stability -- runs
+/// two log regimes (equations (29)/(30)) evaluate in a second pass so the
+/// log -- scalar libm in the default tier for bitwise stability, the
+/// vectorizable FastLog lanes under PIE_FAST_LOG (core/fast_log.h) -- runs
 /// only on lanes that need it. Regime tests replicate EvalSorted's check
 /// order exactly.
 inline void EvalSortedDense(const double* d1, const double* d2, int n,
@@ -308,14 +335,25 @@ inline void EvalSortedDense(const double* d1, const double* d2, int n,
   uint16_t idx29[kPartitionBlockRows];
   uint16_t idx30[kPartitionBlockRows];
   int n29 = 0, n30 = 0;
-  for (int k = 0; k < n; ++k) {
-    const bool needs_log =
-        !(hi_a[k] <= 0) && !(lo_a[k] >= tl_a[k]) && !(hi_a[k] >= th_a[k]);
-    const bool is29 = hi_a[k] <= tl_a[k];
-    idx29[n29] = static_cast<uint16_t>(k);
-    idx30[n30] = static_cast<uint16_t>(k);
-    n29 += needs_log && is29 ? 1 : 0;
-    n30 += needs_log && !is29 ? 1 : 0;
+#ifdef PIE_SIMD_AVX512
+  if (UseAvx512Tier()) {
+    // vpcompressq replaces the predicated-increment loop; the masks use
+    // ordered-quiet compares matching the scalar predicates, and compress
+    // preserves lane order, so the index sequences are identical.
+    avx512::CompactLogRegimes(hi_a, lo_a, th_a, tl_a, n, idx29, &n29,
+                              idx30, &n30);
+  } else
+#endif
+  {
+    for (int k = 0; k < n; ++k) {
+      const bool needs_log =
+          !(hi_a[k] <= 0) && !(lo_a[k] >= tl_a[k]) && !(hi_a[k] >= th_a[k]);
+      const bool is29 = hi_a[k] <= tl_a[k];
+      idx29[n29] = static_cast<uint16_t>(k);
+      idx30[n30] = static_cast<uint16_t>(k);
+      n29 += needs_log && is29 ? 1 : 0;
+      n30 += needs_log && !is29 ? 1 : 0;
+    }
   }
   {
     // Live counters for ROADMAP open item 1a: the share of serving
@@ -326,6 +364,7 @@ inline void EvalSortedDense(const double* d1, const double* d2, int n,
       obs::Counter& rows;
       obs::Counter& eq29;
       obs::Counter& eq30;
+      obs::Counter& fastlog;
     };
     static LogLaneCounters* const counters = [] {
       auto& reg = obs::MetricsRegistry::Global();
@@ -338,11 +377,19 @@ inline void EvalSortedDense(const double* d1, const double* d2, int n,
                          "equation", {{"eq", "29"}}),
           reg.GetCounter("pie_simd_log_lanes_total",
                          "Rows requiring a scalar std::log, by closed-form "
-                         "equation", {{"eq", "30"}})};
+                         "equation", {{"eq", "30"}}),
+          reg.GetCounter("pie_fastlog_lanes_total",
+                         "Log-regime lanes evaluated by the vectorized "
+                         "FastLog tier (PIE_FAST_LOG)")};
     }();
     counters->rows.Add(static_cast<uint64_t>(n));
     if (n29 > 0) counters->eq29.Add(static_cast<uint64_t>(n29));
     if (n30 > 0) counters->eq30.Add(static_cast<uint64_t>(n30));
+#ifdef PIE_FAST_LOG
+    if (n29 + n30 > 0) counters->fastlog.Add(static_cast<uint64_t>(n29 + n30));
+#else
+    (void)counters->fastlog;
+#endif
   }
   double hi_d[kPartitionBlockRows], lo_d[kPartitionBlockRows];
   double th_d[kPartitionBlockRows], tl_d[kPartitionBlockRows];
@@ -356,7 +403,7 @@ inline void EvalSortedDense(const double* d1, const double* d2, int n,
       const double b = th_d[k] + tl_d[k];
       lg[k] = (b - lo_d[k]) * hi_d[k] / (lo_d[k] * (b - hi_d[k]));
     }
-    for (int k = 0; k < n29; ++k) lg[k] = std::log(lg[k]);
+    for (int k = 0; k < n29; ++k) lg[k] = PieLog(lg[k]);
     for (int k = 0; k < n29; ++k) {
       const double hi = hi_d[k], lo = lo_d[k];
       const double tau_hi = th_d[k], tau_lo = tl_d[k];
@@ -377,7 +424,7 @@ inline void EvalSortedDense(const double* d1, const double* d2, int n,
       const double b = th_d[k] + tl_d[k];
       lg[k] = (b - lo_d[k]) * tl_d[k] / (lo_d[k] * th_d[k]);
     }
-    for (int k = 0; k < n30; ++k) lg[k] = std::log(lg[k]);
+    for (int k = 0; k < n30; ++k) lg[k] = PieLog(lg[k]);
     for (int k = 0; k < n30; ++k) {
       const double hi = hi_d[k], lo = lo_d[k];
       const double tau_hi = th_d[k], tau_lo = tl_d[k];
@@ -397,6 +444,7 @@ inline void EvalSortedDense(const double* d1, const double* d2, int n,
 inline void MaxHtR2Blocks(BatchView batch, double tau1, double tau2,
                           double* est, double* second) {
   for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    PrefetchSlabsAhead(batch, base, /*seeds=*/true, /*params=*/true);
     const int n = std::min(kPartitionBlockRows, batch.size - base);
     R2Partition part;
     PartitionR2(batch.sampled_row(base), n, &part);
@@ -466,6 +514,7 @@ inline void MinHtBlocks(BatchView batch, const std::vector<double>& tau,
                         double* est, double* second) {
   const int r = static_cast<int>(tau.size());
   for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+    PrefetchSlabsAhead(batch, base, /*seeds=*/false, /*params=*/false);
     const int n = std::min(kPartitionBlockRows, batch.size - base);
     AllSampledPartition part;
     PartitionAllSampled(batch.sampled_row(base), r, n, &part);
@@ -596,6 +645,7 @@ class ObliviousHtKernel : public EstimatorKernel {
     scratch.reserve(p_.size());
     AllSampledPartition part;
     for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      PrefetchSlabsAhead(batch, base, /*seeds=*/false, /*params=*/true);
       const int n = std::min(kPartitionBlockRows, batch.size - base);
       PartitionAllSampled(batch.sampled_row(base), r, n, &part);
       if (est != nullptr) {
@@ -1178,6 +1228,7 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
     const double tau1 = est_.tau1();
     const double tau2 = est_.tau2();
     for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      PrefetchSlabsAhead(batch, base, /*seeds=*/true, /*params=*/true);
       const int n = std::min(kPartitionBlockRows, batch.size - base);
       R2Partition part;
       PartitionR2(batch.sampled_row(base), n, &part);
@@ -1275,6 +1326,7 @@ class MaxLWeightedTwoKernel : public EstimatorKernel {
     // (mx, identifiable) pair for the second moment from the SAME gathered
     // columns, evaluates the estimate dense, and combines var = e^2 - s.
     for (int base = 0; base < batch.size; base += kPartitionBlockRows) {
+      PrefetchSlabsAhead(batch, base, /*seeds=*/true, /*params=*/true);
       const int n = std::min(kPartitionBlockRows, batch.size - base);
       R2Partition part;
       PartitionR2(batch.sampled_row(base), n, &part);

@@ -1,0 +1,119 @@
+// AVX-512F implementations of the partition helpers (see simd_avx512.h).
+// This is the only translation unit compiled with -mavx512f; it must stay
+// free of inline'able calls INTO it from uncompiled-for-avx512 TUs (plain
+// out-of-line functions only) and uses AVX-512F instructions exclusively
+// (no VL/BW/DQ/VBMI2), so the dispatch floor is a single CPUID feature.
+
+#include "engine/simd_avx512.h"
+
+#ifdef PIE_SIMD_AVX512
+
+#include <immintrin.h>
+
+#include "engine/pattern_partition.h"
+
+namespace pie {
+namespace avx512 {
+
+namespace {
+
+/// Loads 8 uint16 row indices and widens to the epi32 lane offsets
+/// idx[k] * r + col for vgatherdpd/vscatterdpd.
+inline __m256i LaneOffsets(const uint16_t* idx, int r, int col) {
+  const __m128i raw =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+  const __m256i wide = _mm256_cvtepu16_epi32(raw);
+  return _mm256_add_epi32(_mm256_mullo_epi32(wide, _mm256_set1_epi32(r)),
+                          _mm256_set1_epi32(col));
+}
+
+}  // namespace
+
+void GatherColumn(const double* slab, int r, int col, const uint16_t* idx,
+                  int n, double* out) {
+  int k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512d v =
+        _mm512_i32gather_pd(LaneOffsets(idx + k, r, col), slab, 8);
+    _mm512_storeu_pd(out + k, v);
+  }
+  for (; k < n; ++k) {
+    out[k] = slab[static_cast<size_t>(idx[k]) * static_cast<size_t>(r) + col];
+  }
+}
+
+void Scatter(const double* in, const uint16_t* idx, int n, double* out) {
+  int k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm512_i32scatter_pd(out, LaneOffsets(idx + k, 1, 0),
+                         _mm512_loadu_pd(in + k), 8);
+  }
+  for (; k < n; ++k) out[idx[k]] = in[k];
+}
+
+void ScatterConstant(double v, const uint16_t* idx, int n, double* out) {
+  const __m512d vv = _mm512_set1_pd(v);
+  int k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm512_i32scatter_pd(out, LaneOffsets(idx + k, 1, 0), vv, 8);
+  }
+  for (; k < n; ++k) out[idx[k]] = v;
+}
+
+void CompactLogRegimes(const double* hi, const double* lo, const double* th,
+                       const double* tl, int n, uint16_t* idx29, int* n29,
+                       uint16_t* idx30, int* n30) {
+  // vpcompressq writes 64-bit lanes; AVX-512F has no 256-bit epi32 or any
+  // epi16 compress (those need VL / VBMI2), so compress lane numbers as
+  // epi64 into a scratch block and narrow to the uint16 index arrays once
+  // at the end (at most n conversions).
+  int64_t tmp29[kPartitionBlockRows];
+  int64_t tmp30[kPartitionBlockRows];
+  int c29 = 0;
+  int c30 = 0;
+  const __m512d zero = _mm512_setzero_pd();
+  __m512i lanes = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m512i step = _mm512_set1_epi64(8);
+  int k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512d vhi = _mm512_loadu_pd(hi + k);
+    const __m512d vlo = _mm512_loadu_pd(lo + k);
+    const __m512d vth = _mm512_loadu_pd(th + k);
+    const __m512d vtl = _mm512_loadu_pd(tl + k);
+    // Ordered-quiet predicates: false on NaN, exactly like the scalar
+    // (a <= b) / (a >= b) comparisons these replicate.
+    const unsigned is_zero =
+        _mm512_cmp_pd_mask(vhi, zero, _CMP_LE_OQ);       // hi <= 0
+    const unsigned low_certain =
+        _mm512_cmp_pd_mask(vlo, vtl, _CMP_GE_OQ);        // lo >= tl
+    const unsigned high_certain =
+        _mm512_cmp_pd_mask(vhi, vth, _CMP_GE_OQ);        // hi >= th
+    const unsigned is29 = _mm512_cmp_pd_mask(vhi, vtl, _CMP_LE_OQ);
+    const unsigned needs = ~(is_zero | low_certain | high_certain) & 0xffu;
+    const unsigned m29 = needs & is29;
+    const unsigned m30 = needs & ~is29 & 0xffu;
+    _mm512_mask_compressstoreu_epi64(tmp29 + c29,
+                                     static_cast<__mmask8>(m29), lanes);
+    _mm512_mask_compressstoreu_epi64(tmp30 + c30,
+                                     static_cast<__mmask8>(m30), lanes);
+    c29 += __builtin_popcount(m29);
+    c30 += __builtin_popcount(m30);
+    lanes = _mm512_add_epi64(lanes, step);
+  }
+  for (; k < n; ++k) {  // scalar tail, same predicates
+    const bool needs_log =
+        !(hi[k] <= 0) && !(lo[k] >= tl[k]) && !(hi[k] >= th[k]);
+    const bool is29 = hi[k] <= tl[k];
+    if (needs_log && is29) tmp29[c29++] = k;
+    if (needs_log && !is29) tmp30[c30++] = k;
+  }
+  for (int i = 0; i < c29; ++i) idx29[i] = static_cast<uint16_t>(tmp29[i]);
+  for (int i = 0; i < c30; ++i) idx30[i] = static_cast<uint16_t>(tmp30[i]);
+  *n29 = c29;
+  *n30 = c30;
+}
+
+}  // namespace avx512
+}  // namespace pie
+
+#endif  // PIE_SIMD_AVX512

@@ -1,0 +1,49 @@
+// Hand-written AVX-512F helpers for the partitioned kernel paths: native
+// gather/scatter for the bucket index moves and mask-compress for the
+// log-regime compaction -- the loops the AVX2 tier leaves scalar (AVX2 has
+// no scatter and no compress, and GCC will not auto-vectorize an
+// index-indirect store).
+//
+// Implemented in engine/simd_avx512.cc, the ONE translation unit compiled
+// with -mavx512f (PIE_SIMD_AVX512); callers guard every call with
+// UseAvx512Tier() (engine/simd_dispatch.h), so the instructions never
+// execute on machines whose CPUID lacks avx512f.
+//
+// Bitwise contract: every helper is pure data movement or predicate
+// evaluation -- doubles are gathered, scattered, and compress-stored
+// untouched, and the compaction comparisons use ordered-quiet predicates
+// matching the scalar !(a <= b)-style forms -- so the AVX-512 tier is
+// bit-identical to the generic tier on every input (enforced by
+// tests/simd_dispatch_test.cc and the registry-wide sweeps).
+
+#pragma once
+
+#include <cstdint>
+
+namespace pie {
+namespace avx512 {
+
+/// Gathers column `col` of the row-major slab (r doubles per row) for the
+/// `n` rows in `idx` into dense `out` (vgatherdpd, 8 rows per step).
+void GatherColumn(const double* slab, int r, int col, const uint16_t* idx,
+                  int n, double* out);
+
+/// Scatters dense `in` back to the row-indexed slots of `out`
+/// (vscatterdpd). Indices must be distinct, as partition buckets are.
+void Scatter(const double* in, const uint16_t* idx, int n, double* out);
+
+/// Writes `v` to every row slot of `out` named by `idx`.
+void ScatterConstant(double v, const uint16_t* idx, int n, double* out);
+
+/// The branch-free log-regime compaction of EvalSortedDense as mask
+/// compares + vpcompressq: appends to idx29 the lanes with
+/// needs_log && hi <= tl and to idx30 the lanes with needs_log && hi > tl,
+/// where needs_log = !(hi <= 0) && !(lo >= tl) && !(hi >= th), preserving
+/// lane order (so the index sequences are identical to the generic loop's).
+/// n <= kPartitionBlockRows.
+void CompactLogRegimes(const double* hi, const double* lo, const double* th,
+                       const double* tl, int n, uint16_t* idx29, int* n29,
+                       uint16_t* idx30, int* n30);
+
+}  // namespace avx512
+}  // namespace pie

@@ -1,0 +1,171 @@
+#include "engine/simd_dispatch.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace pie {
+namespace {
+
+/// Trims leading/trailing whitespace in place on a [begin, end) view.
+void TrimWhitespace(const char** begin, const char** end) {
+  while (*begin < *end &&
+         std::isspace(static_cast<unsigned char>(**begin))) {
+    ++*begin;
+  }
+  while (*end > *begin &&
+         std::isspace(static_cast<unsigned char>((*end)[-1]))) {
+    --*end;
+  }
+}
+
+obs::Gauge& TierGauge() {
+  return obs::MetricsRegistry::Global().GetGauge(
+      "pie_simd_tier",
+      "Effective SIMD execution tier: 0 scalar, 1 avx2, 2 avx512");
+}
+
+void WarnInvalid(const char* var, const char* value, const char* expected) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("pie_config_errors_total",
+                  "Invalid configuration values rejected at startup",
+                  {{"var", var}})
+      .Increment();
+  std::fprintf(stderr, "pie: ignoring invalid %s=\"%s\" (expected %s)\n",
+               var, value, expected);
+}
+
+}  // namespace
+
+bool ParseSimdTier(const char* text, SimdTier* out) {
+  if (text == nullptr) return false;
+  const char* begin = text;
+  const char* end = text + std::strlen(text);
+  TrimWhitespace(&begin, &end);
+  const size_t len = static_cast<size_t>(end - begin);
+  if (len == 6 && std::memcmp(begin, "scalar", 6) == 0) {
+    *out = SimdTier::kScalar;
+    return true;
+  }
+  if (len == 4 && std::memcmp(begin, "avx2", 4) == 0) {
+    *out = SimdTier::kAvx2;
+    return true;
+  }
+  if (len == 6 && std::memcmp(begin, "avx512", 6) == 0) {
+    *out = SimdTier::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+int ParsePrefetchDistance(const char* text, bool* invalid) {
+  *invalid = true;
+  if (text == nullptr) return 0;
+  const char* p = text;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') return 0;  // empty / whitespace-only
+  // As in ParsePieThreads: an optional '+' and decimal digits only, so
+  // "-1", "0x40", "1e3", and "64abc" are rejected instead of truncated.
+  const char* digits = (*p == '+') ? p + 1 : p;
+  if (*digits < '0' || *digits > '9') return 0;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(p, &end, 10);
+  if (errno == ERANGE) return 0;  // overflow
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return 0;  // trailing garbage
+  if (parsed < 0 || parsed > kMaxPrefetchRows) return 0;
+  *invalid = false;
+  return static_cast<int>(parsed);
+}
+
+SimdTier MaxSupportedSimdTier() {
+#ifdef PIE_SIMD_AVX512
+  if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+#endif
+#ifdef PIE_SIMD
+  return SimdTier::kAvx2;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+namespace simd_internal {
+
+int ResolveTierSlow() {
+  const SimdTier ceiling = MaxSupportedSimdTier();
+  SimdTier tier = ceiling;
+  if (const char* env = std::getenv("PIE_SIMD_TIER")) {
+    SimdTier requested;
+    if (ParseSimdTier(env, &requested)) {
+      // Requests above the build+CPU ceiling clamp down (a PIE_SIMD_AVX512
+      // binary on a non-AVX-512 machine must stay safe); requests below it
+      // are honored so tests can pin the generic path.
+      tier = requested < ceiling ? requested : ceiling;
+    } else {
+      WarnInvalid("PIE_SIMD_TIER", env, "one of scalar|avx2|avx512");
+    }
+  }
+  const int value = static_cast<int>(tier);
+  // First resolution wins so concurrent first uses agree; the gauge write
+  // is idempotent either way.
+  int expected = -1;
+  g_tier.compare_exchange_strong(expected, value,
+                                 std::memory_order_relaxed);
+  const int effective = g_tier.load(std::memory_order_relaxed);
+  TierGauge().Set(static_cast<double>(effective));
+  return effective;
+}
+
+int ResolvePrefetchSlow() {
+  int rows = kPieDefaultPrefetchRows;
+  if (const char* env = std::getenv("PIE_PREFETCH_DIST")) {
+    bool invalid = false;
+    const int parsed = ParsePrefetchDistance(env, &invalid);
+    if (!invalid) {
+      rows = parsed;
+    } else {
+      WarnInvalid("PIE_PREFETCH_DIST", env,
+                  "an integer in [0, 1048576] rows (0 disables)");
+    }
+  }
+  int expected = -1;
+  g_prefetch.compare_exchange_strong(expected, rows,
+                                     std::memory_order_relaxed);
+  return g_prefetch.load(std::memory_order_relaxed);
+}
+
+}  // namespace simd_internal
+
+SimdTier ActiveSimdTier() {
+  const int tier = simd_internal::g_tier.load(std::memory_order_relaxed);
+  return static_cast<SimdTier>(tier >= 0 ? tier
+                                         : simd_internal::ResolveTierSlow());
+}
+
+SimdTier SetSimdTierForTest(SimdTier tier) {
+  const SimdTier ceiling = MaxSupportedSimdTier();
+  const SimdTier effective = tier < ceiling ? tier : ceiling;
+  simd_internal::g_tier.store(static_cast<int>(effective),
+                              std::memory_order_relaxed);
+  TierGauge().Set(static_cast<double>(static_cast<int>(effective)));
+  return effective;
+}
+
+int PrefetchDistanceRows() {
+  const int rows = simd_internal::g_prefetch.load(std::memory_order_relaxed);
+  return rows >= 0 ? rows : simd_internal::ResolvePrefetchSlow();
+}
+
+int SetPrefetchDistanceForTest(int rows) {
+  if (rows < 0) rows = 0;
+  if (rows > kMaxPrefetchRows) rows = kMaxPrefetchRows;
+  simd_internal::g_prefetch.store(rows, std::memory_order_relaxed);
+  return rows;
+}
+
+}  // namespace pie

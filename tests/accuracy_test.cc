@@ -291,6 +291,26 @@ TEST(ConfidenceTest, CriticalValuesAndIntervalAssembly) {
   EXPECT_EQ(clamped.variance, -0.5);  // raw value preserved for diagnostics
 }
 
+TEST(ConfidenceTest, CriticalValueMemoIsBitwiseTransparent) {
+  // The memo caches (method, level) -> value per thread; a hit must return
+  // the identical bits the direct computation produces, including on
+  // levels that churn past the 8-slot capacity (round-robin eviction) and
+  // on the same level under both methods.
+  const CiMethod methods[] = {CiMethod::kNormal, CiMethod::kChebyshev};
+  const double levels[] = {0.5,   0.8,    0.9,   0.95,  0.975, 0.99,
+                           0.995, 0.9999, 0.001, 0.256, 0.642, 0.31};
+  for (int pass = 0; pass < 3; ++pass) {  // pass > 0 re-reads warm entries
+    for (CiMethod method : methods) {
+      for (double level : levels) {
+        const CiPolicy policy{method, level};
+        EXPECT_TRUE(BitwiseEqual(CriticalValue(policy),
+                                 CriticalValueUncached(policy)))
+            << "method " << static_cast<int>(method) << " level " << level;
+      }
+    }
+  }
+}
+
 // Shared CI coverage harness: a fixed population of keys, repeated
 // sampling, fraction of 95% intervals covering the true sum.
 template <typename MakeValues>

@@ -1,0 +1,368 @@
+// Runtime SIMD-tier dispatch (engine/simd_dispatch.h): strict env parsing
+// for PIE_SIMD_TIER / PIE_PREFETCH_DIST, tier clamping to the build+CPU
+// ceiling, and -- the load-bearing contract -- that forcing each tier on
+// the SAME batches produces bitwise-identical results (the AVX-512 helpers
+// are pure data movement / predicate evaluation). The cross-tier sweep
+// passes on any machine: without AVX-512 hardware or -DPIE_SIMD_AVX512 the
+// avx512 request clamps down gracefully, and the test logs which tier
+// actually ran.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/pattern_partition.h"
+#include "engine/registry.h"
+#include "engine/simd_dispatch.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+::testing::AssertionResult BitwiseEqual(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ (bits 0x" << std::hex << ba
+         << " vs 0x" << bb << ")";
+}
+
+const char* TierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+/// Restores the dispatch state a test mutated (tier, prefetch distance)
+/// even on assertion failure.
+class DispatchStateGuard {
+ public:
+  DispatchStateGuard()
+      : tier_(ActiveSimdTier()), prefetch_(PrefetchDistanceRows()) {}
+  ~DispatchStateGuard() {
+    SetSimdTierForTest(tier_);
+    SetPrefetchDistanceForTest(prefetch_);
+  }
+
+ private:
+  SimdTier tier_;
+  int prefetch_;
+};
+
+// ---------------------------------------------------------------------------
+// Strict parsing
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchParseTest, TierAcceptsExactNamesOnly) {
+  SimdTier tier;
+  EXPECT_TRUE(ParseSimdTier("scalar", &tier));
+  EXPECT_EQ(tier, SimdTier::kScalar);
+  EXPECT_TRUE(ParseSimdTier("avx2", &tier));
+  EXPECT_EQ(tier, SimdTier::kAvx2);
+  EXPECT_TRUE(ParseSimdTier("avx512", &tier));
+  EXPECT_EQ(tier, SimdTier::kAvx512);
+  EXPECT_TRUE(ParseSimdTier("  avx2\t", &tier));  // surrounding whitespace
+  EXPECT_EQ(tier, SimdTier::kAvx2);
+
+  for (const char* bad :
+       {"", " ", "AVX2", "Scalar", "avx", "avx5", "avx512f", "avx2 extra",
+        "2", "avx-512", "scalaravx2", "av x2"}) {
+    EXPECT_FALSE(ParseSimdTier(bad, &tier)) << "\"" << bad << "\"";
+  }
+  EXPECT_FALSE(ParseSimdTier(nullptr, &tier));
+}
+
+TEST(SimdDispatchParseTest, PrefetchDistanceStrictMatrix) {
+  struct Case {
+    const char* text;
+    bool valid;
+    int value;
+  };
+  const Case cases[] = {
+      {"0", true, 0},
+      {"1", true, 1},
+      {"256", true, 256},
+      {"+64", true, 64},
+      {" 512 ", true, 512},
+      {"1048576", true, kMaxPrefetchRows},
+      // Rejections: the ParsePieThreads contract -- garbage must never be
+      // silently truncated into a number.
+      {"", false, 0},
+      {"   ", false, 0},
+      {"-1", false, 0},
+      {"-0", false, 0},
+      {"0x40", false, 0},
+      {"1e3", false, 0},
+      {"64abc", false, 0},
+      {"abc", false, 0},
+      {"12 34", false, 0},
+      {"3.5", false, 0},
+      {"++4", false, 0},
+      {"1048577", false, 0},                 // above kMaxPrefetchRows
+      {"99999999999999999999", false, 0},    // strtol overflow
+  };
+  for (const Case& c : cases) {
+    bool invalid = false;
+    const int value = ParsePrefetchDistance(c.text, &invalid);
+    EXPECT_EQ(!invalid, c.valid) << "\"" << c.text << "\"";
+    if (c.valid) {
+      EXPECT_EQ(value, c.value) << "\"" << c.text << "\"";
+    }
+  }
+  bool invalid = false;
+  ParsePrefetchDistance(nullptr, &invalid);
+  EXPECT_TRUE(invalid);
+}
+
+// ---------------------------------------------------------------------------
+// Resolution: env override, clamping, invalid-value protocol
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchTest, ForcedTierClampsToBuildAndCpuCeiling) {
+  DispatchStateGuard guard;
+  const SimdTier ceiling = MaxSupportedSimdTier();
+  EXPECT_EQ(SetSimdTierForTest(SimdTier::kScalar), SimdTier::kScalar);
+  const SimdTier avx512 = SetSimdTierForTest(SimdTier::kAvx512);
+  EXPECT_LE(static_cast<int>(avx512), static_cast<int>(ceiling));
+  EXPECT_EQ(avx512, ceiling < SimdTier::kAvx512 ? ceiling
+                                                : SimdTier::kAvx512);
+}
+
+TEST(SimdDispatchTest, EnvOverrideHonoredBelowCeilingAndClampedAbove) {
+  DispatchStateGuard guard;
+  ASSERT_EQ(setenv("PIE_SIMD_TIER", "scalar", 1), 0);
+  simd_internal::g_tier.store(-1, std::memory_order_relaxed);
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+
+  ASSERT_EQ(setenv("PIE_SIMD_TIER", "avx512", 1), 0);
+  simd_internal::g_tier.store(-1, std::memory_order_relaxed);
+  EXPECT_EQ(ActiveSimdTier(), MaxSupportedSimdTier() < SimdTier::kAvx512
+                                  ? MaxSupportedSimdTier()
+                                  : SimdTier::kAvx512);
+  ASSERT_EQ(unsetenv("PIE_SIMD_TIER"), 0);
+  simd_internal::g_tier.store(-1, std::memory_order_relaxed);
+}
+
+TEST(SimdDispatchTest, InvalidEnvValuesWarnOnceCountAndFallBack) {
+#ifdef PIE_METRICS
+  obs::Counter& tier_errors = obs::MetricsRegistry::Global().GetCounter(
+      "pie_config_errors_total",
+      "Invalid configuration values rejected at startup",
+      {{"var", "PIE_SIMD_TIER"}});
+  obs::Counter& dist_errors = obs::MetricsRegistry::Global().GetCounter(
+      "pie_config_errors_total",
+      "Invalid configuration values rejected at startup",
+      {{"var", "PIE_PREFETCH_DIST"}});
+  const uint64_t tier_before = tier_errors.Value();
+  const uint64_t dist_before = dist_errors.Value();
+#endif
+  DispatchStateGuard guard;
+
+  ASSERT_EQ(setenv("PIE_SIMD_TIER", "turbo", 1), 0);
+  simd_internal::g_tier.store(-1, std::memory_order_relaxed);
+  EXPECT_EQ(ActiveSimdTier(), MaxSupportedSimdTier());  // fallback
+  ASSERT_EQ(unsetenv("PIE_SIMD_TIER"), 0);
+
+  ASSERT_EQ(setenv("PIE_PREFETCH_DIST", "-5", 1), 0);
+  simd_internal::g_prefetch.store(-1, std::memory_order_relaxed);
+  EXPECT_EQ(PrefetchDistanceRows(), kPieDefaultPrefetchRows);  // fallback
+  ASSERT_EQ(unsetenv("PIE_PREFETCH_DIST"), 0);
+
+#ifdef PIE_METRICS
+  EXPECT_EQ(tier_errors.Value(), tier_before + 1);
+  EXPECT_EQ(dist_errors.Value(), dist_before + 1);
+#endif
+}
+
+TEST(SimdDispatchTest, ValidPrefetchEnvHonoredIncludingDisable) {
+  DispatchStateGuard guard;
+  ASSERT_EQ(setenv("PIE_PREFETCH_DIST", "0", 1), 0);
+  simd_internal::g_prefetch.store(-1, std::memory_order_relaxed);
+  EXPECT_EQ(PrefetchDistanceRows(), 0);
+  ASSERT_EQ(setenv("PIE_PREFETCH_DIST", "1024", 1), 0);
+  simd_internal::g_prefetch.store(-1, std::memory_order_relaxed);
+  EXPECT_EQ(PrefetchDistanceRows(), 1024);
+  ASSERT_EQ(unsetenv("PIE_PREFETCH_DIST"), 0);
+}
+
+#ifdef PIE_METRICS
+TEST(SimdDispatchTest, TierGaugeTracksEffectiveTier) {
+  DispatchStateGuard guard;
+  obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(
+      "pie_simd_tier",
+      "Effective SIMD execution tier: 0 scalar, 1 avx2, 2 avx512");
+  const SimdTier forced = SetSimdTierForTest(SimdTier::kScalar);
+  EXPECT_EQ(gauge.Value(), static_cast<double>(static_cast<int>(forced)));
+  const SimdTier top = SetSimdTierForTest(SimdTier::kAvx512);
+  EXPECT_EQ(gauge.Value(), static_cast<double>(static_cast<int>(top)));
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Cross-tier bitwise identity on the registry
+// ---------------------------------------------------------------------------
+
+enum class PatternShape { kAllSampled, kNoneSampled, kMixed };
+
+void FillRow(const KernelEntry& entry, const SamplingParams& params,
+             unsigned pattern, Rng& rng, OutcomeBatch* batch) {
+  const int r = params.r();
+  const int i = batch->AppendRow();
+  uint8_t* sampled = batch->sampled_row(i);
+  double* value = batch->value_row(i);
+  double* param = batch->param_row(i);
+  double scale = 10.0;
+  if (entry.spec.scheme == Scheme::kPps) {
+    for (double tau : params.per_entry) scale = std::fmax(scale, tau);
+  }
+  for (int j = 0; j < r; ++j) {
+    param[j] = params.per_entry[static_cast<size_t>(j)];
+    sampled[j] = (pattern >> j) & 1u;
+    if (entry.spec.function == Function::kOr) {
+      value[j] = sampled[j] != 0 ? 1.0 : 0.0;
+    } else {
+      value[j] = sampled[j] != 0 ? rng.UniformDouble(0.0, 1.5 * scale) : 0.0;
+    }
+  }
+  if (entry.spec.scheme == Scheme::kPps) {
+    double* seed = batch->seed_row(i);
+    for (int j = 0; j < r; ++j) seed[j] = rng.UniformDouble();
+  }
+}
+
+void FillPatternBatch(const KernelEntry& entry, const SamplingParams& params,
+                      PatternShape shape, int size, Rng& rng,
+                      OutcomeBatch* batch) {
+  const int r = params.r();
+  batch->Reset(entry.spec.scheme, r);
+  const unsigned all = (1u << r) - 1u;
+  for (int i = 0; i < size; ++i) {
+    unsigned pattern = 0;
+    switch (shape) {
+      case PatternShape::kAllSampled:
+        pattern = all;
+        break;
+      case PatternShape::kNoneSampled:
+        pattern = 0;
+        break;
+      case PatternShape::kMixed:
+        pattern = static_cast<unsigned>(i) % (all + 1u);
+        break;
+    }
+    FillRow(entry, params, pattern, rng, batch);
+  }
+}
+
+TEST(SimdDispatchTest, AllTiersProduceIdenticalBitsRegistryWide) {
+  DispatchStateGuard guard;
+  const SimdTier tiers[] = {SimdTier::kScalar, SimdTier::kAvx2,
+                            SimdTier::kAvx512};
+  struct Case {
+    PatternShape shape;
+    int size;
+  };
+  const Case cases[] = {
+      {PatternShape::kMixed, 700},
+      {PatternShape::kMixed, 257},
+      {PatternShape::kAllSampled, 300},
+      {PatternShape::kNoneSampled, 64},
+  };
+  std::printf("build ceiling: %s tier\n", TierName(MaxSupportedSimdTier()));
+  for (const auto& entry : KernelRegistry::Global().Entries()) {
+    for (const auto& params : entry.example_params) {
+      auto kernel = entry.factory(entry.spec, params);
+      ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+      Rng rng(HashCombine(HashBytes(entry.spec.ToString()),
+                          static_cast<uint64_t>(params.r()) + 131));
+      for (const auto& c : cases) {
+        OutcomeBatch batch;
+        FillPatternBatch(entry, params, c.shape, c.size, rng, &batch);
+        const BatchView view = batch.view();
+        const size_t n = static_cast<size_t>(c.size);
+
+        // Per-row scalar reference: the Estimate path never touches the
+        // partition helpers, so it is tier-invariant by construction.
+        std::vector<double> ref_est(n), ref_second(n);
+        Outcome row;
+        for (int i = 0; i < c.size; ++i) {
+          ExtractRow(view, i, &row);
+          ref_est[static_cast<size_t>(i)] = (*kernel)->Estimate(row);
+          ref_second[static_cast<size_t>(i)] =
+              (*kernel)->EstimateSecondMoment(row);
+        }
+
+        for (SimdTier requested : tiers) {
+          const SimdTier effective = SetSimdTierForTest(requested);
+          std::vector<double> est(n), second(n), fused_est(n), fused_var(n);
+          (*kernel)->EstimateMany(view, est.data());
+          (*kernel)->EstimateSecondMomentMany(view, second.data());
+          (*kernel)->EstimateWithVarianceMany(view, fused_est.data(),
+                                              fused_var.data());
+          for (int i = 0; i < c.size; ++i) {
+            const size_t s = static_cast<size_t>(i);
+            const std::string label =
+                (*kernel)->name() + " tier " + TierName(effective) +
+                " (requested " + TierName(requested) + ") size " +
+                std::to_string(c.size) + " row " + std::to_string(i);
+            ASSERT_TRUE(BitwiseEqual(est[s], ref_est[s])) << label;
+            ASSERT_TRUE(BitwiseEqual(second[s], ref_second[s])) << label;
+            ASSERT_TRUE(BitwiseEqual(fused_est[s], ref_est[s])) << label;
+            ASSERT_TRUE(BitwiseEqual(
+                fused_var[s], ref_est[s] * ref_est[s] - ref_second[s]))
+                << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, PrefetchDistanceNeverChangesBits) {
+  DispatchStateGuard guard;
+  auto kernel = EstimationEngine::Global()
+                    .Kernel({Function::kMax, Scheme::kPps,
+                             Regime::kKnownSeeds, Family::kL},
+                            SamplingParams({10.0, 8.0}))
+                    .value();
+  Rng rng(137);
+  OutcomeBatch batch;
+  batch.Reset(Scheme::kPps, 2);
+  std::vector<double> values(2);
+  for (int i = 0; i < 1500; ++i) {
+    values[0] = rng.UniformDouble(0.0, 12.0);
+    values[1] = rng.UniformDouble(0.0, 12.0);
+    batch.Append(SamplePps(values, {10.0, 8.0}, rng));
+  }
+  const BatchView view = batch.view();
+  std::vector<double> baseline(1500), probe(1500);
+  SetPrefetchDistanceForTest(0);  // disabled
+  kernel->EstimateMany(view, baseline.data());
+  for (int dist : {1, 256, kMaxPrefetchRows}) {
+    SetPrefetchDistanceForTest(dist);
+    kernel->EstimateMany(view, probe.data());
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_TRUE(BitwiseEqual(probe[static_cast<size_t>(i)],
+                               baseline[static_cast<size_t>(i)]))
+          << "dist " << dist << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pie
