@@ -1,0 +1,132 @@
+// Persistence microbenchmarks: checkpoint write throughput, recovery
+// throughput, and the raw encode/decode + CRC32C floors underneath them.
+// CI's bench-smoke extracts BM_PersistCheckpoint / BM_PersistRecover
+// bytes_per_second into BENCH_persist.json as checkpoint_mb_per_s /
+// recover_mb_per_s.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "persist/checkpoint.h"
+#include "persist/format.h"
+#include "persist/wire.h"
+#include "store/sketch_store.h"
+#include "util/random.h"
+
+namespace pie {
+namespace {
+
+/// A store whose checkpoint is a few MB: tau 1.0 keeps every distinct key
+/// sampled, so size scales with the key count, not luck.
+std::unique_ptr<SketchStore> BuildStore(int num_keys) {
+  SketchStoreOptions options;
+  options.num_shards = 8;
+  options.default_tau = 1.0;
+  options.salt = 99;
+  auto store = std::make_unique<SketchStore>(options);
+  Rng rng(1);
+  for (int i = 0; i < num_keys; ++i) {
+    const uint64_t key = 1 + rng.NextU64() % (1u << 30);
+    store->Update(0, key, 1.0 + static_cast<double>(rng.UniformInt(100)));
+    if ((i & 1) != 0) store->Update(1, key, 2.0);
+  }
+  return store;
+}
+
+uint64_t CheckpointBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+// Full checkpoint path: encode every shard + manifest, write each file
+// atomically (tmp + fsync + rename), fsync the directory.
+void BM_PersistCheckpoint(benchmark::State& state) {
+  const auto store = BuildStore(static_cast<int>(state.range(0)));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pie_perf_checkpoint")
+          .string();
+  std::filesystem::remove_all(dir);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Checkpoint(dir).ok());
+    state.PauseTiming();
+    bytes = CheckpointBytes(dir);  // one generation's footprint
+    std::filesystem::remove_all(dir);  // keep the dir single-generation
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PersistCheckpoint)->Arg(1 << 14)->Arg(1 << 17);
+
+// Full recovery path: manifest scan, per-file CRC verification, decode,
+// sketch reconstruction (index + heap rebuild).
+void BM_PersistRecover(benchmark::State& state) {
+  const auto store = BuildStore(static_cast<int>(state.range(0)));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pie_perf_recover").string();
+  std::filesystem::remove_all(dir);
+  if (!store->Checkpoint(dir).ok()) {
+    state.SkipWithError("checkpoint failed");
+    return;
+  }
+  const uint64_t bytes = CheckpointBytes(dir);
+  for (auto _ : state) {
+    auto recovered = SketchStore::Recover(dir);
+    benchmark::DoNotOptimize(recovered.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PersistRecover)->Arg(1 << 14)->Arg(1 << 17);
+
+// Encode/decode floors without the filesystem: where the CPU goes when
+// the device is fast.
+void BM_PersistEncodeShard(benchmark::State& state) {
+  const auto store = BuildStore(1 << 16);
+  const auto snapshot = store->Snapshot();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string file =
+        persist::EncodeShardFile(0, 0, 8, snapshot->Shard(0).sketches());
+    bytes = file.size();
+    benchmark::DoNotOptimize(file.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_PersistEncodeShard);
+
+void BM_PersistDecodeShard(benchmark::State& state) {
+  const auto store = BuildStore(1 << 16);
+  const std::string file =
+      persist::EncodeShardFile(0, 0, 8, store->Snapshot()->Shard(0).sketches());
+  for (auto _ : state) {
+    auto decoded = persist::DecodeShardFile(file);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(file.size()));
+}
+BENCHMARK(BM_PersistDecodeShard);
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(persist::Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32c)->Arg(1 << 12)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace pie
+
+BENCHMARK_MAIN();

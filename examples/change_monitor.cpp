@@ -13,13 +13,21 @@
 // fixed-size summaries.
 //
 // Build & run:  ./build/examples/change_monitor
+//
+// With --checkpoint-dir=DIR (or PIE_CHECKPOINT_DIR set) the collector
+// also checkpoints its store after ingest and proves a restarted
+// collector recovers it, re-answering the L1 churn query bitwise.
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "aggregate/sketch.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "persist/checkpoint.h"
 #include "sampling/bottomk.h"
 #include "sampling/varopt.h"
 #include "store/query_service.h"
@@ -28,7 +36,16 @@
 #include "util/random.h"
 #include "workload/traffic.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string requested_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      requested_dir = argv[i] + 17;
+    }
+  }
+  const std::string checkpoint_dir =
+      pie::persist::ResolveCheckpointDir(requested_dir);
+
   pie::TrafficParams params;
   params.keys_per_instance = 5000;
   params.distinct_total = 8000;
@@ -121,6 +138,22 @@ int main() {
                   max_auto->interval.estimate,
                   max_auto->interval.hi - max_auto->interval.estimate);
     }
+  }
+
+  // Collector restart drill, when configured: checkpoint, recover, and
+  // require the recovered store's churn answer to be the identical bits.
+  if (!checkpoint_dir.empty()) {
+    PIE_CHECK_OK(store.Checkpoint(checkpoint_dir));
+    auto recovered = pie::SketchStore::Recover(checkpoint_dir);
+    PIE_CHECK_OK(recovered.status());
+    pie::QueryService replay((*recovered)->Snapshot());
+    const auto replayed = replay.L1Distance(0, 1);
+    PIE_CHECK_OK(replayed.status());
+    PIE_CHECK(std::bit_cast<uint64_t>(replayed->estimate) ==
+              std::bit_cast<uint64_t>(l1_est->estimate));
+    std::printf("\ncheckpointed to %s; recovered collector reproduces the "
+                "churn estimate bitwise (%.0f)\n",
+                checkpoint_dir.c_str(), replayed->estimate);
   }
 
   pie::obs::PrintCompactStats(stdout, ingest_seconds);

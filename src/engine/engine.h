@@ -221,4 +221,13 @@ class EstimationEngine {
   std::map<CacheKey, KernelHandle, CacheKeyLess> cache_;
 };
 
+/// The estimator-versioning tier this binary evaluates with: 0 is the
+/// default scalar-libm log tier, 1 is the PIE_FAST_LOG vectorizable
+/// polynomial tier (bitwise-deterministic but intentionally NOT
+/// bit-identical to tier 0 on the eq 29/30 log-regime lanes; see
+/// core/fast_log.h). Persisted checkpoints record this tag in their
+/// headers so a recovered sketch's provenance states which estimator bits
+/// produced -- and will reproduce -- its query answers.
+uint32_t EstimatorTierTag();
+
 }  // namespace pie

@@ -51,6 +51,18 @@ std::string FormatRate(double per_second) {
   return buf;
 }
 
+std::string FormatBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1 << 20) {
+    std::snprintf(buf, sizeof buf, "%.1fMiB", bytes / (1 << 20));
+  } else if (bytes >= 1 << 10) {
+    std::snprintf(buf, sizeof buf, "%.1fKiB", bytes / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", bytes);
+  }
+  return buf;
+}
+
 }  // namespace
 
 void PrintCompactStats(std::FILE* out, double ingest_seconds) {
@@ -117,6 +129,20 @@ void PrintCompactStats(std::FILE* out, double ingest_seconds) {
   if (regions > 0) {
     std::fprintf(out, "   pool:     %.0f parallel regions, %.0f tasks\n",
                  regions, tasks);
+  }
+
+  // Only printed when a checkpoint directory is active (this process wrote
+  // at least one checkpoint, so the size gauge is nonzero).
+  const MetricValue* ckpt_bytes =
+      snapshot.Find("pie_persist_checkpoint_bytes", {});
+  if (ckpt_bytes != nullptr && ckpt_bytes->value > 0) {
+    const MetricValue* age =
+        snapshot.Find("pie_persist_checkpoint_age_seconds", {});
+    std::fprintf(out, "   persist:  last checkpoint %s, age %s\n",
+                 FormatBytes(ckpt_bytes->value).c_str(),
+                 age != nullptr && age->value >= 0
+                     ? FormatSeconds(age->value).c_str()
+                     : "n/a");
   }
 }
 

@@ -1,0 +1,378 @@
+#include "persist/checkpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/hashing.h"
+
+namespace pie::persist {
+
+namespace {
+
+/// Persistence instrumentation, registered eagerly on first touch. The
+/// checkpoint_bytes gauge tracks the size of the last checkpoint this
+/// process wrote; the age gauge is evaluated lazily at dump time.
+struct PersistMetrics {
+  obs::Histogram& checkpoint_seconds;
+  obs::Histogram& recover_seconds;
+  obs::Counter& bytes_written;
+  obs::Counter& crc_failures;
+  obs::Gauge& checkpoint_bytes;
+  std::atomic<int64_t> last_checkpoint_ns{0};
+
+  static PersistMetrics& Get() {
+    static PersistMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new PersistMetrics{
+          reg.GetHistogram("pie_persist_checkpoint_seconds",
+                           "Wall time of one full checkpoint write",
+                           obs::LatencyBuckets()),
+          reg.GetHistogram("pie_persist_recover_seconds",
+                           "Wall time of one checkpoint recovery",
+                           obs::LatencyBuckets()),
+          reg.GetCounter("pie_persist_bytes_written_total",
+                         "Checkpoint bytes written (shard files + manifests)"),
+          reg.GetCounter("pie_persist_crc_failures_total",
+                         "Checkpoint files rejected during recovery "
+                         "(missing, truncated, or corrupt)"),
+          reg.GetGauge("pie_persist_checkpoint_bytes",
+                       "Size of the last checkpoint written by this process"),
+          {}};
+      reg.RegisterCallbackGauge(
+          "pie_persist_checkpoint_age_seconds",
+          "Seconds since this process last wrote a checkpoint (-1 = never)",
+          [metrics] {
+            const int64_t last =
+                metrics->last_checkpoint_ns.load(std::memory_order_relaxed);
+            if (last == 0) return -1.0;
+            return static_cast<double>(obs::MonotonicNowNs() - last) * 1e-9;
+          });
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+uint64_t InstanceSaltFromOptions(const SketchStoreOptions& options,
+                                 int instance) {
+  // Mirrors SketchStore::InstanceSalt (sketch_store.cc) -- validated
+  // against recovered sketch headers so a Merge can never trip on a
+  // salt mismatch.
+  if (options.coordinated) return options.salt;
+  return HashCombine(options.salt, static_cast<uint64_t>(instance));
+}
+
+double TauFromOptions(const SketchStoreOptions& options, int instance) {
+  auto it = options.instance_tau.find(instance);
+  return it != options.instance_tau.end() ? it->second : options.default_tau;
+}
+
+/// Options equality for merge: bitwise on the doubles, since merged
+/// sketches must share the exact tau/salt the PIE_CHECKs in Merge expect.
+bool SameStoreOptions(const SketchStoreOptions& a,
+                      const SketchStoreOptions& b) {
+  if (a.num_shards != b.num_shards || a.salt != b.salt ||
+      a.coordinated != b.coordinated ||
+      std::bit_cast<uint64_t>(a.default_tau) !=
+          std::bit_cast<uint64_t>(b.default_tau) ||
+      a.instance_tau.size() != b.instance_tau.size()) {
+    return false;
+  }
+  auto ita = a.instance_tau.begin();
+  auto itb = b.instance_tau.begin();
+  for (; ita != a.instance_tau.end(); ++ita, ++itb) {
+    if (ita->first != itb->first ||
+        std::bit_cast<uint64_t>(ita->second) !=
+            std::bit_cast<uint64_t>(itb->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Loads and fully verifies generation `seq` of `dir`: manifest decode,
+/// per-shard byte accounting (size + whole-file CRC against the
+/// manifest), shard decode, and per-sketch configuration checks against
+/// the manifest's store options.
+Result<LoadedCheckpoint> LoadGeneration(const std::string& dir,
+                                        uint64_t seq) {
+  auto manifest_bytes = ReadFileBytes(dir + "/" + ManifestFileName(seq));
+  if (!manifest_bytes.ok()) return manifest_bytes.status();
+  auto manifest = DecodeManifest(*manifest_bytes);
+  if (!manifest.ok()) return manifest.status();
+
+  LoadedCheckpoint out;
+  out.manifest = std::move(manifest).value();
+  const int num_shards = out.manifest.options.num_shards;
+  out.shards.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    const std::string path =
+        dir + "/" + ShardFileName(seq, static_cast<uint32_t>(s));
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) return bytes.status();
+    const ManifestShardEntry& entry =
+        out.manifest.shards[static_cast<size_t>(s)];
+    if (bytes->size() != entry.file_size ||
+        Crc32c(bytes->data(), bytes->size()) != entry.file_crc) {
+      return Status::DataLoss("persist: " + path +
+                              " disagrees with its manifest entry");
+    }
+    auto shard = DecodeShardFile(*bytes);
+    if (!shard.ok()) return shard.status();
+    if (shard->shard_index != static_cast<uint32_t>(s) ||
+        shard->num_shards != static_cast<uint32_t>(num_shards) ||
+        shard->tier_tag != out.manifest.tier_tag) {
+      return Status::DataLoss("persist: " + path +
+                              " header disagrees with its manifest");
+    }
+    for (const auto& [instance, sketch] : shard->sketches) {
+      if (std::bit_cast<uint64_t>(sketch.tau()) !=
+              std::bit_cast<uint64_t>(
+                  TauFromOptions(out.manifest.options, instance)) ||
+          sketch.salt() !=
+              InstanceSaltFromOptions(out.manifest.options, instance)) {
+        return Status::DataLoss(
+            "persist: " + path +
+            " sketch configuration disagrees with the manifest options");
+      }
+    }
+    out.shards.push_back(std::move(shard).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckpointOptions::CheckpointOptions() : tier_tag(EstimatorTierTag()) {}
+
+std::vector<uint64_t> ListManifestSeqs(const std::string& dir) {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return seqs;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    // MANIFEST-%016x.pie: fixed width, hex digits only.
+    constexpr size_t kLen = 9 + 16 + 4;
+    if (name.size() != kLen || name.rfind("MANIFEST-", 0) != 0 ||
+        name.compare(kLen - 4, 4, ".pie") != 0) {
+      continue;
+    }
+    uint64_t seq = 0;
+    bool valid = true;
+    for (size_t i = 9; i < 9 + 16; ++i) {
+      const char c = name[i];
+      uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a') + 10;
+      } else {
+        valid = false;
+        break;
+      }
+      seq = (seq << 4) | digit;
+    }
+    if (valid) seqs.push_back(seq);
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  return seqs;
+}
+
+Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
+                       const CheckpointOptions& options) {
+  PersistMetrics& metrics = PersistMetrics::Get();
+  obs::ScopedSpan span("persist/checkpoint");
+  obs::ScopedTimer timer(metrics.checkpoint_seconds);
+  PIE_RETURN_IF_ERROR(EnsureDirectory(dir));
+  const std::vector<uint64_t> existing = ListManifestSeqs(dir);
+  const uint64_t seq = existing.empty() ? 1 : existing.front() + 1;
+
+  Manifest manifest;
+  manifest.seq = seq;
+  manifest.tier_tag = options.tier_tag;
+  manifest.options = snapshot.options();
+  uint64_t total_bytes = 0;
+  for (int s = 0; s < snapshot.num_shards(); ++s) {
+    const std::string bytes =
+        EncodeShardFile(options.tier_tag, static_cast<uint32_t>(s),
+                        static_cast<uint32_t>(snapshot.num_shards()),
+                        snapshot.Shard(s).sketches());
+    PIE_RETURN_IF_ERROR(WriteFileAtomic(
+        dir, ShardFileName(seq, static_cast<uint32_t>(s)), bytes));
+    manifest.shards.push_back(
+        {bytes.size(), Crc32c(bytes.data(), bytes.size())});
+    total_bytes += bytes.size();
+  }
+  // The commit point: recovery only sees the generation once the manifest
+  // -- written after every shard file is durable -- decodes clean.
+  const std::string manifest_bytes = EncodeManifest(manifest);
+  PIE_RETURN_IF_ERROR(
+      WriteFileAtomic(dir, ManifestFileName(seq), manifest_bytes));
+  total_bytes += manifest_bytes.size();
+  metrics.bytes_written.Add(total_bytes);
+  metrics.checkpoint_bytes.Set(static_cast<double>(total_bytes));
+  metrics.last_checkpoint_ns.store(obs::MonotonicNowNs(),
+                                   std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  PersistMetrics& metrics = PersistMetrics::Get();
+  const std::vector<uint64_t> seqs = ListManifestSeqs(dir);
+  if (seqs.empty()) {
+    return Status::NotFound("persist: no checkpoint manifest in " + dir);
+  }
+  std::string newest_error;
+  for (const uint64_t seq : seqs) {
+    auto loaded = LoadGeneration(dir, seq);
+    if (loaded.ok()) return loaded;
+    // Fall back to the next older generation: this one is torn or corrupt.
+    metrics.crc_failures.Increment();
+    if (newest_error.empty()) newest_error = loaded.status().ToString();
+  }
+  return Status::DataLoss("persist: no complete checkpoint generation in " +
+                          dir + " (newest: " + newest_error + ")");
+}
+
+std::string ParsePieCheckpointDir(const char* text, bool* invalid) {
+  *invalid = true;
+  if (text == nullptr) return "";
+  const size_t len = std::strlen(text);
+  if (len == 0 || len > kMaxCheckpointDirLength) return "";
+  for (size_t i = 0; i < len; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x20 || c == 0x7f) return "";  // control characters
+  }
+  // Strict: no surrounding whitespace (a copy-pasted trailing space would
+  // otherwise silently create a different directory).
+  if (std::isspace(static_cast<unsigned char>(text[0])) ||
+      std::isspace(static_cast<unsigned char>(text[len - 1]))) {
+    return "";
+  }
+  std::string dir(text, len);
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  *invalid = false;
+  return dir;
+}
+
+std::string ResolveCheckpointDir(const std::string& requested) {
+  if (!requested.empty()) return requested;
+  static const std::string from_env = [] {
+    const char* env = std::getenv("PIE_CHECKPOINT_DIR");
+    if (env == nullptr) return std::string();
+    bool invalid = false;
+    std::string dir = ParsePieCheckpointDir(env, &invalid);
+    if (!invalid) return dir;
+    obs::MetricsRegistry::Global()
+        .GetCounter("pie_config_errors_total",
+                    "Invalid configuration values rejected at startup",
+                    {{"var", "PIE_CHECKPOINT_DIR"}})
+        .Increment();
+    std::fprintf(stderr,
+                 "pie: ignoring invalid PIE_CHECKPOINT_DIR=\"%s\" (expected "
+                 "a plain path, no surrounding whitespace or control "
+                 "characters, at most %zu chars); checkpointing disabled\n",
+                 env, kMaxCheckpointDirLength);
+    return std::string();
+  }();
+  return from_env;
+}
+
+}  // namespace pie::persist
+
+namespace pie {
+
+Status SketchStore::Checkpoint(const std::string& dir) const {
+  return persist::WriteCheckpoint(*Snapshot(), dir);
+}
+
+Result<std::unique_ptr<SketchStore>> SketchStore::Recover(
+    const std::string& dir) {
+  obs::ScopedSpan span("persist/recover");
+  obs::ScopedTimer timer(persist::PersistMetrics::Get().recover_seconds);
+  auto loaded = persist::LoadLatestCheckpoint(dir);
+  if (!loaded.ok()) return loaded.status();
+  persist::LoadedCheckpoint checkpoint = std::move(loaded).value();
+
+  auto store = std::make_unique<SketchStore>(checkpoint.manifest.options);
+  for (size_t s = 0; s < checkpoint.shards.size(); ++s) {
+    Shard& shard = store->shards_[s];
+    uint64_t updates = 0;
+    for (auto& [instance, sketch] : checkpoint.shards[s].sketches) {
+      updates += sketch.num_updates();
+      shard.live.emplace(instance, std::move(sketch));
+    }
+    // Seed the shard version with the absorbed-update count so snapshot
+    // version tags keep advancing monotonically from recovered state.
+    shard.version.store(updates, std::memory_order_release);
+  }
+  return store;
+}
+
+Result<std::unique_ptr<SketchStore>> SketchStore::MergeCheckpoints(
+    const std::vector<std::string>& dirs) {
+  obs::ScopedSpan span("persist/merge");
+  if (dirs.empty()) {
+    return Status::InvalidArgument(
+        "persist: no checkpoint directories to merge");
+  }
+  std::vector<persist::LoadedCheckpoint> loaded;
+  loaded.reserve(dirs.size());
+  for (const std::string& dir : dirs) {
+    auto one = persist::LoadLatestCheckpoint(dir);
+    if (!one.ok()) return one.status();
+    loaded.push_back(std::move(one).value());
+  }
+  for (size_t i = 1; i < loaded.size(); ++i) {
+    if (!persist::SameStoreOptions(loaded[0].manifest.options,
+                                   loaded[i].manifest.options)) {
+      return Status::InvalidArgument(
+          "persist: checkpoint store options differ between " + dirs[0] +
+          " and " + dirs[i]);
+    }
+    if (loaded[i].manifest.tier_tag != loaded[0].manifest.tier_tag) {
+      return Status::InvalidArgument(
+          "persist: mixing estimator tiers across checkpoints (" + dirs[0] +
+          " vs " + dirs[i] + ")");
+    }
+  }
+
+  auto store = std::make_unique<SketchStore>(loaded[0].manifest.options);
+  // Directory order IS the logical stream order: folding each directory's
+  // per-(shard, instance) sketch in sequence reproduces the entry arrival
+  // order of a single process that ingested dirs[0]'s records, then
+  // dirs[1]'s, ... -- which is what makes merged query answers bitwise
+  // identical to a single-process build.
+  for (size_t d = 0; d < loaded.size(); ++d) {
+    for (size_t s = 0; s < loaded[d].shards.size(); ++s) {
+      Shard& shard = store->shards_[s];
+      uint64_t updates = 0;
+      for (auto& [instance, sketch] : loaded[d].shards[s].sketches) {
+        updates += sketch.num_updates();
+        auto it = shard.live.find(instance);
+        if (it == shard.live.end()) {
+          shard.live.emplace(instance, std::move(sketch));
+        } else {
+          it->second.Merge(sketch);
+        }
+      }
+      shard.version.fetch_add(updates, std::memory_order_release);
+    }
+  }
+  return store;
+}
+
+}  // namespace pie

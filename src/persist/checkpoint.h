@@ -1,0 +1,90 @@
+// Checkpoint orchestration: generation-based crash-safe snapshots of a
+// SketchStore, recovery with torn-write fallback, and cross-process merge.
+//
+// A checkpoint *generation* is one manifest plus one file per shard, all
+// named by the generation sequence number. Writing order is the crash
+// defense: every shard file lands atomically (persist/wire.h) before the
+// manifest -- which records each shard file's exact size and CRC32C -- is
+// written, also atomically, as the commit point. A generation without a
+// decodable manifest, or whose shard files disagree with the manifest's
+// byte-accounting, is invisible to recovery; older complete generations in
+// the same directory remain as fallbacks and are never deleted here.
+//
+// Recovery therefore scans manifests newest-first and returns the first
+// generation whose every file verifies byte-for-byte. This is exercised
+// by the torn-write tests: truncating or bit-flipping any file of the
+// newest generation makes recovery land on the previous one.
+//
+// Merge (SketchStore::MergeCheckpoints) is the distributed path: N
+// processes each ingest a disjoint slice of a stream and checkpoint to
+// their own directory; merging folds per-(shard, instance) sketches in
+// directory order, which reproduces -- bitwise, entry order included --
+// the store a single process would have built over the concatenated
+// slices (both samplers are exactly mergeable and the store's record
+// model is pre-aggregated per key). The determinism gate in
+// tests/persist_determinism_test.cc asserts bitwise-identical
+// QueryService answers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/format.h"
+#include "store/sketch_store.h"
+#include "util/status.h"
+
+namespace pie::persist {
+
+/// Per-checkpoint knobs. Defaults are right for production; tests override.
+struct CheckpointOptions {
+  /// Estimator tier recorded in every file header (provenance: which
+  /// estimator bits produced this store's query answers). Defaults to the
+  /// writing binary's EstimatorTierTag(); the format-pinning golden test
+  /// overrides it so pinned bytes are identical in every build config.
+  uint32_t tier_tag;
+
+  CheckpointOptions();
+};
+
+/// Writes `snapshot` into `dir` as one new generation: shard files first
+/// (each atomic), manifest last. The workhorse behind
+/// SketchStore::Checkpoint, also used directly by pie_storectl and by
+/// tests that checkpoint a snapshot they already hold.
+Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
+                       const CheckpointOptions& options = CheckpointOptions());
+
+/// One fully verified checkpoint generation, decoded.
+struct LoadedCheckpoint {
+  Manifest manifest;
+  std::vector<ShardFileData> shards;  // index == shard index
+};
+
+/// Loads the newest complete generation in `dir`, skipping generations
+/// with missing/truncated/corrupt files (each skip is counted in
+/// pie_persist_crc_failures_total). NotFound when `dir` has no manifests;
+/// DataLoss when none of them yields a complete generation.
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir);
+
+/// Manifest sequence numbers present in `dir`, newest first.
+std::vector<uint64_t> ListManifestSeqs(const std::string& dir);
+
+/// Strict parse of a PIE_CHECKPOINT_DIR-style value, mirroring
+/// ParsePieThreads: rejects (sets *invalid, returns "") null, empty or
+/// whitespace-only text, leading/trailing whitespace, control characters,
+/// and paths longer than kMaxCheckpointDirLength; trailing '/' characters
+/// are stripped (the root path "/" is kept). Exposed for unit tests;
+/// production callers go through ResolveCheckpointDir.
+inline constexpr size_t kMaxCheckpointDirLength = 4096;
+std::string ParsePieCheckpointDir(const char* text, bool* invalid);
+
+/// Resolves the effective checkpoint directory: a nonempty `requested`
+/// (e.g. a --checkpoint-dir flag) wins; otherwise the PIE_CHECKPOINT_DIR
+/// environment variable, strictly validated and read once -- an invalid
+/// value is rejected with a one-time stderr warning and counted via
+/// pie_config_errors_total{var="PIE_CHECKPOINT_DIR"}. Empty result means
+/// checkpointing is not configured.
+std::string ResolveCheckpointDir(const std::string& requested);
+
+}  // namespace pie::persist

@@ -1,0 +1,225 @@
+#include "persist/wire.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace pie::persist {
+
+// The slab encoders memcpy whole u64/f64 arrays; that is only the wire
+// (little-endian) byte order on a little-endian host. Every supported
+// target (x86_64, aarch64) is little-endian; a big-endian port would swap
+// in the primitive encoders below.
+static_assert(std::endian::native == std::endian::little,
+              "pie_persist wire encoding assumes a little-endian host");
+
+namespace {
+
+/// Slice-by-8 CRC32C tables, built once: table[0] is the classic byte
+/// table for the reflected Castagnoli polynomial, table[k] extends it by k
+/// zero bytes.
+struct Crc32cTables {
+  uint32_t t[8][256];
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const Crc32cTables& tb = Tables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // low 4 bytes absorb the running crc
+    crc = tb.t[7][word & 0xff] ^ tb.t[6][(word >> 8) & 0xff] ^
+          tb.t[5][(word >> 16) & 0xff] ^ tb.t[4][(word >> 24) & 0xff] ^
+          tb.t[3][(word >> 32) & 0xff] ^ tb.t[2][(word >> 40) & 0xff] ^
+          tb.t[1][(word >> 48) & 0xff] ^ tb.t[0][word >> 56];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void WireWriter::U32(uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  buf_.append(bytes, 4);
+}
+
+void WireWriter::U64(uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  buf_.append(bytes, 8);
+}
+
+void WireWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void WireWriter::Bytes(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+uint32_t WireWriter::CrcSince(size_t from) const {
+  return Crc32c(buf_.data() + from, buf_.size() - from);
+}
+
+bool WireReader::Take(void* out, size_t n) {
+  if (failed_ || data_.size() - off_ < n) {
+    failed_ = true;
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_.data() + off_, n);
+  off_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) { return Take(v, 1); }
+bool WireReader::U32(uint32_t* v) { return Take(v, 4); }
+bool WireReader::U64(uint64_t* v) { return Take(v, 8); }
+
+bool WireReader::I32(int32_t* v) {
+  uint32_t raw = 0;
+  const bool ok = U32(&raw);
+  *v = static_cast<int32_t>(raw);
+  return ok;
+}
+
+bool WireReader::F64(double* v) {
+  uint64_t raw = 0;
+  const bool ok = U64(&raw);
+  *v = std::bit_cast<double>(raw);
+  return ok;
+}
+
+bool WireReader::Bytes(void* out, size_t n) { return Take(out, n); }
+
+bool WireReader::Skip(size_t n) {
+  if (failed_ || data_.size() - off_ < n) {
+    failed_ = true;
+    return false;
+  }
+  off_ += n;
+  return true;
+}
+
+uint32_t WireReader::CrcOver(size_t from) const {
+  if (failed_ || from > off_) return 0;
+  return Crc32c(data_.data() + from, off_ - from);
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::NotFound("persist: cannot open " + path);
+  }
+  std::string bytes;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) return Status::Internal("persist: cannot stat " + path);
+  bytes.resize(static_cast<size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!in.good() && !bytes.empty()) {
+    return Status::Internal("persist: short read of " + path);
+  }
+  return bytes;
+}
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal("persist: " + what + ": " +
+                          std::strerror(errno));
+}
+
+/// fsync on a directory, so a completed rename is durable before we write
+/// anything that refers to the renamed file (manifest-last protocol).
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir " + dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       std::string_view payload) {
+  const std::string tmp_path = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + tmp_path);
+  size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written,
+                              payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return Errno("write " + tmp_path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Errno("fsync " + tmp_path);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Errno("close " + tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Errno("rename " + tmp_path + " -> " + final_path);
+  }
+  return SyncDirectory(dir);
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("persist: mkdir " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace pie::persist

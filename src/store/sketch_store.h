@@ -32,10 +32,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "store/streaming_sketch.h"
 #include "util/hashing.h"
+#include "util/status.h"
 
 namespace pie {
 
@@ -124,6 +126,32 @@ class SketchStore {
   /// each shard's published copy lock-free when the shard is unchanged;
   /// otherwise briefly takes that shard's mutex to copy and republish.
   std::shared_ptr<const StoreSnapshot> Snapshot() const;
+
+  // Persistence (defined in persist/checkpoint.cc; callers link
+  // pie_persist). Wire format and crash-safety protocol: persist/format.h.
+
+  /// Writes a snapshot of the store into `dir` as one new checkpoint
+  /// generation: per-shard files first (each written atomically), manifest
+  /// last -- so a crash mid-checkpoint can never make a partial generation
+  /// look complete. Prior generations in `dir` are left in place as
+  /// recovery fallbacks.
+  Status Checkpoint(const std::string& dir) const;
+
+  /// Reloads the newest fully intact checkpoint generation in `dir`,
+  /// byte-validating every file; generations with missing, truncated, or
+  /// corrupt files (CRC mismatch) are skipped in favor of the next older
+  /// one. DataLoss when no complete generation survives, NotFound when the
+  /// directory holds no manifest at all.
+  static Result<std::unique_ptr<SketchStore>> Recover(const std::string& dir);
+
+  /// Combines the newest intact generation from each directory into one
+  /// store, exactly as if every process's records had been fed to a single
+  /// store: per-(shard, instance) sketches are merged in directory order,
+  /// so queries against the result are bitwise identical to a
+  /// single-process build over the concatenated streams (dirs' stores must
+  /// share identical SketchStoreOptions). See tests/persist_determinism_test.cc.
+  static Result<std::unique_ptr<SketchStore>> MergeCheckpoints(
+      const std::vector<std::string>& dirs);
 
  private:
   struct alignas(64) Shard {

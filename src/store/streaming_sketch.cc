@@ -12,6 +12,22 @@ StreamingPpsSketch::StreamingPpsSketch(double tau, uint64_t salt)
   PIE_CHECK(tau > 0 && std::isfinite(tau));
 }
 
+StreamingPpsSketch StreamingPpsSketch::FromParts(
+    double tau, uint64_t salt, std::vector<WeightedItem> entries,
+    uint64_t num_updates) {
+  StreamingPpsSketch sketch(tau, salt);
+  sketch.index_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    PIE_CHECK(entries[i].weight >= sketch.seed_fn_(entries[i].key) * tau &&
+              "entry violates the PPS inclusion invariant");
+    const bool inserted = sketch.index_.emplace(entries[i].key, i).second;
+    PIE_CHECK(inserted && "duplicate key in persisted entries");
+  }
+  sketch.entries_ = std::move(entries);
+  sketch.num_updates_ = num_updates;
+  return sketch;
+}
+
 void StreamingPpsSketch::Merge(const StreamingPpsSketch& other) {
   PIE_CHECK(other.tau_ == tau_);
   PIE_CHECK(other.salt() == salt());
@@ -43,6 +59,24 @@ StreamingBottomkSketch::StreamingBottomkSketch(int k, RankFamily family,
                                                uint64_t salt)
     : k_(k), family_(family), seed_fn_(salt) {
   PIE_CHECK(k > 0);
+}
+
+StreamingBottomkSketch StreamingBottomkSketch::FromParts(
+    int k, RankFamily family, uint64_t salt,
+    std::vector<BottomKSketch::Entry> slots, uint64_t num_updates) {
+  StreamingBottomkSketch sketch(k, family, salt);
+  PIE_CHECK(static_cast<int>(slots.size()) <= k + 1);
+  auto by_rank = [](const BottomKSketch::Entry& a,
+                    const BottomKSketch::Entry& b) { return a.rank < b.rank; };
+  PIE_CHECK(std::is_heap(slots.begin(), slots.end(), by_rank));
+  for (const auto& slot : slots) {
+    PIE_CHECK(slot.rank == RankValue(family, slot.weight, sketch.seed_fn_(
+                                                              slot.key)) &&
+              "persisted rank disagrees with its (key, weight, salt)");
+  }
+  sketch.heap_ = std::move(slots);
+  sketch.num_updates_ = num_updates;
+  return sketch;
 }
 
 void StreamingBottomkSketch::Push(const BottomKSketch::Entry& entry) {

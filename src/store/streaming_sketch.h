@@ -43,6 +43,17 @@ class StreamingPpsSketch {
  public:
   StreamingPpsSketch(double tau, uint64_t salt);
 
+  /// Rebuilds a sketch from persisted state (persist/format.cc): the
+  /// entries land in `entries_` in the given order -- which a round-trip
+  /// makes the original arrival order, keeping serialization bitwise --
+  /// and the key index is rebuilt. Keys must be distinct; every weight
+  /// must satisfy the inclusion invariant weight >= seed(key) * tau
+  /// (callers validate untrusted input *before* this, returning a typed
+  /// error; here violations are programming errors and PIE_CHECK).
+  static StreamingPpsSketch FromParts(double tau, uint64_t salt,
+                                      std::vector<WeightedItem> entries,
+                                      uint64_t num_updates);
+
   /// Offers one (key, weight) record. Nonpositive weights are never
   /// sampled (sparse representation) but still count toward num_updates().
   void Update(uint64_t key, double weight) {
@@ -125,6 +136,16 @@ class StreamingBottomkSketch {
  public:
   StreamingBottomkSketch(int k, RankFamily family, uint64_t salt);
 
+  /// Rebuilds a sketch from persisted state (persist/format.cc): `slots`
+  /// must already be a max-heap by rank of at most k+1 entries whose ranks
+  /// equal RankValue(family, weight, seed(key)) -- the wire format stores
+  /// only (key, weight) and recomputes ranks on load, so a round-trip is
+  /// bitwise (callers validate untrusted input before this; violations
+  /// here are programming errors and PIE_CHECK).
+  static StreamingBottomkSketch FromParts(
+      int k, RankFamily family, uint64_t salt,
+      std::vector<BottomKSketch::Entry> slots, uint64_t num_updates);
+
   /// Offers one (key, weight) record. Keys must be distinct across the
   /// stream (pre-aggregated records); zero weights rank at +infinity and
   /// are never retained.
@@ -138,6 +159,11 @@ class StreamingBottomkSketch {
   RankFamily family() const { return family_; }
   uint64_t salt() const { return seed_fn_.salt(); }
   uint64_t num_updates() const { return num_updates_; }
+
+  /// The raw retained slots (the k+1 smallest-ranked items, in heap
+  /// order) -- what persistence serializes so a reloaded sketch keeps
+  /// absorbing updates exactly where this one left off.
+  const std::vector<BottomKSketch::Entry>& pending() const { return heap_; }
 
   /// The bottom-k sketch of everything absorbed so far: entries sorted by
   /// increasing rank, threshold = (k+1)-st smallest rank (+infinity when

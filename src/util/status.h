@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kInfeasible,  // derivation-specific: no estimator with requested properties
+  kDataLoss,    // persistence-specific: corrupted or truncated on-disk data
 };
 
 /// Returns a short stable name for a status code ("InvalidArgument", ...).
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -27,7 +27,8 @@ namespace {
 
 /// Exercises the full stack once: sharded ingest (unit weights so distinct
 /// queries are legal; tau > 1 keeps every value below threshold, which
-/// drives the SIMD log-regime lanes), snapshot, and one of each query.
+/// drives the SIMD log-regime lanes), snapshot, one of each query, and a
+/// checkpoint/recover cycle (so the pie_persist_* families are live).
 void RunWorkload() {
   SketchStoreOptions options;
   options.num_shards = 4;
@@ -55,6 +56,10 @@ void RunWorkload() {
   ASSERT_TRUE(service.L1Distance(0, 1).ok());
   ASSERT_TRUE(service.DistinctUnion({0, 1}).ok());
   ASSERT_TRUE(service.DistinctUnionAuto({0, 1}).ok());
+
+  const std::string dir = testing::TempDir() + "/obs_dump_checkpoint";
+  ASSERT_TRUE(store.Checkpoint(dir).ok());
+  ASSERT_TRUE(SketchStore::Recover(dir).ok());
 }
 
 #ifdef PIE_METRICS

@@ -1,0 +1,232 @@
+// pie_storectl: operate on SketchStore checkpoints from the command line.
+//
+//   pie_storectl checkpoint --dir=DIR [--shards=N] [--tau=T] [--salt=S]
+//                [--coordinated]
+//       Reads whitespace-separated "instance key weight" records from
+//       stdin, ingests them into a fresh store, and writes one checkpoint
+//       generation into DIR.
+//   pie_storectl recover [--dir=DIR]
+//       Recovers the newest complete generation and prints a per-instance
+//       summary (falls back across torn generations exactly like a
+//       restarting service would).
+//   pie_storectl merge --out=DIR [--query=i1,i2] DIR1 DIR2 ...
+//       Combines the newest generation of each input directory into one
+//       store -- query answers bitwise identical to a single-process build
+//       over the concatenated streams -- and checkpoints it into DIR.
+//       --query additionally prints the MaxDominance interval for a pair
+//       of instances (hex-exact, for cross-checking against a
+//       single-process run).
+//   pie_storectl inspect [--dir=DIR]
+//       Lists every generation in DIR with its integrity status.
+//
+// --dir/--out default to the PIE_CHECKPOINT_DIR environment variable
+// (strictly validated; see persist/checkpoint.h).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.h"
+#include "persist/format.h"
+#include "persist/wire.h"
+#include "store/query_service.h"
+#include "store/sketch_store.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pie_storectl checkpoint --dir=DIR [--shards=N] "
+               "[--tau=T] [--salt=S] [--coordinated]\n"
+               "       pie_storectl recover [--dir=DIR]\n"
+               "       pie_storectl merge --out=DIR [--query=i1,i2] DIR...\n"
+               "       pie_storectl inspect [--dir=DIR]\n"
+               "--dir/--out default to $PIE_CHECKPOINT_DIR.\n");
+  return 2;
+}
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Fail(const pie::Status& status) {
+  std::fprintf(stderr, "pie_storectl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintStoreSummary(const pie::SketchStore& store) {
+  const auto snapshot = store.Snapshot();
+  std::printf("store: %d shards, default tau %.17g, salt %" PRIu64 "%s\n",
+              snapshot->options().num_shards, snapshot->options().default_tau,
+              snapshot->options().salt,
+              snapshot->options().coordinated ? ", coordinated" : "");
+  for (const int instance : snapshot->Instances()) {
+    std::printf("  instance %d: %" PRIu64 " updates, %d keys sampled\n",
+                instance, snapshot->UpdateCount(instance),
+                snapshot->MergedInstance(instance).size());
+  }
+}
+
+int RunCheckpoint(const std::string& dir, int shards, double tau,
+                  uint64_t salt, bool coordinated) {
+  pie::SketchStoreOptions options;
+  options.num_shards = shards;
+  options.default_tau = tau;
+  options.salt = salt;
+  options.coordinated = coordinated;
+  pie::SketchStore store(options);
+  int instance = 0;
+  unsigned long long key = 0;
+  double weight = 0;
+  uint64_t records = 0;
+  while (std::scanf("%d %llu %lf", &instance, &key, &weight) == 3) {
+    store.Update(instance, key, weight);
+    ++records;
+  }
+  const pie::Status status = store.Checkpoint(dir);
+  if (!status.ok()) return Fail(status);
+  std::printf("checkpointed %" PRIu64 " records into %s\n", records,
+              dir.c_str());
+  PrintStoreSummary(store);
+  return 0;
+}
+
+int RunRecover(const std::string& dir) {
+  auto store = pie::SketchStore::Recover(dir);
+  if (!store.ok()) return Fail(store.status());
+  std::printf("recovered %s\n", dir.c_str());
+  PrintStoreSummary(**store);
+  return 0;
+}
+
+int RunMerge(const std::string& out, const std::string& query,
+             const std::vector<std::string>& dirs) {
+  auto store = pie::SketchStore::MergeCheckpoints(dirs);
+  if (!store.ok()) return Fail(store.status());
+  const pie::Status status = (*store)->Checkpoint(out);
+  if (!status.ok()) return Fail(status);
+  std::printf("merged %zu checkpoints into %s\n", dirs.size(), out.c_str());
+  PrintStoreSummary(**store);
+  if (!query.empty()) {
+    int i1 = 0, i2 = 0;
+    if (std::sscanf(query.c_str(), "%d,%d", &i1, &i2) != 2) return Usage();
+    pie::QueryService service((*store)->Snapshot());
+    const auto est = service.MaxDominance(i1, i2);
+    if (!est.ok()) return Fail(est.status());
+    // %a prints the exact bits -- the cross-process determinism check.
+    std::printf("max-dominance(%d,%d): ht=%a l=%a l_ci=[%a, %a]\n", i1, i2,
+                est->ht.estimate, est->l.estimate, est->l.lo, est->l.hi);
+  }
+  return 0;
+}
+
+int RunInspect(const std::string& dir) {
+  namespace persist = pie::persist;
+  const std::vector<uint64_t> seqs = persist::ListManifestSeqs(dir);
+  if (seqs.empty()) {
+    std::printf("%s: no checkpoint generations\n", dir.c_str());
+    return 0;
+  }
+  for (const uint64_t seq : seqs) {
+    auto bytes = persist::ReadFileBytes(dir + "/" +
+                                        persist::ManifestFileName(seq));
+    if (!bytes.ok()) {
+      std::printf("generation %" PRIu64 ": manifest unreadable (%s)\n", seq,
+                  bytes.status().ToString().c_str());
+      continue;
+    }
+    auto manifest = persist::DecodeManifest(*bytes);
+    if (!manifest.ok()) {
+      std::printf("generation %" PRIu64 ": manifest corrupt (%s)\n", seq,
+                  manifest.status().ToString().c_str());
+      continue;
+    }
+    uint64_t total_bytes = bytes->size();
+    int intact = 0;
+    for (size_t s = 0; s < manifest->shards.size(); ++s) {
+      auto shard_bytes = persist::ReadFileBytes(
+          dir + "/" + persist::ShardFileName(seq, static_cast<uint32_t>(s)));
+      if (shard_bytes.ok() &&
+          shard_bytes->size() == manifest->shards[s].file_size &&
+          persist::Crc32c(shard_bytes->data(), shard_bytes->size()) ==
+              manifest->shards[s].file_crc) {
+        ++intact;
+        total_bytes += shard_bytes->size();
+      }
+    }
+    std::printf("generation %" PRIu64 ": format v%u, tier %u, %d/%zu shard "
+                "files intact, %" PRIu64 " bytes%s\n",
+                seq, persist::kFormatVersion, manifest->tier_tag, intact,
+                manifest->shards.size(), total_bytes,
+                intact == static_cast<int>(manifest->shards.size())
+                    ? ""
+                    : "  [INCOMPLETE]");
+  }
+  auto latest = persist::LoadLatestCheckpoint(dir);
+  if (latest.ok()) {
+    std::printf("recovery would serve generation %" PRIu64 "\n",
+                latest->manifest.seq);
+  } else {
+    std::printf("recovery would fail: %s\n",
+                latest.status().ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::string dir, out, query;
+  int shards = 16;
+  double tau = 1.0;
+  uint64_t salt = 0;
+  bool coordinated = false;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    std::string value;
+    if (FlagValue(argv[i], "--dir", &dir) ||
+        FlagValue(argv[i], "--out", &out) ||
+        FlagValue(argv[i], "--query", &query)) {
+    } else if (FlagValue(argv[i], "--shards", &value)) {
+      shards = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--tau", &value)) {
+      tau = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--salt", &value)) {
+      salt = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--coordinated") == 0) {
+      coordinated = true;
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  dir = pie::persist::ResolveCheckpointDir(dir);
+  out = pie::persist::ResolveCheckpointDir(out);
+
+  if (command == "checkpoint") {
+    if (dir.empty() || !positional.empty()) return Usage();
+    return RunCheckpoint(dir, shards, tau, salt, coordinated);
+  }
+  if (command == "recover") {
+    if (dir.empty() || !positional.empty()) return Usage();
+    return RunRecover(dir);
+  }
+  if (command == "merge") {
+    if (out.empty() || positional.empty()) return Usage();
+    return RunMerge(out, query, positional);
+  }
+  if (command == "inspect") {
+    if (dir.empty() || !positional.empty()) return Usage();
+    return RunInspect(dir);
+  }
+  return Usage();
+}
