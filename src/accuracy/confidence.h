@@ -38,6 +38,11 @@ struct IntervalEstimate {
   double std_err = 0.0;  ///< sqrt(max(0, variance))
   double lo = 0.0;       ///< estimate - critical * std_err
   double hi = 0.0;       ///< estimate + critical * std_err
+  /// Fraction of store shards that backed this answer: 1.0 for a complete
+  /// store; < 1 when a degraded-recovery snapshot answered by
+  /// extrapolating around absent shards (QueryService widens the interval
+  /// accordingly -- see store/query_service.h).
+  double coverage = 1.0;
 };
 
 /// The paper's dual readout (classical baseline next to the

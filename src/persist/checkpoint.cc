@@ -29,6 +29,8 @@ struct PersistMetrics {
   obs::Histogram& recover_seconds;
   obs::Counter& bytes_written;
   obs::Counter& crc_failures;
+  obs::Counter& scan_skips;
+  obs::Counter& degraded_shards;
   obs::Gauge& checkpoint_bytes;
   std::atomic<int64_t> last_checkpoint_ns{0};
 
@@ -47,6 +49,11 @@ struct PersistMetrics {
           reg.GetCounter("pie_persist_crc_failures_total",
                          "Checkpoint files rejected during recovery "
                          "(missing, truncated, or corrupt)"),
+          reg.GetCounter("pie_persist_scan_skips_total",
+                         "Checkpoint files that vanished or turned "
+                         "unreadable mid-scan and were skipped"),
+          reg.GetCounter("pie_degraded_shards_total",
+                         "Shards marked absent by degraded-mode recovery"),
           reg.GetGauge("pie_persist_checkpoint_bytes",
                        "Size of the last checkpoint written by this process"),
           {}};
@@ -102,13 +109,52 @@ bool SameStoreOptions(const SketchStoreOptions& a,
   return true;
 }
 
-/// Loads and fully verifies generation `seq` of `dir`: manifest decode,
-/// per-shard byte accounting (size + whole-file CRC against the
-/// manifest), shard decode, and per-sketch configuration checks against
-/// the manifest's store options.
-Result<LoadedCheckpoint> LoadGeneration(const std::string& dir,
+/// Loads and verifies one shard file of generation `seq` against its
+/// manifest entry: byte accounting (size + whole-file CRC), shard decode,
+/// and per-sketch configuration checks against the manifest's options.
+Result<ShardFileData> LoadShard(FileSystem& fs, const std::string& dir,
+                                const Manifest& manifest, uint64_t seq,
+                                int s) {
+  const std::string path =
+      dir + "/" + ShardFileName(seq, static_cast<uint32_t>(s));
+  auto bytes = ReadFileBytes(fs, path);
+  if (!bytes.ok()) return bytes.status();
+  const ManifestShardEntry& entry = manifest.shards[static_cast<size_t>(s)];
+  if (bytes->size() != entry.file_size ||
+      Crc32c(bytes->data(), bytes->size()) != entry.file_crc) {
+    return Status::DataLoss("persist: " + path +
+                            " disagrees with its manifest entry");
+  }
+  auto shard = DecodeShardFile(*bytes);
+  if (!shard.ok()) return shard.status();
+  if (shard->shard_index != static_cast<uint32_t>(s) ||
+      shard->num_shards !=
+          static_cast<uint32_t>(manifest.options.num_shards) ||
+      shard->tier_tag != manifest.tier_tag) {
+    return Status::DataLoss("persist: " + path +
+                            " header disagrees with its manifest");
+  }
+  for (const auto& [instance, sketch] : shard->sketches) {
+    if (std::bit_cast<uint64_t>(sketch.tau()) !=
+            std::bit_cast<uint64_t>(
+                TauFromOptions(manifest.options, instance)) ||
+        sketch.salt() !=
+            InstanceSaltFromOptions(manifest.options, instance)) {
+      return Status::DataLoss(
+          "persist: " + path +
+          " sketch configuration disagrees with the manifest options");
+    }
+  }
+  return shard;
+}
+
+/// Loads and fully verifies generation `seq` of `dir`; any missing,
+/// truncated, or misconfigured file fails the whole generation.
+Result<LoadedCheckpoint> LoadGeneration(FileSystem& fs,
+                                        const std::string& dir,
                                         uint64_t seq) {
-  auto manifest_bytes = ReadFileBytes(dir + "/" + ManifestFileName(seq));
+  auto manifest_bytes =
+      ReadFileBytes(fs, dir + "/" + ManifestFileName(seq));
   if (!manifest_bytes.ok()) return manifest_bytes.status();
   auto manifest = DecodeManifest(*manifest_bytes);
   if (!manifest.ok()) return manifest.status();
@@ -118,77 +164,125 @@ Result<LoadedCheckpoint> LoadGeneration(const std::string& dir,
   const int num_shards = out.manifest.options.num_shards;
   out.shards.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    const std::string path =
-        dir + "/" + ShardFileName(seq, static_cast<uint32_t>(s));
-    auto bytes = ReadFileBytes(path);
-    if (!bytes.ok()) return bytes.status();
-    const ManifestShardEntry& entry =
-        out.manifest.shards[static_cast<size_t>(s)];
-    if (bytes->size() != entry.file_size ||
-        Crc32c(bytes->data(), bytes->size()) != entry.file_crc) {
-      return Status::DataLoss("persist: " + path +
-                              " disagrees with its manifest entry");
-    }
-    auto shard = DecodeShardFile(*bytes);
+    auto shard = LoadShard(fs, dir, out.manifest, seq, s);
     if (!shard.ok()) return shard.status();
-    if (shard->shard_index != static_cast<uint32_t>(s) ||
-        shard->num_shards != static_cast<uint32_t>(num_shards) ||
-        shard->tier_tag != out.manifest.tier_tag) {
-      return Status::DataLoss("persist: " + path +
-                              " header disagrees with its manifest");
-    }
-    for (const auto& [instance, sketch] : shard->sketches) {
-      if (std::bit_cast<uint64_t>(sketch.tau()) !=
-              std::bit_cast<uint64_t>(
-                  TauFromOptions(out.manifest.options, instance)) ||
-          sketch.salt() !=
-              InstanceSaltFromOptions(out.manifest.options, instance)) {
-        return Status::DataLoss(
-            "persist: " + path +
-            " sketch configuration disagrees with the manifest options");
-      }
-    }
     out.shards.push_back(std::move(shard).value());
   }
   return out;
+}
+
+/// Degraded load of generation `seq`: the manifest must decode, but shard
+/// files that fail verification are marked absent rather than failing the
+/// generation. DataLoss when not even one shard survives.
+Result<LoadedCheckpoint> LoadGenerationDegraded(FileSystem& fs,
+                                                const std::string& dir,
+                                                uint64_t seq) {
+  PersistMetrics& metrics = PersistMetrics::Get();
+  auto manifest_bytes =
+      ReadFileBytes(fs, dir + "/" + ManifestFileName(seq));
+  if (!manifest_bytes.ok()) return manifest_bytes.status();
+  auto manifest = DecodeManifest(*manifest_bytes);
+  if (!manifest.ok()) return manifest.status();
+
+  LoadedCheckpoint out;
+  out.manifest = std::move(manifest).value();
+  const int num_shards = out.manifest.options.num_shards;
+  out.shards.resize(static_cast<size_t>(num_shards));
+  out.shard_absent.assign(static_cast<size_t>(num_shards), 0);
+  int present = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = LoadShard(fs, dir, out.manifest, seq, s);
+    if (shard.ok()) {
+      out.shards[static_cast<size_t>(s)] = std::move(shard).value();
+      ++present;
+    } else {
+      out.shard_absent[static_cast<size_t>(s)] = 1;
+      metrics.degraded_shards.Increment();
+      if (shard.status().code() == StatusCode::kNotFound) {
+        metrics.scan_skips.Increment();
+      }
+    }
+  }
+  if (present == 0) {
+    return Status::DataLoss("persist: no recoverable shard in generation " +
+                            std::to_string(seq) + " of " + dir);
+  }
+  if (present == num_shards) out.shard_absent.clear();
+  return out;
+}
+
+FileSystem& ResolveFs(FileSystem* fs) {
+  return fs != nullptr ? *fs : FileSystem::Default();
 }
 
 }  // namespace
 
 CheckpointOptions::CheckpointOptions() : tier_tag(EstimatorTierTag()) {}
 
-std::vector<uint64_t> ListManifestSeqs(const std::string& dir) {
+namespace {
+
+/// Parses exactly 16 lowercase hex digits at name[at..at+16).
+bool ParseHex16(const std::string& name, size_t at, uint64_t* out) {
+  uint64_t value = 0;
+  for (size_t i = at; i < at + 16; ++i) {
+    const char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseManifestFileName(const std::string& name, uint64_t* seq) {
+  // MANIFEST-%016x.pie: fixed width, hex digits only.
+  constexpr size_t kLen = 9 + 16 + 4;
+  return name.size() == kLen && name.rfind("MANIFEST-", 0) == 0 &&
+         name.compare(kLen - 4, 4, ".pie") == 0 &&
+         ParseHex16(name, 9, seq);
+}
+
+bool ParseShardFileName(const std::string& name, uint64_t* seq,
+                        uint32_t* shard) {
+  // shard-%016x-%05u.pie: fixed width, hex seq, decimal shard index.
+  constexpr size_t kLen = 6 + 16 + 1 + 5 + 4;
+  if (name.size() != kLen || name.rfind("shard-", 0) != 0 ||
+      name[6 + 16] != '-' || name.compare(kLen - 4, 4, ".pie") != 0 ||
+      !ParseHex16(name, 6, seq)) {
+    return false;
+  }
+  uint32_t index = 0;
+  for (size_t i = 6 + 16 + 1; i < kLen - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    index = index * 10 + static_cast<uint32_t>(name[i] - '0');
+  }
+  *shard = index;
+  return true;
+}
+
+std::vector<uint64_t> ListManifestSeqs(FileSystem& fs,
+                                       const std::string& dir) {
   std::vector<uint64_t> seqs;
-  std::error_code ec;
-  std::filesystem::directory_iterator it(dir, ec);
-  if (ec) return seqs;
-  for (const auto& entry : it) {
-    const std::string name = entry.path().filename().string();
-    // MANIFEST-%016x.pie: fixed width, hex digits only.
-    constexpr size_t kLen = 9 + 16 + 4;
-    if (name.size() != kLen || name.rfind("MANIFEST-", 0) != 0 ||
-        name.compare(kLen - 4, 4, ".pie") != 0) {
-      continue;
-    }
+  auto names = fs.ListDir(dir);
+  if (!names.ok()) return seqs;
+  for (const std::string& name : *names) {
     uint64_t seq = 0;
-    bool valid = true;
-    for (size_t i = 9; i < 9 + 16; ++i) {
-      const char c = name[i];
-      uint64_t digit;
-      if (c >= '0' && c <= '9') {
-        digit = static_cast<uint64_t>(c - '0');
-      } else if (c >= 'a' && c <= 'f') {
-        digit = static_cast<uint64_t>(c - 'a') + 10;
-      } else {
-        valid = false;
-        break;
-      }
-      seq = (seq << 4) | digit;
-    }
-    if (valid) seqs.push_back(seq);
+    if (ParseManifestFileName(name, &seq)) seqs.push_back(seq);
   }
   std::sort(seqs.rbegin(), seqs.rend());
   return seqs;
+}
+
+std::vector<uint64_t> ListManifestSeqs(const std::string& dir) {
+  return ListManifestSeqs(FileSystem::Default(), dir);
 }
 
 Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
@@ -196,8 +290,16 @@ Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
   PersistMetrics& metrics = PersistMetrics::Get();
   obs::ScopedSpan span("persist/checkpoint");
   obs::ScopedTimer timer(metrics.checkpoint_seconds);
-  PIE_RETURN_IF_ERROR(EnsureDirectory(dir));
-  const std::vector<uint64_t> existing = ListManifestSeqs(dir);
+  if (snapshot.absent_shards() > 0) {
+    // A degraded store's absent shards hold no data; persisting it would
+    // commit a generation that silently undercounts them.
+    return Status::FailedPrecondition(
+        "persist: refusing to checkpoint a degraded store (" +
+        std::to_string(snapshot.absent_shards()) + " absent shards)");
+  }
+  FileSystem& fs = ResolveFs(options.fs);
+  PIE_RETURN_IF_ERROR(EnsureDirectory(fs, dir));
+  const std::vector<uint64_t> existing = ListManifestSeqs(fs, dir);
   const uint64_t seq = existing.empty() ? 1 : existing.front() + 1;
 
   Manifest manifest;
@@ -210,8 +312,13 @@ Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
         EncodeShardFile(options.tier_tag, static_cast<uint32_t>(s),
                         static_cast<uint32_t>(snapshot.num_shards()),
                         snapshot.Shard(s).sketches());
-    PIE_RETURN_IF_ERROR(WriteFileAtomic(
-        dir, ShardFileName(seq, static_cast<uint32_t>(s)), bytes));
+    // Retry only the transient class: WriteFileAtomic is idempotent (the
+    // temp file is recreated from scratch), so a re-attempt is safe.
+    PIE_RETURN_IF_ERROR(RunWithRetry(options.retry, "write_shard", [&] {
+      return WriteFileAtomic(fs, dir,
+                             ShardFileName(seq, static_cast<uint32_t>(s)),
+                             bytes);
+    }));
     manifest.shards.push_back(
         {bytes.size(), Crc32c(bytes.data(), bytes.size())});
     total_bytes += bytes.size();
@@ -219,8 +326,9 @@ Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
   // The commit point: recovery only sees the generation once the manifest
   // -- written after every shard file is durable -- decodes clean.
   const std::string manifest_bytes = EncodeManifest(manifest);
-  PIE_RETURN_IF_ERROR(
-      WriteFileAtomic(dir, ManifestFileName(seq), manifest_bytes));
+  PIE_RETURN_IF_ERROR(RunWithRetry(options.retry, "write_manifest", [&] {
+    return WriteFileAtomic(fs, dir, ManifestFileName(seq), manifest_bytes);
+  }));
   total_bytes += manifest_bytes.size();
   metrics.bytes_written.Add(total_bytes);
   metrics.checkpoint_bytes.Set(static_cast<double>(total_bytes));
@@ -229,22 +337,59 @@ Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
   return Status::OK();
 }
 
-Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+Result<LoadedCheckpoint> LoadLatestCheckpoint(FileSystem& fs,
+                                              const std::string& dir) {
   PersistMetrics& metrics = PersistMetrics::Get();
-  const std::vector<uint64_t> seqs = ListManifestSeqs(dir);
+  const std::vector<uint64_t> seqs = ListManifestSeqs(fs, dir);
   if (seqs.empty()) {
     return Status::NotFound("persist: no checkpoint manifest in " + dir);
   }
   std::string newest_error;
   for (const uint64_t seq : seqs) {
-    auto loaded = LoadGeneration(dir, seq);
+    auto loaded = LoadGeneration(fs, dir, seq);
     if (loaded.ok()) return loaded;
     // Fall back to the next older generation: this one is torn or corrupt.
     metrics.crc_failures.Increment();
+    if (loaded.status().code() == StatusCode::kNotFound) {
+      // A listed file vanished (or turned unreadable) between the scan
+      // and the read -- e.g. a concurrent GC. Skip-with-metric, never a
+      // hard error.
+      metrics.scan_skips.Increment();
+    }
     if (newest_error.empty()) newest_error = loaded.status().ToString();
   }
   return Status::DataLoss("persist: no complete checkpoint generation in " +
                           dir + " (newest: " + newest_error + ")");
+}
+
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  return LoadLatestCheckpoint(FileSystem::Default(), dir);
+}
+
+Result<LoadedCheckpoint> LoadLatestCheckpointDegraded(
+    FileSystem& fs, const std::string& dir) {
+  PersistMetrics& metrics = PersistMetrics::Get();
+  const std::vector<uint64_t> seqs = ListManifestSeqs(fs, dir);
+  if (seqs.empty()) {
+    return Status::NotFound("persist: no checkpoint manifest in " + dir);
+  }
+  std::string newest_error;
+  for (const uint64_t seq : seqs) {
+    // Freshness over completeness: the newest generation with a decodable
+    // manifest and >= 1 verified shard serves. An undecodable manifest
+    // still skips the whole generation -- the manifest IS the commit
+    // point, degraded mode never serves an uncommitted checkpoint.
+    auto loaded = LoadGenerationDegraded(fs, dir, seq);
+    if (loaded.ok()) return loaded;
+    metrics.crc_failures.Increment();
+    if (loaded.status().code() == StatusCode::kNotFound) {
+      metrics.scan_skips.Increment();
+    }
+    if (newest_error.empty()) newest_error = loaded.status().ToString();
+  }
+  return Status::DataLoss(
+      "persist: no generation with a recoverable shard in " + dir +
+      " (newest: " + newest_error + ")");
 }
 
 std::string ParsePieCheckpointDir(const char* text, bool* invalid) {
@@ -301,14 +446,25 @@ Status SketchStore::Checkpoint(const std::string& dir) const {
 
 Result<std::unique_ptr<SketchStore>> SketchStore::Recover(
     const std::string& dir) {
+  return Recover(dir, RecoverOptions{});
+}
+
+Result<std::unique_ptr<SketchStore>> SketchStore::Recover(
+    const std::string& dir, const RecoverOptions& options) {
   obs::ScopedSpan span("persist/recover");
   obs::ScopedTimer timer(persist::PersistMetrics::Get().recover_seconds);
-  auto loaded = persist::LoadLatestCheckpoint(dir);
+  FileSystem& fs =
+      options.fs != nullptr ? *options.fs : FileSystem::Default();
+  auto loaded = options.policy == RecoverPolicy::kDegraded
+                    ? persist::LoadLatestCheckpointDegraded(fs, dir)
+                    : persist::LoadLatestCheckpoint(fs, dir);
   if (!loaded.ok()) return loaded.status();
   persist::LoadedCheckpoint checkpoint = std::move(loaded).value();
 
   auto store = std::make_unique<SketchStore>(checkpoint.manifest.options);
+  store->shard_absent_ = std::move(checkpoint.shard_absent);
   for (size_t s = 0; s < checkpoint.shards.size(); ++s) {
+    if (store->ShardAbsent(static_cast<int>(s))) continue;
     Shard& shard = store->shards_[s];
     uint64_t updates = 0;
     for (auto& [instance, sketch] : checkpoint.shards[s].sketches) {

@@ -32,7 +32,9 @@
 #include <vector>
 
 #include "persist/format.h"
+#include "persist/retry.h"
 #include "store/sketch_store.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace pie::persist {
@@ -45,6 +47,15 @@ struct CheckpointOptions {
   /// overrides it so pinned bytes are identical in every build config.
   uint32_t tier_tag;
 
+  /// Filesystem all checkpoint I/O goes through; null means
+  /// FileSystem::Default(). Tests inject FaultInjectingFs here.
+  FileSystem* fs = nullptr;
+
+  /// Retry posture for transient (Unavailable) write failures; defaults
+  /// to RetryPolicy::FromEnv() (PIE_PERSIST_RETRIES /
+  /// PIE_PERSIST_RETRY_BASE_MS).
+  RetryPolicy retry;
+
   CheckpointOptions();
 };
 
@@ -55,20 +66,48 @@ struct CheckpointOptions {
 Status WriteCheckpoint(const StoreSnapshot& snapshot, const std::string& dir,
                        const CheckpointOptions& options = CheckpointOptions());
 
-/// One fully verified checkpoint generation, decoded.
+/// One verified checkpoint generation, decoded. Strict loads verify every
+/// shard; a degraded load may mark shards absent instead (shard_absent[s]
+/// nonzero, shards[s] default-constructed) -- empty shard_absent means the
+/// generation is complete.
 struct LoadedCheckpoint {
   Manifest manifest;
   std::vector<ShardFileData> shards;  // index == shard index
+  std::vector<uint8_t> shard_absent;  // empty, or one flag per shard
 };
 
 /// Loads the newest complete generation in `dir`, skipping generations
 /// with missing/truncated/corrupt files (each skip is counted in
-/// pie_persist_crc_failures_total). NotFound when `dir` has no manifests;
+/// pie_persist_crc_failures_total; skips whose cause is a file that
+/// vanished/unreadable mid-scan additionally count in
+/// pie_persist_scan_skips_total). NotFound when `dir` has no manifests;
 /// DataLoss when none of them yields a complete generation.
+Result<LoadedCheckpoint> LoadLatestCheckpoint(FileSystem& fs,
+                                              const std::string& dir);
 Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir);
 
+/// Degraded-mode load: serves the newest generation whose manifest
+/// decodes and that has at least one fully verified shard file, marking
+/// unrecoverable shards absent (counted in pie_degraded_shards_total)
+/// instead of skipping the generation. A generation without a decodable
+/// manifest stays invisible exactly as in strict mode -- degraded serving
+/// never resurrects an uncommitted checkpoint, it only tolerates committed
+/// generations losing shard files afterwards. NotFound when `dir` has no
+/// manifests; DataLoss when no generation yields even one shard.
+Result<LoadedCheckpoint> LoadLatestCheckpointDegraded(FileSystem& fs,
+                                                      const std::string& dir);
+
 /// Manifest sequence numbers present in `dir`, newest first.
+std::vector<uint64_t> ListManifestSeqs(FileSystem& fs,
+                                       const std::string& dir);
 std::vector<uint64_t> ListManifestSeqs(const std::string& dir);
+
+/// Strict parsers of the on-disk generation file names
+/// ("MANIFEST-%016x.pie", "shard-%016x-%05u.pie"); false when `name` does
+/// not match exactly. Shared by recovery scans and retention GC.
+bool ParseManifestFileName(const std::string& name, uint64_t* seq);
+bool ParseShardFileName(const std::string& name, uint64_t* seq,
+                        uint32_t* shard);
 
 /// Strict parse of a PIE_CHECKPOINT_DIR-style value, mirroring
 /// ParsePieThreads: rejects (sets *invalid, returns "") null, empty or

@@ -1,0 +1,130 @@
+#include "persist/gc.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "persist/checkpoint.h"
+#include "persist/format.h"
+
+namespace pie::persist {
+
+namespace {
+
+struct GcMetrics {
+  obs::Histogram& gc_seconds;
+  obs::Counter& runs;
+  obs::Counter& generations_deleted;
+  obs::Counter& files_deleted;
+
+  static GcMetrics& Get() {
+    static GcMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new GcMetrics{
+          reg.GetHistogram("pie_persist_gc_seconds",
+                           "Wall time of one retention GC run",
+                           obs::LatencyBuckets()),
+          reg.GetCounter("pie_persist_gc_runs_total",
+                         "Retention GC runs (successful)"),
+          reg.GetCounter("pie_persist_gc_generations_deleted_total",
+                         "Checkpoint generations deleted by retention GC"),
+          reg.GetCounter("pie_persist_gc_files_deleted_total",
+                         "Files deleted by retention GC (manifests, shard "
+                         "files, stale temps)"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// True when `name` is a generation file (shard, manifest, or a stale
+/// WriteFileAtomic temp of either), extracting its sequence number.
+bool ParseGenerationFile(const std::string& name, uint64_t* seq) {
+  std::string base = name;
+  constexpr std::string_view kTmp = ".tmp";
+  if (base.size() > kTmp.size() &&
+      base.compare(base.size() - kTmp.size(), kTmp.size(), kTmp) == 0) {
+    base.resize(base.size() - kTmp.size());
+  }
+  uint32_t shard = 0;
+  return ParseShardFileName(base, seq, &shard) ||
+         ParseManifestFileName(base, seq);
+}
+
+}  // namespace
+
+Result<GcResult> RetainLatest(const std::string& dir, int keep,
+                              const GcOptions& options) {
+  GcMetrics& metrics = GcMetrics::Get();
+  obs::ScopedSpan span("persist/gc");
+  obs::ScopedTimer timer(metrics.gc_seconds);
+  if (keep < 1) {
+    return Status::InvalidArgument(
+        "persist: gc keep must be >= 1, got " + std::to_string(keep));
+  }
+  FileSystem& fs =
+      options.fs != nullptr ? *options.fs : FileSystem::Default();
+
+  const std::vector<uint64_t> seqs = ListManifestSeqs(fs, dir);  // newest 1st
+  if (seqs.empty()) {
+    return Status::NotFound("persist: no checkpoint manifest in " + dir);
+  }
+  // The serving generation is whatever strict recovery would load right
+  // now. If nothing verifies, refuse to delete anything: every byte on
+  // disk is potential forensic/repair material, and a GC that destroys it
+  // turns a recoverable incident into a permanent one.
+  auto serving = LoadLatestCheckpoint(fs, dir);
+  if (!serving.ok()) return serving.status();
+  const uint64_t serving_seq = serving->manifest.seq;
+
+  std::set<uint64_t> kept;
+  for (size_t i = 0; i < seqs.size() && i < static_cast<size_t>(keep); ++i) {
+    kept.insert(seqs[i]);
+  }
+  kept.insert(serving_seq);
+  const uint64_t newest_seq = seqs.front();
+
+  GcResult result;
+  result.serving_seq = serving_seq;
+  // Phase 1: unlink victim manifests, newest victim first, and make each
+  // unlink durable before touching any shard bytes. After this phase the
+  // victims are invisible to every (crash-interleaved) recovery.
+  for (const uint64_t seq : seqs) {
+    if (kept.count(seq) != 0) continue;
+    PIE_RETURN_IF_ERROR(
+        fs.RemoveFile(dir + "/" + ManifestFileName(seq)));
+    PIE_RETURN_IF_ERROR(fs.SyncDir(dir));
+    result.removed_seqs.push_back(seq);
+    ++result.files_removed;
+  }
+  // Phase 2: orphan sweep. Any generation file whose seq has no manifest
+  // is dead weight -- victims from phase 1, debris of generations torn at
+  // write time, stale .tmp files -- EXCEPT sequences above the newest
+  // manifest, which belong to a checkpoint currently being written (its
+  // shards land before its manifest commits).
+  auto names = fs.ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::sort(names->begin(), names->end());  // deterministic unlink order
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (!ParseGenerationFile(name, &seq)) continue;
+    if (kept.count(seq) != 0 || seq > newest_seq) continue;
+    uint64_t manifest_seq = 0;
+    if (ParseManifestFileName(name, &manifest_seq)) continue;  // phase 1 only
+    const Status removed = fs.RemoveFile(dir + "/" + name);
+    // A concurrent GC may have unlinked it first; that is not a failure.
+    if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+      return removed;
+    }
+    if (removed.ok()) ++result.files_removed;
+  }
+  PIE_RETURN_IF_ERROR(fs.SyncDir(dir));
+
+  metrics.runs.Increment();
+  metrics.generations_deleted.Add(result.removed_seqs.size());
+  metrics.files_deleted.Add(result.files_removed);
+  return result;
+}
+
+}  // namespace pie::persist

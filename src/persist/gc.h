@@ -1,0 +1,62 @@
+// Crash-safe checkpoint retention GC.
+//
+// Checkpoint writes never delete anything (persist/checkpoint.h), so a
+// long-lived directory accumulates generations forever. RetainLatest(dir,
+// n) bounds that: it keeps the newest n generations -- always including
+// the generation recovery currently serves, even when that is older than
+// all n (torn newer generations must keep their fallback) -- and deletes
+// the rest.
+//
+// Deletion order is the crash defense, mirroring the write protocol in
+// reverse: a victim generation's MANIFEST is unlinked first and the unlink
+// made durable (directory fsync) before any of its shard files is touched.
+// The manifest is the generation's commit point, so a crash anywhere
+// mid-GC leaves either a still-complete generation (manifest intact, no
+// shard deleted yet) or an already-invisible one (manifest gone) -- never
+// a manifest whose shard files have been swept out from under it, which
+// recovery would have to detect as corruption. The crash-point torture
+// harness (tests/crash_torture_test.cc) enumerates every fs operation of
+// a GC run and asserts exactly this.
+//
+// The shard sweep is an orphan collection: any shard or leftover .tmp
+// file whose sequence number has no surviving manifest is removed -- but
+// only for sequences BELOW the newest manifest. A sequence above it is a
+// checkpoint currently being written (shards land before the manifest),
+// and GC must never race a writer's files away.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fs.h"
+#include "util/status.h"
+
+namespace pie::persist {
+
+struct GcOptions {
+  /// Filesystem the GC runs against; null means FileSystem::Default().
+  FileSystem* fs = nullptr;
+};
+
+struct GcResult {
+  /// The generation recovery serves (the newest fully verified one); GC
+  /// never deletes it.
+  uint64_t serving_seq = 0;
+  /// Generations whose manifests were deleted, newest first.
+  std::vector<uint64_t> removed_seqs;
+  /// Files unlinked in total (manifests + shard files + stale temps).
+  uint64_t files_removed = 0;
+};
+
+/// Keeps the newest `keep` generations (plus the serving generation) in
+/// `dir`, deleting the rest manifest-first. InvalidArgument when keep < 1;
+/// NotFound when `dir` holds no manifest; DataLoss -- and NOTHING deleted
+/// -- when no generation verifies (a GC must never destroy the evidence
+/// of a corruption it cannot recover from). Instrumented via
+/// pie_persist_gc_* (runs, generations/files deleted, wall time).
+Result<GcResult> RetainLatest(const std::string& dir, int keep,
+                              const GcOptions& options = {});
+
+}  // namespace pie::persist

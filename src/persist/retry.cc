@@ -1,0 +1,104 @@
+#include "persist/retry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/hashing.h"
+
+namespace pie::persist {
+
+int ParseBoundedEnvInt(const char* text, int max_value, int fallback,
+                       bool* invalid) {
+  *invalid = true;
+  if (text == nullptr) return fallback;
+  const size_t len = std::strlen(text);
+  if (len == 0 || len > 9) return fallback;
+  long value = 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (text[i] < '0' || text[i] > '9') return fallback;
+    value = value * 10 + (text[i] - '0');
+  }
+  if (value > max_value) return fallback;
+  *invalid = false;
+  return static_cast<int>(value);
+}
+
+namespace {
+
+int EnvInt(const char* var, int max_value, int fallback) {
+  const char* env = std::getenv(var);
+  if (env == nullptr) return fallback;
+  bool invalid = false;
+  const int value = ParseBoundedEnvInt(env, max_value, fallback, &invalid);
+  if (invalid) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("pie_config_errors_total",
+                    "Invalid configuration values rejected at startup",
+                    {{"var", var}})
+        .Increment();
+    std::fprintf(stderr,
+                 "pie: ignoring invalid %s=\"%s\" (expected an integer in "
+                 "[0, %d]); using default %d\n",
+                 var, env, max_value, fallback);
+  }
+  return value;
+}
+
+obs::Counter& RetryCounter(const char* op_name) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "pie_persist_retries_total",
+      "Transient persist I/O failures re-attempted, by operation",
+      {{"op", op_name}});
+}
+
+}  // namespace
+
+RetryPolicy RetryPolicy::FromEnv() {
+  // Read once: a service's retry posture is a startup decision, and the
+  // one-time parse keeps invalid values from warning per checkpoint.
+  static const int retries = EnvInt("PIE_PERSIST_RETRIES", 100, 2);
+  static const int base_ms = EnvInt("PIE_PERSIST_RETRY_BASE_MS", 60000, 5);
+  RetryPolicy policy;
+  policy.max_retries = retries;
+  policy.base_backoff_ms = base_ms;
+  return policy;
+}
+
+int BackoffMs(const RetryPolicy& policy, int attempt) {
+  if (policy.base_backoff_ms <= 0) return 0;
+  // min(base * 2^(a-1), max), shift-capped so it cannot overflow.
+  const int shift = attempt - 1 > 20 ? 20 : attempt - 1;
+  long backoff = static_cast<long>(policy.base_backoff_ms) << shift;
+  if (backoff > policy.max_backoff_ms) backoff = policy.max_backoff_ms;
+  // Deterministic jitter in [backoff/2, backoff].
+  const uint64_t half = static_cast<uint64_t>(backoff) / 2;
+  const uint64_t jitter =
+      Mix64(policy.jitter_seed ^ static_cast<uint64_t>(attempt)) %
+      (half + 1);
+  return static_cast<int>(half + jitter);
+}
+
+Status RunWithRetry(const RetryPolicy& policy, const char* op_name,
+                    const std::function<Status()>& fn) {
+  Status status = fn();
+  for (int attempt = 1;
+       attempt <= policy.max_retries && IsRetryable(status); ++attempt) {
+    RetryCounter(op_name).Increment();
+    const int backoff = BackoffMs(policy, attempt);
+    if (backoff > 0) {
+      if (policy.sleep_ms) {
+        policy.sleep_ms(backoff);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+    status = fn();
+  }
+  return status;
+}
+
+}  // namespace pie::persist

@@ -1,0 +1,71 @@
+// Bounded-exponential-backoff retry for transient persist I/O.
+//
+// The filesystem layer (util/fs.h) types its errors: Unavailable is the
+// transient errno class (EINTR/EAGAIN/EBUSY/ENOSPC/EDQUOT) and the ONLY
+// code RunWithRetry re-attempts -- corruption (DataLoss), missing files
+// (NotFound), and hard I/O errors (Internal, e.g. EIO on fsync) fail fast
+// on the first attempt, because retrying them cannot help and would mask
+// real damage. Each re-attempt is counted in
+// pie_persist_retries_total{op=...}.
+//
+// Backoff is bounded exponential with DETERMINISTIC jitter: attempt a
+// sleeps in [b/2, b] for b = min(base * 2^(a-1), max), with the offset
+// drawn from Mix64(jitter_seed ^ a) -- no wall clock, no global RNG, so a
+// fault-injection test replays the identical schedule and the determinism
+// invariant of the rest of the stack extends to the retry path. The
+// defaults come from the environment: PIE_PERSIST_RETRIES (re-attempts
+// after the first try, strict integer in [0, 100], default 2) and
+// PIE_PERSIST_RETRY_BASE_MS (strict integer in [0, 60000], default 5; 0
+// disables sleeping entirely). Invalid values warn once and count in
+// pie_config_errors_total, exactly like PIE_THREADS/PIE_CHECKPOINT_DIR.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace pie::persist {
+
+struct RetryPolicy {
+  /// Re-attempts after the first try (total tries = max_retries + 1).
+  int max_retries = 2;
+  /// First backoff in milliseconds; doubles per attempt. 0 = no sleeping.
+  int base_backoff_ms = 5;
+  /// Backoff ceiling in milliseconds.
+  int max_backoff_ms = 1000;
+  /// Seed of the deterministic jitter.
+  uint64_t jitter_seed = 0;
+  /// Test hook: replaces the real sleep when set (receives milliseconds).
+  std::function<void(int)> sleep_ms;
+
+  /// Policy from PIE_PERSIST_RETRIES / PIE_PERSIST_RETRY_BASE_MS,
+  /// strictly parsed and read once per process.
+  static RetryPolicy FromEnv();
+};
+
+/// True for the transient class RunWithRetry re-attempts.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+/// The backoff (with jitter) before re-attempt `attempt` (1-based).
+/// Exposed for the determinism test.
+int BackoffMs(const RetryPolicy& policy, int attempt);
+
+/// Runs `fn` up to policy.max_retries + 1 times, sleeping BackoffMs
+/// between attempts while the error is retryable. Returns the first OK or
+/// the last error; counts each re-attempt in
+/// pie_persist_retries_total{op=op_name}.
+Status RunWithRetry(const RetryPolicy& policy, const char* op_name,
+                    const std::function<Status()>& fn);
+
+/// Strict parse of a nonnegative bounded integer environment value
+/// (digits only, no surrounding whitespace, value in [0, max_value]).
+/// Sets *invalid and returns fallback on any violation. Exposed for unit
+/// tests; production goes through RetryPolicy::FromEnv.
+int ParseBoundedEnvInt(const char* text, int max_value, int fallback,
+                       bool* invalid);
+
+}  // namespace pie::persist

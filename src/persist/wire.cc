@@ -1,15 +1,7 @@
 #include "persist/wire.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <bit>
-#include <cerrno>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <system_error>
 
 namespace pie::persist {
 
@@ -140,86 +132,25 @@ uint32_t WireReader::CrcOver(size_t from) const {
   return Crc32c(data_.data() + from, off_ - from);
 }
 
+Result<std::string> ReadFileBytes(FileSystem& fs, const std::string& path) {
+  return fs.ReadFile(path);
+}
+
 Result<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
-    return Status::NotFound("persist: cannot open " + path);
-  }
-  std::string bytes;
-  in.seekg(0, std::ios::end);
-  const auto size = in.tellg();
-  if (size < 0) return Status::Internal("persist: cannot stat " + path);
-  bytes.resize(static_cast<size_t>(size));
-  in.seekg(0, std::ios::beg);
-  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!in.good() && !bytes.empty()) {
-    return Status::Internal("persist: short read of " + path);
-  }
-  return bytes;
+  return ReadFileBytes(FileSystem::Default(), path);
 }
-
-namespace {
-
-Status Errno(const std::string& what) {
-  return Status::Internal("persist: " + what + ": " +
-                          std::strerror(errno));
-}
-
-/// fsync on a directory, so a completed rename is durable before we write
-/// anything that refers to the renamed file (manifest-last protocol).
-Status SyncDirectory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Errno("open dir " + dir);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Errno("fsync dir " + dir);
-  return Status::OK();
-}
-
-}  // namespace
 
 Status WriteFileAtomic(const std::string& dir, const std::string& name,
                        std::string_view payload) {
-  const std::string tmp_path = dir + "/" + name + ".tmp";
-  const std::string final_path = dir + "/" + name;
-  const int fd =
-      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("open " + tmp_path);
-  size_t written = 0;
-  while (written < payload.size()) {
-    const ssize_t n = ::write(fd, payload.data() + written,
-                              payload.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp_path.c_str());
-      return Errno("write " + tmp_path);
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp_path.c_str());
-    return Errno("fsync " + tmp_path);
-  }
-  if (::close(fd) != 0) {
-    ::unlink(tmp_path.c_str());
-    return Errno("close " + tmp_path);
-  }
-  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    ::unlink(tmp_path.c_str());
-    return Errno("rename " + tmp_path + " -> " + final_path);
-  }
-  return SyncDirectory(dir);
+  return pie::WriteFileAtomic(FileSystem::Default(), dir, name, payload);
+}
+
+Status EnsureDirectory(FileSystem& fs, const std::string& dir) {
+  return fs.CreateDirs(dir);
 }
 
 Status EnsureDirectory(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("persist: mkdir " + dir + ": " + ec.message());
-  }
-  return Status::OK();
+  return EnsureDirectory(FileSystem::Default(), dir);
 }
 
 }  // namespace pie::persist

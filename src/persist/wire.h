@@ -19,6 +19,12 @@
 // the complete new file -- never a half-written one under its final name.
 // (Checkpoint-level atomicity -- manifest written last -- is layered on
 // top in persist/checkpoint.cc.)
+//
+// Since PR 10 every file touch goes through the pluggable FileSystem
+// (util/fs.h): the helpers below keep their historical signatures against
+// FileSystem::Default() and gain fs-explicit overloads, which is what lets
+// FaultInjectingFs drive the crash-point torture harness through the whole
+// persist stack.
 
 #pragma once
 
@@ -27,6 +33,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace pie::persist {
@@ -92,16 +99,21 @@ class WireReader {
   bool failed_ = false;
 };
 
-/// Reads a whole file into memory. NotFound when the file does not exist,
-/// Internal on other I/O errors.
+/// Reads a whole file into memory through `fs`. NotFound when the file
+/// does not exist, Unavailable/Internal on other I/O errors (util/fs.h).
+Result<std::string> ReadFileBytes(FileSystem& fs, const std::string& path);
 Result<std::string> ReadFileBytes(const std::string& path);
 
-/// Writes `payload` as `dir`/`name` crash-safely: temp file in the same
-/// directory, fsync, rename over the final name, fsync the directory.
+/// Writes `payload` as `dir`/`name` crash-safely against the default
+/// filesystem: temp file in the same directory, fsync, rename over the
+/// final name, fsync the directory. Fs-explicit callers use
+/// pie::WriteFileAtomic (util/fs.h) directly -- a persist-level overload
+/// with the same signature would be ADL-ambiguous against it.
 Status WriteFileAtomic(const std::string& dir, const std::string& name,
                        std::string_view payload);
 
 /// Creates `dir` (and parents) if missing.
+Status EnsureDirectory(FileSystem& fs, const std::string& dir);
 Status EnsureDirectory(const std::string& dir);
 
 }  // namespace pie::persist

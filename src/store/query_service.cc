@@ -1,5 +1,6 @@
 #include "store/query_service.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <utility>
@@ -43,6 +44,20 @@ void ObserveCiWidth(const IntervalEstimate& interval) {
   }
 }
 
+/// Instrumentation of the degraded path (registry lookups are fine here:
+/// answering from a partial store is the rare case, not the hot path).
+void NoteDegradedQuery(const char* query, double coverage) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("pie_degraded_queries_total",
+                 "Aggregate queries answered from a degraded (partial-"
+                 "coverage) snapshot, by query type",
+                 {{"query", query}})
+      .Increment();
+  reg.GetGauge("pie_degraded_coverage",
+               "Shard coverage fraction of the last degraded answer")
+      .Set(coverage);
+}
+
 }  // namespace
 
 QueryService::QueryService(std::shared_ptr<const StoreSnapshot> snapshot,
@@ -71,6 +86,56 @@ void QueryService::ForEachShard(const std::function<void(int)>& fn) const {
   // nested scan instead of idling.
   WorkerPool::Global().ParallelFor(snapshot_->num_shards(), ScanThreads(),
                                    fn);
+}
+
+IntervalEstimate QueryService::DegradeInterval(
+    const std::vector<double>& est, const std::vector<double>& var) const {
+  const int num_shards = snapshot_->num_shards();
+  int m = 0;
+  double est_sum = 0.0;
+  double var_sum = 0.0;
+  for (int s = 0; s < num_shards; ++s) {
+    if (snapshot_->ShardAbsent(s)) continue;
+    ++m;
+    est_sum += est[static_cast<size_t>(s)];
+    var_sum += var[static_cast<size_t>(s)];
+  }
+  // m >= 1 always: degraded recovery refuses a generation without at
+  // least one verified shard (persist/checkpoint.cc).
+  const double c = static_cast<double>(m) / static_cast<double>(num_shards);
+  double variance = 0.0;
+  if (options_.with_variance) {
+    variance = var_sum / (c * c);
+    if (m > 1 && m < num_shards) {
+      const double mean = est_sum / static_cast<double>(m);
+      double ss = 0.0;
+      for (int s = 0; s < num_shards; ++s) {
+        if (snapshot_->ShardAbsent(s)) continue;
+        const double d = est[static_cast<size_t>(s)] - mean;
+        ss += d * d;
+      }
+      variance += static_cast<double>(num_shards) *
+                  static_cast<double>(num_shards - m) *
+                  (ss / static_cast<double>(m - 1)) / static_cast<double>(m);
+    }
+  }
+  IntervalEstimate out = MakeInterval(est_sum / c, variance, options_.ci);
+  out.coverage = c;
+  return out;
+}
+
+IntervalEstimate QueryService::DegradeFromPartials(
+    const std::vector<std::vector<AccuracyAccumulator>>& partials,
+    size_t k) const {
+  std::vector<double> est;
+  std::vector<double> var;
+  est.reserve(partials.size());
+  var.reserve(partials.size());
+  for (const auto& shard : partials) {
+    est.push_back(shard[k].sum());
+    var.push_back(shard[k].variance());
+  }
+  return DegradeInterval(est, var);
 }
 
 namespace {
@@ -119,7 +184,8 @@ void FillPairBatch(const StreamingPpsSketch* s1, const StreamingPpsSketch* s2,
 
 void QueryService::ScanMaxPair(
     int i1, int i2, const std::vector<const EstimatorKernel*>& kernels,
-    std::vector<AccuracyAccumulator>* totals) const {
+    std::vector<AccuracyAccumulator>* totals,
+    std::vector<std::vector<AccuracyAccumulator>>* shard_partials) const {
   obs::ScopedSpan span("scan/max_pair");
   const double tau1 = snapshot_->TauFor(i1);
   const double tau2 = snapshot_->TauFor(i2);
@@ -154,6 +220,7 @@ void QueryService::ScanMaxPair(
       (*totals)[k].Merge(partial[static_cast<size_t>(s)][k]);
     }
   }
+  if (shard_partials != nullptr) *shard_partials = std::move(partial);
 }
 
 Result<DualInterval> QueryService::MaxDominance(int i1, int i2) const {
@@ -168,11 +235,20 @@ Result<DualInterval> QueryService::MaxDominance(int i1, int i2) const {
   PIE_RETURN_IF_ERROR(ht.status());
   PIE_RETURN_IF_ERROR(l.status());
 
+  const bool degraded = snapshot_->absent_shards() > 0;
   std::vector<AccuracyAccumulator> totals;
-  ScanMaxPair(i1, i2, {ht->get(), l->get()}, &totals);
+  std::vector<std::vector<AccuracyAccumulator>> partials;
+  ScanMaxPair(i1, i2, {ht->get(), l->get()}, &totals,
+              degraded ? &partials : nullptr);
   DualInterval out;
-  out.ht = totals[0].Interval(options_.ci);
-  out.l = totals[1].Interval(options_.ci);
+  if (degraded) {
+    out.ht = DegradeFromPartials(partials, 0);
+    out.l = DegradeFromPartials(partials, 1);
+    NoteDegradedQuery("max_dominance", out.ht.coverage);
+  } else {
+    out.ht = totals[0].Interval(options_.ci);
+    out.l = totals[1].Interval(options_.ci);
+  }
   ObserveCiWidth(out.ht);
   ObserveCiWidth(out.l);
   return out;
@@ -192,11 +268,19 @@ Result<SelectedEstimate> QueryService::MaxDominanceAuto(int i1, int i2) const {
   auto kernel = EstimationEngine::Global().Kernel(*chosen, params);
   PIE_RETURN_IF_ERROR(kernel.status());
 
+  const bool degraded = snapshot_->absent_shards() > 0;
   std::vector<AccuracyAccumulator> totals;
-  ScanMaxPair(i1, i2, {kernel->get()}, &totals);
+  std::vector<std::vector<AccuracyAccumulator>> partials;
+  ScanMaxPair(i1, i2, {kernel->get()}, &totals,
+              degraded ? &partials : nullptr);
   SelectedEstimate out;
   out.spec = *chosen;
-  out.interval = totals[0].Interval(options_.ci);
+  if (degraded) {
+    out.interval = DegradeFromPartials(partials, 0);
+    NoteDegradedQuery("max_dominance_auto", out.interval.coverage);
+  } else {
+    out.interval = totals[0].Interval(options_.ci);
+  }
   ObserveCiWidth(out.interval);
   return out;
 }
@@ -248,9 +332,23 @@ Result<IntervalEstimate> QueryService::MinDominanceHt(int i1, int i2) const {
     }
   });
 
-  AccuracyAccumulator total;
-  for (const auto& p : partial) total.Merge(p);
-  const IntervalEstimate interval = total.Interval(options_.ci);
+  IntervalEstimate interval;
+  if (snapshot_->absent_shards() > 0) {
+    std::vector<double> est;
+    std::vector<double> var;
+    est.reserve(partial.size());
+    var.reserve(partial.size());
+    for (const auto& p : partial) {
+      est.push_back(p.sum());
+      var.push_back(p.variance());
+    }
+    interval = DegradeInterval(est, var);
+    NoteDegradedQuery("min_dominance_ht", interval.coverage);
+  } else {
+    AccuracyAccumulator total;
+    for (const auto& p : partial) total.Merge(p);
+    interval = total.Interval(options_.ci);
+  }
   ObserveCiWidth(interval);
   return interval;
 }
@@ -297,9 +395,27 @@ Result<IntervalEstimate> QueryService::L1Distance(int i1, int i2) const {
     partial[static_cast<size_t>(s)].AddBatch(**max_l, **min_ht, batch, cross,
                                              options_.with_variance);
   });
-  DifferenceAccumulator total;
-  for (const auto& p : partial) total.Merge(p);
-  const IntervalEstimate interval = total.Interval(options_.ci);
+  IntervalEstimate interval;
+  if (snapshot_->absent_shards() > 0) {
+    // Per-shard variance uses the same joint-clamped-to-conservative rule
+    // as DifferenceAccumulator::Interval, applied shard-wise.
+    std::vector<double> est;
+    std::vector<double> var;
+    est.reserve(partial.size());
+    var.reserve(partial.size());
+    for (const auto& p : partial) {
+      est.push_back(p.estimate());
+      const double joint = p.joint_variance();
+      const double ceiling = p.conservative_variance();
+      var.push_back(std::max(0.0, std::min(joint, ceiling)));
+    }
+    interval = DegradeInterval(est, var);
+    NoteDegradedQuery("l1_distance", interval.coverage);
+  } else {
+    DifferenceAccumulator total;
+    for (const auto& p : partial) total.Merge(p);
+    interval = total.Interval(options_.ci);
+  }
   ObserveCiWidth(interval);
   return interval;
 }
@@ -307,7 +423,8 @@ Result<IntervalEstimate> QueryService::L1Distance(int i1, int i2) const {
 Status QueryService::ScanOrUnion(
     const std::vector<int>& instances,
     const std::vector<const EstimatorKernel*>& kernels,
-    std::vector<AccuracyAccumulator>* totals) const {
+    std::vector<AccuracyAccumulator>* totals,
+    std::vector<std::vector<AccuracyAccumulator>>* shard_partials) const {
   obs::ScopedSpan span("scan/or_union");
   const int r = static_cast<int>(instances.size());
   std::vector<double> taus;
@@ -385,6 +502,7 @@ Status QueryService::ScanOrUnion(
       (*totals)[k].Merge(partial[static_cast<size_t>(s)][k]);
     }
   }
+  if (shard_partials != nullptr) *shard_partials = std::move(partial);
   return Status::OK();
 }
 
@@ -406,11 +524,20 @@ Result<DualInterval> QueryService::DistinctUnion(
   PIE_RETURN_IF_ERROR(ht.status());
   PIE_RETURN_IF_ERROR(l.status());
 
+  const bool degraded = snapshot_->absent_shards() > 0;
   std::vector<AccuracyAccumulator> totals;
-  PIE_RETURN_IF_ERROR(ScanOrUnion(instances, {ht->get(), l->get()}, &totals));
+  std::vector<std::vector<AccuracyAccumulator>> partials;
+  PIE_RETURN_IF_ERROR(ScanOrUnion(instances, {ht->get(), l->get()}, &totals,
+                                  degraded ? &partials : nullptr));
   DualInterval out;
-  out.ht = totals[0].Interval(options_.ci);
-  out.l = totals[1].Interval(options_.ci);
+  if (degraded) {
+    out.ht = DegradeFromPartials(partials, 0);
+    out.l = DegradeFromPartials(partials, 1);
+    NoteDegradedQuery("distinct_union", out.ht.coverage);
+  } else {
+    out.ht = totals[0].Interval(options_.ci);
+    out.l = totals[1].Interval(options_.ci);
+  }
   ObserveCiWidth(out.ht);
   ObserveCiWidth(out.l);
   return out;
@@ -437,11 +564,19 @@ Result<SelectedEstimate> QueryService::DistinctUnionAuto(
   auto kernel = EstimationEngine::Global().Kernel(*chosen, params);
   PIE_RETURN_IF_ERROR(kernel.status());
 
+  const bool degraded = snapshot_->absent_shards() > 0;
   std::vector<AccuracyAccumulator> totals;
-  PIE_RETURN_IF_ERROR(ScanOrUnion(instances, {kernel->get()}, &totals));
+  std::vector<std::vector<AccuracyAccumulator>> partials;
+  PIE_RETURN_IF_ERROR(ScanOrUnion(instances, {kernel->get()}, &totals,
+                                  degraded ? &partials : nullptr));
   SelectedEstimate out;
   out.spec = *chosen;
-  out.interval = totals[0].Interval(options_.ci);
+  if (degraded) {
+    out.interval = DegradeFromPartials(partials, 0);
+    NoteDegradedQuery("distinct_union_auto", out.interval.coverage);
+  } else {
+    out.interval = totals[0].Interval(options_.ci);
+  }
   ObserveCiWidth(out.interval);
   return out;
 }

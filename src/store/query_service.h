@@ -143,17 +143,43 @@ class QueryService {
   /// Scans the union of keys sampled in instance i1 or i2, assembling the
   /// per-shard r=2 PPS batches once and accumulating every kernel's
   /// estimate + variance; totals are reduced in shard order (one
-  /// AccuracyAccumulator per kernel).
-  void ScanMaxPair(int i1, int i2,
-                   const std::vector<const EstimatorKernel*>& kernels,
-                   std::vector<AccuracyAccumulator>* totals) const;
+  /// AccuracyAccumulator per kernel). When `shard_partials` is non-null
+  /// the per-shard accumulators (outer index: shard, inner: kernel) are
+  /// moved out too -- the degraded path extrapolates from them.
+  void ScanMaxPair(
+      int i1, int i2, const std::vector<const EstimatorKernel*>& kernels,
+      std::vector<AccuracyAccumulator>* totals,
+      std::vector<std::vector<AccuracyAccumulator>>* shard_partials =
+          nullptr) const;
 
   /// Scans the union of keys sampled in any of `instances` (unit-weight
   /// set semantics), accumulating every kernel's estimate + variance;
   /// totals reduced in shard order. InvalidArgument on non-unit weights.
-  Status ScanOrUnion(const std::vector<int>& instances,
-                     const std::vector<const EstimatorKernel*>& kernels,
-                     std::vector<AccuracyAccumulator>* totals) const;
+  Status ScanOrUnion(
+      const std::vector<int>& instances,
+      const std::vector<const EstimatorKernel*>& kernels,
+      std::vector<AccuracyAccumulator>* totals,
+      std::vector<std::vector<AccuracyAccumulator>>* shard_partials =
+          nullptr) const;
+
+  /// Cluster-sampling extrapolation for degraded snapshots. `est`/`var`
+  /// hold one per-shard (estimate, variance) partial per store shard, in
+  /// shard order; absent shards' slots are ignored. Treating the m
+  /// surviving shards as a size-m sample of the N per-shard totals (keys
+  /// hash uniformly across shards), the full-store total is estimated as
+  /// sum_surviving / (m/N) and the interval is widened by both the 1/c^2
+  /// scaling of the within-shard variance and the between-shard
+  /// (finite-population cluster sampling) term N (N - m) s^2 / m --
+  /// skipped when with_variance is off (zero-width contract) or m == 1
+  /// (s^2 undefined). Deterministic: partials are reduced in shard order.
+  IntervalEstimate DegradeInterval(const std::vector<double>& est,
+                                   const std::vector<double>& var) const;
+
+  /// DegradeInterval over kernel `k`'s column of a per-shard accumulator
+  /// matrix (as produced by ScanMaxPair/ScanOrUnion).
+  IntervalEstimate DegradeFromPartials(
+      const std::vector<std::vector<AccuracyAccumulator>>& partials,
+      size_t k) const;
 
   std::shared_ptr<const StoreSnapshot> snapshot_;
   QueryServiceOptions options_;

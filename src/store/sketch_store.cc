@@ -103,6 +103,12 @@ uint64_t StoreSnapshot::UpdateCount(int instance) const {
   return total;
 }
 
+int StoreSnapshot::absent_shards() const {
+  int n = 0;
+  for (uint8_t flag : absent_) n += flag != 0;
+  return n;
+}
+
 StreamingPpsSketch StoreSnapshot::MergedInstance(int instance) const {
   StreamingPpsSketch merged(TauFor(instance), InstanceSalt(instance));
   for (const auto& shard : shards_) {
@@ -134,6 +140,12 @@ double SketchStore::TauFor(int instance) const {
 
 uint64_t SketchStore::InstanceSalt(int instance) const {
   return SaltFromOptions(options_, instance);
+}
+
+int SketchStore::absent_shards() const {
+  int n = 0;
+  for (uint8_t flag : shard_absent_) n += flag != 0;
+  return n;
 }
 
 StreamingPpsSketch& SketchStore::LiveSketch(Shard& shard, int instance) {
@@ -182,6 +194,7 @@ std::shared_ptr<const StoreSnapshot> SketchStore::Snapshot() const {
   obs::ScopedTimer timer(metrics.snapshot_seconds);
   auto snapshot = std::make_shared<StoreSnapshot>();
   snapshot->options_ = options_;
+  snapshot->absent_ = shard_absent_;
   snapshot->shards_.reserve(shards_.size());
   for (Shard& shard : shards_) {
     const uint64_t version = shard.version.load(std::memory_order_acquire);

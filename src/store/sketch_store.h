@@ -41,6 +41,8 @@
 
 namespace pie {
 
+class FileSystem;  // util/fs.h
+
 namespace obs {
 class Counter;  // obs/metrics.h
 }
@@ -90,6 +92,20 @@ class StoreSnapshot {
   double TauFor(int instance) const;
   uint64_t InstanceSalt(int instance) const;
 
+  /// True when degraded-mode recovery marked `shard` unrecoverable: the
+  /// shard's snapshot is empty and queries extrapolate around it.
+  bool ShardAbsent(int shard) const {
+    return !absent_.empty() && absent_[static_cast<size_t>(shard)] != 0;
+  }
+  /// Number of absent shards (0 for any store built by ingestion or
+  /// strict recovery).
+  int absent_shards() const;
+  /// Fraction of shards that are present, in (0, 1]; 1.0 when complete.
+  double coverage() const {
+    return 1.0 - static_cast<double>(absent_shards()) /
+                     static_cast<double>(num_shards());
+  }
+
   /// Instances with at least one absorbed record, ascending.
   std::vector<int> Instances() const;
   /// Total Update() calls absorbed for `instance` across shards.
@@ -101,6 +117,24 @@ class StoreSnapshot {
   friend class SketchStore;
   SketchStoreOptions options_;
   std::vector<std::shared_ptr<const ShardSnapshot>> shards_;
+  std::vector<uint8_t> absent_;  // empty, or one flag per shard
+};
+
+/// How SketchStore::Recover treats a generation with unrecoverable shards.
+enum class RecoverPolicy {
+  /// Fail-fast (the historical behavior, byte-for-byte): a generation
+  /// with any bad file is skipped; DataLoss when none is complete.
+  kStrict,
+  /// Serve what survives: the newest committed generation with >= 1
+  /// verified shard loads, bad shards are marked absent, and queries
+  /// answer with coverage-annotated, conservatively widened intervals.
+  kDegraded,
+};
+
+struct RecoverOptions {
+  RecoverPolicy policy = RecoverPolicy::kStrict;
+  /// Filesystem recovery reads through; null means FileSystem::Default().
+  FileSystem* fs = nullptr;
 };
 
 class SketchStore {
@@ -144,6 +178,24 @@ class SketchStore {
   /// directory holds no manifest at all.
   static Result<std::unique_ptr<SketchStore>> Recover(const std::string& dir);
 
+  /// Policy-carrying overload. RecoverPolicy::kStrict is byte-for-byte the
+  /// call above; RecoverPolicy::kDegraded serves the newest committed
+  /// generation with at least one verified shard, marking the rest absent
+  /// (see StoreSnapshot::ShardAbsent). A degraded store answers queries
+  /// (coverage-extrapolated; store/query_service.h) but refuses to
+  /// Checkpoint -- persisting a partial view as if complete would corrupt
+  /// downstream merges.
+  static Result<std::unique_ptr<SketchStore>> Recover(
+      const std::string& dir, const RecoverOptions& options);
+
+  /// Degraded-recovery mask: true when `shard` was unrecoverable. Always
+  /// false for ingest-built or strictly recovered stores.
+  bool ShardAbsent(int shard) const {
+    return !shard_absent_.empty() &&
+           shard_absent_[static_cast<size_t>(shard)] != 0;
+  }
+  int absent_shards() const;
+
   /// Combines the newest intact generation from each directory into one
   /// store, exactly as if every process's records had been fed to a single
   /// store: per-(shard, instance) sketches are merged in directory order,
@@ -173,6 +225,9 @@ class SketchStore {
 
   SketchStoreOptions options_;
   mutable std::vector<Shard> shards_;
+  /// Set only by degraded recovery (persist/checkpoint.cc), before the
+  /// store is published to any other thread; immutable afterwards.
+  std::vector<uint8_t> shard_absent_;
   /// pie_store_updates_total{shard=...}, resolved once at construction so
   /// the ingest path pays one relaxed fetch_add per record (or per batch
   /// bucket), never a registry lookup.

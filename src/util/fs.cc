@@ -1,0 +1,391 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "util/hashing.h"
+
+namespace pie {
+
+namespace {
+
+/// errno -> typed Status. The transient class maps to Unavailable (the
+/// only retryable code); missing paths to NotFound; the rest to Internal.
+Status ErrnoStatus(const std::string& what) {
+  const int err = errno;
+  std::string msg = "fs: " + what + ": " + std::strerror(err);
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+    case EBUSY:
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::Unavailable(std::move(msg));
+    case ENOENT:
+      return Status::NotFound(std::move(msg));
+    default:
+      return Status::Internal(std::move(msg));
+  }
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> AppendSome(const char* data, size_t n) override {
+    const ssize_t written = ::write(fd_, data, n);
+    if (written < 0) {
+      // EINTR is a zero-byte short write: the caller's loop retries.
+      if (errno == EINTR) return static_cast<size_t>(0);
+      return ErrnoStatus("write " + path_);
+    }
+    return static_cast<size_t>(written);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close " + path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open " + path);
+    std::string bytes;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status status = ErrnoStatus("read " + path);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      bytes.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return bytes;
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink " + path);
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open dir " + dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync dir " + dir);
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("fs: mkdir " + dir + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      if (ec == std::errc::no_such_file_or_directory) {
+        return Status::NotFound("fs: list " + dir + ": " + ec.message());
+      }
+      return Status::Internal("fs: list " + dir + ": " + ec.message());
+    }
+    // Non-throwing iteration: a file unlinked between readdir batches (a
+    // concurrent GC) must skip, not abort the scan. A mid-iteration error
+    // ends the listing with the entries gathered so far -- readers verify
+    // every file they load anyway.
+    std::vector<std::string> names;
+    const std::filesystem::directory_iterator end;
+    while (it != end) {
+      names.push_back(it->path().filename().string());
+      it.increment(ec);
+      if (ec) break;
+    }
+    return names;
+  }
+};
+
+}  // namespace
+
+FileSystem& FileSystem::Default() {
+  static PosixFileSystem* fs = new PosixFileSystem;
+  return *fs;
+}
+
+Status WriteFileAtomic(FileSystem& fs, const std::string& dir,
+                       const std::string& name, std::string_view payload) {
+  const std::string tmp_path = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  auto file = fs.NewWritableFile(tmp_path);
+  if (!file.ok()) return file.status();
+  const auto fail = [&](const Status& status) {
+    fs.RemoveFile(tmp_path);  // best effort; the error below wins
+    return status;
+  };
+  size_t written = 0;
+  size_t stalls = 0;
+  while (written < payload.size()) {
+    auto n = (*file)->AppendSome(payload.data() + written,
+                                 payload.size() - written);
+    if (!n.ok()) return fail(n.status());
+    written += *n;
+    // A zero-byte append is an interrupted write and retries, but a
+    // filesystem that never makes progress must not hang the writer.
+    stalls = (*n == 0) ? stalls + 1 : 0;
+    if (stalls > 1000) {
+      return fail(Status::Unavailable("fs: append to " + tmp_path +
+                                      " makes no progress"));
+    }
+  }
+  Status status = (*file)->Sync();
+  if (!status.ok()) return fail(status);
+  status = (*file)->Close();
+  if (!status.ok()) return fail(status);
+  status = fs.Rename(tmp_path, final_path);
+  if (!status.ok()) return fail(status);
+  return fs.SyncDir(dir);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingFs
+// ---------------------------------------------------------------------------
+
+/// A fault-wrapped writable file: every call is an operation of the
+/// owning FaultInjectingFs, so scripts can target appends/syncs/closes.
+/// Namespace-scope (not anonymous) so the friend declaration in fs.h
+/// grants it access to Enter and the script state.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingFs* owner,
+                    std::unique_ptr<WritableFile> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  Result<size_t> AppendSome(const char* data, size_t n) override;
+  Status Sync() override;
+  Status Close() override;
+
+ private:
+  FaultInjectingFs* owner_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+namespace {
+
+/// Fully writes `n` bytes through the base file (the injected torn prefix
+/// must land deterministically, short base writes notwithstanding).
+Status AppendAll(WritableFile* file, const char* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    auto w = file->AppendSome(data + written, n - written);
+    if (!w.ok()) return w.status();
+    written += *w;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjectingFs::Enter(FsOp op, size_t append_len,
+                               size_t* torn_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *torn_prefix = SIZE_MAX;
+  const uint64_t k = ++op_count_;
+  if (crashed_) return Status::Unavailable("fs crashed (fault injection)");
+  if (crash_at_ != 0 && k >= crash_at_) {
+    crashed_ = true;
+    if (op == FsOp::kAppend && append_len > 0) {
+      // The torn write: a seeded strict-prefix of the payload lands, the
+      // rest never does. Deterministic in (seed, op index).
+      *torn_prefix = static_cast<size_t>(Mix64(seed_ ^ k) % append_len);
+    }
+    return Status::Unavailable("fs crashed (fault injection)");
+  }
+  if (auto it = fail_at_.find(k); it != fail_at_.end()) {
+    Status status = it->second;
+    fail_at_.erase(it);
+    return status;
+  }
+  if (auto it = typed_.find(op); it != typed_.end() && it->second.remaining > 0) {
+    --it->second.remaining;
+    return it->second.status;
+  }
+  return Status::OK();
+}
+
+Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) {
+  size_t torn;
+  Status status = Enter(FsOp::kRead, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->ReadFile(path);
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
+    const std::string& path) {
+  size_t torn;
+  Status status = Enter(FsOp::kCreate, 0, &torn);
+  if (!status.ok()) return status;
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(*base)));
+}
+
+Status FaultInjectingFs::Rename(const std::string& from,
+                                const std::string& to) {
+  size_t torn;
+  Status status = Enter(FsOp::kRename, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFs::RemoveFile(const std::string& path) {
+  size_t torn;
+  Status status = Enter(FsOp::kRemove, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingFs::SyncDir(const std::string& dir) {
+  size_t torn;
+  Status status = Enter(FsOp::kSyncDir, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->SyncDir(dir);
+}
+
+Status FaultInjectingFs::CreateDirs(const std::string& dir) {
+  size_t torn;
+  Status status = Enter(FsOp::kMkdir, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->CreateDirs(dir);
+}
+
+Result<std::vector<std::string>> FaultInjectingFs::ListDir(
+    const std::string& dir) {
+  size_t torn;
+  Status status = Enter(FsOp::kList, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->ListDir(dir);
+}
+
+Result<size_t> FaultWritableFile::AppendSome(const char* data, size_t n) {
+  size_t torn = SIZE_MAX;
+  Status status = owner_->Enter(FsOp::kAppend, n, &torn);
+  if (!status.ok()) {
+    if (torn != SIZE_MAX && torn > 0) {
+      AppendAll(base_.get(), data, torn);  // the crash's torn write
+    }
+    return status;
+  }
+  size_t limit;
+  {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    limit = owner_->append_limit_;
+  }
+  return base_->AppendSome(data, n < limit ? n : limit);
+}
+
+Status FaultWritableFile::Sync() {
+  size_t torn;
+  Status status = owner_->Enter(FsOp::kSync, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->Sync();
+}
+
+Status FaultWritableFile::Close() {
+  size_t torn;
+  Status status = owner_->Enter(FsOp::kClose, 0, &torn);
+  if (!status.ok()) return status;
+  return base_->Close();
+}
+
+void FaultInjectingFs::FailOp(uint64_t k, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_[k] = std::move(status);
+}
+
+void FaultInjectingFs::FailNextOps(FsOp op, int count, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  typed_[op] = {count, std::move(status)};
+}
+
+void FaultInjectingFs::SetAppendLimit(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  append_limit_ = max_bytes;
+}
+
+void FaultInjectingFs::CrashAtOp(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_ = k;
+}
+
+uint64_t FaultInjectingFs::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+bool FaultInjectingFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectingFs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_ = 0;
+  crashed_ = false;
+  crash_at_ = 0;
+  fail_at_.clear();
+  typed_.clear();
+  append_limit_ = SIZE_MAX;
+}
+
+}  // namespace pie

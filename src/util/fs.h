@@ -1,0 +1,182 @@
+// Pluggable filesystem abstraction for every fallible I/O path.
+//
+// All persist-layer I/O (atomic file writes, checkpoint reads, directory
+// scans, fsync/rename, retention GC) goes through a FileSystem so tests can
+// substitute FaultInjectingFs: a deterministic, scriptable wrapper that
+// fails the Nth operation, truncates appends (short writes / EINTR), maps
+// ENOSPC/EIO onto typed Status codes, or "crashes" at operation K --
+// freezing the directory in exactly the state the real filesystem would
+// hold if the process died there. The crash-point torture harness
+// (tests/crash_torture_test.cc) enumerates every operation index of a
+// checkpoint or GC run this way and asserts recovery always serves a fully
+// verified generation.
+//
+// Error taxonomy: operations return Status with NotFound for missing
+// paths, Unavailable for the transient errno class (EINTR, EAGAIN, EBUSY,
+// ENOSPC, EDQUOT -- the only code persist's RetryPolicy retries), and
+// Internal for everything else. WritableFile::AppendSome mirrors write(2):
+// it may write FEWER bytes than asked (a short write; EINTR surfaces as a
+// zero-byte success) and callers loop -- WriteFileAtomic below owns that
+// loop, so short-write handling is injectable and tested rather than
+// buried in each call site.
+//
+// This layer sits in util (below obs), so it carries no metrics; persist
+// wraps these primitives with retry/metrics (persist/retry.h).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pie {
+
+/// A file opened for writing (created or truncated). Close() must be
+/// called for the contents to be considered complete; the destructor
+/// releases the descriptor without syncing.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends up to `n` bytes, returning how many actually landed --
+  /// possibly fewer (short write) or zero (interrupted, retry). Callers
+  /// loop; see WriteFileAtomic.
+  virtual Result<size_t> AppendSome(const char* data, size_t n) = 0;
+  /// fsync: flushed to durable storage.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Virtual filesystem. The process-default implementation is POSIX;
+/// FaultInjectingFs wraps any FileSystem with scripted failures.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Whole file into memory. NotFound when missing.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  /// Creates (or truncates) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// Removes a file. NotFound when it does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// fsync on a directory: makes completed renames/unlinks durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  /// Entry names (not paths) in `dir`, unsorted. Tolerates entries
+  /// vanishing mid-scan (a concurrent GC unlinking files must never turn
+  /// a directory listing into a hard error); NotFound when `dir` itself
+  /// is missing.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  /// The process-wide POSIX filesystem.
+  static FileSystem& Default();
+};
+
+/// Writes `payload` as `dir`/`name` crash-safely through `fs`: temp file
+/// in the same directory (append loop tolerant of short writes), fsync,
+/// rename over the final name, fsync the directory. A crash at any point
+/// leaves either the old file, no file, or the complete new file under the
+/// final name -- never a torn one. On failure the temp file is removed
+/// (best effort) and the first error is returned.
+Status WriteFileAtomic(FileSystem& fs, const std::string& dir,
+                       const std::string& name, std::string_view payload);
+
+/// Operation classes of FaultInjectingFs, for type-targeted scripts
+/// ("fail the next fsync with EIO").
+enum class FsOp {
+  kRead,
+  kList,
+  kCreate,  // NewWritableFile
+  kAppend,
+  kSync,    // WritableFile::Sync
+  kClose,
+  kRename,
+  kRemove,
+  kSyncDir,
+  kMkdir,
+};
+
+/// Deterministic fault injection over a base FileSystem.
+///
+/// Every virtual call (including calls on files it hands out) is one
+/// *operation*, numbered from 1 in call order. Scripts are evaluated
+/// before the operation touches the base filesystem:
+///
+///   * FailOp(k, status)        -- operation k returns `status`, no side
+///                                 effect (fail-at-Nth-op, ENOSPC, ...).
+///   * FailNextOps(op, n, st)   -- the next n operations of class `op`
+///                                 return `st` (transient faults for retry
+///                                 tests; EIO-on-fsync with op = kSync).
+///   * SetAppendLimit(max)      -- every AppendSome writes at most `max`
+///                                 bytes (short-write / EINTR coverage;
+///                                 0 means appends make no progress).
+///   * CrashAtOp(k)             -- operation k "crashes": an append first
+///                                 applies a seeded partial prefix (a torn
+///                                 write), any other operation applies
+///                                 nothing; every operation from k on
+///                                 fails with Unavailable("fs crashed"),
+///                                 freezing the base directory state.
+///
+/// The same seed and script replay the same behavior exactly; there is no
+/// wall-clock or randomness involved. Thread-safe, though torture runs
+/// are single-threaded by construction.
+class FaultInjectingFs : public FileSystem {
+ public:
+  explicit FaultInjectingFs(FileSystem* base, uint64_t seed = 0)
+      : base_(base), seed_(seed) {}
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Status CreateDirs(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+
+  void FailOp(uint64_t k, Status status);
+  void FailNextOps(FsOp op, int count, Status status);
+  void SetAppendLimit(size_t max_bytes);
+  void CrashAtOp(uint64_t k);
+
+  /// Operations observed so far (a clean pass measures the op count a
+  /// torture sweep then enumerates).
+  uint64_t ops() const;
+  bool crashed() const;
+  /// Clears scripts, the crash latch, and the operation counter.
+  void Reset();
+
+ private:
+  friend class FaultWritableFile;
+
+  /// Runs the script for one operation of class `op`. Returns non-OK when
+  /// the operation must fail; sets *torn_prefix (appends only) to the
+  /// seeded partial length to apply before failing, or SIZE_MAX for none.
+  Status Enter(FsOp op, size_t append_len, size_t* torn_prefix);
+
+  mutable std::mutex mu_;
+  FileSystem* base_;
+  uint64_t seed_;
+  uint64_t op_count_ = 0;
+  bool crashed_ = false;
+  uint64_t crash_at_ = 0;  // 0 = disabled
+  std::map<uint64_t, Status> fail_at_;
+  struct TypedFault {
+    int remaining = 0;
+    Status status;
+  };
+  std::map<FsOp, TypedFault> typed_;
+  size_t append_limit_ = SIZE_MAX;
+};
+
+}  // namespace pie

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

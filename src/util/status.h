@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,
   kInfeasible,  // derivation-specific: no estimator with requested properties
   kDataLoss,    // persistence-specific: corrupted or truncated on-disk data
+  kUnavailable,  // transient I/O failure (EINTR/EAGAIN/ENOSPC class);
+                 // the only code persist's RetryPolicy treats as retryable
 };
 
 /// Returns a short stable name for a status code ("InvalidArgument", ...).
@@ -60,6 +62,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -19,8 +20,12 @@
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "persist/checkpoint.h"
+#include "persist/format.h"
+#include "persist/gc.h"
 #include "store/query_service.h"
 #include "store/sketch_store.h"
+#include "util/fs.h"
 
 namespace pie {
 namespace {
@@ -57,9 +62,52 @@ void RunWorkload() {
   ASSERT_TRUE(service.DistinctUnion({0, 1}).ok());
   ASSERT_TRUE(service.DistinctUnionAuto({0, 1}).ok());
 
-  const std::string dir = testing::TempDir() + "/obs_dump_checkpoint";
+  // Per-test directory: the workload is destructive (GC, shard loss) and
+  // the suite's tests run as concurrent ctest processes.
+  const std::string dir =
+      testing::TempDir() + "/obs_dump_" +
+      testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::remove_all(dir);
   ASSERT_TRUE(store.Checkpoint(dir).ok());
   ASSERT_TRUE(SketchStore::Recover(dir).ok());
+
+  // Two more generations so retention GC has victims, then the robustness
+  // families: a retried transient write (pie_persist_retries_total), a
+  // file vanishing mid-scan (pie_persist_scan_skips_total), a GC run
+  // (pie_persist_gc_*), and shard loss served degraded (pie_degraded_*).
+  ASSERT_TRUE(store.Checkpoint(dir).ok());
+  ASSERT_TRUE(store.Checkpoint(dir).ok());
+  {
+    FaultInjectingFs fs(&FileSystem::Default(), /*seed=*/5);
+    fs.FailNextOps(FsOp::kCreate, 1, Status::Unavailable("injected"));
+    persist::CheckpointOptions checkpoint_options;
+    checkpoint_options.fs = &fs;
+    checkpoint_options.retry.max_retries = 2;
+    checkpoint_options.retry.sleep_ms = [](int) {};
+    ASSERT_TRUE(
+        persist::WriteCheckpoint(*store.Snapshot(), dir, checkpoint_options)
+            .ok());
+  }
+  {
+    FaultInjectingFs fs(&FileSystem::Default(), /*seed=*/6);
+    fs.FailNextOps(FsOp::kRead, 1, Status::NotFound("vanished mid-scan"));
+    ASSERT_TRUE(persist::LoadLatestCheckpoint(fs, dir).ok());
+  }
+  ASSERT_TRUE(persist::RetainLatest(dir, 1).ok());
+
+  const std::vector<uint64_t> seqs = persist::ListManifestSeqs(dir);
+  ASSERT_FALSE(seqs.empty());
+  ASSERT_TRUE(FileSystem::Default()
+                  .RemoveFile(dir + "/" +
+                              persist::ShardFileName(seqs.front(), 0))
+                  .ok());
+  RecoverOptions recover_options;
+  recover_options.policy = RecoverPolicy::kDegraded;
+  auto degraded = SketchStore::Recover(dir, recover_options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  QueryService degraded_service((*degraded)->Snapshot());
+  ASSERT_TRUE(degraded_service.MaxDominance(0, 1).ok());
+  ASSERT_TRUE(degraded_service.DistinctUnion({0, 1}).ok());
 }
 
 #ifdef PIE_METRICS

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# pie_storectl exit-code contract: 0 success, 1 operation failed (typed
+# Status on stderr), 2 usage error. Exercised end to end against a real
+# checkpoint directory, including the gc and degraded-recovery drills.
+#
+# Usage: storectl_cli_test.sh /path/to/pie_storectl
+set -u
+
+STORECTL="${1:?usage: storectl_cli_test.sh /path/to/pie_storectl}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+# The --dir fallback must not leak in from the invoking environment.
+unset PIE_CHECKPOINT_DIR
+
+failures=0
+
+# expect <want_exit> <description> -- command...
+# Runs the command, asserts its exit code, and leaves stderr in $STDERR.
+expect() {
+  local want="$1" desc="$2"
+  shift 2
+  local stderr_file="$WORK/stderr"
+  "$@" >"$WORK/stdout" 2>"$stderr_file"
+  local got=$?
+  STDERR="$(cat "$stderr_file")"
+  STDOUT="$(cat "$WORK/stdout")"
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: exit $got, want $want" >&2
+    echo "  cmd: $*" >&2
+    echo "  stderr: $STDERR" >&2
+    failures=$((failures + 1))
+    return 1
+  fi
+  echo "ok: $desc"
+  return 0
+}
+
+# expect_stderr <pattern> <description> -- greps the last command's stderr.
+expect_stderr() {
+  local pattern="$1" desc="$2"
+  if ! printf '%s' "$STDERR" | grep -q "$pattern"; then
+    echo "FAIL: $desc: stderr missing \"$pattern\"" >&2
+    echo "  stderr: $STDERR" >&2
+    failures=$((failures + 1))
+    return 1
+  fi
+  return 0
+}
+
+records() {
+  # "instance key weight" records; instance 0 weighted, instance 10
+  # unit-weight. Deterministic.
+  local k
+  for k in $(seq 1 200); do
+    echo "0 $((k * 7919)) $((1 + k % 5))"
+    echo "10 $((k * 7919)) 1"
+  done
+}
+
+# --- usage errors: exit 2, nothing touched -------------------------------
+
+expect 2 "no arguments is a usage error" "$STORECTL"
+expect 2 "unknown command is a usage error" "$STORECTL" frobnicate
+expect 2 "unknown flag is a usage error" "$STORECTL" recover --dir="$WORK/x" --bogus
+expect 2 "non-integer --shards is a usage error" \
+  "$STORECTL" checkpoint --dir="$WORK/x" --shards=abc
+expect_stderr "InvalidArgument" "--shards=abc names the bad flag"
+expect 2 "zero --shards is a usage error" \
+  bash -c "echo | '$STORECTL' checkpoint --dir='$WORK/x' --shards=0"
+expect 2 "negative --tau is a usage error" \
+  bash -c "echo | '$STORECTL' checkpoint --dir='$WORK/x' --tau=-1"
+expect 2 "non-numeric --keep is a usage error" \
+  "$STORECTL" gc --dir="$WORK/x" --keep=abc
+expect 2 "gc without --keep is a usage error" "$STORECTL" gc --dir="$WORK/x"
+expect_stderr "gc requires --keep" "gc without --keep says so"
+expect 2 "checkpoint without --dir is a usage error" \
+  bash -c "echo | '$STORECTL' checkpoint"
+
+# --- operation failures: exit 1, typed Status on stderr ------------------
+
+expect 1 "recover from a missing dir fails typed" \
+  "$STORECTL" recover --dir="$WORK/missing"
+expect_stderr "^pie_storectl: NotFound" "missing dir is NotFound on stderr"
+expect 1 "inspect of a missing dir fails typed" \
+  "$STORECTL" inspect --dir="$WORK/missing"
+expect_stderr "NotFound" "inspect missing dir is NotFound"
+expect 1 "gc of a missing dir fails typed" \
+  "$STORECTL" gc --dir="$WORK/missing" --keep=1
+expect_stderr "NotFound" "gc missing dir is NotFound"
+expect 1 "gc with keep=0 is an operation failure" \
+  "$STORECTL" gc --dir="$WORK/missing" --keep=0
+expect_stderr "InvalidArgument" "keep=0 is InvalidArgument"
+
+# --- happy path: checkpoint, inspect, recover, gc ------------------------
+
+DIR="$WORK/store"
+expect 0 "checkpoint writes a generation" \
+  bash -c "records | '$STORECTL' checkpoint --dir='$DIR' --shards=2 --tau=4 --salt=11"
+expect 0 "second generation" \
+  bash -c "records | '$STORECTL' checkpoint --dir='$DIR' --shards=2 --tau=4 --salt=11"
+expect 0 "third generation" \
+  bash -c "records | '$STORECTL' checkpoint --dir='$DIR' --shards=2 --tau=4 --salt=11"
+expect 0 "inspect a healthy dir" "$STORECTL" inspect --dir="$DIR"
+expect 0 "strict recover of a healthy dir" "$STORECTL" recover --dir="$DIR"
+
+expect 0 "gc keeps the newest generation" "$STORECTL" gc --dir="$DIR" --keep=1
+if ! printf '%s' "$STDOUT" | grep -q "removed 2 generations"; then
+  echo "FAIL: gc did not report removing 2 generations: $STDOUT" >&2
+  failures=$((failures + 1))
+fi
+manifests=$(ls "$DIR" | grep -c '^MANIFEST-')
+if [ "$manifests" -ne 1 ]; then
+  echo "FAIL: expected 1 manifest after gc --keep=1, found $manifests" >&2
+  failures=$((failures + 1))
+fi
+expect 0 "recover still works after gc" "$STORECTL" recover --dir="$DIR"
+
+# --- corrupt generation: strict fails typed, degraded serves -------------
+
+shard0=$(ls "$DIR" | grep '^shard-' | sort | head -n 1)
+truncate -s 10 "$DIR/$shard0"
+expect 1 "strict recover of a corrupt-only dir fails typed" \
+  "$STORECTL" recover --dir="$DIR"
+expect_stderr "DataLoss" "corrupt generation is DataLoss"
+expect 1 "inspect reports recovery failure" "$STORECTL" inspect --dir="$DIR"
+
+expect 0 "degraded recover serves the surviving shard" \
+  "$STORECTL" recover --dir="$DIR" --degraded
+if ! printf '%s' "$STDOUT" | grep -q "degraded mode"; then
+  echo "FAIL: degraded recover did not announce degraded mode: $STDOUT" >&2
+  failures=$((failures + 1))
+fi
+if ! printf '%s' "$STDOUT" | grep -q "coverage: 1/2 shards"; then
+  echo "FAIL: degraded recover did not report coverage: $STDOUT" >&2
+  failures=$((failures + 1))
+fi
+
+# --- merge: bad --query is a usage error ---------------------------------
+
+SRC="$WORK/src"
+expect 0 "source checkpoint for merge" \
+  bash -c "records | '$STORECTL' checkpoint --dir='$SRC' --shards=2 --tau=4 --salt=11"
+expect 2 "malformed --query is a usage error" \
+  "$STORECTL" merge --out="$WORK/merged" --query=bogus "$SRC"
+expect_stderr "InvalidArgument" "--query=bogus is InvalidArgument"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures assertion(s) failed" >&2
+  exit 1
+fi
+echo "all storectl CLI assertions passed"

@@ -5,10 +5,12 @@
 //       Reads whitespace-separated "instance key weight" records from
 //       stdin, ingests them into a fresh store, and writes one checkpoint
 //       generation into DIR.
-//   pie_storectl recover [--dir=DIR]
+//   pie_storectl recover [--dir=DIR] [--degraded]
 //       Recovers the newest complete generation and prints a per-instance
 //       summary (falls back across torn generations exactly like a
-//       restarting service would).
+//       restarting service would). --degraded serves the newest committed
+//       generation with at least one intact shard instead, reporting the
+//       coverage fraction and which shards are absent.
 //   pie_storectl merge --out=DIR [--query=i1,i2] DIR1 DIR2 ...
 //       Combines the newest generation of each input directory into one
 //       store -- query answers bitwise identical to a single-process build
@@ -17,12 +19,22 @@
 //       of instances (hex-exact, for cross-checking against a
 //       single-process run).
 //   pie_storectl inspect [--dir=DIR]
-//       Lists every generation in DIR with its integrity status.
+//       Lists every generation in DIR with its integrity status. Exits
+//       nonzero when recovery would fail.
+//   pie_storectl gc --dir=DIR --keep=N
+//       Deletes all but the newest N generations (the currently serving
+//       generation is always kept); crash-safe -- see persist/gc.h.
 //
 // --dir/--out default to the PIE_CHECKPOINT_DIR environment variable
 // (strictly validated; see persist/checkpoint.h).
+//
+// Exit codes: 0 success, 1 operation failed (typed Status on stderr),
+// 2 usage error (bad command, flag, or flag value).
 
+#include <cerrno>
 #include <cinttypes>
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +43,7 @@
 
 #include "persist/checkpoint.h"
 #include "persist/format.h"
+#include "persist/gc.h"
 #include "persist/wire.h"
 #include "store/query_service.h"
 #include "store/sketch_store.h"
@@ -41,10 +54,24 @@ int Usage() {
   std::fprintf(stderr,
                "usage: pie_storectl checkpoint --dir=DIR [--shards=N] "
                "[--tau=T] [--salt=S] [--coordinated]\n"
-               "       pie_storectl recover [--dir=DIR]\n"
+               "       pie_storectl recover [--dir=DIR] [--degraded]\n"
                "       pie_storectl merge --out=DIR [--query=i1,i2] DIR...\n"
                "       pie_storectl inspect [--dir=DIR]\n"
+               "       pie_storectl gc --dir=DIR --keep=N\n"
                "--dir/--out default to $PIE_CHECKPOINT_DIR.\n");
+  return 2;
+}
+
+/// Operation failure: typed Status on stderr, exit 1.
+int Fail(const pie::Status& status) {
+  std::fprintf(stderr, "pie_storectl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Usage failure: typed Status on stderr, exit 2 (distinct from exit 1 so
+/// scripts can tell "you called me wrong" from "the operation failed").
+int FailUsage(const pie::Status& status) {
+  std::fprintf(stderr, "pie_storectl: %s\n", status.ToString().c_str());
   return 2;
 }
 
@@ -55,9 +82,39 @@ bool FlagValue(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
-int Fail(const pie::Status& status) {
-  std::fprintf(stderr, "pie_storectl: %s\n", status.ToString().c_str());
-  return 1;
+// Strict numeric flag parsing: the whole value must consume, no silent
+// atoi-style "abc" -> 0 (which used to reach PIE_CHECK aborts deeper in).
+
+bool ParseIntValue(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (value < INT_MIN || value > INT_MAX) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseU64Value(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleValue(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
 }
 
 void PrintStoreSummary(const pie::SketchStore& store) {
@@ -75,6 +132,14 @@ void PrintStoreSummary(const pie::SketchStore& store) {
 
 int RunCheckpoint(const std::string& dir, int shards, double tau,
                   uint64_t salt, bool coordinated) {
+  if (shards < 1) {
+    return FailUsage(pie::Status::InvalidArgument(
+        "--shards must be >= 1, got " + std::to_string(shards)));
+  }
+  if (tau <= 0.0) {
+    return FailUsage(
+        pie::Status::InvalidArgument("--tau must be positive"));
+  }
   pie::SketchStoreOptions options;
   options.num_shards = shards;
   options.default_tau = tau;
@@ -97,10 +162,25 @@ int RunCheckpoint(const std::string& dir, int shards, double tau,
   return 0;
 }
 
-int RunRecover(const std::string& dir) {
-  auto store = pie::SketchStore::Recover(dir);
+int RunRecover(const std::string& dir, bool degraded) {
+  pie::RecoverOptions options;
+  options.policy = degraded ? pie::RecoverPolicy::kDegraded
+                            : pie::RecoverPolicy::kStrict;
+  auto store = pie::SketchStore::Recover(dir, options);
   if (!store.ok()) return Fail(store.status());
-  std::printf("recovered %s\n", dir.c_str());
+  std::printf("recovered %s%s\n", dir.c_str(),
+              degraded ? " (degraded mode)" : "");
+  const int absent = (*store)->absent_shards();
+  if (absent > 0) {
+    const int num_shards = (*store)->num_shards();
+    std::printf("coverage: %d/%d shards (%.4f); absent:", num_shards - absent,
+                num_shards,
+                static_cast<double>(num_shards - absent) / num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      if ((*store)->ShardAbsent(s)) std::printf(" %d", s);
+    }
+    std::printf("\n");
+  }
   PrintStoreSummary(**store);
   return 0;
 }
@@ -115,7 +195,10 @@ int RunMerge(const std::string& out, const std::string& query,
   PrintStoreSummary(**store);
   if (!query.empty()) {
     int i1 = 0, i2 = 0;
-    if (std::sscanf(query.c_str(), "%d,%d", &i1, &i2) != 2) return Usage();
+    if (std::sscanf(query.c_str(), "%d,%d", &i1, &i2) != 2) {
+      return FailUsage(pie::Status::InvalidArgument(
+          "--query expects \"i1,i2\", got \"" + query + "\""));
+    }
     pie::QueryService service((*store)->Snapshot());
     const auto est = service.MaxDominance(i1, i2);
     if (!est.ok()) return Fail(est.status());
@@ -130,8 +213,7 @@ int RunInspect(const std::string& dir) {
   namespace persist = pie::persist;
   const std::vector<uint64_t> seqs = persist::ListManifestSeqs(dir);
   if (seqs.empty()) {
-    std::printf("%s: no checkpoint generations\n", dir.c_str());
-    return 0;
+    return Fail(pie::Status::NotFound("no checkpoint generations in " + dir));
   }
   for (const uint64_t seq : seqs) {
     auto bytes = persist::ReadFileBytes(dir + "/" +
@@ -169,12 +251,25 @@ int RunInspect(const std::string& dir) {
                     : "  [INCOMPLETE]");
   }
   auto latest = persist::LoadLatestCheckpoint(dir);
-  if (latest.ok()) {
-    std::printf("recovery would serve generation %" PRIu64 "\n",
-                latest->manifest.seq);
-  } else {
+  if (!latest.ok()) {
     std::printf("recovery would fail: %s\n",
                 latest.status().ToString().c_str());
+    return Fail(latest.status());
+  }
+  std::printf("recovery would serve generation %" PRIu64 "\n",
+              latest->manifest.seq);
+  return 0;
+}
+
+int RunGc(const std::string& dir, int keep) {
+  auto result = pie::persist::RetainLatest(dir, keep);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("gc %s: serving generation %" PRIu64 ", removed %zu "
+              "generations (%" PRIu64 " files)\n",
+              dir.c_str(), result->serving_seq, result->removed_seqs.size(),
+              result->files_removed);
+  for (const uint64_t seq : result->removed_seqs) {
+    std::printf("  removed generation %" PRIu64 "\n", seq);
   }
   return 0;
 }
@@ -188,7 +283,10 @@ int main(int argc, char** argv) {
   int shards = 16;
   double tau = 1.0;
   uint64_t salt = 0;
+  int keep = 0;
+  bool keep_set = false;
   bool coordinated = false;
+  bool degraded = false;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     std::string value;
@@ -196,13 +294,30 @@ int main(int argc, char** argv) {
         FlagValue(argv[i], "--out", &out) ||
         FlagValue(argv[i], "--query", &query)) {
     } else if (FlagValue(argv[i], "--shards", &value)) {
-      shards = std::atoi(value.c_str());
+      if (!ParseIntValue(value, &shards)) {
+        return FailUsage(pie::Status::InvalidArgument(
+            "--shards expects an integer, got \"" + value + "\""));
+      }
     } else if (FlagValue(argv[i], "--tau", &value)) {
-      tau = std::atof(value.c_str());
+      if (!ParseDoubleValue(value, &tau)) {
+        return FailUsage(pie::Status::InvalidArgument(
+            "--tau expects a finite number, got \"" + value + "\""));
+      }
     } else if (FlagValue(argv[i], "--salt", &value)) {
-      salt = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseU64Value(value, &salt)) {
+        return FailUsage(pie::Status::InvalidArgument(
+            "--salt expects an unsigned integer, got \"" + value + "\""));
+      }
+    } else if (FlagValue(argv[i], "--keep", &value)) {
+      if (!ParseIntValue(value, &keep)) {
+        return FailUsage(pie::Status::InvalidArgument(
+            "--keep expects an integer, got \"" + value + "\""));
+      }
+      keep_set = true;
     } else if (std::strcmp(argv[i], "--coordinated") == 0) {
       coordinated = true;
+    } else if (std::strcmp(argv[i], "--degraded") == 0) {
+      degraded = true;
     } else if (argv[i][0] == '-') {
       return Usage();
     } else {
@@ -218,7 +333,7 @@ int main(int argc, char** argv) {
   }
   if (command == "recover") {
     if (dir.empty() || !positional.empty()) return Usage();
-    return RunRecover(dir);
+    return RunRecover(dir, degraded);
   }
   if (command == "merge") {
     if (out.empty() || positional.empty()) return Usage();
@@ -227,6 +342,14 @@ int main(int argc, char** argv) {
   if (command == "inspect") {
     if (dir.empty() || !positional.empty()) return Usage();
     return RunInspect(dir);
+  }
+  if (command == "gc") {
+    if (dir.empty() || !positional.empty()) return Usage();
+    if (!keep_set) {
+      return FailUsage(
+          pie::Status::InvalidArgument("gc requires --keep=N"));
+    }
+    return RunGc(dir, keep);
   }
   return Usage();
 }
